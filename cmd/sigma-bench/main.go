@@ -1,0 +1,53 @@
+// Command sigma-bench regenerates the tables and figures of the paper's
+// evaluation section. With no arguments it lists the available
+// experiments; "all" runs everything.
+//
+// Usage:
+//
+//	sigma-bench [-scale 1.0] [-quick] all|fig1|fig4a|fig4b|fig5a|fig5b|fig6|fig7|fig8|table1|table2|ram ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sigmadedupe/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sigma-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sigma-bench", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0, "dataset scale multiplier (smaller = faster)")
+	quick := fs.Bool("quick", false, "trim sweeps to a few points")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		fmt.Printf("available experiments: %s, all\n", strings.Join(experiments.Names(), ", "))
+		return nil
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = experiments.Names()
+	}
+	opts := experiments.Options{Scale: *scale, Quick: *quick}
+	for _, name := range names {
+		start := time.Now()
+		tab, err := experiments.Run(name, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

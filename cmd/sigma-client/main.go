@@ -1,0 +1,97 @@
+// Command sigma-client performs source inline deduplicated backup and
+// restore against a Σ-Dedupe cluster.
+//
+// Usage:
+//
+//	sigma-client -director 127.0.0.1:7700 -nodes 127.0.0.1:7701,127.0.0.1:7702 backup FILE...
+//	sigma-client -director 127.0.0.1:7700 -nodes ... restore PATH -out FILE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sigmadedupe/internal/client"
+	"sigmadedupe/internal/director"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sigma-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dirAddr := flag.String("director", "127.0.0.1:7700", "director address")
+	nodes := flag.String("nodes", "127.0.0.1:7701", "comma-separated deduplication server addresses")
+	name := flag.String("name", "sigma-client", "client name for sessions")
+	out := flag.String("out", "", "output file for restore")
+	scSize := flag.Int64("superchunk", 1<<20, "super-chunk size in bytes")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) < 1 {
+		return fmt.Errorf("usage: sigma-client [flags] backup FILE... | restore PATH -out FILE")
+	}
+	remote, err := director.DialRemote(*dirAddr)
+	if err != nil {
+		return err
+	}
+	defer remote.Close()
+
+	c, err := client.New(client.Config{
+		Name:           *name,
+		SuperChunkSize: *scSize,
+	}, remote, strings.Split(*nodes, ","))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "backup":
+		if len(args) < 2 {
+			return fmt.Errorf("backup: need at least one file")
+		}
+		for _, path := range args[1:] {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			err = c.BackupFile(filepath.Clean(path), f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		st := c.Stats()
+		fmt.Printf("backed up %d files, %d bytes logical, %d bytes transferred (%.1f%% bandwidth saved)\n",
+			st.Files, st.LogicalBytes, st.TransferredBytes, 100*st.BandwidthSaving())
+		return nil
+
+	case "restore":
+		if len(args) != 2 || *out == "" {
+			return fmt.Errorf("restore: need PATH and -out FILE")
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := c.Restore(filepath.Clean(args[1]), f); err != nil {
+			return err
+		}
+		fmt.Printf("restored %s to %s\n", args[1], *out)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}

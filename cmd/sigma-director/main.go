@@ -1,0 +1,42 @@
+// Command sigma-director runs the Σ-Dedupe director: backup-session and
+// file-recipe management for backup clients.
+//
+// Usage:
+//
+//	sigma-director -addr 127.0.0.1:7700
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sigmadedupe/internal/director"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sigma-director:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7700", "TCP listen address")
+	flag.Parse()
+
+	d := director.New()
+	svc, err := director.Serve(d, *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sigma-director: listening on %s\n", svc.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("sigma-director: %d sessions, %d files tracked\n", d.NumSessions(), len(d.Files()))
+	return svc.Close()
+}

@@ -1,0 +1,61 @@
+// Command sigma-server runs one Σ-Dedupe deduplication server node,
+// speaking the internal RPC protocol over TCP.
+//
+// Usage:
+//
+//	sigma-server -addr 127.0.0.1:7701 -id 0 [-dir /var/lib/sigma/node0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sigmadedupe/internal/node"
+	"sigmadedupe/internal/rpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sigma-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7701", "TCP listen address")
+	id := flag.Int("id", 0, "node ID")
+	dir := flag.String("dir", "", "container spill directory (empty = RAM only)")
+	handprint := flag.Int("handprint", 8, "handprint size k")
+	locks := flag.Int("locks", 1024, "similarity-index lock stripes")
+	flag.Parse()
+
+	n, err := node.New(node.Config{
+		ID:            *id,
+		HandprintSize: *handprint,
+		SimIndexLocks: *locks,
+		KeepPayloads:  true,
+		Dir:           *dir,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := rpc.NewServer(n, *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sigma-server: node %d listening on %s\n", *id, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("sigma-server: shutting down")
+	if err := n.Flush(); err != nil {
+		return err
+	}
+	st := n.Stats()
+	fmt.Printf("sigma-server: stored %d unique chunks, DR %.2f\n", st.UniqueChunks, st.DedupRatio())
+	return srv.Close()
+}

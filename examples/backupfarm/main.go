@@ -1,0 +1,60 @@
+// Backupfarm: compare the four cluster data-routing schemes on the
+// paper's synthetic Linux-kernel backup workload — the scenario that
+// motivates Σ-Dedupe: many backup generations of an evolving source tree,
+// deduplicated across a 16-node cluster.
+//
+// For each scheme it reports the cluster-wide dedup ratio, the normalized
+// effective dedup ratio (Eq. 7), storage skew, and fingerprint-lookup
+// message cost, reproducing the shape of the paper's Fig. 7/8 at one
+// cluster size.
+//
+// Run with: go run ./examples/backupfarm
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"sigmadedupe"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	schemes := []sigmadedupe.Scheme{
+		sigmadedupe.SchemeSigma,
+		sigmadedupe.SchemeStateful,
+		sigmadedupe.SchemeStateless,
+		sigmadedupe.SchemeExtremeBinning,
+	}
+	fmt.Println("scheme          DR     EDR    skew   fp-lookup msgs")
+	for _, scheme := range schemes {
+		c, err := sigmadedupe.NewCluster(sigmadedupe.ClusterConfig{
+			Nodes:  16,
+			Scheme: scheme,
+		})
+		if err != nil {
+			return err
+		}
+		err = sigmadedupe.WorkloadFiles("linux", 0.4, 0, func(path string, data []byte) error {
+			return c.Backup(path, bytes.NewReader(data))
+		})
+		if err != nil {
+			return err
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		st := c.Stats()
+		fmt.Printf("%-14s  %.2f   %.3f  %.3f  %d\n",
+			scheme, st.DedupRatio, st.EffectiveDR, st.StorageSkew, st.FingerprintLookups)
+	}
+	fmt.Println("\nexpected shape: Stateful >= Sigma >> Stateless in EDR;")
+	fmt.Println("Stateful pays ~Nx the routing messages; Sigma stays within ~1.25x of Stateless.")
+	return nil
+}

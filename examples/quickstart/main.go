@@ -1,0 +1,90 @@
+// Quickstart: bring up a 3-node Σ-Dedupe cluster with a director on
+// loopback TCP, back up two generations of a directory of files with
+// source inline deduplication, and restore one file back.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sigmadedupe"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Start three deduplication server nodes.
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		srv, err := sigmadedupe.StartServer(sigmadedupe.ServerConfig{ID: i})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+		fmt.Printf("node %d listening on %s\n", i, srv.Addr())
+	}
+
+	// 2. A director tracks sessions and file recipes.
+	dir := sigmadedupe.NewDirector()
+
+	// 3. Connect a backup client (64KB super-chunks keep this demo small).
+	bc, err := sigmadedupe.NewBackupClient(
+		sigmadedupe.BackupClientConfig{Name: "quickstart", SuperChunkSize: 64 << 10},
+		dir, addrs)
+	if err != nil {
+		return err
+	}
+	defer bc.Close()
+
+	// 4. First backup generation: three files of pseudo-random content.
+	rng := rand.New(rand.NewSource(1))
+	files := map[string][]byte{}
+	for i := 0; i < 3; i++ {
+		data := make([]byte, 200<<10)
+		rng.Read(data)
+		path := fmt.Sprintf("/home/alice/report-%d.dat", i)
+		files[path] = data
+		if err := bc.BackupFile(path, bytes.NewReader(data)); err != nil {
+			return err
+		}
+	}
+
+	// 5. Second generation: the same files, one lightly edited. Source
+	//    dedup means almost no payload bytes cross the network again.
+	edited := append([]byte(nil), files["/home/alice/report-1.dat"]...)
+	copy(edited[1000:], []byte("edited in generation 2"))
+	for path, data := range files {
+		if path == "/home/alice/report-1.dat" {
+			data = edited
+		}
+		if err := bc.BackupFile(path, bytes.NewReader(data)); err != nil {
+			return err
+		}
+	}
+	if err := bc.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Printf("logical bytes backed up: %d\n", bc.LogicalBytes())
+	fmt.Printf("bandwidth saved by source dedup: %.1f%%\n", 100*bc.BandwidthSaving())
+
+	// 6. Restore the edited file and verify it round-trips.
+	var out bytes.Buffer
+	if err := bc.Restore("/home/alice/report-1.dat", &out); err != nil {
+		return err
+	}
+	if !bytes.Equal(out.Bytes(), edited) {
+		return fmt.Errorf("restore mismatch: got %d bytes", out.Len())
+	}
+	fmt.Printf("restored /home/alice/report-1.dat: %d bytes, content verified\n", out.Len())
+	return nil
+}

@@ -1,0 +1,62 @@
+// Vmbackup: the virtual-machine full-backup scenario from the paper's
+// evaluation — few very large disk images with a skewed size
+// distribution, backed up twice. This is the workload on which Extreme
+// Binning's file-level routing collapses (all images chase a handful of
+// bins), while Σ-Dedupe's super-chunk handprint routing keeps both the
+// dedup ratio and the storage balance (paper Fig. 8, VM panel; Σ-Dedupe
+// beats EB by up to 228% there).
+//
+// Run with: go run ./examples/vmbackup
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"sigmadedupe"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	for _, scheme := range []sigmadedupe.Scheme{
+		sigmadedupe.SchemeSigma,
+		sigmadedupe.SchemeExtremeBinning,
+	} {
+		c, err := sigmadedupe.NewCluster(sigmadedupe.ClusterConfig{
+			Nodes:  8,
+			Scheme: scheme,
+		})
+		if err != nil {
+			return err
+		}
+		var images int
+		err = sigmadedupe.WorkloadFiles("vm", 1, 0, func(path string, data []byte) error {
+			images++
+			return c.Backup(path, bytes.NewReader(data))
+		})
+		if err != nil {
+			return err
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		st := c.Stats()
+		fmt.Printf("%s:\n", scheme)
+		fmt.Printf("  %d image backups, %.1f MB logical\n", images, float64(st.LogicalBytes)/(1<<20))
+		fmt.Printf("  cluster dedup ratio: %.2f\n", st.DedupRatio)
+		fmt.Printf("  storage skew (sigma/alpha): %.3f\n", st.StorageSkew)
+		fmt.Printf("  effective dedup ratio (Eq. 7): %.3f\n\n", st.EffectiveDR)
+	}
+	fmt.Println("Extreme Binning routes each whole image by one representative")
+	fmt.Println("fingerprint: shared OS blocks drag every image to the same bins,")
+	fmt.Println("so a few nodes hold nearly everything (huge skew). Σ-Dedupe routes")
+	fmt.Println("1MB super-chunks with a load-discounted similarity bid and keeps")
+	fmt.Println("the cluster balanced at nearly the same raw dedup ratio.")
+	return nil
+}

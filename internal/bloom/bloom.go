@@ -1,0 +1,100 @@
+// Package bloom provides a Bloom filter used by the traditional on-disk
+// chunk index (DDFS-style, Zhu et al. FAST'08) to avoid disk lookups for
+// fingerprints that are certainly absent. It is the RAM-usage baseline the
+// paper compares the similarity index against (§4.3: 50GB of Bloom filter
+// per 100TB unique data at 4KB chunks).
+package bloom
+
+import (
+	"fmt"
+	"math"
+
+	"sigmadedupe/internal/fingerprint"
+)
+
+// Filter is a standard Bloom filter over chunk fingerprints. It is NOT
+// safe for concurrent mutation; callers serialize access (the chunk index
+// wraps it in its own lock).
+type Filter struct {
+	bits    []uint64
+	m       uint64 // number of bits
+	k       int    // number of hash probes
+	inserts uint64
+}
+
+// New creates a Bloom filter sized for n expected entries at the given
+// target false-positive rate.
+func New(n int, fpRate float64) (*Filter, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("bloom: expected entries %d must be positive", n)
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		return nil, fmt.Errorf("bloom: false-positive rate %v must be in (0,1)", fpRate)
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fpRate) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return &Filter{
+		bits: make([]uint64, (m+63)/64),
+		m:    m,
+		k:    k,
+	}, nil
+}
+
+// probes derives the k probe positions from the fingerprint using
+// double hashing over its leading 16 bytes (Kirsch–Mitzenmacher).
+func (f *Filter) probes(fp fingerprint.Fingerprint, fn func(pos uint64) bool) {
+	h1 := fp.Uint64()
+	var h2 uint64
+	for i := 8; i < 16; i++ {
+		h2 = h2<<8 | uint64(fp[i])
+	}
+	h2 |= 1 // force odd so probes cycle through all positions
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		if !fn(pos) {
+			return
+		}
+	}
+}
+
+// Add inserts the fingerprint.
+func (f *Filter) Add(fp fingerprint.Fingerprint) {
+	f.probes(fp, func(pos uint64) bool {
+		f.bits[pos/64] |= 1 << (pos % 64)
+		return true
+	})
+	f.inserts++
+}
+
+// MayContain reports whether the fingerprint may have been added. False
+// means definitely absent; true may be a false positive.
+func (f *Filter) MayContain(fp fingerprint.Fingerprint) bool {
+	may := true
+	f.probes(fp, func(pos uint64) bool {
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			may = false
+			return false
+		}
+		return true
+	})
+	return may
+}
+
+// SizeBytes returns the filter's bit-array footprint.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// Inserts returns the number of Add calls.
+func (f *Filter) Inserts() uint64 { return f.inserts }
+
+// EstimatedFPRate returns the theoretical false-positive rate at the
+// current fill level: (1 - e^{-kn/m})^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	n := float64(f.inserts)
+	return math.Pow(1-math.Exp(-float64(f.k)*n/float64(f.m)), float64(f.k))
+}

@@ -1,0 +1,147 @@
+// Package chunker implements the data-partitioning stage of the
+// deduplication pipeline: splitting byte streams into chunks.
+//
+// Three algorithms from the paper are provided:
+//
+//   - FixedChunker: static chunking (SC) at a constant size. Negligible CPU
+//     cost; the paper selects SC with 4KB chunks for its main experiments
+//     (§4.3, Fig. 5a).
+//   - RabinChunker: content-defined chunking (CDC) using a rolling Rabin
+//     hash over a 64-byte window, Cumulus-style, with min/avg/max bounds.
+//   - TTTDChunker: the Two-Threshold Two-Divisor variant of CDC used in the
+//     paper's super-chunk resemblance analysis (§2.2), with 1KB minimum,
+//     2KB minor mean, 4KB major mean and 32KB maximum by default.
+//
+// All chunkers implement the Chunker interface and stream from an io.Reader
+// so arbitrarily large inputs can be processed with bounded memory.
+package chunker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Chunk is one unit of deduplication: a contiguous span of the input stream.
+type Chunk struct {
+	// Data is the chunk payload. The slice is owned by the caller after
+	// Next returns; chunkers do not reuse it.
+	Data []byte
+	// Offset is the byte offset of the chunk in the input stream.
+	Offset int64
+}
+
+// Len returns the chunk payload length in bytes.
+func (c Chunk) Len() int { return len(c.Data) }
+
+// Chunker cuts a stream into chunks.
+type Chunker interface {
+	// Next returns the next chunk, or io.EOF after the final chunk has
+	// been delivered. A terminal partial chunk (shorter than the minimum)
+	// is returned rather than discarded.
+	Next() (Chunk, error)
+}
+
+// Method identifies a chunking algorithm.
+type Method int
+
+// Chunking methods.
+const (
+	Fixed Method = iota + 1
+	Rabin
+	TTTD
+)
+
+// String returns the paper's abbreviation for the method.
+func (m Method) String() string {
+	switch m {
+	case Fixed:
+		return "SC"
+	case Rabin:
+		return "CDC"
+	case TTTD:
+		return "TTTD"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// ErrInvalidConfig reports chunker construction with nonsensical bounds.
+var ErrInvalidConfig = errors.New("chunker: invalid configuration")
+
+// New constructs a chunker of the given method reading from r. size is the
+// fixed size for SC or the target average for CDC; TTTD ignores size and
+// uses its standard thresholds.
+func New(m Method, r io.Reader, size int) (Chunker, error) {
+	switch m {
+	case Fixed:
+		return NewFixed(r, size)
+	case Rabin:
+		return NewRabin(r, size/4, size, size*4)
+	case TTTD:
+		return NewTTTD(r, DefaultTTTDConfig())
+	default:
+		return nil, fmt.Errorf("%w: unknown method %d", ErrInvalidConfig, int(m))
+	}
+}
+
+// SplitAll drains the chunker and returns every chunk. Intended for tests
+// and small inputs; large streams should consume chunks incrementally.
+func SplitAll(c Chunker) ([]Chunk, error) {
+	var chunks []Chunk
+	for {
+		ch, err := c.Next()
+		if err == io.EOF {
+			return chunks, nil
+		}
+		if err != nil {
+			return chunks, err
+		}
+		chunks = append(chunks, ch)
+	}
+}
+
+// FixedChunker slices the stream into constant-size chunks (static
+// chunking). The final chunk may be shorter.
+type FixedChunker struct {
+	r      io.Reader
+	size   int
+	offset int64
+	done   bool
+}
+
+var _ Chunker = (*FixedChunker)(nil)
+
+// NewFixed returns a FixedChunker producing size-byte chunks.
+func NewFixed(r io.Reader, size int) (*FixedChunker, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("%w: fixed chunk size %d", ErrInvalidConfig, size)
+	}
+	return &FixedChunker{r: r, size: size}, nil
+}
+
+// Next implements Chunker.
+func (f *FixedChunker) Next() (Chunk, error) {
+	if f.done {
+		return Chunk{}, io.EOF
+	}
+	buf := make([]byte, f.size)
+	n, err := io.ReadFull(f.r, buf)
+	if n == 0 {
+		f.done = true
+		if err == io.EOF || err == io.ErrUnexpectedEOF || err == nil {
+			return Chunk{}, io.EOF
+		}
+		return Chunk{}, err
+	}
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		f.done = true
+		err = nil
+	}
+	if err != nil {
+		return Chunk{}, err
+	}
+	ch := Chunk{Data: buf[:n], Offset: f.offset}
+	f.offset += int64(n)
+	return ch, nil
+}

@@ -1,0 +1,295 @@
+// Package client implements the Σ-Dedupe backup client (paper §3.1): data
+// partitioning (chunking + super-chunk grouping), chunk fingerprinting,
+// similarity-aware data routing, source-side duplicate elimination via
+// batched fingerprint queries, and transfer of unique chunks only.
+//
+// The client speaks the internal/rpc protocol to a cluster of
+// deduplication servers and records file recipes with the director.
+package client
+
+import (
+	"fmt"
+	"io"
+
+	"sigmadedupe/internal/chunker"
+	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/director"
+	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/rpc"
+)
+
+// Config parameterizes a backup client.
+type Config struct {
+	// Name identifies the client in backup sessions.
+	Name string
+	// ChunkMethod is the chunking algorithm (default chunker.Fixed, the
+	// paper's choice for deduplication efficiency).
+	ChunkMethod chunker.Method
+	// ChunkSize is the (average) chunk size in bytes (default 4KB).
+	ChunkSize int
+	// SuperChunkSize is the routing granularity (default 1MB).
+	SuperChunkSize int64
+	// HandprintK is the handprint size (default 8).
+	HandprintK int
+	// Algorithm selects the fingerprint hash (default SHA-1).
+	Algorithm fingerprint.Algorithm
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "client"
+	}
+	if c.ChunkMethod == 0 {
+		c.ChunkMethod = chunker.Fixed
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 4096
+	}
+	if c.SuperChunkSize <= 0 {
+		c.SuperChunkSize = core.DefaultSuperChunkSize
+	}
+	if c.HandprintK <= 0 {
+		c.HandprintK = core.DefaultHandprintSize
+	}
+	if c.Algorithm == 0 {
+		c.Algorithm = fingerprint.SHA1
+	}
+	return c
+}
+
+// Stats summarizes a backup session from the client's perspective.
+type Stats struct {
+	LogicalBytes     int64 // bytes presented for backup
+	TransferredBytes int64 // unique chunk payload bytes sent over the wire
+	DupChunks        int64
+	UniqueChunks     int64
+	SuperChunks      int64
+	Files            int64
+}
+
+// BandwidthSaving returns the fraction of payload bytes the source dedup
+// avoided sending.
+func (s Stats) BandwidthSaving() float64 {
+	if s.LogicalBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.TransferredBytes)/float64(s.LogicalBytes)
+}
+
+// pendingFile tracks a file whose chunks are not yet all routed.
+type pendingFile struct {
+	path    string
+	entries []director.ChunkEntry
+	want    int
+	done    bool // stream position past EOF
+}
+
+// Client is a connected backup client. Not safe for concurrent use; run
+// one Client per backup stream (the paper's design gives every stream its
+// own pipeline).
+type Client struct {
+	cfg     Config
+	conns   []*rpc.Client
+	dir     director.Metadata
+	session uint64
+	part    *core.Partitioner
+	pending []*pendingFile
+	stats   Stats
+}
+
+// New connects to the given deduplication server addresses and opens a
+// backup session with the director (in-process or remote).
+func New(cfg Config, dir director.Metadata, nodeAddrs []string) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if len(nodeAddrs) == 0 {
+		return nil, fmt.Errorf("client: need at least one node address")
+	}
+	conns := make([]*rpc.Client, len(nodeAddrs))
+	for i, addr := range nodeAddrs {
+		c, err := rpc.Dial(addr)
+		if err != nil {
+			for _, prev := range conns[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("client: node %d: %w", i, err)
+		}
+		conns[i] = c
+	}
+	part, err := core.NewPartitioner(cfg.SuperChunkSize, cfg.Algorithm, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		cfg:     cfg,
+		conns:   conns,
+		dir:     dir,
+		session: dir.BeginSession(cfg.Name),
+		part:    part,
+	}, nil
+}
+
+// Session returns the director session ID of this backup run.
+func (c *Client) Session() uint64 { return c.session }
+
+// BackupFile chunks, fingerprints, routes and dedup-transfers one file.
+func (c *Client) BackupFile(path string, r io.Reader) error {
+	ck, err := chunker.New(c.cfg.ChunkMethod, r, c.cfg.ChunkSize)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	pf := &pendingFile{path: path}
+	c.pending = append(c.pending, pf)
+	c.stats.Files++
+	for {
+		chunk, err := ck.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("client: chunk %s: %w", path, err)
+		}
+		pf.want++
+		c.stats.LogicalBytes += int64(chunk.Len())
+		if sc := c.part.Add(chunk); sc != nil {
+			if err := c.routeAndSend(sc); err != nil {
+				return err
+			}
+		}
+	}
+	pf.done = true
+	return c.finalizeRecipes()
+}
+
+// Flush routes the final partial super-chunk, completes recipes, seals
+// remote containers and ends the session.
+func (c *Client) Flush() error {
+	if sc := c.part.Flush(); sc != nil {
+		if err := c.routeAndSend(sc); err != nil {
+			return err
+		}
+	}
+	if err := c.finalizeRecipes(); err != nil {
+		return err
+	}
+	for _, conn := range c.conns {
+		if err := conn.Flush(); err != nil {
+			return err
+		}
+	}
+	return c.dir.EndSession(c.session)
+}
+
+// Close releases connections. Call Flush first to complete the backup.
+func (c *Client) Close() {
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+}
+
+// Stats returns the client-side counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// routeAndSend implements Algorithm 1 plus the source-dedup transfer for
+// one super-chunk.
+func (c *Client) routeAndSend(sc *core.SuperChunk) error {
+	hp := sc.Handprint(c.cfg.HandprintK)
+	cands := hp.CandidateNodes(len(c.conns))
+	if len(cands) == 0 {
+		cands = []int{0}
+	}
+	counts := make([]int, len(cands))
+	usage := make([]int64, len(cands))
+	for i, cand := range cands {
+		count, use, err := c.conns[cand].Bid(hp)
+		if err != nil {
+			return fmt.Errorf("client: bid node %d: %w", cand, err)
+		}
+		counts[i], usage[i] = count, use
+	}
+	target := core.SelectTarget(cands, counts, usage).Node
+
+	// Batched fingerprint query: learn which chunks are duplicates so
+	// their payloads never cross the network.
+	dup, err := c.conns[target].Query(sc)
+	if err != nil {
+		return fmt.Errorf("client: query node %d: %w", target, err)
+	}
+	send := &core.SuperChunk{FileID: sc.FileID, FileMinFP: sc.FileMinFP}
+	for i, ch := range sc.Chunks {
+		ref := core.ChunkRef{FP: ch.FP, Size: ch.Size}
+		if i < len(dup) && dup[i] {
+			c.stats.DupChunks++
+		} else {
+			ref.Data = ch.Data
+			c.stats.UniqueChunks++
+			c.stats.TransferredBytes += int64(ch.Size)
+		}
+		send.Chunks = append(send.Chunks, ref)
+	}
+	if err := c.conns[target].Store(c.cfg.Name, send, true); err != nil {
+		return fmt.Errorf("client: store node %d: %w", target, err)
+	}
+	c.stats.SuperChunks++
+
+	// Attribute the routed chunks to pending file recipes in order.
+	for _, ch := range sc.Chunks {
+		pf := c.nextPending()
+		if pf == nil {
+			break
+		}
+		pf.entries = append(pf.entries, director.ChunkEntry{
+			FP:   ch.FP,
+			Size: int32(ch.Size),
+			Node: int32(target),
+		})
+	}
+	return nil
+}
+
+// nextPending returns the earliest pending file still awaiting chunks.
+func (c *Client) nextPending() *pendingFile {
+	for _, pf := range c.pending {
+		if len(pf.entries) < pf.want {
+			return pf
+		}
+	}
+	return nil
+}
+
+// finalizeRecipes registers recipes for files whose chunks are all routed.
+func (c *Client) finalizeRecipes() error {
+	remaining := c.pending[:0]
+	for _, pf := range c.pending {
+		if pf.done && len(pf.entries) == pf.want {
+			if err := c.dir.PutRecipe(c.session, pf.path, pf.entries); err != nil {
+				return err
+			}
+			continue
+		}
+		remaining = append(remaining, pf)
+	}
+	c.pending = remaining
+	return nil
+}
+
+// Restore streams a backed-up file to w by fetching every chunk from the
+// node recorded in its recipe.
+func (c *Client) Restore(path string, w io.Writer) error {
+	recipe, err := c.dir.GetRecipe(path)
+	if err != nil {
+		return err
+	}
+	for i, entry := range recipe.Chunks {
+		if int(entry.Node) >= len(c.conns) {
+			return fmt.Errorf("client: restore %s: node %d out of range", path, entry.Node)
+		}
+		data, err := c.conns[entry.Node].ReadChunk(entry.FP)
+		if err != nil {
+			return fmt.Errorf("client: restore %s chunk %d: %w", path, i, err)
+		}
+		if _, err := w.Write(data); err != nil {
+			return fmt.Errorf("client: restore %s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sigmadedupe/internal/director"
+	"sigmadedupe/internal/node"
+	"sigmadedupe/internal/rpc"
+)
+
+// startCluster brings up n dedup servers on loopback and returns their
+// addresses.
+func startCluster(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		nd, err := node.New(node.Config{ID: i, KeepPayloads: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := rpc.NewServer(nd, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+	return addrs
+}
+
+func randBytes(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestBackupAndRestoreSingleNode(t *testing.T) {
+	addrs := startCluster(t, 1)
+	dir := director.New()
+	c, err := New(Config{Name: "t"}, dir, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	content := randBytes(1, 300<<10)
+	if err := c.BackupFile("/data/a.bin", bytes.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := c.Restore("/data/a.bin", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), content) {
+		t.Fatal("restored content differs from backup")
+	}
+}
+
+func TestSourceDedupSavesBandwidth(t *testing.T) {
+	addrs := startCluster(t, 2)
+	dir := director.New()
+	// Small super-chunks so the first generation is fully stored before
+	// the second generation's batched queries run.
+	c, err := New(Config{Name: "t", SuperChunkSize: 32 << 10}, dir, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	content := randBytes(2, 512<<10)
+	if err := c.BackupFile("/gen1", bytes.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	// Second generation: identical content under a new path. The batched
+	// query must stop nearly every payload from crossing the wire.
+	if err := c.BackupFile("/gen2", bytes.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.LogicalBytes != 1<<20 {
+		t.Fatalf("logical = %d, want 1MiB", st.LogicalBytes)
+	}
+	if st.BandwidthSaving() < 0.45 {
+		t.Fatalf("bandwidth saving = %.2f, want >= 0.45 (second copy dedups)", st.BandwidthSaving())
+	}
+	var out bytes.Buffer
+	if err := c.Restore("/gen2", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), content) {
+		t.Fatal("deduplicated restore corrupted")
+	}
+}
+
+func TestMultiFileMultiNodeRoundTrip(t *testing.T) {
+	addrs := startCluster(t, 4)
+	dir := director.New()
+	c, err := New(Config{Name: "t", SuperChunkSize: 64 << 10}, dir, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	files := map[string][]byte{}
+	for i := 0; i < 10; i++ {
+		path := fmt.Sprintf("/tree/file%02d", i)
+		files[path] = randBytes(int64(10+i), 40<<10+i*1000)
+	}
+	for path, content := range files {
+		if err := c.BackupFile(path, bytes.NewReader(content)); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for path, content := range files {
+		var out bytes.Buffer
+		if err := c.Restore(path, &out); err != nil {
+			t.Fatalf("restore %s: %v", path, err)
+		}
+		if !bytes.Equal(out.Bytes(), content) {
+			t.Fatalf("%s corrupted through multi-node cycle", path)
+		}
+	}
+	if got := len(dir.Files()); got != 10 {
+		t.Fatalf("director has %d recipes, want 10", got)
+	}
+}
+
+func TestRecipesRecordRouting(t *testing.T) {
+	addrs := startCluster(t, 3)
+	dir := director.New()
+	c, _ := New(Config{Name: "t", SuperChunkSize: 16 << 10}, dir, addrs)
+	defer c.Close()
+	content := randBytes(3, 100<<10)
+	if err := c.BackupFile("/f", bytes.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := dir.GetRecipe("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 100<<10 {
+		t.Fatalf("recipe size = %d, want %d", r.Size(), 100<<10)
+	}
+	for i, e := range r.Chunks {
+		if e.Node < 0 || int(e.Node) >= 3 {
+			t.Fatalf("chunk %d routed to invalid node %d", i, e.Node)
+		}
+	}
+}
+
+func TestBackupEmptyFile(t *testing.T) {
+	addrs := startCluster(t, 1)
+	dir := director.New()
+	c, _ := New(Config{Name: "t"}, dir, addrs)
+	defer c.Close()
+	if err := c.BackupFile("/empty", bytes.NewReader(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := dir.GetRecipe("/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Chunks) != 0 {
+		t.Fatalf("empty file recipe has %d chunks", len(r.Chunks))
+	}
+	var out bytes.Buffer
+	if err := c.Restore("/empty", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("empty file restored with content")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, director.New(), nil); err == nil {
+		t.Fatal("no node addresses should error")
+	}
+	if _, err := New(Config{}, director.New(), []string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("unreachable node should error")
+	}
+}

@@ -1,0 +1,331 @@
+// Package cluster implements the trace-driven cluster deduplication
+// simulator used for the paper's inter-node experiments (§4.4): N emulated
+// deduplication nodes, a routing scheme, and fingerprint-lookup message
+// accounting.
+//
+// As in the paper, each node is a full independent set of fingerprint
+// lookup structures (similarity index, fingerprint cache, chunk index,
+// container store), and the client-side pipeline partitions the backup
+// stream into super-chunks, routes each one, and "transfers" only unique
+// chunks. Message accounting follows Fig. 7: one message per chunk
+// fingerprint sent per contacted node, split into pre-routing messages
+// (the routing decision) and after-routing messages (the batched
+// fingerprint query at the target).
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/metrics"
+	"sigmadedupe/internal/node"
+	"sigmadedupe/internal/router"
+)
+
+// Config parameterizes a simulated cluster.
+type Config struct {
+	// N is the number of deduplication nodes.
+	N int
+	// Scheme selects the routing scheme.
+	Scheme router.Scheme
+	// HandprintK is the handprint size for routing and node similarity
+	// indexes (default core.DefaultHandprintSize).
+	HandprintK int
+	// SuperChunkSize is the routing granularity in bytes (default 1MB).
+	SuperChunkSize int64
+	// SampleRate is Stateful routing's fingerprint sampling denominator
+	// (default 32).
+	SampleRate int
+	// FixedBoundaries cuts super-chunks at exact byte counts instead of
+	// content-defined boundaries (ablation; see core.Partitioner).
+	FixedBoundaries bool
+	// IgnoreUsage disables Sigma routing's load discount (ablation).
+	IgnoreUsage bool
+	// Node is the per-node configuration template; ID is overridden.
+	Node node.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 1
+	}
+	if c.Scheme == 0 {
+		c.Scheme = router.Sigma
+	}
+	if c.HandprintK <= 0 {
+		c.HandprintK = core.DefaultHandprintSize
+	}
+	if c.SuperChunkSize <= 0 {
+		c.SuperChunkSize = core.DefaultSuperChunkSize
+	}
+	if c.SampleRate <= 0 {
+		c.SampleRate = 32
+	}
+	return c
+}
+
+// Stats aggregates cluster-level counters.
+type Stats struct {
+	LogicalBytes     int64
+	SuperChunks      int64
+	Files            int64
+	PreRoutingMsgs   int64
+	AfterRoutingMsgs int64
+}
+
+// TotalMsgs returns the Fig. 7 metric: all fingerprint-lookup messages.
+func (s Stats) TotalMsgs() int64 { return s.PreRoutingMsgs + s.AfterRoutingMsgs }
+
+// Cluster is a simulated deduplication cluster.
+type Cluster struct {
+	cfg   Config
+	nodes []*node.Node
+	rt    router.Router
+
+	mu    sync.Mutex
+	part  *core.Partitioner
+	stats Stats
+}
+
+var _ router.View = (*Cluster)(nil)
+
+// New builds a cluster of cfg.N nodes.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	rt, err := router.New(cfg.Scheme, cfg.HandprintK, cfg.SampleRate)
+	if err != nil {
+		return nil, err
+	}
+	if sg, ok := rt.(*router.SigmaRouter); ok && cfg.IgnoreUsage {
+		sg.IgnoreUsage = true
+	}
+	nodes := make([]*node.Node, cfg.N)
+	for i := range nodes {
+		ncfg := cfg.Node
+		ncfg.ID = i
+		ncfg.HandprintSize = cfg.HandprintK
+		n, err := node.New(ncfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		nodes[i] = n
+	}
+	var popts []core.PartitionerOption
+	if cfg.FixedBoundaries {
+		popts = append(popts, core.WithFixedBoundaries())
+	}
+	part, err := core.NewPartitioner(cfg.SuperChunkSize, fingerprint.SHA1, cfg.Node.KeepPayloads, popts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{cfg: cfg, nodes: nodes, rt: rt, part: part}, nil
+}
+
+// N implements router.View.
+func (c *Cluster) N() int { return len(c.nodes) }
+
+// BidHandprint implements router.View.
+func (c *Cluster) BidHandprint(nodeID int, hp core.Handprint) int {
+	return c.nodes[nodeID].CountHandprintMatches(hp)
+}
+
+// BidChunks implements router.View.
+func (c *Cluster) BidChunks(nodeID int, fps []fingerprint.Fingerprint) int {
+	return c.nodes[nodeID].CountStoredChunks(fps)
+}
+
+// Usage implements router.View.
+func (c *Cluster) Usage(nodeID int) int64 { return c.nodes[nodeID].StorageUsage() }
+
+// Scheme returns the active routing scheme name.
+func (c *Cluster) Scheme() string { return c.rt.Name() }
+
+// BackupItem feeds one backup item (a file, or an anonymous trace segment
+// with fileID 0) into the cluster pipeline. Chunk references must already
+// be fingerprinted (trace-driven mode) — use workload.Corpus.ChunkRefs.
+func (c *Cluster) BackupItem(fileID uint64, refs []core.ChunkRef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Files++
+
+	fileScoped := c.cfg.Scheme == router.ExtremeBinning && fileID != 0
+	var fileMin fingerprint.Fingerprint
+	if fileScoped {
+		// Extreme Binning routes whole files by the file's minimum chunk
+		// fingerprint; super-chunks must not span files.
+		for i, r := range refs {
+			if i == 0 || r.FP.Less(fileMin) {
+				fileMin = r.FP
+			}
+		}
+	}
+	c.part.SetFileID(fileID)
+	for _, r := range refs {
+		c.stats.LogicalBytes += int64(r.Size)
+		if sc := c.part.AddRef(r); sc != nil {
+			sc.FileMinFP = fileMin
+			if err := c.routeAndStoreLocked(sc); err != nil {
+				return err
+			}
+		}
+	}
+	if fileScoped {
+		if sc := c.part.Flush(); sc != nil {
+			sc.FileMinFP = fileMin
+			if err := c.routeAndStoreLocked(sc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush routes any partial super-chunk and seals all node containers.
+// Call at the end of a backup session.
+func (c *Cluster) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sc := c.part.Flush(); sc != nil {
+		if err := c.routeAndStoreLocked(sc); err != nil {
+			return err
+		}
+	}
+	for _, n := range c.nodes {
+		if err := n.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) routeAndStoreLocked(sc *core.SuperChunk) error {
+	d := c.rt.Route(sc, c)
+	c.stats.SuperChunks++
+	c.stats.PreRoutingMsgs += d.PreRoutingMsgs
+	for _, a := range d.Assignments {
+		target := sc
+		nChunks := len(sc.Chunks)
+		if a.Chunks != nil {
+			sub := &core.SuperChunk{FileID: sc.FileID, FileMinFP: sc.FileMinFP}
+			for _, i := range a.Chunks {
+				sub.Chunks = append(sub.Chunks, sc.Chunks[i])
+			}
+			target = sub
+			nChunks = len(sub.Chunks)
+		}
+		// After-routing: the batched fingerprint query carries one lookup
+		// per chunk to the target node.
+		c.stats.AfterRoutingMsgs += int64(nChunks)
+		var err error
+		if c.cfg.Scheme == router.ExtremeBinning && !sc.FileMinFP.IsZero() {
+			// Extreme Binning dedups the file only against its bin.
+			_, err = c.nodes[a.Node].StoreFileInBin("client0", sc.FileMinFP, target)
+		} else {
+			_, err = c.nodes[a.Node].StoreSuperChunk("client0", target)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of cluster counters.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// UsageVector returns per-node physical storage usage.
+func (c *Cluster) UsageVector() []int64 {
+	out := make([]int64, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.StorageUsage()
+	}
+	return out
+}
+
+// PhysicalBytes returns total stored bytes across nodes.
+func (c *Cluster) PhysicalBytes() int64 {
+	var total int64
+	for _, u := range c.UsageVector() {
+		total += u
+	}
+	return total
+}
+
+// DedupRatio returns the cluster-wide deduplication ratio (CDR).
+func (c *Cluster) DedupRatio() float64 {
+	return metrics.DedupRatio(c.Stats().LogicalBytes, c.PhysicalBytes())
+}
+
+// Skew returns σ/α over node storage usage.
+func (c *Cluster) Skew() float64 { return metrics.Skew(c.UsageVector()) }
+
+// EDR returns the normalized effective deduplication ratio (Eq. 7) given
+// the exact single-node physical size of the same dataset.
+func (c *Cluster) EDR(exactPhysical int64) float64 {
+	return metrics.EDRFromBytes(c.Stats().LogicalBytes, c.UsageVector(), exactPhysical)
+}
+
+// NormalizedDR returns CDR normalized to the exact single-node DR.
+func (c *Cluster) NormalizedDR(exactPhysical int64) float64 {
+	sdr := metrics.DedupRatio(c.Stats().LogicalBytes, exactPhysical)
+	return metrics.NormalizedDR(c.DedupRatio(), sdr)
+}
+
+// Nodes exposes the underlying nodes (read-only use: stats inspection).
+func (c *Cluster) Nodes() []*node.Node {
+	out := make([]*node.Node, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// ExactTracker computes the exact single-node deduplication physical size
+// of a stream (the SDR denominator of the paper's normalized metrics).
+type ExactTracker struct {
+	mu      sync.Mutex
+	seen    map[fingerprint.Fingerprint]struct{}
+	logical int64
+	unique  int64
+}
+
+// NewExactTracker returns an empty tracker.
+func NewExactTracker() *ExactTracker {
+	return &ExactTracker{seen: make(map[fingerprint.Fingerprint]struct{})}
+}
+
+// Add accounts a stream of chunk references.
+func (e *ExactTracker) Add(refs []core.ChunkRef) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range refs {
+		e.logical += int64(r.Size)
+		if _, ok := e.seen[r.FP]; !ok {
+			e.seen[r.FP] = struct{}{}
+			e.unique += int64(r.Size)
+		}
+	}
+}
+
+// Physical returns the exact-dedup physical size.
+func (e *ExactTracker) Physical() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.unique
+}
+
+// Logical returns the logical size accounted.
+func (e *ExactTracker) Logical() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.logical
+}
+
+// SDR returns the exact single-node deduplication ratio.
+func (e *ExactTracker) SDR() float64 {
+	return metrics.DedupRatio(e.Logical(), e.Physical())
+}

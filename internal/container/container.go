@@ -1,0 +1,360 @@
+// Package container implements the self-describing container abstraction
+// used for locality-preserved chunk storage (paper §3.3, after Zhu et al.'s
+// DDFS design). A container packs the unique chunks of one data stream in
+// arrival order; its metadata section lists each chunk's fingerprint,
+// offset and length so that a single container read primes the
+// chunk-fingerprint cache with an entire locality unit.
+//
+// The Manager supports parallel container management: each data stream
+// owns a dedicated open container, a new one is opened when it fills, and
+// all disk accesses happen at container granularity.
+package container
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"sigmadedupe/internal/fingerprint"
+)
+
+// DefaultCapacity is the default container payload capacity. 4MB is the
+// conventional container size in DDFS-style systems.
+const DefaultCapacity = 4 << 20
+
+// ChunkMeta is one entry of a container's metadata section.
+type ChunkMeta struct {
+	FP     fingerprint.Fingerprint
+	Offset uint32
+	Length uint32
+}
+
+// Loc addresses a stored chunk: container ID plus position.
+type Loc struct {
+	CID    uint64
+	Offset uint32
+	Length uint32
+}
+
+// Container is a sealed or open storage unit.
+type Container struct {
+	ID   uint64
+	Meta []ChunkMeta
+	Data []byte // nil when the manager runs in metadata-only mode
+	// bytes is the logical payload size even when Data is not retained.
+	bytes int
+}
+
+// Len returns the number of chunks in the container.
+func (c *Container) Len() int { return len(c.Meta) }
+
+// Bytes returns the payload size in bytes.
+func (c *Container) Bytes() int { return c.bytes }
+
+// Fingerprints returns the fingerprints of the metadata section in order.
+func (c *Container) Fingerprints() []fingerprint.Fingerprint {
+	out := make([]fingerprint.Fingerprint, len(c.Meta))
+	for i, m := range c.Meta {
+		out[i] = m.FP
+	}
+	return out
+}
+
+// ErrNotFound reports a missing container or chunk.
+var ErrNotFound = errors.New("container: not found")
+
+// Manager allocates, fills, seals, persists and reads containers.
+type Manager struct {
+	mu       sync.Mutex
+	capacity int
+	keepData bool
+	dir      string // when non-empty, sealed containers are spilled here
+	nextID   uint64
+	open     map[string]*Container // stream → open container
+	sealed   map[uint64]*Container
+	onDisk   map[uint64]bool
+
+	readIOs  atomic.Uint64
+	writeIOs atomic.Uint64
+	bytes    atomic.Int64
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithCapacity sets the container payload capacity in bytes.
+func WithCapacity(n int) Option { return func(m *Manager) { m.capacity = n } }
+
+// WithPayloads retains chunk payloads in memory (needed for restore paths
+// and the real prototype; trace-driven simulation runs metadata-only).
+func WithPayloads() Option { return func(m *Manager) { m.keepData = true } }
+
+// WithDir spills sealed containers to files under dir, reading them back
+// on demand. Implies payload retention for correctness of reads.
+func WithDir(dir string) Option {
+	return func(m *Manager) {
+		m.dir = dir
+		m.keepData = true
+	}
+}
+
+// NewManager creates a container manager.
+func NewManager(opts ...Option) (*Manager, error) {
+	m := &Manager{
+		capacity: DefaultCapacity,
+		open:     make(map[string]*Container),
+		sealed:   make(map[uint64]*Container),
+		onDisk:   make(map[uint64]bool),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.capacity <= 0 {
+		return nil, fmt.Errorf("container: capacity %d must be positive", m.capacity)
+	}
+	if m.dir != "" {
+		if err := os.MkdirAll(m.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("container: create dir: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// Append stores one unique chunk for the given stream, returning its
+// location. The chunk payload may be nil in metadata-only mode, in which
+// case size carries the chunk length. A stream's open container is sealed
+// automatically when appending would exceed capacity.
+func (m *Manager) Append(stream string, fp fingerprint.Fingerprint, data []byte, size int) (Loc, error) {
+	if data != nil {
+		size = len(data)
+	}
+	if size <= 0 {
+		return Loc{}, fmt.Errorf("container: chunk size %d must be positive", size)
+	}
+	if size > m.capacity {
+		return Loc{}, fmt.Errorf("container: chunk size %d exceeds capacity %d", size, m.capacity)
+	}
+	m.mu.Lock()
+	c := m.open[stream]
+	if c != nil && c.bytes+size > m.capacity {
+		m.sealLocked(stream)
+		c = nil
+	}
+	if c == nil {
+		m.nextID++
+		c = &Container{ID: m.nextID}
+		if m.keepData {
+			c.Data = make([]byte, 0, m.capacity)
+		}
+		m.open[stream] = c
+	}
+	loc := Loc{CID: c.ID, Offset: uint32(c.bytes), Length: uint32(size)}
+	c.Meta = append(c.Meta, ChunkMeta{FP: fp, Offset: loc.Offset, Length: loc.Length})
+	if m.keepData && data != nil {
+		c.Data = append(c.Data, data...)
+	}
+	c.bytes += size
+	m.mu.Unlock()
+	m.bytes.Add(int64(size))
+	return loc, nil
+}
+
+// Seal closes the stream's open container, making it readable via Get.
+// Sealing an idle stream is a no-op.
+func (m *Manager) Seal(stream string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sealLocked(stream)
+}
+
+// SealAll closes every open container (end of backup session).
+func (m *Manager) SealAll() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for stream := range m.open {
+		if err := m.sealLocked(stream); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Manager) sealLocked(stream string) error {
+	c := m.open[stream]
+	if c == nil {
+		return nil
+	}
+	delete(m.open, stream)
+	m.sealed[c.ID] = c
+	if m.dir != "" {
+		if err := m.spill(c); err != nil {
+			return err
+		}
+		// Keep metadata resident; drop payload to bound RAM.
+		c.Data = nil
+		m.onDisk[c.ID] = true
+	}
+	m.writeIOs.Add(1)
+	return nil
+}
+
+// Get returns a sealed container, reading it back from disk when spilled.
+// Each call counts one container read I/O, the unit of disk access in the
+// locality-preserved caching design.
+func (m *Manager) Get(cid uint64) (*Container, error) {
+	m.mu.Lock()
+	c, ok := m.sealed[cid]
+	disk := m.onDisk[cid]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: container %d", ErrNotFound, cid)
+	}
+	m.readIOs.Add(1)
+	if disk && c.Data == nil {
+		loaded, err := m.load(cid)
+		if err != nil {
+			return nil, err
+		}
+		return loaded, nil
+	}
+	return c, nil
+}
+
+// Metadata returns only the metadata section of a container. For sealed
+// containers this counts as one read I/O (the prefetch path reads the
+// metadata section from disk, §3.3); open containers are served from RAM
+// for free, since their metadata is still resident.
+func (m *Manager) Metadata(cid uint64) ([]ChunkMeta, error) {
+	m.mu.Lock()
+	c, sealed := m.sealed[cid]
+	if !sealed {
+		for _, oc := range m.open {
+			if oc.ID == cid {
+				c = oc
+				break
+			}
+		}
+	}
+	if c == nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: container %d", ErrNotFound, cid)
+	}
+	out := make([]ChunkMeta, len(c.Meta))
+	copy(out, c.Meta)
+	m.mu.Unlock()
+	if sealed {
+		m.readIOs.Add(1)
+	}
+	return out, nil
+}
+
+// ReadChunk fetches one chunk payload by location. Only valid when
+// payloads are retained (in memory or on disk).
+func (m *Manager) ReadChunk(loc Loc) ([]byte, error) {
+	c, err := m.Get(loc.CID)
+	if err != nil {
+		return nil, err
+	}
+	if c.Data == nil {
+		return nil, fmt.Errorf("container %d: payloads not retained", loc.CID)
+	}
+	end := int(loc.Offset) + int(loc.Length)
+	if end > len(c.Data) {
+		return nil, fmt.Errorf("%w: chunk at %d+%d in container %d (%d bytes)",
+			ErrNotFound, loc.Offset, loc.Length, loc.CID, len(c.Data))
+	}
+	out := make([]byte, loc.Length)
+	copy(out, c.Data[loc.Offset:end])
+	return out, nil
+}
+
+// Stats reports cumulative I/O counters and stored bytes.
+func (m *Manager) Stats() (readIOs, writeIOs uint64, storedBytes int64) {
+	return m.readIOs.Load(), m.writeIOs.Load(), m.bytes.Load()
+}
+
+// IsSealed reports whether cid refers to a sealed container. An unknown
+// cid (including open containers) reports false.
+func (m *Manager) IsSealed(cid uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.sealed[cid]
+	return ok
+}
+
+// NumSealed returns the number of sealed containers.
+func (m *Manager) NumSealed() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sealed)
+}
+
+// StoredBytes returns the total physical payload bytes appended.
+func (m *Manager) StoredBytes() int64 { return m.bytes.Load() }
+
+func (m *Manager) path(cid uint64) string {
+	return filepath.Join(m.dir, fmt.Sprintf("container-%08d.bin", cid))
+}
+
+// spill serializes a sealed container to disk:
+//
+//	header:  magic "SDC1" | id u64 | nmeta u32 | ndata u32
+//	meta:    nmeta × (fp[20] | offset u32 | length u32)
+//	data:    ndata bytes
+func (m *Manager) spill(c *Container) error {
+	buf := make([]byte, 0, 20+len(c.Meta)*28+len(c.Data))
+	buf = append(buf, 'S', 'D', 'C', '1')
+	buf = binary.BigEndian.AppendUint64(buf, c.ID)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Meta)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Data)))
+	for _, cm := range c.Meta {
+		buf = append(buf, cm.FP[:]...)
+		buf = binary.BigEndian.AppendUint32(buf, cm.Offset)
+		buf = binary.BigEndian.AppendUint32(buf, cm.Length)
+	}
+	buf = append(buf, c.Data...)
+	if err := os.WriteFile(m.path(c.ID), buf, 0o644); err != nil {
+		return fmt.Errorf("container: spill %d: %w", c.ID, err)
+	}
+	return nil
+}
+
+// load reads a spilled container back from disk.
+func (m *Manager) load(cid uint64) (*Container, error) {
+	raw, err := os.ReadFile(m.path(cid))
+	if err != nil {
+		return nil, fmt.Errorf("container: load %d: %w", cid, err)
+	}
+	return Decode(raw)
+}
+
+// Decode parses a serialized container.
+func Decode(raw []byte) (*Container, error) {
+	if len(raw) < 20 || string(raw[:4]) != "SDC1" {
+		return nil, errors.New("container: bad magic")
+	}
+	id := binary.BigEndian.Uint64(raw[4:])
+	nmeta := int(binary.BigEndian.Uint32(raw[12:]))
+	ndata := int(binary.BigEndian.Uint32(raw[16:]))
+	want := 20 + nmeta*28 + ndata
+	if len(raw) != want {
+		return nil, fmt.Errorf("container: size %d, want %d", len(raw), want)
+	}
+	c := &Container{ID: id, Meta: make([]ChunkMeta, nmeta)}
+	p := 20
+	for i := 0; i < nmeta; i++ {
+		var cm ChunkMeta
+		copy(cm.FP[:], raw[p:p+20])
+		cm.Offset = binary.BigEndian.Uint32(raw[p+20:])
+		cm.Length = binary.BigEndian.Uint32(raw[p+24:])
+		c.Meta[i] = cm
+		p += 28
+	}
+	c.Data = append([]byte(nil), raw[p:]...)
+	c.bytes = ndata
+	return c, nil
+}

@@ -1,0 +1,264 @@
+package container
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sigmadedupe/internal/fingerprint"
+)
+
+func chunk(rng *rand.Rand, n int) ([]byte, fingerprint.Fingerprint) {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b, fingerprint.Sum(b)
+}
+
+func TestAppendAndRead(t *testing.T) {
+	m, err := NewManager(WithCapacity(1<<16), WithPayloads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data, fp := chunk(rng, 4096)
+	loc, err := m.Append("s1", fp, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Seal("s1"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadChunk(loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read chunk differs from written chunk")
+	}
+}
+
+func TestAutoSealOnCapacity(t *testing.T) {
+	m, _ := NewManager(WithCapacity(10000), WithPayloads())
+	rng := rand.New(rand.NewSource(2))
+	var locs []Loc
+	for i := 0; i < 5; i++ { // 5 x 4KB > 10KB capacity
+		data, fp := chunk(rng, 4096)
+		loc, err := m.Append("s1", fp, data, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		locs = append(locs, loc)
+	}
+	if err := m.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSealed() < 2 {
+		t.Fatalf("NumSealed = %d, want >= 2 (capacity forces rollover)", m.NumSealed())
+	}
+	// Two chunks fit per container.
+	if locs[0].CID == locs[2].CID {
+		t.Fatal("third chunk should be in a new container")
+	}
+}
+
+func TestPerStreamContainers(t *testing.T) {
+	m, _ := NewManager(WithCapacity(1 << 20))
+	rng := rand.New(rand.NewSource(3))
+	_, fp1 := chunk(rng, 100)
+	_, fp2 := chunk(rng, 100)
+	l1, _ := m.Append("a", fp1, nil, 100)
+	l2, _ := m.Append("b", fp2, nil, 100)
+	if l1.CID == l2.CID {
+		t.Fatal("streams must not share an open container")
+	}
+}
+
+func TestMetadataOnlyMode(t *testing.T) {
+	m, _ := NewManager(WithCapacity(1 << 20))
+	fp := fingerprint.Sum([]byte("x"))
+	loc, err := m.Append("s", fp, nil, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Length != 4096 {
+		t.Fatalf("Length = %d, want 4096", loc.Length)
+	}
+	if err := m.Seal("s"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Get(loc.CID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Data != nil {
+		t.Fatal("metadata-only container should have nil Data")
+	}
+	if c.Bytes() != 4096 {
+		t.Fatalf("Bytes = %d, want 4096", c.Bytes())
+	}
+	if _, err := m.ReadChunk(loc); err == nil {
+		t.Fatal("ReadChunk should fail in metadata-only mode")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	m, _ := NewManager(WithCapacity(1000))
+	fp := fingerprint.Sum([]byte("x"))
+	if _, err := m.Append("s", fp, nil, 0); err == nil {
+		t.Fatal("zero-size append should fail")
+	}
+	if _, err := m.Append("s", fp, nil, 2000); err == nil {
+		t.Fatal("oversized append should fail")
+	}
+	if _, err := NewManager(WithCapacity(-1)); err == nil {
+		t.Fatal("negative capacity should fail")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	m, _ := NewManager()
+	if _, err := m.Get(999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(999) err = %v, want ErrNotFound", err)
+	}
+	if _, err := m.Metadata(999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Metadata(999) err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSealIdleStreamNoop(t *testing.T) {
+	m, _ := NewManager()
+	if err := m.Seal("nothing"); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSealed() != 0 {
+		t.Fatal("sealing idle stream created a container")
+	}
+}
+
+func TestFingerprintsOrder(t *testing.T) {
+	m, _ := NewManager(WithCapacity(1 << 20))
+	rng := rand.New(rand.NewSource(4))
+	var want []fingerprint.Fingerprint
+	var cid uint64
+	for i := 0; i < 10; i++ {
+		_, fp := chunk(rng, 64)
+		loc, _ := m.Append("s", fp, nil, 64)
+		cid = loc.CID
+		want = append(want, fp)
+	}
+	m.Seal("s")
+	c, err := m.Get(cid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Fingerprints()
+	if len(got) != len(want) {
+		t.Fatalf("got %d fingerprints, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fingerprint %d out of order", i)
+		}
+	}
+}
+
+func TestIOCounters(t *testing.T) {
+	m, _ := NewManager(WithCapacity(1 << 20))
+	fp := fingerprint.Sum([]byte("io"))
+	loc, _ := m.Append("s", fp, nil, 128)
+	m.Seal("s")
+	m.Get(loc.CID)
+	m.Get(loc.CID)
+	m.Metadata(loc.CID)
+	reads, writes, stored := m.Stats()
+	if reads != 3 {
+		t.Fatalf("readIOs = %d, want 3", reads)
+	}
+	if writes != 1 {
+		t.Fatalf("writeIOs = %d, want 1", writes)
+	}
+	if stored != 128 {
+		t.Fatalf("storedBytes = %d, want 128", stored)
+	}
+}
+
+func TestDiskSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(WithCapacity(8192), WithDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	type stored struct {
+		loc  Loc
+		data []byte
+	}
+	var all []stored
+	for i := 0; i < 6; i++ {
+		data, fp := chunk(rng, 3000)
+		loc, err := m.Append("s", fp, data, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, stored{loc, data})
+	}
+	if err := m.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range all {
+		got, err := m.ReadChunk(s.loc)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if !bytes.Equal(got, s.data) {
+			t.Fatalf("chunk %d corrupted after disk round trip", i)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("short")); err == nil {
+		t.Fatal("short input should fail")
+	}
+	bad := make([]byte, 24)
+	copy(bad, "XXXX")
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	truncated := make([]byte, 20)
+	copy(truncated, "SDC1")
+	truncated[15] = 4 // claims 4 meta entries with no bytes
+	if _, err := Decode(truncated); err == nil {
+		t.Fatal("truncated input should fail")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	m, _ := NewManager(WithCapacity(1 << 16))
+	var wg sync.WaitGroup
+	const streams, perStream = 8, 200
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(s)))
+			name := string(rune('a' + s))
+			for i := 0; i < perStream; i++ {
+				_, fp := chunk(rng, 512)
+				if _, err := m.Append(name, fp, nil, 512); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := m.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.StoredBytes(); got != streams*perStream*512 {
+		t.Fatalf("StoredBytes = %d, want %d", got, streams*perStream*512)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import "math"
+
+// RouteDecision is the outcome of Algorithm 1 for one super-chunk.
+type RouteDecision struct {
+	// Node is the selected target node ID.
+	Node int
+	// Resemblance is the raw representative-fingerprint match count r_i
+	// observed at the chosen node.
+	Resemblance int
+	// Score is the usage-discounted value r_i/w_i the node won with.
+	Score float64
+}
+
+// SelectTarget implements steps 2–4 of Algorithm 1 (similarity-based
+// stateful data routing): given the candidate node IDs, the count of
+// matching representative fingerprints r_i reported by each candidate, and
+// each candidate's physical storage usage, it discounts each resemblance by
+// relative storage usage (usage_i / mean usage) and picks the candidate
+// maximizing r_i / w_i.
+//
+// Tie-breaking: the candidate with the lower storage usage wins, then the
+// lower node ID, making the decision deterministic. When every candidate
+// reports zero resemblance the least-loaded candidate is chosen, which is
+// what yields near-global load balance (Theorem 2): candidates are
+// uniformly distributed by the hash, and among them we fill valleys first.
+func SelectTarget(candidates []int, counts []int, usage []int64) RouteDecision {
+	if len(candidates) == 0 {
+		return RouteDecision{Node: -1}
+	}
+	// Mean usage over the candidate set; +1 byte avoids division by zero
+	// on an empty cluster while preserving ordering.
+	var total float64
+	for _, u := range usage {
+		total += float64(u)
+	}
+	mean := total/float64(len(usage)) + 1
+
+	// Algorithm 1 step 4: among candidates with non-zero resemblance,
+	// maximize r_i/w_i. Zero-resemblance candidates score zero — they
+	// must never outbid a node that actually holds matching data, no
+	// matter how empty they are (otherwise sparsely filled large clusters
+	// would route similar data away from its home purely for balance).
+	best := -1
+	var bestScore float64
+	var bestUsage int64
+	for i, node := range candidates {
+		if counts[i] == 0 {
+			continue
+		}
+		w := (float64(usage[i]) + 1) / mean // relative storage usage
+		score := float64(counts[i]) / w
+		if best == -1 || score > bestScore ||
+			(score == bestScore && usage[i] < bestUsage) ||
+			(score == bestScore && usage[i] == bestUsage && node < candidates[best]) {
+			best, bestScore, bestUsage = i, score, usage[i]
+		}
+	}
+	if best >= 0 {
+		return RouteDecision{Node: candidates[best], Resemblance: counts[best], Score: bestScore}
+	}
+	// No candidate has seen any of this super-chunk's representative
+	// fingerprints: fall back to the least-loaded candidate. Candidates
+	// are uniformly distributed by the hash (Theorem 2), so filling
+	// valleys first approaches global balance.
+	for i, node := range candidates {
+		if best == -1 || usage[i] < bestUsage ||
+			(usage[i] == bestUsage && node < candidates[best]) {
+			best, bestUsage = i, usage[i]
+		}
+	}
+	return RouteDecision{Node: candidates[best], Resemblance: 0, Score: 0}
+}
+
+// SkewRatio returns σ/α — the ratio of standard deviation to mean of
+// per-node physical storage usage — the imbalance term in the paper's
+// normalized effective deduplication ratio (Eq. 7).
+func SkewRatio(usage []int64) float64 {
+	if len(usage) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, u := range usage {
+		sum += float64(u)
+	}
+	mean := sum / float64(len(usage))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, u := range usage {
+		d := float64(u) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(usage))) / mean
+}

@@ -1,0 +1,157 @@
+// Package director implements the Σ-Dedupe director component (paper
+// §3.1): backup-session management and file-recipe management. The
+// director tracks which files belong to which backup session and keeps,
+// for every file, the recipe — the ordered list of chunk fingerprints plus
+// the node each chunk was routed to — required to reconstruct the file on
+// restore. All backup-session-level and file-level metadata lives here;
+// deduplication nodes never need to know about files.
+package director
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sigmadedupe/internal/fingerprint"
+)
+
+// ChunkEntry is one recipe element: a chunk fingerprint, its size, and
+// the deduplication node holding it.
+type ChunkEntry struct {
+	FP   fingerprint.Fingerprint
+	Size int32
+	Node int32
+}
+
+// Recipe reconstructs one file: its chunks in stream order.
+type Recipe struct {
+	Path    string
+	Session uint64
+	Chunks  []ChunkEntry
+}
+
+// Size returns the logical file size described by the recipe.
+func (r Recipe) Size() int64 {
+	var n int64
+	for _, c := range r.Chunks {
+		n += int64(c.Size)
+	}
+	return n
+}
+
+// Session groups the files of one backup run of one client.
+type Session struct {
+	ID       uint64
+	Client   string
+	Started  time.Time
+	Finished time.Time
+	Files    []string
+}
+
+// Director is the metadata service. Safe for concurrent use.
+type Director struct {
+	mu       sync.Mutex
+	now      func() time.Time
+	nextID   uint64
+	sessions map[uint64]*Session
+	recipes  map[string]*Recipe // latest recipe per path
+}
+
+// Errors returned by recipe and session lookups.
+var (
+	ErrNoSession = errors.New("director: unknown session")
+	ErrNoRecipe  = errors.New("director: no recipe for file")
+)
+
+// New creates an empty director.
+func New() *Director {
+	return &Director{
+		now:      time.Now,
+		sessions: make(map[uint64]*Session),
+		recipes:  make(map[string]*Recipe),
+	}
+}
+
+// BeginSession opens a backup session for a client and returns its ID.
+func (d *Director) BeginSession(client string) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextID++
+	d.sessions[d.nextID] = &Session{
+		ID:      d.nextID,
+		Client:  client,
+		Started: d.now(),
+	}
+	return d.nextID
+}
+
+// EndSession marks a session finished.
+func (d *Director) EndSession(id uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.sessions[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSession, id)
+	}
+	s.Finished = d.now()
+	return nil
+}
+
+// PutRecipe records the recipe of one backed-up file within a session.
+// A later backup of the same path supersedes the previous recipe.
+func (d *Director) PutRecipe(session uint64, path string, chunks []ChunkEntry) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.sessions[session]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSession, session)
+	}
+	s.Files = append(s.Files, path)
+	cp := make([]ChunkEntry, len(chunks))
+	copy(cp, chunks)
+	d.recipes[path] = &Recipe{Path: path, Session: session, Chunks: cp}
+	return nil
+}
+
+// GetRecipe returns the latest recipe for a path.
+func (d *Director) GetRecipe(path string) (Recipe, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.recipes[path]
+	if !ok {
+		return Recipe{}, fmt.Errorf("%w: %s", ErrNoRecipe, path)
+	}
+	return *r, nil
+}
+
+// GetSession returns a session snapshot.
+func (d *Director) GetSession(id uint64) (Session, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.sessions[id]
+	if !ok {
+		return Session{}, fmt.Errorf("%w: %d", ErrNoSession, id)
+	}
+	return *s, nil
+}
+
+// Files lists all paths with recipes, sorted.
+func (d *Director) Files() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.recipes))
+	for p := range d.recipes {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumSessions returns the number of sessions ever opened.
+func (d *Director) NumSessions() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.sessions)
+}

@@ -1,0 +1,134 @@
+package director
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sigmadedupe/internal/fingerprint"
+)
+
+func TestSessionLifecycle(t *testing.T) {
+	d := New()
+	id := d.BeginSession("laptop")
+	if id == 0 {
+		t.Fatal("session ID should be non-zero")
+	}
+	s, err := d.GetSession(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Client != "laptop" || s.Started.IsZero() {
+		t.Fatalf("session = %+v", s)
+	}
+	if !s.Finished.IsZero() {
+		t.Fatal("session should not be finished yet")
+	}
+	if err := d.EndSession(id); err != nil {
+		t.Fatal(err)
+	}
+	s, _ = d.GetSession(id)
+	if s.Finished.IsZero() {
+		t.Fatal("EndSession should stamp Finished")
+	}
+	if err := d.EndSession(999); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("EndSession(999) = %v, want ErrNoSession", err)
+	}
+}
+
+func TestRecipeRoundTrip(t *testing.T) {
+	d := New()
+	id := d.BeginSession("c")
+	chunks := []ChunkEntry{
+		{FP: fingerprint.Sum([]byte("a")), Size: 4096, Node: 2},
+		{FP: fingerprint.Sum([]byte("b")), Size: 100, Node: 0},
+	}
+	if err := d.PutRecipe(id, "/data/file1", chunks); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.GetRecipe("/data/file1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 4196 {
+		t.Fatalf("recipe size = %d, want 4196", r.Size())
+	}
+	if len(r.Chunks) != 2 || r.Chunks[0].Node != 2 {
+		t.Fatalf("recipe = %+v", r)
+	}
+	if _, err := d.GetRecipe("/nope"); !errors.Is(err, ErrNoRecipe) {
+		t.Fatalf("missing recipe err = %v", err)
+	}
+	if err := d.PutRecipe(77, "/x", nil); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("PutRecipe bad session err = %v", err)
+	}
+}
+
+func TestRecipeSupersedes(t *testing.T) {
+	d := New()
+	s1 := d.BeginSession("c")
+	s2 := d.BeginSession("c")
+	d.PutRecipe(s1, "/f", []ChunkEntry{{Size: 1}})
+	d.PutRecipe(s2, "/f", []ChunkEntry{{Size: 2}, {Size: 3}})
+	r, _ := d.GetRecipe("/f")
+	if r.Session != s2 || len(r.Chunks) != 2 {
+		t.Fatalf("latest recipe not returned: %+v", r)
+	}
+}
+
+func TestRecipeIsolatedFromCallerMutation(t *testing.T) {
+	d := New()
+	id := d.BeginSession("c")
+	chunks := []ChunkEntry{{Size: 10}}
+	d.PutRecipe(id, "/f", chunks)
+	chunks[0].Size = 999
+	r, _ := d.GetRecipe("/f")
+	if r.Chunks[0].Size != 10 {
+		t.Fatal("director must copy recipe chunks at the boundary")
+	}
+}
+
+func TestFilesSorted(t *testing.T) {
+	d := New()
+	id := d.BeginSession("c")
+	for _, p := range []string{"/b", "/a", "/c"} {
+		d.PutRecipe(id, p, nil)
+	}
+	files := d.Files()
+	if len(files) != 3 || files[0] != "/a" || files[2] != "/c" {
+		t.Fatalf("Files() = %v", files)
+	}
+}
+
+func TestSessionTimesUseClock(t *testing.T) {
+	d := New()
+	fixed := time.Date(2026, 6, 13, 12, 0, 0, 0, time.UTC)
+	d.now = func() time.Time { return fixed }
+	id := d.BeginSession("c")
+	s, _ := d.GetSession(id)
+	if !s.Started.Equal(fixed) {
+		t.Fatal("injected clock not used")
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	d := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := d.BeginSession("c")
+			d.PutRecipe(id, "/f"+string(rune('a'+i)), []ChunkEntry{{Size: 1}})
+			d.EndSession(id)
+		}(i)
+	}
+	wg.Wait()
+	if d.NumSessions() != 16 {
+		t.Fatalf("NumSessions = %d, want 16", d.NumSessions())
+	}
+	if len(d.Files()) != 16 {
+		t.Fatalf("Files = %d, want 16", len(d.Files()))
+	}
+}

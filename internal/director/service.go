@@ -1,0 +1,226 @@
+package director
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Metadata is the director API surface used by backup clients. Both the
+// in-process *Director and the TCP Remote client satisfy it.
+type Metadata interface {
+	BeginSession(client string) uint64
+	EndSession(id uint64) error
+	PutRecipe(session uint64, path string, chunks []ChunkEntry) error
+	GetRecipe(path string) (Recipe, error)
+}
+
+var (
+	_ Metadata = (*Director)(nil)
+	_ Metadata = (*Remote)(nil)
+)
+
+// wire op codes for the director protocol.
+type dirOp int
+
+const (
+	opBegin dirOp = iota + 1
+	opEnd
+	opPut
+	opGet
+)
+
+type dirRequest struct {
+	Op      dirOp
+	Client  string
+	Session uint64
+	Path    string
+	Chunks  []ChunkEntry
+}
+
+type dirResponse struct {
+	Err     string
+	Session uint64
+	Recipe  Recipe
+}
+
+// Service exposes a Director over TCP with a simple sequential
+// gob-encoded request/response protocol per connection.
+type Service struct {
+	dir *Director
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a director service on addr.
+func Serve(dir *Director, addr string) (*Service, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("director: listen %s: %w", addr, err)
+	}
+	s := &Service{dir: dir, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Service) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the service.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Service) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Service) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req dirRequest
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) {
+				return
+			}
+			return
+		}
+		var resp dirResponse
+		switch req.Op {
+		case opBegin:
+			resp.Session = s.dir.BeginSession(req.Client)
+		case opEnd:
+			if err := s.dir.EndSession(req.Session); err != nil {
+				resp.Err = err.Error()
+			}
+		case opPut:
+			if err := s.dir.PutRecipe(req.Session, req.Path, req.Chunks); err != nil {
+				resp.Err = err.Error()
+			}
+		case opGet:
+			r, err := s.dir.GetRecipe(req.Path)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Recipe = r
+			}
+		default:
+			resp.Err = fmt.Sprintf("director: unknown op %d", int(req.Op))
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Remote is a TCP client for a director Service. Safe for concurrent use
+// (calls are serialized on the single connection).
+type Remote struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// DialRemote connects to a director service.
+func DialRemote(addr string) (*Remote, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("director: dial %s: %w", addr, err)
+	}
+	return &Remote{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close releases the connection.
+func (r *Remote) Close() error { return r.conn.Close() }
+
+func (r *Remote) call(req dirRequest) (dirResponse, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.enc.Encode(req); err != nil {
+		return dirResponse{}, fmt.Errorf("director: send: %w", err)
+	}
+	var resp dirResponse
+	if err := r.dec.Decode(&resp); err != nil {
+		return dirResponse{}, fmt.Errorf("director: recv: %w", err)
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// BeginSession implements Metadata. A transport failure returns session 0,
+// which downstream Put/End calls will reject.
+func (r *Remote) BeginSession(client string) uint64 {
+	resp, err := r.call(dirRequest{Op: opBegin, Client: client})
+	if err != nil {
+		return 0
+	}
+	return resp.Session
+}
+
+// EndSession implements Metadata.
+func (r *Remote) EndSession(id uint64) error {
+	_, err := r.call(dirRequest{Op: opEnd, Session: id})
+	return err
+}
+
+// PutRecipe implements Metadata.
+func (r *Remote) PutRecipe(session uint64, path string, chunks []ChunkEntry) error {
+	_, err := r.call(dirRequest{Op: opPut, Session: session, Path: path, Chunks: chunks})
+	return err
+}
+
+// GetRecipe implements Metadata.
+func (r *Remote) GetRecipe(path string) (Recipe, error) {
+	resp, err := r.call(dirRequest{Op: opGet, Path: path})
+	if err != nil {
+		return Recipe{}, err
+	}
+	return resp.Recipe, nil
+}

@@ -1,0 +1,81 @@
+package director
+
+import (
+	"testing"
+
+	"sigmadedupe/internal/fingerprint"
+)
+
+func TestServiceRoundTrip(t *testing.T) {
+	d := New()
+	svc, err := Serve(d, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	r, err := DialRemote(svc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	id := r.BeginSession("remote-client")
+	if id == 0 {
+		t.Fatal("remote BeginSession returned 0")
+	}
+	chunks := []ChunkEntry{
+		{FP: fingerprint.Sum([]byte("x")), Size: 4096, Node: 1},
+	}
+	if err := r.PutRecipe(id, "/remote/file", chunks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.GetRecipe("/remote/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Chunks) != 1 || got.Chunks[0].Node != 1 {
+		t.Fatalf("recipe = %+v", got)
+	}
+	if err := r.EndSession(id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Errors must propagate as errors, not panics.
+	if _, err := r.GetRecipe("/missing"); err == nil {
+		t.Fatal("missing recipe should error over the wire")
+	}
+	if err := r.PutRecipe(9999, "/x", nil); err == nil {
+		t.Fatal("bad session should error over the wire")
+	}
+}
+
+func TestServiceMultipleClients(t *testing.T) {
+	d := New()
+	svc, err := Serve(d, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	r1, err := DialRemote(svc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Close()
+	r2, err := DialRemote(svc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	id1 := r1.BeginSession("a")
+	id2 := r2.BeginSession("b")
+	if id1 == id2 {
+		t.Fatal("sessions must be distinct across connections")
+	}
+	if err := r1.PutRecipe(id1, "/f1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.GetRecipe("/f1"); err != nil {
+		t.Fatal("recipes must be shared across connections")
+	}
+}

@@ -1,0 +1,131 @@
+// Package fingerprint provides chunk fingerprints and the cryptographic
+// hashing primitives used throughout the Σ-Dedupe system.
+//
+// A fingerprint is a fixed 20-byte value. SHA-1 fingerprints use the digest
+// directly; MD5 fingerprints occupy the first 16 bytes with a zero tail.
+// Both behave as approximately min-wise independent hash families, which is
+// the property the handprinting technique in package core relies on
+// (Broder's theorem, paper §2.2).
+package fingerprint
+
+import (
+	"bytes"
+	"crypto/md5"
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+)
+
+// Size is the length of a fingerprint in bytes.
+const Size = 20
+
+// Fingerprint is a 20-byte content hash of a chunk.
+type Fingerprint [Size]byte
+
+// Algorithm selects the cryptographic hash used for fingerprinting.
+type Algorithm int
+
+// Supported fingerprinting algorithms. SHA-1 is the paper's default choice
+// (lower collision probability); MD5 is roughly 2x faster (paper Fig. 4a).
+const (
+	SHA1 Algorithm = iota + 1
+	MD5
+)
+
+// String returns the conventional lowercase name of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case SHA1:
+		return "sha1"
+	case MD5:
+		return "md5"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Sum computes the fingerprint of data using algorithm a.
+func (a Algorithm) Sum(data []byte) Fingerprint {
+	var fp Fingerprint
+	switch a {
+	case MD5:
+		d := md5.Sum(data)
+		copy(fp[:], d[:])
+	default:
+		d := sha1.Sum(data)
+		copy(fp[:], d[:])
+	}
+	return fp
+}
+
+// Sum computes the SHA-1 fingerprint of data. It is the package-level
+// shorthand for the default algorithm.
+func Sum(data []byte) Fingerprint {
+	return SHA1.Sum(data)
+}
+
+// String returns the hexadecimal representation of the fingerprint.
+func (f Fingerprint) String() string {
+	return hex.EncodeToString(f[:])
+}
+
+// Short returns the first 4 bytes in hex, for compact logging.
+func (f Fingerprint) Short() string {
+	return hex.EncodeToString(f[:4])
+}
+
+// Compare lexicographically compares two fingerprints, returning
+// -1, 0 or +1. The "k smallest fingerprints" of a handprint are defined by
+// this ordering.
+func (f Fingerprint) Compare(other Fingerprint) int {
+	return bytes.Compare(f[:], other[:])
+}
+
+// Less reports whether f sorts before other.
+func (f Fingerprint) Less(other Fingerprint) bool {
+	return bytes.Compare(f[:], other[:]) < 0
+}
+
+// IsZero reports whether the fingerprint is the all-zero value, which is
+// never produced by hashing and serves as "no fingerprint".
+func (f Fingerprint) IsZero() bool {
+	return f == Fingerprint{}
+}
+
+// Mod maps the fingerprint onto [0, n) using its leading 8 bytes, the
+// modulo placement used by DHT-style routing (paper Algorithm 1 step 1:
+// candidate node IDs are rfp_i mod N).
+func (f Fingerprint) Mod(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(f[i])
+	}
+	return int(v % uint64(n))
+}
+
+// Uint64 returns the leading 8 bytes as a big-endian integer. Useful for
+// cheap secondary hashing (Bloom filters, lock striping).
+func (f Fingerprint) Uint64() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(f[i])
+	}
+	return v
+}
+
+// Parse decodes a hexadecimal fingerprint string.
+func Parse(s string) (Fingerprint, error) {
+	var fp Fingerprint
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return fp, fmt.Errorf("parse fingerprint: %w", err)
+	}
+	if len(b) != Size {
+		return fp, fmt.Errorf("parse fingerprint: want %d bytes, got %d", Size, len(b))
+	}
+	copy(fp[:], b)
+	return fp, nil
+}

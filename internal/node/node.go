@@ -1,0 +1,426 @@
+// Package node implements a Σ-Dedupe deduplication server node: the
+// intra-node engine that combines the similarity index, the
+// chunk-fingerprint cache with container-granularity prefetch
+// (locality-preserved caching), the traditional on-disk chunk index with a
+// Bloom filter, and parallel container management (paper §3.3, Fig. 3).
+//
+// The deduplication path for one super-chunk is exactly the paper's:
+//
+//  1. Look up the super-chunk's representative fingerprints in the
+//     similarity index; each match names a container.
+//  2. Prefetch the chunk-fingerprint sets of those containers into the
+//     cache (reading their metadata sections).
+//  3. Test every chunk fingerprint against the cache; misses fall through
+//     to the on-disk chunk index (unless it is disabled, which yields the
+//     paper's similarity-index-only approximate dedup of Fig. 5b).
+//  4. Store unique chunks into the stream's open container and index the
+//     handprint for future routing and prefetch.
+package node
+
+import (
+	"fmt"
+	"sync"
+
+	"sigmadedupe/internal/chunkindex"
+	"sigmadedupe/internal/container"
+	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/fpcache"
+	"sigmadedupe/internal/simindex"
+)
+
+// Config parameterizes a deduplication node.
+type Config struct {
+	// ID is the node's cluster identity.
+	ID int
+	// HandprintSize is k, the number of representative fingerprints
+	// per super-chunk. Defaults to core.DefaultHandprintSize.
+	HandprintSize int
+	// SimIndexLocks is the similarity-index lock-stripe count (Fig. 4b).
+	SimIndexLocks int
+	// CacheContainers is the chunk-fingerprint cache capacity in
+	// containers.
+	CacheContainers int
+	// ContainerCapacity is the container payload capacity in bytes.
+	ContainerCapacity int
+	// ExpectedChunks sizes the on-disk chunk index Bloom filter.
+	ExpectedChunks int
+	// DisableChunkIndex turns off the traditional chunk index, leaving
+	// only similarity-index + cache dedup (approximate; Fig. 5b mode).
+	DisableChunkIndex bool
+	// DisablePrefetch turns off container-granularity cache prefetch
+	// (ablation: without locality-preserved caching every duplicate
+	// verdict falls through to the on-disk chunk index).
+	DisablePrefetch bool
+	// KeepPayloads retains chunk payloads for restore support.
+	KeepPayloads bool
+	// Dir, when set, spills sealed containers to disk.
+	Dir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.HandprintSize <= 0 {
+		c.HandprintSize = core.DefaultHandprintSize
+	}
+	if c.SimIndexLocks <= 0 {
+		c.SimIndexLocks = 1024
+	}
+	if c.CacheContainers <= 0 {
+		c.CacheContainers = 256
+	}
+	if c.ContainerCapacity <= 0 {
+		c.ContainerCapacity = container.DefaultCapacity
+	}
+	if c.ExpectedChunks <= 0 {
+		c.ExpectedChunks = 1 << 20
+	}
+	return c
+}
+
+// Stats aggregates a node's deduplication counters.
+type Stats struct {
+	LogicalBytes  int64  // bytes presented for backup
+	PhysicalBytes int64  // unique bytes actually stored
+	LogicalChunks int64  // chunks presented
+	UniqueChunks  int64  // chunks stored
+	SuperChunks   int64  // super-chunks processed
+	CacheHits     uint64 // duplicate verdicts served from the fp cache
+	DiskIndexHits uint64 // duplicate verdicts served from the chunk index
+	Prefetches    uint64 // container metadata prefetches
+}
+
+// DedupRatio returns logical/physical for this node (∞-free: returns 0
+// when nothing is stored).
+func (s Stats) DedupRatio() float64 {
+	if s.PhysicalBytes == 0 {
+		return 0
+	}
+	return float64(s.LogicalBytes) / float64(s.PhysicalBytes)
+}
+
+// StoreResult describes the outcome of storing one super-chunk.
+type StoreResult struct {
+	UniqueChunks int
+	DupChunks    int
+	UniqueBytes  int64
+	DupBytes     int64
+}
+
+// Node is one deduplication server. All methods are safe for concurrent
+// use by multiple backup streams.
+type Node struct {
+	cfg        Config
+	sim        *simindex.Index
+	cache      *fpcache.Cache
+	cidx       *chunkindex.Index // nil when disabled
+	containers *container.Manager
+
+	mu    sync.Mutex
+	stats Stats
+
+	// bins holds Extreme Binning per-representative chunk-fingerprint
+	// sets, used only when the node serves the EB baseline.
+	binsMu sync.Mutex
+	bins   map[fingerprint.Fingerprint]map[fingerprint.Fingerprint]struct{}
+}
+
+// New creates a node from cfg.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	sim, err := simindex.New(cfg.SimIndexLocks)
+	if err != nil {
+		return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
+	}
+	cache, err := fpcache.New(cfg.CacheContainers)
+	if err != nil {
+		return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
+	}
+	var cidx *chunkindex.Index
+	if !cfg.DisableChunkIndex {
+		cidx, err = chunkindex.New(cfg.ExpectedChunks)
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
+		}
+	}
+	var opts []container.Option
+	opts = append(opts, container.WithCapacity(cfg.ContainerCapacity))
+	if cfg.KeepPayloads {
+		opts = append(opts, container.WithPayloads())
+	}
+	if cfg.Dir != "" {
+		opts = append(opts, container.WithDir(cfg.Dir))
+	}
+	cm, err := container.NewManager(opts...)
+	if err != nil {
+		return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
+	}
+	return &Node{cfg: cfg, sim: sim, cache: cache, cidx: cidx, containers: cm}, nil
+}
+
+// ID returns the node's cluster identity.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// Config returns the node's effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// CountHandprintMatches implements the routing bid of Algorithm 1 step 2:
+// how many representative fingerprints of hp this node has stored.
+func (n *Node) CountHandprintMatches(hp core.Handprint) int {
+	return n.sim.CountMatches(hp)
+}
+
+// StorageUsage returns the node's physical storage usage in bytes, the
+// w_i input of Algorithm 1 step 3.
+func (n *Node) StorageUsage() int64 { return n.containers.StoredBytes() }
+
+// CountStoredChunks reports how many of the given chunk fingerprints this
+// node already stores — the sampled chunk-index bid used by EMC-style
+// Stateful routing. Charged against the chunk index like any other lookup.
+func (n *Node) CountStoredChunks(fps []fingerprint.Fingerprint) int {
+	if n.cidx == nil {
+		return 0
+	}
+	count := 0
+	for _, fp := range fps {
+		if _, ok := n.cidx.Lookup(fp); ok {
+			count++
+		}
+	}
+	return count
+}
+
+// prefetch pulls the fingerprint sets of the named containers into the
+// chunk-fingerprint cache.
+func (n *Node) prefetch(cids []uint64) {
+	if n.cfg.DisablePrefetch {
+		return
+	}
+	for _, cid := range cids {
+		// Sealed containers are immutable, so a cached copy stays valid.
+		// Open containers keep growing and are re-read (from RAM, free).
+		if n.cache.HasContainer(cid) && n.containers.IsSealed(cid) {
+			continue
+		}
+		meta, err := n.containers.Metadata(cid)
+		if err != nil {
+			continue // container may not be sealed yet; skip
+		}
+		fps := make([]fingerprint.Fingerprint, len(meta))
+		for i, m := range meta {
+			fps[i] = m.FP
+		}
+		n.cache.AddContainer(cid, fps)
+		n.mu.Lock()
+		n.stats.Prefetches++
+		n.mu.Unlock()
+	}
+}
+
+// StoreSuperChunk deduplicates and stores one routed super-chunk arriving
+// on the given stream. It performs the full paper pipeline and returns the
+// per-super-chunk outcome.
+func (n *Node) StoreSuperChunk(stream string, sc *core.SuperChunk) (StoreResult, error) {
+	hp := sc.Handprint(n.cfg.HandprintSize)
+
+	// Step 1–2: similarity index lookup and container prefetch.
+	n.prefetch(n.sim.LookupContainers(hp))
+
+	// Step 3–4: chunk-level dedup against cache, then disk index.
+	var res StoreResult
+	// Chunks stored earlier in this same super-chunk (intra-super-chunk
+	// duplicates) must be detected even in similarity-only mode.
+	local := make(map[fingerprint.Fingerprint]uint64, len(sc.Chunks))
+	// rfpCID records which container ends up holding each representative
+	// fingerprint so the handprint can be indexed afterwards.
+	rfpCID := make(map[fingerprint.Fingerprint]uint64, len(hp))
+
+	for _, ch := range sc.Chunks {
+		cid, dup := n.lookupChunk(ch.FP, local)
+		if dup {
+			res.DupChunks++
+			res.DupBytes += int64(ch.Size)
+		} else {
+			loc, err := n.containers.Append(stream, ch.FP, ch.Data, ch.Size)
+			if err != nil {
+				return res, fmt.Errorf("node %d: store chunk: %w", n.cfg.ID, err)
+			}
+			if n.cidx != nil {
+				n.cidx.Insert(ch.FP, loc)
+			}
+			local[ch.FP] = loc.CID
+			cid = loc.CID
+			res.UniqueChunks++
+			res.UniqueBytes += int64(ch.Size)
+		}
+		if hp.Contains(ch.FP) {
+			rfpCID[ch.FP] = cid
+		}
+	}
+
+	// Index the handprint for future routing bids and prefetches.
+	for _, rfp := range hp {
+		if cid, ok := rfpCID[rfp]; ok {
+			n.sim.Insert(rfp, cid)
+		}
+	}
+
+	n.mu.Lock()
+	n.stats.SuperChunks++
+	n.stats.LogicalBytes += res.UniqueBytes + res.DupBytes
+	n.stats.PhysicalBytes += res.UniqueBytes
+	n.stats.LogicalChunks += int64(len(sc.Chunks))
+	n.stats.UniqueChunks += int64(res.UniqueChunks)
+	n.mu.Unlock()
+	return res, nil
+}
+
+// lookupChunk decides whether fp is a duplicate, returning the container
+// that holds it. Verdict order: intra-super-chunk map, fingerprint cache,
+// then on-disk chunk index (with container prefetch on hit, which is what
+// preserves locality for the following chunks).
+func (n *Node) lookupChunk(fp fingerprint.Fingerprint, local map[fingerprint.Fingerprint]uint64) (uint64, bool) {
+	if cid, ok := local[fp]; ok {
+		return cid, true
+	}
+	if cid, ok := n.cache.Lookup(fp); ok {
+		n.mu.Lock()
+		n.stats.CacheHits++
+		n.mu.Unlock()
+		return cid, true
+	}
+	if n.cidx == nil {
+		return 0, false
+	}
+	loc, ok := n.cidx.Lookup(fp)
+	if !ok {
+		return 0, false
+	}
+	n.mu.Lock()
+	n.stats.DiskIndexHits++
+	n.mu.Unlock()
+	// DDFS-style: a disk-index hit prefetches the whole container so the
+	// stream's following chunks hit the cache.
+	n.prefetch([]uint64{loc.CID})
+	return loc.CID, true
+}
+
+// StoreFileInBin implements Extreme Binning's bin-scoped approximate
+// deduplication (Bhagwat et al., MASCOTS'09): the file's chunks are
+// deduplicated only against the bin identified by the file's
+// representative (minimum) fingerprint — not against the node's full chunk
+// index. Duplicates that live in other bins on the same node are missed;
+// that approximation is EB's defining tradeoff and is what the paper's
+// Fig. 8 comparison measures.
+func (n *Node) StoreFileInBin(stream string, binKey fingerprint.Fingerprint, sc *core.SuperChunk) (StoreResult, error) {
+	n.binsMu.Lock()
+	if n.bins == nil {
+		n.bins = make(map[fingerprint.Fingerprint]map[fingerprint.Fingerprint]struct{})
+	}
+	bin, ok := n.bins[binKey]
+	if !ok {
+		bin = make(map[fingerprint.Fingerprint]struct{})
+		n.bins[binKey] = bin
+	}
+	n.binsMu.Unlock()
+
+	var res StoreResult
+	for _, ch := range sc.Chunks {
+		n.binsMu.Lock()
+		_, dup := bin[ch.FP]
+		if !dup {
+			bin[ch.FP] = struct{}{}
+		}
+		n.binsMu.Unlock()
+		if dup {
+			res.DupChunks++
+			res.DupBytes += int64(ch.Size)
+			continue
+		}
+		if _, err := n.containers.Append(stream, ch.FP, ch.Data, ch.Size); err != nil {
+			return res, fmt.Errorf("node %d: store bin chunk: %w", n.cfg.ID, err)
+		}
+		res.UniqueChunks++
+		res.UniqueBytes += int64(ch.Size)
+	}
+
+	n.mu.Lock()
+	n.stats.SuperChunks++
+	n.stats.LogicalBytes += res.UniqueBytes + res.DupBytes
+	n.stats.PhysicalBytes += res.UniqueBytes
+	n.stats.LogicalChunks += int64(len(sc.Chunks))
+	n.stats.UniqueChunks += int64(res.UniqueChunks)
+	n.mu.Unlock()
+	return res, nil
+}
+
+// NumBins returns the number of Extreme Binning bins on this node.
+func (n *Node) NumBins() int {
+	n.binsMu.Lock()
+	defer n.binsMu.Unlock()
+	return len(n.bins)
+}
+
+// QuerySuperChunk answers a source-dedup batched fingerprint query: for
+// each chunk of the super-chunk, report whether it is already stored. The
+// node performs the same similarity-index prefetch as StoreSuperChunk but
+// mutates nothing, so the client can transfer only unique chunks.
+func (n *Node) QuerySuperChunk(sc *core.SuperChunk) []bool {
+	hp := sc.Handprint(n.cfg.HandprintSize)
+	n.prefetch(n.sim.LookupContainers(hp))
+	out := make([]bool, len(sc.Chunks))
+	for i, ch := range sc.Chunks {
+		if _, ok := n.cache.Lookup(ch.FP); ok {
+			out[i] = true
+			continue
+		}
+		if n.cidx != nil {
+			if _, ok := n.cidx.Lookup(ch.FP); ok {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// ReadChunk fetches a stored chunk payload (restore path). Requires
+// KeepPayloads or Dir.
+func (n *Node) ReadChunk(fp fingerprint.Fingerprint) ([]byte, error) {
+	if n.cidx == nil {
+		return nil, fmt.Errorf("node %d: restore requires the chunk index", n.cfg.ID)
+	}
+	loc, ok := n.cidx.Lookup(fp)
+	if !ok {
+		return nil, fmt.Errorf("node %d: chunk %s: %w", n.cfg.ID, fp.Short(), container.ErrNotFound)
+	}
+	data, err := n.containers.ReadChunk(loc)
+	if err != nil {
+		return nil, fmt.Errorf("node %d: %w", n.cfg.ID, err)
+	}
+	return data, nil
+}
+
+// Flush seals all open containers (end of a backup session).
+func (n *Node) Flush() error { return n.containers.SealAll() }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// SimIndexSize returns the similarity index entry count (RAM accounting).
+func (n *Node) SimIndexSize() int { return n.sim.Len() }
+
+// CacheHitRate returns the chunk-fingerprint cache hit rate.
+func (n *Node) CacheHitRate() float64 { return n.cache.HitRate() }
+
+// DiskIndexStats returns the chunk index disk-I/O counters (zeroes when
+// the index is disabled).
+func (n *Node) DiskIndexStats() (diskReads, bloomSkips uint64) {
+	if n.cidx == nil {
+		return 0, 0
+	}
+	r, s, _ := n.cidx.Stats()
+	return r, s
+}

@@ -1,0 +1,292 @@
+// Package router implements inter-node data routing for cluster
+// deduplication: the paper's similarity-based stateful scheme (Σ-Dedupe,
+// Algorithm 1) and the four baselines it is evaluated against — EMC's
+// super-chunk Stateless and Stateful routing (Dong et al., FAST'11),
+// Extreme Binning's file-level similarity routing (Bhagwat et al.,
+// MASCOTS'09), and HYDRAstor-style chunk-level DHT placement.
+//
+// A Router decides, for each super-chunk, which node(s) receive which
+// chunks, and reports the number of pre-routing fingerprint-lookup
+// messages the decision cost — the system-overhead metric of Fig. 7.
+package router
+
+import (
+	"fmt"
+
+	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/fingerprint"
+)
+
+// Scheme enumerates the implemented routing schemes.
+type Scheme int
+
+// Routing schemes, in the order of the paper's Table 1.
+const (
+	Sigma Scheme = iota + 1
+	Stateless
+	Stateful
+	ExtremeBinning
+	ChunkDHT
+)
+
+// String returns the scheme name as used in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case Sigma:
+		return "SigmaDedupe"
+	case Stateless:
+		return "Stateless"
+	case Stateful:
+		return "Stateful"
+	case ExtremeBinning:
+		return "ExtremeBinning"
+	case ChunkDHT:
+		return "ChunkDHT"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme resolves a scheme name (case-sensitive, as printed by
+// String, plus the short aliases sigma/stateless/stateful/eb/dht).
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "SigmaDedupe", "sigma":
+		return Sigma, nil
+	case "Stateless", "stateless":
+		return Stateless, nil
+	case "Stateful", "stateful":
+		return Stateful, nil
+	case "ExtremeBinning", "eb", "extremebinning":
+		return ExtremeBinning, nil
+	case "ChunkDHT", "dht", "chunkdht":
+		return ChunkDHT, nil
+	default:
+		return 0, fmt.Errorf("router: unknown scheme %q", name)
+	}
+}
+
+// View is the cluster state a router may consult. Implementations charge
+// the appropriate message counters themselves; routers report their own
+// pre-routing message cost in the Decision.
+type View interface {
+	// N returns the cluster size.
+	N() int
+	// BidHandprint returns node's count of already-stored representative
+	// fingerprints from hp (similarity-index lookup, Algorithm 1 step 2).
+	BidHandprint(nodeID int, hp core.Handprint) int
+	// BidChunks returns how many of the given chunk fingerprints node
+	// already stores (chunk-index sampling, used by Stateful routing).
+	BidChunks(nodeID int, fps []fingerprint.Fingerprint) int
+	// Usage returns node's physical storage usage in bytes.
+	Usage(nodeID int) int64
+}
+
+// Assignment sends the chunks with the given indexes (nil = all chunks of
+// the super-chunk) to Node.
+type Assignment struct {
+	Node   int
+	Chunks []int
+}
+
+// Decision is a routing outcome plus its message cost.
+type Decision struct {
+	Assignments []Assignment
+	// PreRoutingMsgs counts fingerprint-lookup messages exchanged to make
+	// the decision (Fig. 7's overhead metric; one message per fingerprint
+	// per contacted node, matching the paper's accounting where Σ-Dedupe's
+	// pre-routing cost is k RFPs × k candidates = 1/4 of the after-routing
+	// per-chunk lookups at the default parameters).
+	PreRoutingMsgs int64
+}
+
+// Router routes super-chunks to deduplication nodes.
+type Router interface {
+	// Name returns the scheme name for reports.
+	Name() string
+	// Route decides placement for sc given cluster state v.
+	Route(sc *core.SuperChunk, v View) Decision
+}
+
+// New constructs a router for the scheme with the given handprint size k
+// (used by Sigma) and stateful sampling rate denominator (used by
+// Stateful; the paper samples 1/32 of chunk fingerprints).
+func New(s Scheme, k, sampleRate int) (Router, error) {
+	if k <= 0 {
+		k = core.DefaultHandprintSize
+	}
+	if sampleRate <= 0 {
+		sampleRate = 32
+	}
+	switch s {
+	case Sigma:
+		return &SigmaRouter{K: k}, nil
+	case Stateless:
+		return &StatelessRouter{}, nil
+	case Stateful:
+		return &StatefulRouter{SampleRate: sampleRate}, nil
+	case ExtremeBinning:
+		return &EBRouter{}, nil
+	case ChunkDHT:
+		return &DHTRouter{}, nil
+	default:
+		return nil, fmt.Errorf("router: unknown scheme %d", int(s))
+	}
+}
+
+// all is the Assignment shorthand for "whole super-chunk to one node".
+func all(node int) Decision {
+	return Decision{Assignments: []Assignment{{Node: node}}}
+}
+
+// SigmaRouter is the paper's similarity-based stateful data routing
+// (Algorithm 1): candidates are the handprint fingerprints mod N; each
+// candidate bids its similarity-index match count; bids are discounted by
+// relative storage usage; the highest discounted bid wins.
+type SigmaRouter struct {
+	// K is the handprint size (number of representative fingerprints).
+	K int
+	// IgnoreUsage disables the storage-usage discount of Algorithm 1
+	// step 3 (ablation: raw resemblance wins regardless of load).
+	IgnoreUsage bool
+}
+
+var _ Router = (*SigmaRouter)(nil)
+
+// Name implements Router.
+func (r *SigmaRouter) Name() string { return Sigma.String() }
+
+// Route implements Router.
+func (r *SigmaRouter) Route(sc *core.SuperChunk, v View) Decision {
+	hp := sc.Handprint(r.K)
+	if len(hp) == 0 {
+		return all(0)
+	}
+	cands := hp.CandidateNodes(v.N())
+	counts := make([]int, len(cands))
+	usage := make([]int64, len(cands))
+	var msgs int64
+	for i, c := range cands {
+		counts[i] = v.BidHandprint(c, hp)
+		if !r.IgnoreUsage {
+			usage[i] = v.Usage(c)
+		}
+		msgs += int64(len(hp)) // the handprint is sent to each candidate
+	}
+	sel := core.SelectTarget(cands, counts, usage)
+	d := all(sel.Node)
+	d.PreRoutingMsgs = msgs
+	return d
+}
+
+// StatelessRouter is EMC's super-chunk stateless routing: a pure DHT
+// placement of the whole super-chunk by its representative (minimum)
+// fingerprint. No pre-routing communication.
+type StatelessRouter struct{}
+
+var _ Router = (*StatelessRouter)(nil)
+
+// Name implements Router.
+func (r *StatelessRouter) Name() string { return Stateless.String() }
+
+// Route implements Router.
+func (r *StatelessRouter) Route(sc *core.SuperChunk, v View) Decision {
+	return all(sc.MinFingerprint().Mod(v.N()))
+}
+
+// StatefulRouter is EMC's super-chunk stateful routing: every node is
+// asked how many of the super-chunk's (sampled) chunk fingerprints it
+// already stores, and the best match wins, with a relative-usage discount
+// for load balance. Its pre-routing message count grows linearly with the
+// cluster size — the scalability weakness Fig. 7 exposes.
+type StatefulRouter struct {
+	// SampleRate subsamples chunk fingerprints 1/SampleRate for the bid.
+	SampleRate int
+}
+
+var _ Router = (*StatefulRouter)(nil)
+
+// Name implements Router.
+func (r *StatefulRouter) Name() string { return Stateful.String() }
+
+// Route implements Router.
+func (r *StatefulRouter) Route(sc *core.SuperChunk, v View) Decision {
+	rate := r.SampleRate
+	if rate <= 0 {
+		rate = 32
+	}
+	fps := sc.Fingerprints()
+	sample := make([]fingerprint.Fingerprint, 0, len(fps)/rate+1)
+	for _, fp := range fps {
+		if fp.Uint64()%uint64(rate) == 0 {
+			sample = append(sample, fp)
+		}
+	}
+	if len(sample) == 0 && len(fps) > 0 {
+		sample = append(sample, sc.MinFingerprint())
+	}
+	n := v.N()
+	cands := make([]int, n)
+	counts := make([]int, n)
+	usage := make([]int64, n)
+	var msgs int64
+	for node := 0; node < n; node++ {
+		cands[node] = node
+		counts[node] = v.BidChunks(node, sample)
+		usage[node] = v.Usage(node)
+		msgs += int64(len(sample)) // 1-to-all communication
+	}
+	sel := core.SelectTarget(cands, counts, usage)
+	d := all(sel.Node)
+	d.PreRoutingMsgs = msgs
+	return d
+}
+
+// EBRouter is Extreme Binning's file-level similarity routing: all chunks
+// of a file follow the file's minimum chunk fingerprint (its
+// representative) to one node. The cluster driver guarantees super-chunks
+// never span files when this router is active, and routes every
+// super-chunk of a file by the file-wide representative carried on the
+// super-chunk. Stateless: no pre-routing messages.
+type EBRouter struct{}
+
+var _ Router = (*EBRouter)(nil)
+
+// Name implements Router.
+func (r *EBRouter) Name() string { return ExtremeBinning.String() }
+
+// Route implements Router.
+func (r *EBRouter) Route(sc *core.SuperChunk, v View) Decision {
+	rep := sc.FileMinFP
+	if rep.IsZero() {
+		rep = sc.MinFingerprint()
+	}
+	return all(rep.Mod(v.N()))
+}
+
+// DHTRouter is HYDRAstor-style chunk-level placement: each chunk goes to
+// the node its own fingerprint hashes to. Locality is destroyed but no
+// state is consulted.
+type DHTRouter struct{}
+
+var _ Router = (*DHTRouter)(nil)
+
+// Name implements Router.
+func (r *DHTRouter) Name() string { return ChunkDHT.String() }
+
+// Route implements Router.
+func (r *DHTRouter) Route(sc *core.SuperChunk, v View) Decision {
+	n := v.N()
+	groups := make(map[int][]int)
+	for i, ch := range sc.Chunks {
+		node := ch.FP.Mod(n)
+		groups[node] = append(groups[node], i)
+	}
+	d := Decision{Assignments: make([]Assignment, 0, len(groups))}
+	for node := 0; node < n; node++ {
+		if idxs, ok := groups[node]; ok {
+			d.Assignments = append(d.Assignments, Assignment{Node: node, Chunks: idxs})
+		}
+	}
+	return d
+}

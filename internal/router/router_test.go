@@ -1,0 +1,254 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/fingerprint"
+)
+
+// fakeView is a scripted cluster view for router unit tests.
+type fakeView struct {
+	n      int
+	hpBids map[int]int
+	chBids map[int]int
+	usage  map[int]int64
+
+	hpCalls []int
+	chCalls []int
+}
+
+func (v *fakeView) N() int { return v.n }
+
+func (v *fakeView) BidHandprint(nodeID int, hp core.Handprint) int {
+	v.hpCalls = append(v.hpCalls, nodeID)
+	return v.hpBids[nodeID]
+}
+
+func (v *fakeView) BidChunks(nodeID int, fps []fingerprint.Fingerprint) int {
+	v.chCalls = append(v.chCalls, nodeID)
+	return v.chBids[nodeID]
+}
+
+func (v *fakeView) Usage(nodeID int) int64 { return v.usage[nodeID] }
+
+func makeSC(seed int64, n int) *core.SuperChunk {
+	rng := rand.New(rand.NewSource(seed))
+	sc := &core.SuperChunk{}
+	var b [16]byte
+	for i := 0; i < n; i++ {
+		rng.Read(b[:])
+		sc.Chunks = append(sc.Chunks, core.ChunkRef{FP: fingerprint.Sum(b[:]), Size: 4096})
+	}
+	return sc
+}
+
+func TestSchemeStringAndParse(t *testing.T) {
+	for _, s := range []Scheme{Sigma, Stateless, Stateful, ExtremeBinning, ChunkDHT} {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = (%v,%v)", s.String(), got, err)
+		}
+	}
+	for alias, want := range map[string]Scheme{
+		"sigma": Sigma, "stateless": Stateless, "stateful": Stateful,
+		"eb": ExtremeBinning, "dht": ChunkDHT,
+	} {
+		got, err := ParseScheme(alias)
+		if err != nil || got != want {
+			t.Errorf("ParseScheme(%q) = (%v,%v), want %v", alias, got, err, want)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Fatal("unknown scheme should error")
+	}
+}
+
+func TestNewAllSchemes(t *testing.T) {
+	for _, s := range []Scheme{Sigma, Stateless, Stateful, ExtremeBinning, ChunkDHT} {
+		r, err := New(s, 0, 0)
+		if err != nil {
+			t.Fatalf("New(%v): %v", s, err)
+		}
+		if r.Name() != s.String() {
+			t.Errorf("router name %q != scheme %q", r.Name(), s.String())
+		}
+	}
+	if _, err := New(Scheme(99), 8, 32); err == nil {
+		t.Fatal("unknown scheme should error")
+	}
+}
+
+func TestSigmaRouteQueriesOnlyCandidates(t *testing.T) {
+	sc := makeSC(1, 64)
+	hp := sc.Handprint(8)
+	v := &fakeView{n: 32, hpBids: map[int]int{}, usage: map[int]int64{}}
+	r := &SigmaRouter{K: 8}
+	d := r.Route(sc, v)
+
+	cands := hp.CandidateNodes(32)
+	if len(v.hpCalls) != len(cands) {
+		t.Fatalf("queried %d nodes, want %d candidates (not all 32)", len(v.hpCalls), len(cands))
+	}
+	if len(d.Assignments) != 1 {
+		t.Fatalf("assignments = %d, want 1", len(d.Assignments))
+	}
+	found := false
+	for _, c := range cands {
+		if d.Assignments[0].Node == c {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("selected node is not a candidate")
+	}
+	// Pre-routing message cost = |handprint| per candidate contacted.
+	if d.PreRoutingMsgs != int64(len(hp)*len(cands)) {
+		t.Fatalf("PreRoutingMsgs = %d, want %d", d.PreRoutingMsgs, len(hp)*len(cands))
+	}
+}
+
+func TestSigmaPrefersHighBid(t *testing.T) {
+	sc := makeSC(2, 64)
+	cands := sc.Handprint(8).CandidateNodes(16)
+	if len(cands) < 2 {
+		t.Skip("degenerate candidate set")
+	}
+	v := &fakeView{n: 16, hpBids: map[int]int{cands[1]: 7}, usage: map[int]int64{}}
+	r := &SigmaRouter{K: 8}
+	d := r.Route(sc, v)
+	if d.Assignments[0].Node != cands[1] {
+		t.Fatalf("routed to %d, want high-bid candidate %d", d.Assignments[0].Node, cands[1])
+	}
+}
+
+func TestSigmaEmptySuperChunk(t *testing.T) {
+	v := &fakeView{n: 4, hpBids: map[int]int{}, usage: map[int]int64{}}
+	r := &SigmaRouter{K: 8}
+	d := r.Route(&core.SuperChunk{}, v)
+	if d.Assignments[0].Node != 0 || d.PreRoutingMsgs != 0 {
+		t.Fatalf("empty super-chunk should fall back to node 0 for free, got %+v", d)
+	}
+}
+
+func TestStatelessDeterministicPlacement(t *testing.T) {
+	sc := makeSC(3, 32)
+	v := &fakeView{n: 8}
+	r := &StatelessRouter{}
+	d1 := r.Route(sc, v)
+	d2 := r.Route(sc, v)
+	if d1.Assignments[0].Node != d2.Assignments[0].Node {
+		t.Fatal("stateless placement must be deterministic")
+	}
+	if d1.PreRoutingMsgs != 0 {
+		t.Fatal("stateless routing must not send pre-routing messages")
+	}
+	want := sc.MinFingerprint().Mod(8)
+	if d1.Assignments[0].Node != want {
+		t.Fatalf("routed to %d, want min-fp placement %d", d1.Assignments[0].Node, want)
+	}
+}
+
+func TestStatefulQueriesAllNodes(t *testing.T) {
+	sc := makeSC(4, 256)
+	v := &fakeView{n: 16, chBids: map[int]int{5: 3}, usage: map[int]int64{}}
+	r := &StatefulRouter{SampleRate: 32}
+	d := r.Route(sc, v)
+	if len(v.chCalls) != 16 {
+		t.Fatalf("stateful queried %d nodes, want all 16 (1-to-all)", len(v.chCalls))
+	}
+	if d.Assignments[0].Node != 5 {
+		t.Fatalf("routed to %d, want best-match node 5", d.Assignments[0].Node)
+	}
+	if d.PreRoutingMsgs == 0 {
+		t.Fatal("stateful routing must charge pre-routing messages")
+	}
+}
+
+// TestStatefulMessageGrowth is Fig. 7's core claim at router granularity:
+// stateful pre-routing cost grows linearly with N, sigma's does not.
+func TestStatefulMessageGrowth(t *testing.T) {
+	sc := makeSC(5, 256)
+	cost := func(r Router, n int) int64 {
+		v := &fakeView{n: n, hpBids: map[int]int{}, chBids: map[int]int{}, usage: map[int]int64{}}
+		sc2 := makeSC(5, 256) // fresh handprint cache
+		return r.Route(sc2, v).PreRoutingMsgs
+	}
+	st8 := cost(&StatefulRouter{SampleRate: 32}, 8)
+	st64 := cost(&StatefulRouter{SampleRate: 32}, 64)
+	if st64 != 8*st8 {
+		t.Fatalf("stateful msgs: N=8→%d, N=64→%d, want exactly 8x growth", st8, st64)
+	}
+	sg8 := cost(&SigmaRouter{K: 8}, 8)
+	sg64 := cost(&SigmaRouter{K: 8}, 64)
+	if sg64 > 2*sg8+64 { // bounded by k*k regardless of N
+		t.Fatalf("sigma msgs grew with cluster size: N=8→%d, N=64→%d", sg8, sg64)
+	}
+	_ = sc
+}
+
+func TestStatefulTinySampleFallsBackToMinFP(t *testing.T) {
+	sc := makeSC(6, 2) // tiny super-chunk: sampling may select nothing
+	v := &fakeView{n: 4, chBids: map[int]int{}, usage: map[int]int64{}}
+	r := &StatefulRouter{SampleRate: 1 << 16}
+	d := r.Route(sc, v)
+	if len(d.Assignments) != 1 {
+		t.Fatal("stateful must still place the super-chunk")
+	}
+	if d.PreRoutingMsgs != 4 { // 1 fallback fp x 4 nodes
+		t.Fatalf("PreRoutingMsgs = %d, want 4", d.PreRoutingMsgs)
+	}
+}
+
+func TestEBRoutesByFileRepresentative(t *testing.T) {
+	a := makeSC(7, 16)
+	b := makeSC(8, 16)
+	rep := fingerprint.Sum([]byte("file-representative"))
+	a.FileMinFP = rep
+	b.FileMinFP = rep
+	v := &fakeView{n: 64}
+	r := &EBRouter{}
+	da := r.Route(a, v)
+	db := r.Route(b, v)
+	if da.Assignments[0].Node != db.Assignments[0].Node {
+		t.Fatal("super-chunks of one file must land on the same node")
+	}
+	if da.PreRoutingMsgs != 0 {
+		t.Fatal("EB is stateless: no pre-routing messages")
+	}
+}
+
+func TestEBFallsBackWithoutFileInfo(t *testing.T) {
+	sc := makeSC(9, 16)
+	v := &fakeView{n: 8}
+	r := &EBRouter{}
+	d := r.Route(sc, v)
+	want := sc.MinFingerprint().Mod(8)
+	if d.Assignments[0].Node != want {
+		t.Fatalf("fallback placement %d, want %d", d.Assignments[0].Node, want)
+	}
+}
+
+func TestDHTSplitsAcrossNodes(t *testing.T) {
+	sc := makeSC(10, 256)
+	v := &fakeView{n: 8}
+	r := &DHTRouter{}
+	d := r.Route(sc, v)
+	if len(d.Assignments) < 2 {
+		t.Fatalf("DHT should scatter a 256-chunk super-chunk across nodes, got %d assignments", len(d.Assignments))
+	}
+	covered := 0
+	for _, a := range d.Assignments {
+		for _, i := range a.Chunks {
+			want := sc.Chunks[i].FP.Mod(8)
+			if a.Node != want {
+				t.Fatalf("chunk %d sent to %d, want %d", i, a.Node, want)
+			}
+		}
+		covered += len(a.Chunks)
+	}
+	if covered != 256 {
+		t.Fatalf("DHT covered %d chunks, want 256", covered)
+	}
+}

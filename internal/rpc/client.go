@@ -1,0 +1,183 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/node"
+)
+
+// Client is a pipelined connection to one deduplication server. Multiple
+// goroutines may issue calls concurrently; requests are matched to
+// responses by ID, so many calls can be in flight at once — the paper's
+// batched asynchronous RPC design.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+
+	wmu    sync.Mutex // serializes encoder access
+	mu     sync.Mutex // guards pending/nextID/err
+	nextID uint64
+	pend   map[uint64]chan Response
+	err    error
+	done   chan struct{}
+}
+
+// Dial connects to a deduplication server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		pend: make(map[uint64]chan Response),
+		done: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection; outstanding calls fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			c.mu.Lock()
+			c.err = fmt.Errorf("rpc: connection lost: %w", err)
+			for id, ch := range c.pend {
+				close(ch)
+				delete(c.pend, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pend[resp.ID]
+		if ok {
+			delete(c.pend, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// Call issues one request and waits for its response.
+func (c *Client) Call(req Request) (Response, error) {
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return Response{}, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pend[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := c.enc.Encode(req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pend, req.ID)
+		c.mu.Unlock()
+		return Response{}, fmt.Errorf("rpc: send: %w", err)
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return Response{}, err
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("rpc: remote: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Bid sends a handprint and returns the node's similarity match count and
+// storage usage (Algorithm 1 step 2).
+func (c *Client) Bid(hp core.Handprint) (count int, usage int64, err error) {
+	resp, err := c.Call(Request{Op: OpBid, Handprint: hp})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Count, resp.Usage, nil
+}
+
+// Query performs the batched duplicate check for a super-chunk.
+func (c *Client) Query(sc *core.SuperChunk) ([]bool, error) {
+	resp, err := c.Call(Request{Op: OpQuery, Chunks: superChunkToWire(sc, false)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Dup, nil
+}
+
+// Store sends a super-chunk (with payloads for chunks the server must
+// persist) to the target node.
+func (c *Client) Store(stream string, sc *core.SuperChunk, withData bool) error {
+	op := OpStoreRefs
+	if withData {
+		op = OpStore
+	}
+	_, err := c.Call(Request{Op: op, Stream: stream, Chunks: superChunkToWire(sc, withData)})
+	return err
+}
+
+// ReadChunk fetches one chunk payload by fingerprint (restore path).
+func (c *Client) ReadChunk(fp fingerprint.Fingerprint) ([]byte, error) {
+	resp, err := c.Call(Request{Op: OpReadChunk, Chunks: []ChunkWire{{FP: fp}}})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Chunks) != 1 {
+		return nil, fmt.Errorf("rpc: read chunk: got %d payloads", len(resp.Chunks))
+	}
+	return resp.Chunks[0].Data, nil
+}
+
+// Flush seals the server's open containers.
+func (c *Client) Flush() error {
+	_, err := c.Call(Request{Op: OpFlush})
+	return err
+}
+
+// Stats fetches node statistics and storage usage.
+func (c *Client) Stats() (node.Stats, int64, error) {
+	resp, err := c.Call(Request{Op: OpStats})
+	if err != nil {
+		return node.Stats{}, 0, err
+	}
+	return resp.Stats, resp.Usage, nil
+}
+
+func superChunkToWire(sc *core.SuperChunk, withData bool) []ChunkWire {
+	out := make([]ChunkWire, len(sc.Chunks))
+	for i, ch := range sc.Chunks {
+		w := ChunkWire{FP: ch.FP, Size: int32(ch.Size)}
+		if withData {
+			w.Data = ch.Data
+		}
+		out[i] = w
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+// Package rpc implements the wire protocol of the Σ-Dedupe prototype: a
+// batched, pipelined request/response protocol over TCP, mirroring the
+// paper's event-driven client design ("an asynchronous RPC implementation
+// via message passing over TCP streams; all RPC requests are batched in
+// order to minimize the round-trip overheads", §4.1).
+//
+// Messages are gob-encoded. Every request carries a client-chosen ID;
+// responses may arrive out of order, so a client can keep many requests
+// in flight (pipelining) and match responses by ID.
+package rpc
+
+import (
+	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/node"
+)
+
+// Op enumerates request types understood by a deduplication server.
+type Op int
+
+// Deduplication server operations.
+const (
+	// OpBid asks for the similarity-index match count of a handprint
+	// (Algorithm 1 step 2) plus current storage usage.
+	OpBid Op = iota + 1
+	// OpQuery asks, for each chunk fingerprint of a super-chunk, whether
+	// the chunk is already stored (source dedup batched query).
+	OpQuery
+	// OpStore delivers the unique chunks of a routed super-chunk.
+	OpStore
+	// OpStoreRefs delivers a fingerprint-only super-chunk (trace mode).
+	OpStoreRefs
+	// OpReadChunk fetches one chunk payload (restore path).
+	OpReadChunk
+	// OpFlush seals open containers.
+	OpFlush
+	// OpStats fetches node statistics.
+	OpStats
+)
+
+// ChunkWire is one chunk on the wire: fingerprint, size and (for store
+// and restore operations) payload.
+type ChunkWire struct {
+	FP   fingerprint.Fingerprint
+	Size int32
+	Data []byte
+}
+
+// Request is the single envelope for all deduplication server operations.
+type Request struct {
+	ID     uint64
+	Op     Op
+	Stream string
+	// Handprint carries representative fingerprints for OpBid and the
+	// similarity prefetch of OpQuery/OpStore.
+	Handprint []fingerprint.Fingerprint
+	// Chunks carries the super-chunk membership for OpQuery (sizes and
+	// fingerprints only), the unique chunks for OpStore (with payloads),
+	// or the single fingerprint for OpReadChunk.
+	Chunks []ChunkWire
+}
+
+// Response is the single envelope for all server replies.
+type Response struct {
+	ID  uint64
+	Err string
+	// Count is the similarity bid for OpBid.
+	Count int
+	// Usage is the node storage usage for OpBid.
+	Usage int64
+	// Dup holds per-chunk duplicate verdicts for OpQuery.
+	Dup []bool
+	// Chunks returns payloads for OpReadChunk.
+	Chunks []ChunkWire
+	// Stats is populated for OpStats.
+	Stats node.Stats
+}

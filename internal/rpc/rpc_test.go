@@ -1,0 +1,210 @@
+package rpc
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/node"
+)
+
+func startServer(t *testing.T, cfg node.Config) (*Server, *Client) {
+	t.Helper()
+	n, err := node.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(n, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func makeSC(seed int64, n int) *core.SuperChunk {
+	rng := rand.New(rand.NewSource(seed))
+	sc := &core.SuperChunk{}
+	for i := 0; i < n; i++ {
+		data := make([]byte, 4096)
+		rng.Read(data)
+		sc.Chunks = append(sc.Chunks, core.ChunkRef{
+			FP:   fingerprint.Sum(data),
+			Size: len(data),
+			Data: data,
+		})
+	}
+	return sc
+}
+
+func TestBidQueryStoreCycle(t *testing.T) {
+	_, c := startServer(t, node.Config{KeepPayloads: true})
+	sc := makeSC(1, 16)
+	hp := sc.Handprint(8)
+
+	count, usage, err := c.Bid(hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 || usage != 0 {
+		t.Fatalf("empty node bid = (%d,%d)", count, usage)
+	}
+
+	dup, err := c.Query(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dup {
+		if d {
+			t.Fatal("empty node reported duplicates")
+		}
+	}
+
+	if err := c.Store("s", sc, true); err != nil {
+		t.Fatal(err)
+	}
+	count, usage, err = c.Bid(hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != len(hp) {
+		t.Fatalf("bid after store = %d, want %d", count, len(hp))
+	}
+	if usage != 16*4096 {
+		t.Fatalf("usage = %d, want %d", usage, 16*4096)
+	}
+
+	dup, err = c.Query(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dup {
+		if !d {
+			t.Fatalf("chunk %d not reported duplicate after store", i)
+		}
+	}
+}
+
+func TestReadChunkRestore(t *testing.T) {
+	_, c := startServer(t, node.Config{KeepPayloads: true})
+	sc := makeSC(2, 4)
+	if err := c.Store("s", sc, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range sc.Chunks {
+		data, err := c.ReadChunk(ch.FP)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if !bytes.Equal(data, ch.Data) {
+			t.Fatalf("chunk %d corrupted over the wire", i)
+		}
+	}
+	if _, err := c.ReadChunk(fingerprint.Sum([]byte("missing"))); err == nil {
+		t.Fatal("reading a missing chunk should fail")
+	}
+}
+
+func TestStatsOverWire(t *testing.T) {
+	_, c := startServer(t, node.Config{})
+	sc := makeSC(3, 8)
+	if err := c.Store("s", sc, false); err != nil {
+		t.Fatal(err)
+	}
+	stats, usage, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SuperChunks != 1 || stats.UniqueChunks != 8 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if usage != 8*4096 {
+		t.Fatalf("usage = %d", usage)
+	}
+}
+
+func TestPipelinedConcurrentCalls(t *testing.T) {
+	_, c := startServer(t, node.Config{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				sc := makeSC(int64(w*1000+i), 4)
+				if err := c.Store("s"+string(rune('0'+w)), sc, false); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := c.Bid(sc.Handprint(4)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats, _, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SuperChunks != 160 {
+		t.Fatalf("SuperChunks = %d, want 160", stats.SuperChunks)
+	}
+}
+
+func TestServerCloseUnblocksClient(t *testing.T) {
+	srv, c := startServer(t, node.Config{})
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Bid(core.Handprint{fingerprint.Sum([]byte("x"))}); err == nil {
+		t.Fatal("call against closed server should fail")
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	srv, c1 := startServer(t, node.Config{})
+	c2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	sc := makeSC(4, 4)
+	if err := c1.Store("a", sc, false); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the same super-chunk so handprint state is independent.
+	dup, err := c2.Query(makeSC(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dup {
+		if !d {
+			t.Fatalf("client2 chunk %d should be duplicate", i)
+		}
+	}
+}
+
+func TestRemoteErrorPropagates(t *testing.T) {
+	_, c := startServer(t, node.Config{}) // no payloads: restore unsupported
+	sc := makeSC(5, 2)
+	if err := c.Store("s", sc, false); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	if _, err := c.ReadChunk(sc.Chunks[0].FP); err == nil {
+		t.Fatal("restore without payloads should surface a remote error")
+	}
+}

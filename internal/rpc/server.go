@@ -1,0 +1,170 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/node"
+)
+
+// Server exposes one deduplication node over TCP. Each accepted
+// connection gets a reader goroutine; requests on a connection are served
+// concurrently and responses are serialized by a per-connection writer
+// lock, so a pipelined client sees maximal parallelism.
+type Server struct {
+	node *node.Node
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a deduplication node and listens on addr
+// (e.g. "127.0.0.1:0"). The returned server is already accepting.
+func NewServer(n *node.Node, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	s := &Server{node: n, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Node returns the wrapped deduplication node (for stats inspection).
+func (s *Server) Node() *node.Node { return s.node }
+
+// Close stops accepting, closes all connections, and waits for handler
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var wmu sync.Mutex
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection-level decode error: drop the connection.
+				return
+			}
+			return
+		}
+		handlers.Add(1)
+		go func(req Request) {
+			defer handlers.Done()
+			resp := s.handle(req)
+			wmu.Lock()
+			// Encoding errors mean the peer is gone; the read loop will
+			// notice and tear the connection down.
+			_ = enc.Encode(resp)
+			wmu.Unlock()
+		}(req)
+	}
+}
+
+// handle dispatches one request against the node.
+func (s *Server) handle(req Request) Response {
+	resp := Response{ID: req.ID}
+	switch req.Op {
+	case OpBid:
+		resp.Count = s.node.CountHandprintMatches(core.Handprint(req.Handprint))
+		resp.Usage = s.node.StorageUsage()
+
+	case OpQuery:
+		sc := wireToSuperChunk(req.Chunks)
+		resp.Dup = s.node.QuerySuperChunk(sc)
+
+	case OpStore, OpStoreRefs:
+		sc := wireToSuperChunk(req.Chunks)
+		if _, err := s.node.StoreSuperChunk(req.Stream, sc); err != nil {
+			resp.Err = err.Error()
+		}
+
+	case OpReadChunk:
+		for _, ch := range req.Chunks {
+			data, err := s.node.ReadChunk(ch.FP)
+			if err != nil {
+				resp.Err = err.Error()
+				break
+			}
+			resp.Chunks = append(resp.Chunks, ChunkWire{FP: ch.FP, Size: int32(len(data)), Data: data})
+		}
+
+	case OpFlush:
+		if err := s.node.Flush(); err != nil {
+			resp.Err = err.Error()
+		}
+
+	case OpStats:
+		resp.Stats = s.node.Stats()
+		resp.Usage = s.node.StorageUsage()
+
+	default:
+		resp.Err = fmt.Sprintf("unknown op %d", int(req.Op))
+	}
+	return resp
+}
+
+func wireToSuperChunk(chunks []ChunkWire) *core.SuperChunk {
+	sc := &core.SuperChunk{Chunks: make([]core.ChunkRef, len(chunks))}
+	for i, ch := range chunks {
+		sc.Chunks[i] = core.ChunkRef{FP: ch.FP, Size: int(ch.Size), Data: ch.Data}
+	}
+	return sc
+}

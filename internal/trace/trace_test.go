@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{FP: fingerprint.Sum([]byte("a")), Size: 4096, FileID: 1},
+		{FP: fingerprint.Sum([]byte("b")), Size: 123, FileID: 0},
+		{FP: fingerprint.Sum([]byte("c")), Size: 1 << 20, FileID: 99},
+	}
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	if got[0].Ref().Size != 4096 {
+		t.Fatal("Ref conversion broken")
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("XXXX----"))); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("err = %v, want ErrBadHeader", err)
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("empty stream err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{Size: 1})
+	w.Flush()
+	raw := buf.Bytes()[:buf.Len()-5] // cut mid-record
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("truncated record err = %v, want explicit error", err)
+	}
+}
+
+// TestCaptureWorkload captures a generated workload as a trace and
+// replays it, checking logical/physical equivalence.
+func TestCaptureWorkload(t *testing.T) {
+	g, err := workload.ByName("web", 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := workload.NewCorpus(0)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	var logical int64
+	err = g.Items(func(it workload.Item) error {
+		for _, ref := range corpus.ChunkRefs(it, false) {
+			logical += int64(ref.Size)
+			if err := w.Write(Record{FP: ref.FP, Size: uint32(ref.Size), FileID: it.FileID}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	recs, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed int64
+	uniq := map[fingerprint.Fingerprint]bool{}
+	for _, rec := range recs {
+		replayed += int64(rec.Size)
+		uniq[rec.FP] = true
+	}
+	if replayed != logical {
+		t.Fatalf("replayed %d bytes, want %d", replayed, logical)
+	}
+	if len(uniq) == 0 || len(uniq) >= len(recs) {
+		t.Fatalf("trace lost dedup structure: %d unique of %d", len(uniq), len(recs))
+	}
+}

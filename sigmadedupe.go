@@ -1,0 +1,316 @@
+// Package sigmadedupe is a from-scratch Go implementation of Σ-Dedupe, the
+// scalable inline cluster deduplication framework of Fu, Jiang and Xiao
+// (MIDDLEWARE 2012). It provides:
+//
+//   - Simulator: an in-process trace-driven deduplication cluster with the
+//     paper's similarity-based stateful routing (Algorithm 1) and the
+//     baseline schemes (EMC Stateless/Stateful, Extreme Binning,
+//     chunk-level DHT), with fingerprint-lookup message accounting.
+//   - Prototype: a real TCP client/server/director deployment
+//     (StartServer, NewBackupClient, NewDirector) performing source inline
+//     deduplication with batched, pipelined RPC.
+//   - Workloads: seeded synthetic stand-ins for the paper's four
+//     evaluation datasets (Linux, VM, Mail, Web), calibrated to Table 2.
+//   - Experiments: regeneration of every table and figure of the paper's
+//     evaluation (RunExperiment).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package sigmadedupe
+
+import (
+	"fmt"
+	"io"
+
+	"sigmadedupe/internal/chunker"
+	"sigmadedupe/internal/client"
+	"sigmadedupe/internal/cluster"
+	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/director"
+	"sigmadedupe/internal/experiments"
+	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/node"
+	"sigmadedupe/internal/router"
+	"sigmadedupe/internal/rpc"
+	"sigmadedupe/internal/workload"
+)
+
+// Scheme selects a data-routing scheme for the cluster simulator.
+type Scheme int
+
+// Routing schemes, as compared in the paper's Table 1 and Fig. 7-8.
+const (
+	// SchemeSigma is the paper's similarity-based stateful routing.
+	SchemeSigma Scheme = iota + 1
+	// SchemeStateless is EMC's super-chunk DHT routing.
+	SchemeStateless
+	// SchemeStateful is EMC's 1-to-all stateful routing.
+	SchemeStateful
+	// SchemeExtremeBinning is file-similarity bin routing.
+	SchemeExtremeBinning
+	// SchemeChunkDHT is HYDRAstor-style per-chunk placement.
+	SchemeChunkDHT
+)
+
+// String returns the scheme name used in reports.
+func (s Scheme) String() string { return s.internal().String() }
+
+func (s Scheme) internal() router.Scheme {
+	switch s {
+	case SchemeStateless:
+		return router.Stateless
+	case SchemeStateful:
+		return router.Stateful
+	case SchemeExtremeBinning:
+		return router.ExtremeBinning
+	case SchemeChunkDHT:
+		return router.ChunkDHT
+	default:
+		return router.Sigma
+	}
+}
+
+// ClusterConfig parameterizes a simulated deduplication cluster.
+type ClusterConfig struct {
+	// Nodes is the cluster size (default 1).
+	Nodes int
+	// Scheme is the routing scheme (default SchemeSigma).
+	Scheme Scheme
+	// HandprintSize is k, the representative fingerprints per super-chunk
+	// (default 8, the paper's choice).
+	HandprintSize int
+	// SuperChunkSize is the routing granularity in bytes (default 1MB).
+	SuperChunkSize int64
+	// ChunkSize is the static chunk size in bytes (default 4KB).
+	ChunkSize int
+}
+
+// ClusterStats reports the outcome of a simulated backup.
+type ClusterStats struct {
+	LogicalBytes       int64
+	PhysicalBytes      int64
+	SuperChunks        int64
+	DedupRatio         float64
+	NormalizedDR       float64 // vs exact single-node dedup
+	EffectiveDR        float64 // Eq. 7: normalized DR x balance penalty
+	StorageSkew        float64 // sigma/alpha over node usage
+	FingerprintLookups int64   // total fingerprint-lookup messages
+}
+
+// Cluster is a simulated inline deduplication cluster. Feed it files with
+// Backup and read results with Stats. Not safe for concurrent use.
+type Cluster struct {
+	cfg       ClusterConfig
+	inner     *cluster.Cluster
+	exact     *cluster.ExactTracker
+	algorithm fingerprint.Algorithm
+	nextFile  uint64
+}
+
+// NewCluster builds a simulated cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 4096
+	}
+	inner, err := cluster.New(cluster.Config{
+		N:              cfg.Nodes,
+		Scheme:         cfg.Scheme.internal(),
+		HandprintK:     cfg.HandprintSize,
+		SuperChunkSize: cfg.SuperChunkSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		cfg:       cfg,
+		inner:     inner,
+		exact:     cluster.NewExactTracker(),
+		algorithm: fingerprint.SHA1,
+	}, nil
+}
+
+// Backup chunks and deduplicates one file (or stream segment) into the
+// cluster. Content is read fully; chunking is static at ChunkSize.
+func (c *Cluster) Backup(name string, r io.Reader) error {
+	c.nextFile++
+	ck, err := chunker.NewFixed(r, c.cfg.ChunkSize)
+	if err != nil {
+		return err
+	}
+	chunks, err := chunker.SplitAll(ck)
+	if err != nil {
+		return fmt.Errorf("backup %s: %w", name, err)
+	}
+	refs := make([]core.ChunkRef, len(chunks))
+	for i, ch := range chunks {
+		refs[i] = core.ChunkRef{FP: c.algorithm.Sum(ch.Data), Size: ch.Len()}
+	}
+	c.exact.Add(refs)
+	return c.inner.BackupItem(c.nextFile, refs)
+}
+
+// Flush completes the backup session (routes the final partial
+// super-chunk and seals containers).
+func (c *Cluster) Flush() error { return c.inner.Flush() }
+
+// Stats summarizes the cluster after a backup.
+func (c *Cluster) Stats() ClusterStats {
+	st := c.inner.Stats()
+	return ClusterStats{
+		LogicalBytes:       st.LogicalBytes,
+		PhysicalBytes:      c.inner.PhysicalBytes(),
+		SuperChunks:        st.SuperChunks,
+		DedupRatio:         c.inner.DedupRatio(),
+		NormalizedDR:       c.inner.NormalizedDR(c.exact.Physical()),
+		EffectiveDR:        c.inner.EDR(c.exact.Physical()),
+		StorageSkew:        c.inner.Skew(),
+		FingerprintLookups: st.TotalMsgs(),
+	}
+}
+
+// Server is a TCP deduplication server node.
+type Server struct {
+	inner *rpc.Server
+}
+
+// ServerConfig parameterizes a deduplication server node.
+type ServerConfig struct {
+	// ID is the node's cluster identity.
+	ID int
+	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// Dir, when set, spills sealed containers to this directory;
+	// otherwise chunk payloads are kept in RAM.
+	Dir string
+	// HandprintSize is k (default 8).
+	HandprintSize int
+}
+
+// StartServer launches a deduplication server node.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	ncfg := node.Config{
+		ID:            cfg.ID,
+		HandprintSize: cfg.HandprintSize,
+		KeepPayloads:  true,
+		Dir:           cfg.Dir,
+	}
+	n, err := node.New(ncfg)
+	if err != nil {
+		return nil, err
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	srv, err := rpc.NewServer(n, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: srv}, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.inner.Addr() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.inner.Close() }
+
+// DedupRatio returns the node's logical/physical ratio so far.
+func (s *Server) DedupRatio() float64 { return s.inner.Node().Stats().DedupRatio() }
+
+// StorageUsage returns the node's stored physical bytes.
+func (s *Server) StorageUsage() int64 { return s.inner.Node().StorageUsage() }
+
+// Director is the metadata service: backup sessions and file recipes.
+type Director = director.Director
+
+// NewDirector creates an empty director.
+func NewDirector() *Director { return director.New() }
+
+// BackupClient performs source inline deduplicated backup over TCP.
+type BackupClient struct {
+	inner *client.Client
+}
+
+// BackupClientConfig parameterizes a backup client.
+type BackupClientConfig struct {
+	// Name identifies the client in sessions (default "client").
+	Name string
+	// SuperChunkSize is the routing granularity (default 1MB).
+	SuperChunkSize int64
+	// HandprintSize is k (default 8).
+	HandprintSize int
+}
+
+// NewBackupClient connects a backup client to a set of deduplication
+// servers and a director.
+func NewBackupClient(cfg BackupClientConfig, dir *Director, nodeAddrs []string) (*BackupClient, error) {
+	inner, err := client.New(client.Config{
+		Name:           cfg.Name,
+		SuperChunkSize: cfg.SuperChunkSize,
+		HandprintK:     cfg.HandprintSize,
+	}, dir, nodeAddrs)
+	if err != nil {
+		return nil, err
+	}
+	return &BackupClient{inner: inner}, nil
+}
+
+// BackupFile deduplicates and stores one file.
+func (b *BackupClient) BackupFile(path string, r io.Reader) error {
+	return b.inner.BackupFile(path, r)
+}
+
+// Flush completes the backup session.
+func (b *BackupClient) Flush() error { return b.inner.Flush() }
+
+// Restore streams a backed-up file to w.
+func (b *BackupClient) Restore(path string, w io.Writer) error {
+	return b.inner.Restore(path, w)
+}
+
+// Close releases connections.
+func (b *BackupClient) Close() { b.inner.Close() }
+
+// BandwidthSaving reports the fraction of payload bytes source dedup kept
+// off the network.
+func (b *BackupClient) BandwidthSaving() float64 { return b.inner.Stats().BandwidthSaving() }
+
+// LogicalBytes reports bytes presented for backup.
+func (b *BackupClient) LogicalBytes() int64 { return b.inner.Stats().LogicalBytes }
+
+// ExperimentOptions tunes experiment cost; zero value = full scale.
+type ExperimentOptions = experiments.Options
+
+// RunExperiment regenerates one of the paper's tables or figures and
+// prints it to w. See ExperimentNames for valid names.
+func RunExperiment(name string, opts ExperimentOptions, w io.Writer) error {
+	tab, err := experiments.Run(name, opts)
+	if err != nil {
+		return err
+	}
+	tab.Fprint(w)
+	return nil
+}
+
+// ExperimentNames lists the available experiment names.
+func ExperimentNames() []string { return experiments.Names() }
+
+// WorkloadNames lists the Table 2 dataset generators.
+func WorkloadNames() []string { return workload.Names() }
+
+// WorkloadFiles invokes yield for every file of the named synthetic
+// dataset at the given scale, materializing content. Trace datasets
+// (mail, web) yield anonymous segments.
+func WorkloadFiles(name string, scale float64, seed int64, yield func(path string, data []byte) error) error {
+	g, err := workload.ByName(name, scale, seed)
+	if err != nil {
+		return err
+	}
+	return g.Items(func(it workload.Item) error {
+		return yield(it.Name, workload.Materialize(it))
+	})
+}

@@ -1,0 +1,144 @@
+package sigmadedupe
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestClusterFacadeEndToEnd(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Nodes: 4, Scheme: SchemeSigma, SuperChunkSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	content := make([]byte, 256<<10)
+	rng.Read(content)
+
+	if err := c.Backup("/a", bytes.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Backup("/a-again", bytes.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.LogicalBytes != 512<<10 {
+		t.Fatalf("logical = %d", st.LogicalBytes)
+	}
+	if st.DedupRatio < 1.5 {
+		t.Fatalf("dedup ratio = %v, want ~2 for duplicated content", st.DedupRatio)
+	}
+	if st.NormalizedDR <= 0 || st.NormalizedDR > 1.001 {
+		t.Fatalf("normalized DR = %v out of range", st.NormalizedDR)
+	}
+	if st.FingerprintLookups == 0 {
+		t.Fatal("no fingerprint lookups counted")
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	names := map[Scheme]string{
+		SchemeSigma:          "SigmaDedupe",
+		SchemeStateless:      "Stateless",
+		SchemeStateful:       "Stateful",
+		SchemeExtremeBinning: "ExtremeBinning",
+		SchemeChunkDHT:       "ChunkDHT",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestPrototypeFacadeBackupRestore(t *testing.T) {
+	srv1, err := StartServer(ServerConfig{ID: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv1.Close()
+	srv2, err := StartServer(ServerConfig{ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	dir := NewDirector()
+	bc, err := NewBackupClient(BackupClientConfig{Name: "t", SuperChunkSize: 32 << 10},
+		dir, []string{srv1.Addr(), srv2.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+
+	rng := rand.New(rand.NewSource(2))
+	content := make([]byte, 200<<10)
+	rng.Read(content)
+	if err := bc.BackupFile("/doc", bytes.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.BackupFile("/doc-copy", bytes.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if bc.BandwidthSaving() < 0.4 {
+		t.Fatalf("bandwidth saving = %v, want >= 0.4", bc.BandwidthSaving())
+	}
+	var out bytes.Buffer
+	if err := bc.Restore("/doc-copy", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), content) {
+		t.Fatal("restore corrupted")
+	}
+	if srv1.StorageUsage()+srv2.StorageUsage() == 0 {
+		t.Fatal("servers stored nothing")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("ram", ExperimentOptions{Quick: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SigmaDedupe") {
+		t.Fatalf("experiment output missing rows:\n%s", buf.String())
+	}
+	if err := RunExperiment("nope", ExperimentOptions{}, &buf); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	if len(ExperimentNames()) != 11 {
+		t.Fatalf("ExperimentNames = %v", ExperimentNames())
+	}
+}
+
+func TestWorkloadFilesFacade(t *testing.T) {
+	if len(WorkloadNames()) != 4 {
+		t.Fatalf("WorkloadNames = %v", WorkloadNames())
+	}
+	var files int
+	var bytesTotal int64
+	err := WorkloadFiles("linux", 0.2, 7, func(path string, data []byte) error {
+		files++
+		bytesTotal += int64(len(data))
+		if path == "" || len(data) == 0 {
+			t.Fatal("empty workload item")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files == 0 || bytesTotal == 0 {
+		t.Fatal("no workload generated")
+	}
+	if err := WorkloadFiles("bogus", 1, 0, nil); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
