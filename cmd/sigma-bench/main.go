@@ -1,20 +1,35 @@
 // Command sigma-bench regenerates the tables and figures of the paper's
-// evaluation section. With no arguments it lists the available
-// experiments; "all" runs everything.
+// evaluation section and benchmarks the prototype ingest path. With no
+// arguments it lists the available experiments; "all" runs every paper
+// experiment; "ingest" runs the serial-vs-pipelined prototype ingest
+// comparison on loopback servers.
 //
 // Usage:
 //
-//	sigma-bench [-scale 1.0] [-quick] all|fig1|fig4a|fig4b|fig5a|fig5b|fig6|fig7|fig8|table1|table2|ram ...
+//	sigma-bench [-scale 1.0] [-quick] [-json] all|fig1|...|table2|ram ...
+//	sigma-bench [-json] [-nodes 4] [-mb 32] [-workers N] [-inflight 4] \
+//	            [-latency 0] ingest
+//
+// With -json every result is emitted as one JSON object per line
+// (machine-readable; suitable for tracking BENCH_*.json trajectories).
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 	"time"
 
+	"sigmadedupe/internal/client"
+	"sigmadedupe/internal/director"
 	"sigmadedupe/internal/experiments"
+	"sigmadedupe/internal/node"
+	"sigmadedupe/internal/pipeline"
+	"sigmadedupe/internal/rpc"
 )
 
 func main() {
@@ -28,26 +43,239 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("sigma-bench", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1.0, "dataset scale multiplier (smaller = faster)")
 	quick := fs.Bool("quick", false, "trim sweeps to a few points")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON, one object per line")
+	nodes := fs.Int("nodes", 4, "ingest: number of loopback dedup servers")
+	mb := fs.Int("mb", 32, "ingest: logical MB backed up per run")
+	workers := fs.Int("workers", 0, "ingest: fingerprint workers for the pipelined run (0 = GOMAXPROCS)")
+	inflight := fs.Int("inflight", client.DefaultInflightSuperChunks,
+		"ingest: in-flight super-chunk window for the pipelined run")
+	latency := fs.Duration("latency", 0,
+		"ingest: injected per-request server latency (e.g. 2ms emulates a disk-bound remote node)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		fmt.Printf("available experiments: %s, all\n", strings.Join(experiments.Names(), ", "))
+		fmt.Printf("available experiments: %s, ingest, all\n", strings.Join(experiments.Names(), ", "))
 		return nil
 	}
 	if len(names) == 1 && names[0] == "all" {
 		names = experiments.Names()
 	}
-	opts := experiments.Options{Scale: *scale, Quick: *quick}
+	enc := json.NewEncoder(os.Stdout)
 	for _, name := range names {
+		if name == "ingest" {
+			rep, err := runIngest(ingestConfig{
+				Nodes:    *nodes,
+				DataMB:   *mb,
+				Workers:  *workers,
+				Inflight: *inflight,
+				Latency:  *latency,
+			})
+			if err != nil {
+				return fmt.Errorf("ingest: %w", err)
+			}
+			if *jsonOut {
+				if err := enc.Encode(rep); err != nil {
+					return err
+				}
+			} else {
+				rep.print(os.Stdout)
+			}
+			continue
+		}
 		start := time.Now()
-		tab, err := experiments.Run(name, opts)
+		tab, err := experiments.Run(name, experiments.Options{Scale: *scale, Quick: *quick})
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		tab.Fprint(os.Stdout)
-		fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *jsonOut {
+			err = enc.Encode(tableReport{
+				Experiment: tab.Name,
+				Title:      tab.Title,
+				Headers:    tab.Headers,
+				Rows:       tab.Rows,
+				Notes:      tab.Notes,
+				ElapsedMS:  elapsed.Milliseconds(),
+			})
+			if err != nil {
+				return err
+			}
+		} else {
+			tab.Fprint(os.Stdout)
+			fmt.Printf("  [%s completed in %v]\n\n", name, elapsed.Round(time.Millisecond))
+		}
 	}
 	return nil
+}
+
+// tableReport is the JSON shape of one paper experiment.
+type tableReport struct {
+	Experiment string     `json:"experiment"`
+	Title      string     `json:"title"`
+	Headers    []string   `json:"headers"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes,omitempty"`
+	ElapsedMS  int64      `json:"elapsed_ms"`
+}
+
+type ingestConfig struct {
+	Nodes    int           `json:"nodes"`
+	DataMB   int           `json:"data_mb"`
+	Workers  int           `json:"workers"`
+	Inflight int           `json:"inflight_super_chunks"`
+	Latency  time.Duration `json:"-"`
+}
+
+// ingestRun is one measured configuration of the prototype ingest path.
+type ingestRun struct {
+	Mode            string  `json:"mode"`
+	Workers         int     `json:"workers"`
+	Inflight        int     `json:"inflight_super_chunks"`
+	Seconds         float64 `json:"seconds"`
+	ThroughputMBps  float64 `json:"throughput_mb_s"`
+	Msgs            int64   `json:"msgs"`
+	BandwidthSaving float64 `json:"bandwidth_saving"`
+	DedupRatio      float64 `json:"dedup_ratio"`
+}
+
+// ingestReport compares the serial ingest path against the pipeline.
+type ingestReport struct {
+	Experiment string       `json:"experiment"`
+	Config     ingestConfig `json:"config"`
+	LatencyMS  float64      `json:"latency_ms"`
+	Serial     ingestRun    `json:"serial"`
+	Pipelined  ingestRun    `json:"pipelined"`
+	Speedup    float64      `json:"speedup"`
+}
+
+func (r *ingestReport) print(w *os.File) {
+	fmt.Fprintf(w, "== ingest: prototype backup path, %d nodes, %d MB, %.2fms server latency\n",
+		r.Config.Nodes, r.Config.DataMB, r.LatencyMS)
+	fmt.Fprintf(w, "  %-10s %8s %8s %12s %10s %8s\n", "mode", "workers", "inflight", "MB/s", "msgs", "dedup")
+	for _, run := range []ingestRun{r.Serial, r.Pipelined} {
+		fmt.Fprintf(w, "  %-10s %8d %8d %12.1f %10d %8.2f\n",
+			run.Mode, run.Workers, run.Inflight, run.ThroughputMBps, run.Msgs, run.DedupRatio)
+	}
+	fmt.Fprintf(w, "  speedup: %.2fx\n\n", r.Speedup)
+}
+
+// runIngest backs the same synthetic dataset up twice against fresh
+// loopback clusters: once with the serial client (1 fingerprint worker, 1
+// super-chunk in flight — the pre-pipeline behavior) and once with the
+// concurrent pipeline, and reports both throughputs.
+func runIngest(cfg ingestConfig) (*ingestReport, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.DataMB <= 0 {
+		cfg.DataMB = 32
+	}
+	if cfg.Inflight <= 0 {
+		cfg.Inflight = client.DefaultInflightSuperChunks
+	}
+	// Four files of fresh pseudo-random content: unique data, so every
+	// chunk payload crosses the wire — the heaviest ingest path.
+	const files = 4
+	rng := rand.New(rand.NewSource(7))
+	contents := make([][]byte, files)
+	for i := range contents {
+		contents[i] = make([]byte, cfg.DataMB<<20/files)
+		rng.Read(contents[i])
+	}
+
+	serial, err := measureIngest(cfg, contents, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	serial.Mode = "serial"
+	pipelined, err := measureIngest(cfg, contents, cfg.Workers, cfg.Inflight)
+	if err != nil {
+		return nil, err
+	}
+	pipelined.Mode = "pipelined"
+
+	rep := &ingestReport{
+		Experiment: "ingest",
+		Config:     cfg,
+		LatencyMS:  float64(cfg.Latency) / float64(time.Millisecond),
+		Serial:     *serial,
+		Pipelined:  *pipelined,
+	}
+	if serial.ThroughputMBps > 0 {
+		rep.Speedup = pipelined.ThroughputMBps / serial.ThroughputMBps
+	}
+	return rep, nil
+}
+
+func measureIngest(cfg ingestConfig, contents [][]byte, workers, inflight int) (*ingestRun, error) {
+	servers := make([]*rpc.Server, cfg.Nodes)
+	addrs := make([]string, cfg.Nodes)
+	defer func() {
+		for _, s := range servers {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}()
+	for i := range servers {
+		nd, err := node.New(node.Config{ID: i, KeepPayloads: true})
+		if err != nil {
+			return nil, err
+		}
+		var opts []rpc.ServerOption
+		if cfg.Latency > 0 {
+			opts = append(opts, rpc.WithHandlerDelay(cfg.Latency))
+		}
+		srv, err := rpc.NewServer(nd, "127.0.0.1:0", opts...)
+		if err != nil {
+			return nil, err
+		}
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+	}
+	dir := director.New()
+	c, err := client.New(client.Config{
+		Name:                "bench",
+		SuperChunkSize:      256 << 10,
+		Pipeline:            pipeline.Config{Workers: workers},
+		InflightSuperChunks: inflight,
+	}, dir, addrs)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	start := time.Now()
+	var logical int64
+	for i, content := range contents {
+		logical += int64(len(content))
+		if err := c.BackupFile(fmt.Sprintf("/bench/file%d", i), bytes.NewReader(content)); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	var nodeLogical, nodePhysical int64
+	for _, s := range servers {
+		st := s.Node().Stats()
+		nodeLogical += st.LogicalBytes
+		nodePhysical += st.PhysicalBytes
+	}
+	run := &ingestRun{
+		Workers:         c.Config().Pipeline.Workers,
+		Inflight:        c.Config().InflightSuperChunks,
+		Seconds:         elapsed.Seconds(),
+		ThroughputMBps:  float64(logical) / (1 << 20) / elapsed.Seconds(),
+		Msgs:            c.RPCMessages(),
+		BandwidthSaving: c.Stats().BandwidthSaving(),
+	}
+	if nodePhysical > 0 {
+		run.DedupRatio = float64(nodeLogical) / float64(nodePhysical)
+	}
+	return run, nil
 }

@@ -1,0 +1,3 @@
+module sigmadedupe
+
+go 1.24

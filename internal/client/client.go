@@ -5,18 +5,32 @@
 //
 // The client speaks the internal/rpc protocol to a cluster of
 // deduplication servers and records file recipes with the director.
+//
+// As in the paper, every backup stream owns a concurrent pipeline:
+// chunks are fingerprinted by a worker pool while the stream is still
+// being read, per-super-chunk routing bids fan out to all candidate
+// nodes at once, and a bounded window of super-chunks is routed, queried
+// and stored concurrently so fingerprinting of super-chunk n+1 overlaps
+// the network transfer of n. Restore symmetrically prefetches chunks
+// with a bounded worker pool while writing them back in stream order.
 package client
 
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"sigmadedupe/internal/chunker"
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/director"
 	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/pipeline"
 	"sigmadedupe/internal/rpc"
 )
+
+// DefaultInflightSuperChunks is the default window of Store RPCs kept in
+// flight per backup stream.
+const DefaultInflightSuperChunks = 4
 
 // Config parameterizes a backup client.
 type Config struct {
@@ -33,6 +47,19 @@ type Config struct {
 	HandprintK int
 	// Algorithm selects the fingerprint hash (default SHA-1).
 	Algorithm fingerprint.Algorithm
+	// Pipeline carries the ingest concurrency knobs: Pipeline.Workers
+	// sizes the fingerprint worker pool (default GOMAXPROCS).
+	Pipeline pipeline.Config
+	// InflightSuperChunks bounds how many super-chunks may be in the
+	// route/query/store stage concurrently (default
+	// DefaultInflightSuperChunks; 1 restores the fully serial
+	// route-and-transfer path).
+	InflightSuperChunks int
+
+	// workersDefaulted records whether Pipeline.Workers was left zero by
+	// the caller: a defaulted pool may be widened for network-bound
+	// stages (restore prefetch), an explicit setting is authoritative.
+	workersDefaulted bool
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +80,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Algorithm == 0 {
 		c.Algorithm = fingerprint.SHA1
+	}
+	c.workersDefaulted = c.Pipeline.Workers <= 0
+	c.Pipeline = c.Pipeline.WithDefaults()
+	if c.InflightSuperChunks <= 0 {
+		c.InflightSuperChunks = DefaultInflightSuperChunks
 	}
 	return c
 }
@@ -86,7 +118,7 @@ type pendingFile struct {
 
 // Client is a connected backup client. Not safe for concurrent use; run
 // one Client per backup stream (the paper's design gives every stream its
-// own pipeline).
+// own pipeline — a Client *is* that pipeline).
 type Client struct {
 	cfg     Config
 	conns   []*rpc.Client
@@ -95,6 +127,31 @@ type Client struct {
 	part    *core.Partitioner
 	pending []*pendingFile
 	stats   Stats
+	// err marks the session permanently failed. A dropped super-chunk
+	// leaves recipe attribution unrecoverable (a later file's chunks
+	// would silently fill the failed file's recipe), so after any backup
+	// error the session refuses further writes instead of corrupting
+	// recipes. Open a new Client to retry.
+	err error
+	// routes is the session-long bounded window of super-chunks in the
+	// route/query/store stage. It is shared across BackupFile calls so
+	// transfer of one file's tail overlaps fingerprinting of the next
+	// file's head.
+	routes *pipeline.Window
+	// order holds, in super-chunk stream order, the 1-slot result channel
+	// of every routed-but-not-yet-applied super-chunk. Results are applied
+	// (stats + recipe attribution) strictly in this order, only on the
+	// goroutine driving the backup, so no client state needs locking.
+	order []chan routeResult
+}
+
+// routeResult is the outcome of the concurrent route/query/store stage
+// for one super-chunk.
+type routeResult struct {
+	sc     *core.SuperChunk
+	target int
+	dup    []bool
+	err    error
 }
 
 // New connects to the given deduplication server addresses and opens a
@@ -125,14 +182,34 @@ func New(cfg Config, dir director.Metadata, nodeAddrs []string) (*Client, error)
 		dir:     dir,
 		session: dir.BeginSession(cfg.Name),
 		part:    part,
+		routes:  pipeline.NewWindow(cfg.InflightSuperChunks),
 	}, nil
 }
 
 // Session returns the director session ID of this backup run.
 func (c *Client) Session() uint64 { return c.session }
 
-// BackupFile chunks, fingerprints, routes and dedup-transfers one file.
+// Config returns the client's effective configuration (defaults filled).
+func (c *Client) Config() Config { return c.cfg }
+
+// BackupFile chunks, fingerprints, routes and dedup-transfers one file
+// through the concurrent ingest pipeline: a producer goroutine reads and
+// chunks the stream, a worker pool fingerprints chunks in parallel, the
+// calling goroutine partitions the ordered fingerprint stream into
+// super-chunks, and up to InflightSuperChunks super-chunks at a time go
+// through the route/query/store stage concurrently.
+//
+// BackupFile may return while the file's tail super-chunks are still in
+// flight; Flush (or any later call) surfaces their errors.
+//
+// Errors are sticky: after any backup error the session is failed and
+// every further BackupFile/Flush returns the first error. (Recipe
+// attribution is positional, so continuing past a dropped super-chunk
+// would corrupt later recipes.)
 func (c *Client) BackupFile(path string, r io.Reader) error {
+	if c.err != nil {
+		return c.err
+	}
 	ck, err := chunker.New(c.cfg.ChunkMethod, r, c.cfg.ChunkSize)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
@@ -140,58 +217,231 @@ func (c *Client) BackupFile(path string, r io.Reader) error {
 	pf := &pendingFile{path: path}
 	c.pending = append(c.pending, pf)
 	c.stats.Files++
-	for {
-		chunk, err := ck.Next()
-		if err == io.EOF {
+
+	// consume feeds one fingerprinted chunk to the partitioner, on the
+	// calling goroutine: super-chunk boundaries and recipe attribution
+	// depend on stream order. Routing itself is handed to the bounded
+	// in-flight window.
+	consume := func(ref core.ChunkRef) error {
+		pf.want++
+		c.stats.LogicalBytes += int64(ref.Size)
+		if sc := c.part.AddRef(ref); sc != nil {
+			return c.enqueueSuperChunk(sc)
+		}
+		return nil
+	}
+	fpRef := func(ch chunker.Chunk) core.ChunkRef {
+		return core.ChunkRef{FP: c.cfg.Algorithm.Sum(ch.Data), Size: ch.Len(), Data: ch.Data}
+	}
+
+	// A fully serial configuration (1 worker, 1 in-flight super-chunk)
+	// runs the direct pre-pipeline loop: no goroutines, no channels. This
+	// is both the honest benchmark baseline and the cheapest path when
+	// concurrency is deliberately disabled.
+	if c.cfg.Pipeline.Workers == 1 && c.cfg.InflightSuperChunks <= 1 {
+		for {
+			chunk, err := ck.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return c.fail(fmt.Errorf("client: chunk %s: %w", path, err))
+			}
+			if err := consume(fpRef(chunk)); err != nil {
+				return c.fail(err)
+			}
+		}
+		pf.done = true
+		return c.fail(c.finalizeRecipes())
+	}
+
+	// Peek ahead so empty and single-chunk files — the bulk of a typical
+	// backup tree — skip pipeline setup entirely.
+	first, errFirst := ck.Next()
+	switch {
+	case errFirst == io.EOF:
+		// Empty file: nothing to route; an empty recipe is registered.
+	case errFirst != nil:
+		return c.fail(fmt.Errorf("client: chunk %s: %w", path, errFirst))
+	default:
+		second, errSecond := ck.Next()
+		if errSecond == io.EOF {
+			if err := consume(fpRef(first)); err != nil {
+				return c.fail(err)
+			}
 			break
 		}
-		if err != nil {
-			return fmt.Errorf("client: chunk %s: %w", path, err)
+		if errSecond != nil {
+			return c.fail(fmt.Errorf("client: chunk %s: %w", path, errSecond))
 		}
-		pf.want++
-		c.stats.LogicalBytes += int64(chunk.Len())
-		if sc := c.part.Add(chunk); sc != nil {
-			if err := c.routeAndSend(sc); err != nil {
-				return err
+		g := pipeline.NewGroup()
+		raw := pipeline.Produce(g, c.cfg.Pipeline.Depth, func(yield func(chunker.Chunk) bool) error {
+			if !yield(first) || !yield(second) {
+				return nil
 			}
+			for {
+				chunk, err := ck.Next()
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return fmt.Errorf("client: chunk %s: %w", path, err)
+				}
+				if !yield(chunk) {
+					return nil
+				}
+			}
+		})
+		refs := pipeline.Map(g, raw, c.cfg.Pipeline.Workers, c.cfg.Pipeline.Depth,
+			func(ch chunker.Chunk) (core.ChunkRef, error) { return fpRef(ch), nil })
+		for ref := range refs {
+			if err := consume(ref); err != nil {
+				g.Fail(err)
+				break
+			}
+		}
+		if err := g.Wait(); err != nil {
+			return c.fail(err)
 		}
 	}
 	pf.done = true
-	return c.finalizeRecipes()
+	// Apply whatever routing has already completed, but do not wait for
+	// the file's tail: its transfer overlaps the next file's pipeline, and
+	// Flush settles everything.
+	if err := c.applyCompleted(len(c.order)); err != nil {
+		return c.fail(err)
+	}
+	return c.fail(c.finalizeRecipes())
 }
 
-// Flush routes the final partial super-chunk, completes recipes, seals
-// remote containers and ends the session.
-func (c *Client) Flush() error {
-	if sc := c.part.Flush(); sc != nil {
-		if err := c.routeAndSend(sc); err != nil {
+// fail records err as the session's sticky failure (first error wins)
+// and returns it.
+func (c *Client) fail(err error) error {
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+	return err
+}
+
+// enqueueSuperChunk hands one super-chunk to the route/query/store stage.
+// With InflightSuperChunks <= 1 the stage runs inline (the serial path);
+// otherwise up to InflightSuperChunks super-chunks are in flight at once
+// and results are applied in stream order as they complete.
+func (c *Client) enqueueSuperChunk(sc *core.SuperChunk) error {
+	if c.cfg.InflightSuperChunks <= 1 {
+		return c.apply(c.routeSuperChunk(sc))
+	}
+	// Bound the queue of completed-but-unapplied results (each pins its
+	// super-chunk payloads in memory) to twice the in-flight window.
+	if err := c.applyCompleted(2*c.cfg.InflightSuperChunks - 1); err != nil {
+		return err
+	}
+	slot := make(chan routeResult, 1)
+	err := c.routes.Submit(func() error {
+		res := c.routeSuperChunk(sc)
+		slot <- res
+		return res.err
+	})
+	if err != nil {
+		// Submit refused (sticky prior error): the callback never runs, so
+		// the slot must not be queued — a queued-but-never-filled slot
+		// would deadlock a later applyCompleted.
+		return err
+	}
+	c.order = append(c.order, slot)
+	return nil
+}
+
+// applyCompleted applies queued route results in stream order: it blocks
+// until at most max remain queued, then keeps applying whatever has
+// already completed without blocking.
+func (c *Client) applyCompleted(max int) error {
+	for len(c.order) > max {
+		res := <-c.order[0]
+		c.order = c.order[1:]
+		if err := c.apply(res); err != nil {
 			return err
 		}
 	}
+	for len(c.order) > 0 {
+		select {
+		case res := <-c.order[0]:
+			c.order = c.order[1:]
+			if err := c.apply(res); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Flush routes the final partial super-chunk, drains in-flight
+// transfers, completes recipes, seals remote containers and ends the
+// session.
+func (c *Client) Flush() error {
+	if c.err != nil {
+		return c.err
+	}
+	if sc := c.part.Flush(); sc != nil {
+		if err := c.enqueueSuperChunk(sc); err != nil {
+			return c.fail(err)
+		}
+	}
+	if err := c.applyCompleted(0); err != nil {
+		return c.fail(err)
+	}
+	if err := c.routes.Wait(); err != nil {
+		return c.fail(err)
+	}
 	if err := c.finalizeRecipes(); err != nil {
-		return err
+		return c.fail(err)
 	}
 	for _, conn := range c.conns {
 		if err := conn.Flush(); err != nil {
-			return err
+			return c.fail(err)
 		}
 	}
-	return c.dir.EndSession(c.session)
+	return c.fail(c.dir.EndSession(c.session))
 }
 
 // Close releases connections. Call Flush first to complete the backup.
+// Connections close before in-flight routes are drained, so a wedged
+// server cannot hang Close: closing the transport fails the pending
+// calls, and the route goroutines exit promptly.
 func (c *Client) Close() {
 	for _, conn := range c.conns {
 		conn.Close()
 	}
+	c.routes.Wait()
 }
 
-// Stats returns the client-side counters.
+// Stats returns the client-side counters. Counters are attributed when a
+// super-chunk is routed, so after Flush they cover the whole session.
 func (c *Client) Stats() Stats { return c.stats }
 
-// routeAndSend implements Algorithm 1 plus the source-dedup transfer for
-// one super-chunk.
-func (c *Client) routeAndSend(sc *core.SuperChunk) error {
+// RPCMessages returns the total RPC requests this client has issued
+// across all node connections — bids, queries, stores and reads, plus
+// the per-node flush/stats control calls.
+func (c *Client) RPCMessages() int64 {
+	var n int64
+	for _, conn := range c.conns {
+		n += conn.Calls()
+	}
+	return n
+}
+
+// routeSuperChunk implements Algorithm 1 plus the source-dedup transfer
+// for one super-chunk: bids fan out to every candidate node concurrently
+// (the rpc transport multiplexes requests by ID), the batched duplicate
+// query runs against the winner, and the unique payloads are stored
+// there. Safe to run concurrently for several super-chunks: it touches
+// only the connections, never client state. A query that races the
+// in-flight store of a neighboring super-chunk can miss a brand-new
+// duplicate — that costs bandwidth (the server re-checks on arrival),
+// never correctness.
+func (c *Client) routeSuperChunk(sc *core.SuperChunk) routeResult {
 	hp := sc.Handprint(c.cfg.HandprintK)
 	cands := hp.CandidateNodes(len(c.conns))
 	if len(cands) == 0 {
@@ -199,12 +449,28 @@ func (c *Client) routeAndSend(sc *core.SuperChunk) error {
 	}
 	counts := make([]int, len(cands))
 	usage := make([]int64, len(cands))
-	for i, cand := range cands {
-		count, use, err := c.conns[cand].Bid(hp)
-		if err != nil {
-			return fmt.Errorf("client: bid node %d: %w", cand, err)
+	errs := make([]error, len(cands))
+	if c.cfg.InflightSuperChunks <= 1 {
+		// Fully serial path: one bid round trip after another, the
+		// pre-pipeline behavior (and the benchmark baseline).
+		for i, cand := range cands {
+			counts[i], usage[i], errs[i] = c.conns[cand].Bid(hp)
 		}
-		counts[i], usage[i] = count, use
+	} else {
+		var wg sync.WaitGroup
+		for i, cand := range cands {
+			wg.Add(1)
+			go func(i, cand int) {
+				defer wg.Done()
+				counts[i], usage[i], errs[i] = c.conns[cand].Bid(hp)
+			}(i, cand)
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return routeResult{err: fmt.Errorf("client: bid node %d: %w", cands[i], err)}
+		}
 	}
 	target := core.SelectTarget(cands, counts, usage).Node
 
@@ -212,27 +478,41 @@ func (c *Client) routeAndSend(sc *core.SuperChunk) error {
 	// their payloads never cross the network.
 	dup, err := c.conns[target].Query(sc)
 	if err != nil {
-		return fmt.Errorf("client: query node %d: %w", target, err)
+		return routeResult{err: fmt.Errorf("client: query node %d: %w", target, err)}
 	}
 	send := &core.SuperChunk{FileID: sc.FileID, FileMinFP: sc.FileMinFP}
 	for i, ch := range sc.Chunks {
 		ref := core.ChunkRef{FP: ch.FP, Size: ch.Size}
-		if i < len(dup) && dup[i] {
-			c.stats.DupChunks++
-		} else {
+		if i >= len(dup) || !dup[i] {
 			ref.Data = ch.Data
-			c.stats.UniqueChunks++
-			c.stats.TransferredBytes += int64(ch.Size)
 		}
 		send.Chunks = append(send.Chunks, ref)
 	}
 	if err := c.conns[target].Store(c.cfg.Name, send, true); err != nil {
-		return fmt.Errorf("client: store node %d: %w", target, err)
+		return routeResult{err: fmt.Errorf("client: store node %d: %w", target, err)}
+	}
+	return routeResult{sc: sc, target: target, dup: dup}
+}
+
+// apply folds one route result into client state — session counters and
+// recipe attribution — in super-chunk stream order, on the goroutine
+// driving the backup.
+func (c *Client) apply(res routeResult) error {
+	if res.err != nil {
+		return res.err
+	}
+	for i, ch := range res.sc.Chunks {
+		if i < len(res.dup) && res.dup[i] {
+			c.stats.DupChunks++
+		} else {
+			c.stats.UniqueChunks++
+			c.stats.TransferredBytes += int64(ch.Size)
+		}
 	}
 	c.stats.SuperChunks++
 
 	// Attribute the routed chunks to pending file recipes in order.
-	for _, ch := range sc.Chunks {
+	for _, ch := range res.sc.Chunks {
 		pf := c.nextPending()
 		if pf == nil {
 			break
@@ -240,7 +520,7 @@ func (c *Client) routeAndSend(sc *core.SuperChunk) error {
 		pf.entries = append(pf.entries, director.ChunkEntry{
 			FP:   ch.FP,
 			Size: int32(ch.Size),
-			Node: int32(target),
+			Node: int32(res.target),
 		})
 	}
 	return nil
@@ -272,24 +552,62 @@ func (c *Client) finalizeRecipes() error {
 	return nil
 }
 
-// Restore streams a backed-up file to w by fetching every chunk from the
-// node recorded in its recipe.
+// restoreWorkers sizes the restore prefetch pool. A defaulted pool is
+// widened to keep every node connection busy even when the CPU count is
+// small (restore is network-bound, not compute-bound); an explicitly
+// configured Workers value is honored as-is, so concurrency can be
+// bounded all the way down to a serial restore.
+func (c *Client) restoreWorkers() int {
+	w := c.cfg.Pipeline.Workers
+	if !c.cfg.workersDefaulted {
+		return w
+	}
+	if n := 2 * len(c.conns); w < n {
+		w = n
+	}
+	if w < 4 {
+		w = 4
+	}
+	return w
+}
+
+// Restore streams a backed-up file to w, prefetching chunks from the
+// nodes recorded in its recipe with a bounded worker pool while writing
+// strictly in stream order.
 func (c *Client) Restore(path string, w io.Writer) error {
 	recipe, err := c.dir.GetRecipe(path)
 	if err != nil {
 		return err
 	}
-	for i, entry := range recipe.Chunks {
-		if int(entry.Node) >= len(c.conns) {
-			return fmt.Errorf("client: restore %s: node %d out of range", path, entry.Node)
+	type job struct {
+		idx   int
+		entry director.ChunkEntry
+	}
+	g := pipeline.NewGroup()
+	workers := c.restoreWorkers()
+	entries := pipeline.Produce(g, workers, func(yield func(job) bool) error {
+		for i, entry := range recipe.Chunks {
+			if !yield(job{idx: i, entry: entry}) {
+				return nil
+			}
 		}
-		data, err := c.conns[entry.Node].ReadChunk(entry.FP)
+		return nil
+	})
+	datas := pipeline.Map(g, entries, workers, 2*workers, func(j job) ([]byte, error) {
+		if j.entry.Node < 0 || int(j.entry.Node) >= len(c.conns) {
+			return nil, fmt.Errorf("client: restore %s: node %d out of range", path, j.entry.Node)
+		}
+		data, err := c.conns[j.entry.Node].ReadChunk(j.entry.FP)
 		if err != nil {
-			return fmt.Errorf("client: restore %s chunk %d: %w", path, i, err)
+			return nil, fmt.Errorf("client: restore %s chunk %d: %w", path, j.idx, err)
 		}
+		return data, nil
+	})
+	for data := range datas {
 		if _, err := w.Write(data); err != nil {
-			return fmt.Errorf("client: restore %s: %w", path, err)
+			g.Fail(fmt.Errorf("client: restore %s: %w", path, err))
+			break
 		}
 	}
-	return nil
+	return g.Wait()
 }

@@ -192,6 +192,47 @@ func TestBackupEmptyFile(t *testing.T) {
 	}
 }
 
+// TestSessionFailsStickyAfterError: once a backup error occurs (here,
+// the only node dies mid-session), the session must refuse further
+// writes — recipe attribution is positional, so continuing would
+// misattribute the next file's chunks — and Close must return promptly
+// even with routes in flight against a dead connection.
+func TestSessionFailsStickyAfterError(t *testing.T) {
+	nd, err := node.New(node.Config{ID: 0, KeepPayloads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := rpc.NewServer(nd, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := director.New()
+	c, err := New(Config{Name: "t", SuperChunkSize: 16 << 10}, dir, []string{srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.BackupFile("/ok", bytes.NewReader(randBytes(9, 64<<10))); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// The failure may surface on the next backup or the one after (tail
+	// super-chunks of the previous call are settled lazily).
+	var backupErr error
+	for i := 0; i < 3 && backupErr == nil; i++ {
+		backupErr = c.BackupFile(fmt.Sprintf("/dead%d", i), bytes.NewReader(randBytes(int64(20+i), 64<<10)))
+	}
+	if backupErr == nil {
+		t.Fatal("backup against a dead node never failed")
+	}
+	if err := c.BackupFile("/after", bytes.NewReader(randBytes(30, 1<<10))); err == nil {
+		t.Fatal("session must stay failed after an error")
+	}
+	if err := c.Flush(); err == nil {
+		t.Fatal("flush of a failed session must fail")
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{}, director.New(), nil); err == nil {
 		t.Fatal("no node addresses should error")

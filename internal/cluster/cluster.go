@@ -11,16 +11,25 @@
 // fingerprint sent per contacted node, split into pre-routing messages
 // (the routing decision) and after-routing messages (the batched
 // fingerprint query at the target).
+//
+// The simulator is concurrent along the same axes as the prototype: each
+// backup stream owns a Stream with its own super-chunk partitioner and
+// its own stats shard, node stores are serialized by per-node locks (not
+// one global mutex), and BackupItems replays many trace streams in
+// parallel. The single-stream BackupItem path is unchanged and
+// deterministic.
 package cluster
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/metrics"
 	"sigmadedupe/internal/node"
+	"sigmadedupe/internal/pipeline"
 	"sigmadedupe/internal/router"
 )
 
@@ -43,6 +52,11 @@ type Config struct {
 	FixedBoundaries bool
 	// IgnoreUsage disables Sigma routing's load discount (ablation).
 	IgnoreUsage bool
+	// ParallelBids fans each routing decision's per-candidate bids out to
+	// goroutines (Sigma and Stateful schemes). Off by default: in-process
+	// bids are memory lookups, so the fan-out only pays off when many
+	// streams contend for cores or bids become genuinely remote.
+	ParallelBids bool
 	// Node is the per-node configuration template; ID is overridden.
 	Node node.Config
 }
@@ -78,15 +92,32 @@ type Stats struct {
 // TotalMsgs returns the Fig. 7 metric: all fingerprint-lookup messages.
 func (s Stats) TotalMsgs() int64 { return s.PreRoutingMsgs + s.AfterRoutingMsgs }
 
+// shard is one stream's private stats slice. Each field is written only
+// by the owning stream's goroutine and read by Stats aggregation, so
+// plain atomics suffice — no lock is shared between streams.
+type shard struct {
+	logicalBytes     atomic.Int64
+	superChunks      atomic.Int64
+	files            atomic.Int64
+	preRoutingMsgs   atomic.Int64
+	afterRoutingMsgs atomic.Int64
+}
+
 // Cluster is a simulated deduplication cluster.
 type Cluster struct {
 	cfg   Config
 	nodes []*node.Node
 	rt    router.Router
 
-	mu    sync.Mutex
-	part  *core.Partitioner
-	stats Stats
+	shardMu sync.Mutex
+	shards  []*shard
+	// base accumulates the counters of retired streams, so a long-lived
+	// cluster replaying many stream batches does not grow shards without
+	// bound.
+	base Stats
+
+	// def is the default stream backing the single-stream BackupItem API.
+	def *Stream
 }
 
 var _ router.View = (*Cluster)(nil)
@@ -98,8 +129,12 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	if sg, ok := rt.(*router.SigmaRouter); ok && cfg.IgnoreUsage {
-		sg.IgnoreUsage = true
+	switch r := rt.(type) {
+	case *router.SigmaRouter:
+		r.IgnoreUsage = cfg.IgnoreUsage
+		r.Parallel = cfg.ParallelBids
+	case *router.StatefulRouter:
+		r.Parallel = cfg.ParallelBids
 	}
 	nodes := make([]*node.Node, cfg.N)
 	for i := range nodes {
@@ -112,15 +147,35 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		nodes[i] = n
 	}
-	var popts []core.PartitionerOption
-	if cfg.FixedBoundaries {
-		popts = append(popts, core.WithFixedBoundaries())
-	}
-	part, err := core.NewPartitioner(cfg.SuperChunkSize, fingerprint.SHA1, cfg.Node.KeepPayloads, popts...)
+	c := &Cluster{cfg: cfg, nodes: nodes, rt: rt}
+	// The default stream keeps the seed's container naming ("client0") so
+	// single-stream results are bit-identical to the serial simulator.
+	def, err := c.Stream("client0")
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{cfg: cfg, nodes: nodes, rt: rt, part: part}, nil
+	c.def = def
+	return c, nil
+}
+
+// Stream opens a named backup stream: its own super-chunk partitioner,
+// its own open containers on every node, and its own stats shard. A
+// Stream is single-goroutine (one backup stream = one pipeline), but
+// distinct Streams may run concurrently.
+func (c *Cluster) Stream(name string) (*Stream, error) {
+	var popts []core.PartitionerOption
+	if c.cfg.FixedBoundaries {
+		popts = append(popts, core.WithFixedBoundaries())
+	}
+	part, err := core.NewPartitioner(c.cfg.SuperChunkSize, fingerprint.SHA1, c.cfg.Node.KeepPayloads, popts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{c: c, name: name, part: part, ctr: &shard{}}
+	c.shardMu.Lock()
+	c.shards = append(c.shards, s.ctr)
+	c.shardMu.Unlock()
+	return s, nil
 }
 
 // N implements router.View.
@@ -143,14 +198,95 @@ func (c *Cluster) Usage(nodeID int) int64 { return c.nodes[nodeID].StorageUsage(
 func (c *Cluster) Scheme() string { return c.rt.Name() }
 
 // BackupItem feeds one backup item (a file, or an anonymous trace segment
-// with fileID 0) into the cluster pipeline. Chunk references must already
-// be fingerprinted (trace-driven mode) — use workload.Corpus.ChunkRefs.
+// with fileID 0) into the cluster's default stream. Chunk references must
+// already be fingerprinted (trace-driven mode) — use
+// workload.Corpus.ChunkRefs. Not safe for concurrent use; concurrent
+// replay goes through per-stream handles (Stream) or BackupItems.
 func (c *Cluster) BackupItem(fileID uint64, refs []core.ChunkRef) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.Files++
+	return c.def.BackupItem(fileID, refs)
+}
 
-	fileScoped := c.cfg.Scheme == router.ExtremeBinning && fileID != 0
+// Item is one backup item of a trace stream: an optional file identity
+// plus its fingerprinted chunk references.
+type Item struct {
+	FileID uint64
+	Refs   []core.ChunkRef
+}
+
+// BackupItems replays multiple named backup streams concurrently, one
+// goroutine per stream, each with its own partitioner, stats shard and
+// open containers. Partial super-chunks are routed when a stream ends;
+// call Flush afterwards to seal node containers. The first stream error
+// cancels the replay.
+func (c *Cluster) BackupItems(streams map[string][]Item) error {
+	g := pipeline.NewGroup()
+	for name, items := range streams {
+		s, err := c.Stream(name)
+		if err != nil {
+			return err
+		}
+		items := items
+		g.Go(func() error {
+			// The goroutine is the shard's only writer, so folding it into
+			// the base totals on the way out is safe.
+			defer s.Close()
+			for _, it := range items {
+				select {
+				case <-g.Done():
+					return nil
+				default:
+				}
+				if err := s.BackupItem(it.FileID, it.Refs); err != nil {
+					return err
+				}
+			}
+			return s.Flush()
+		})
+	}
+	return g.Wait()
+}
+
+// Flush routes the default stream's partial super-chunk and seals all
+// node containers. Call at the end of a backup session, after every
+// explicitly opened Stream has been flushed.
+func (c *Cluster) Flush() error {
+	if err := c.def.Flush(); err != nil {
+		return err
+	}
+	for _, n := range c.nodes {
+		if err := n.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stream is one backup stream of the simulator. Methods must not be
+// called concurrently on the same Stream; run one goroutine per Stream.
+// Call Close when the stream is finished so its stats shard folds into
+// the cluster totals.
+type Stream struct {
+	c    *Cluster
+	name string
+	part *core.Partitioner
+	ctr  *shard
+	// retired guards against double-folding; protected by c.shardMu.
+	retired bool
+}
+
+// Close retires the stream: its counters fold into the cluster's base
+// totals and its shard is released. The stream must not be used again.
+// Safe to call more than once.
+func (s *Stream) Close() { s.c.retire(s) }
+
+// Name returns the stream name (container attribution on nodes).
+func (s *Stream) Name() string { return s.name }
+
+// BackupItem feeds one backup item into this stream's pipeline.
+func (s *Stream) BackupItem(fileID uint64, refs []core.ChunkRef) error {
+	s.ctr.files.Add(1)
+
+	fileScoped := s.c.cfg.Scheme == router.ExtremeBinning && fileID != 0
 	var fileMin fingerprint.Fingerprint
 	if fileScoped {
 		// Extreme Binning routes whole files by the file's minimum chunk
@@ -161,20 +297,20 @@ func (c *Cluster) BackupItem(fileID uint64, refs []core.ChunkRef) error {
 			}
 		}
 	}
-	c.part.SetFileID(fileID)
+	s.part.SetFileID(fileID)
 	for _, r := range refs {
-		c.stats.LogicalBytes += int64(r.Size)
-		if sc := c.part.AddRef(r); sc != nil {
+		s.ctr.logicalBytes.Add(int64(r.Size))
+		if sc := s.part.AddRef(r); sc != nil {
 			sc.FileMinFP = fileMin
-			if err := c.routeAndStoreLocked(sc); err != nil {
+			if err := s.routeAndStore(sc); err != nil {
 				return err
 			}
 		}
 	}
 	if fileScoped {
-		if sc := c.part.Flush(); sc != nil {
+		if sc := s.part.Flush(); sc != nil {
 			sc.FileMinFP = fileMin
-			if err := c.routeAndStoreLocked(sc); err != nil {
+			if err := s.routeAndStore(sc); err != nil {
 				return err
 			}
 		}
@@ -182,28 +318,22 @@ func (c *Cluster) BackupItem(fileID uint64, refs []core.ChunkRef) error {
 	return nil
 }
 
-// Flush routes any partial super-chunk and seals all node containers.
-// Call at the end of a backup session.
-func (c *Cluster) Flush() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if sc := c.part.Flush(); sc != nil {
-		if err := c.routeAndStoreLocked(sc); err != nil {
-			return err
-		}
-	}
-	for _, n := range c.nodes {
-		if err := n.Flush(); err != nil {
+// Flush routes the stream's final partial super-chunk. It does not seal
+// node containers; Cluster.Flush does that once per session.
+func (s *Stream) Flush() error {
+	if sc := s.part.Flush(); sc != nil {
+		if err := s.routeAndStore(sc); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (c *Cluster) routeAndStoreLocked(sc *core.SuperChunk) error {
+func (s *Stream) routeAndStore(sc *core.SuperChunk) error {
+	c := s.c
 	d := c.rt.Route(sc, c)
-	c.stats.SuperChunks++
-	c.stats.PreRoutingMsgs += d.PreRoutingMsgs
+	s.ctr.superChunks.Add(1)
+	s.ctr.preRoutingMsgs.Add(d.PreRoutingMsgs)
 	for _, a := range d.Assignments {
 		target := sc
 		nChunks := len(sc.Chunks)
@@ -216,14 +346,16 @@ func (c *Cluster) routeAndStoreLocked(sc *core.SuperChunk) error {
 			nChunks = len(sub.Chunks)
 		}
 		// After-routing: the batched fingerprint query carries one lookup
-		// per chunk to the target node.
-		c.stats.AfterRoutingMsgs += int64(nChunks)
+		// per chunk to the target node. Stores serialize per node (inside
+		// node.Node); different nodes store in parallel, and routing bids
+		// read node state lock-free.
+		s.ctr.afterRoutingMsgs.Add(int64(nChunks))
 		var err error
 		if c.cfg.Scheme == router.ExtremeBinning && !sc.FileMinFP.IsZero() {
 			// Extreme Binning dedups the file only against its bin.
-			_, err = c.nodes[a.Node].StoreFileInBin("client0", sc.FileMinFP, target)
+			_, err = c.nodes[a.Node].StoreFileInBin(s.name, sc.FileMinFP, target)
 		} else {
-			_, err = c.nodes[a.Node].StoreSuperChunk("client0", target)
+			_, err = c.nodes[a.Node].StoreSuperChunk(s.name, target)
 		}
 		if err != nil {
 			return err
@@ -232,11 +364,44 @@ func (c *Cluster) routeAndStoreLocked(sc *core.SuperChunk) error {
 	return nil
 }
 
-// Stats returns a snapshot of cluster counters.
+// retire folds a finished stream's shard into the base totals and drops
+// it from the live-shard list. Must only be called when no goroutine
+// will write the shard again.
+func (c *Cluster) retire(s *Stream) {
+	c.shardMu.Lock()
+	defer c.shardMu.Unlock()
+	if s.retired {
+		return
+	}
+	s.retired = true
+	c.base.LogicalBytes += s.ctr.logicalBytes.Load()
+	c.base.SuperChunks += s.ctr.superChunks.Load()
+	c.base.Files += s.ctr.files.Load()
+	c.base.PreRoutingMsgs += s.ctr.preRoutingMsgs.Load()
+	c.base.AfterRoutingMsgs += s.ctr.afterRoutingMsgs.Load()
+	for i, sh := range c.shards {
+		if sh == s.ctr {
+			c.shards = append(c.shards[:i], c.shards[i+1:]...)
+			break
+		}
+	}
+}
+
+// Stats returns a snapshot of cluster counters: the retired-stream base
+// plus all live stream shards. The whole sum runs under shardMu so a
+// concurrent retire cannot double-count a shard mid-snapshot.
 func (c *Cluster) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	c.shardMu.Lock()
+	defer c.shardMu.Unlock()
+	st := c.base
+	for _, sh := range c.shards {
+		st.LogicalBytes += sh.logicalBytes.Load()
+		st.SuperChunks += sh.superChunks.Load()
+		st.Files += sh.files.Load()
+		st.PreRoutingMsgs += sh.preRoutingMsgs.Load()
+		st.AfterRoutingMsgs += sh.afterRoutingMsgs.Load()
+	}
+	return st
 }
 
 // UsageVector returns per-node physical storage usage.

@@ -115,6 +115,13 @@ type Node struct {
 	cidx       *chunkindex.Index // nil when disabled
 	containers *container.Manager
 
+	// storeMu serializes the store path (StoreSuperChunk/StoreFileInBin):
+	// the lookup-then-append sequence is not atomic across the
+	// subcomponents' own locks, so two concurrent stores of the same new
+	// chunk would both miss the lookup and store it twice. Bids, queries
+	// and reads stay lock-free concurrent.
+	storeMu sync.Mutex
+
 	mu    sync.Mutex
 	stats Stats
 
@@ -220,6 +227,8 @@ func (n *Node) prefetch(cids []uint64) {
 // on the given stream. It performs the full paper pipeline and returns the
 // per-super-chunk outcome.
 func (n *Node) StoreSuperChunk(stream string, sc *core.SuperChunk) (StoreResult, error) {
+	n.storeMu.Lock()
+	defer n.storeMu.Unlock()
 	hp := sc.Handprint(n.cfg.HandprintSize)
 
 	// Step 1–2: similarity index lookup and container prefetch.
@@ -312,6 +321,8 @@ func (n *Node) lookupChunk(fp fingerprint.Fingerprint, local map[fingerprint.Fin
 // that approximation is EB's defining tradeoff and is what the paper's
 // Fig. 8 comparison measures.
 func (n *Node) StoreFileInBin(stream string, binKey fingerprint.Fingerprint, sc *core.SuperChunk) (StoreResult, error) {
+	n.storeMu.Lock()
+	defer n.storeMu.Unlock()
 	n.binsMu.Lock()
 	if n.bins == nil {
 		n.bins = make(map[fingerprint.Fingerprint]map[fingerprint.Fingerprint]struct{})

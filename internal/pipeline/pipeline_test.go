@@ -1,0 +1,222 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	g := NewGroup()
+	in := Produce(g, 8, func(yield func(int) bool) error {
+		for i := 0; i < 1000; i++ {
+			if !yield(i) {
+				return nil
+			}
+		}
+		return nil
+	})
+	rng := rand.New(rand.NewSource(1))
+	delays := make([]time.Duration, 1000)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(100)) * time.Microsecond
+	}
+	out := Map(g, in, 8, 16, func(i int) (int, error) {
+		time.Sleep(delays[i]) // scramble completion order
+		return i * 2, nil
+	})
+	next := 0
+	for v := range out {
+		if v != next*2 {
+			t.Fatalf("out of order: got %d at position %d", v, next)
+		}
+		next++
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if next != 1000 {
+		t.Fatalf("emitted %d results, want 1000", next)
+	}
+}
+
+func TestMapPropagatesFirstError(t *testing.T) {
+	g := NewGroup()
+	boom := errors.New("boom")
+	in := Produce(g, 4, func(yield func(int) bool) error {
+		for i := 0; ; i++ { // unbounded: only cancellation stops it
+			if !yield(i) {
+				return nil
+			}
+		}
+	})
+	out := Map(g, in, 4, 8, func(i int) (int, error) {
+		if i == 37 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	for range out {
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+}
+
+func TestMapConsumerAbandonViaFail(t *testing.T) {
+	// A consumer that stops reading mid-stream must be able to unblock the
+	// whole pipeline by failing the group.
+	g := NewGroup()
+	in := Produce(g, 2, func(yield func(int) bool) error {
+		for i := 0; ; i++ {
+			if !yield(i) {
+				return nil
+			}
+		}
+	})
+	out := Map(g, in, 2, 4, func(i int) (int, error) { return i, nil })
+	stop := errors.New("stop")
+	n := 0
+	for range out {
+		n++
+		if n == 10 {
+			g.Fail(stop)
+			break
+		}
+	}
+	if err := g.Wait(); !errors.Is(err, stop) {
+		t.Fatalf("Wait = %v, want stop", err)
+	}
+}
+
+func TestProducerErrorCancels(t *testing.T) {
+	g := NewGroup()
+	bad := errors.New("read error")
+	in := Produce(g, 2, func(yield func(int) bool) error {
+		yield(1)
+		return bad
+	})
+	out := Map(g, in, 2, 4, func(i int) (int, error) { return i, nil })
+	for range out {
+	}
+	if err := g.Wait(); !errors.Is(err, bad) {
+		t.Fatalf("Wait = %v, want read error", err)
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	g := NewGroup()
+	in := Produce(g, 64, func(yield func(int) bool) error {
+		for i := 0; i < 200; i++ {
+			if !yield(i) {
+				return nil
+			}
+		}
+		return nil
+	})
+	var cur, peak atomic.Int64
+	out := Map(g, in, 3, 6, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(50 * time.Microsecond)
+		cur.Add(-1)
+		return i, nil
+	})
+	for range out {
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds 3 workers", p)
+	}
+}
+
+func TestWindowLimitsInflight(t *testing.T) {
+	w := NewWindow(2)
+	var cur, peak atomic.Int64
+	for i := 0; i < 50; i++ {
+		err := w.Submit(func() error {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			cur.Add(-1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak in-flight %d exceeds window 2", p)
+	}
+}
+
+func TestWindowStickyError(t *testing.T) {
+	w := NewWindow(1)
+	boom := errors.New("store failed")
+	if err := w.Submit(func() error { return boom }); err != nil {
+		t.Fatalf("first submit failed early: %v", err)
+	}
+	// The failure surfaces on a later Submit or on Wait; later calls are
+	// refused.
+	var ran atomic.Bool
+	for i := 0; i < 10; i++ {
+		if err := w.Submit(func() error { ran.Store(true); return nil }); err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("submit error = %v, want sticky boom", err)
+			}
+			break
+		}
+	}
+	if err := w.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+	if err := w.Wait(); !errors.Is(err, boom) {
+		t.Fatal("error must stay sticky across Wait calls")
+	}
+	_ = ran.Load() // calls admitted before the failure was recorded may run
+}
+
+func TestGroupFirstErrorWins(t *testing.T) {
+	g := NewGroup()
+	first := errors.New("first")
+	g.Fail(first)
+	g.Fail(errors.New("second"))
+	g.Go(func() error { return fmt.Errorf("third") })
+	if err := g.Wait(); !errors.Is(err, first) {
+		t.Fatalf("Wait = %v, want first", err)
+	}
+	select {
+	case <-g.Done():
+	default:
+		t.Fatal("Done must be closed after Fail")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Workers < 1 || c.Depth < 2 {
+		t.Fatalf("bad defaults: %+v", c)
+	}
+	c = Config{Workers: 3}.WithDefaults()
+	if c.Workers != 3 || c.Depth != 6 {
+		t.Fatalf("bad derived depth: %+v", c)
+	}
+}

@@ -12,6 +12,7 @@ package router
 
 import (
 	"fmt"
+	"sync"
 
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/fingerprint"
@@ -139,6 +140,27 @@ func all(node int) Decision {
 	return Decision{Assignments: []Assignment{{Node: node}}}
 }
 
+// eachCandidate runs bid(i) for i in [0, n), fanning out to one goroutine
+// per candidate when parallel is set (each bid writes only its own slice
+// index, so no further synchronization is needed).
+func eachCandidate(parallel bool, n int, bid func(i int)) {
+	if !parallel || n <= 1 {
+		for i := 0; i < n; i++ {
+			bid(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			bid(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 // SigmaRouter is the paper's similarity-based stateful data routing
 // (Algorithm 1): candidates are the handprint fingerprints mod N; each
 // candidate bids its similarity-index match count; bids are discounted by
@@ -149,6 +171,10 @@ type SigmaRouter struct {
 	// IgnoreUsage disables the storage-usage discount of Algorithm 1
 	// step 3 (ablation: raw resemblance wins regardless of load).
 	IgnoreUsage bool
+	// Parallel issues the per-candidate bids concurrently instead of
+	// looping, mirroring the prototype client's bid fan-out. The decision
+	// and message accounting are unchanged; only wall-clock latency is.
+	Parallel bool
 }
 
 var _ Router = (*SigmaRouter)(nil)
@@ -165,14 +191,14 @@ func (r *SigmaRouter) Route(sc *core.SuperChunk, v View) Decision {
 	cands := hp.CandidateNodes(v.N())
 	counts := make([]int, len(cands))
 	usage := make([]int64, len(cands))
-	var msgs int64
-	for i, c := range cands {
-		counts[i] = v.BidHandprint(c, hp)
+	// The handprint is sent to each candidate.
+	msgs := int64(len(hp)) * int64(len(cands))
+	eachCandidate(r.Parallel, len(cands), func(i int) {
+		counts[i] = v.BidHandprint(cands[i], hp)
 		if !r.IgnoreUsage {
-			usage[i] = v.Usage(c)
+			usage[i] = v.Usage(cands[i])
 		}
-		msgs += int64(len(hp)) // the handprint is sent to each candidate
-	}
+	})
 	sel := core.SelectTarget(cands, counts, usage)
 	d := all(sel.Node)
 	d.PreRoutingMsgs = msgs
@@ -202,6 +228,9 @@ func (r *StatelessRouter) Route(sc *core.SuperChunk, v View) Decision {
 type StatefulRouter struct {
 	// SampleRate subsamples chunk fingerprints 1/SampleRate for the bid.
 	SampleRate int
+	// Parallel issues the 1-to-all bids concurrently (see
+	// SigmaRouter.Parallel).
+	Parallel bool
 }
 
 var _ Router = (*StatefulRouter)(nil)
@@ -229,13 +258,13 @@ func (r *StatefulRouter) Route(sc *core.SuperChunk, v View) Decision {
 	cands := make([]int, n)
 	counts := make([]int, n)
 	usage := make([]int64, n)
-	var msgs int64
-	for node := 0; node < n; node++ {
+	// 1-to-all communication: every node receives the sample.
+	msgs := int64(len(sample)) * int64(n)
+	eachCandidate(r.Parallel, n, func(node int) {
 		cands[node] = node
 		counts[node] = v.BidChunks(node, sample)
 		usage[node] = v.Usage(node)
-		msgs += int64(len(sample)) // 1-to-all communication
-	}
+	})
 	sel := core.SelectTarget(cands, counts, usage)
 	d := all(sel.Node)
 	d.PreRoutingMsgs = msgs

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/fingerprint"
@@ -16,8 +17,9 @@ import (
 // responses by ID, so many calls can be in flight at once — the paper's
 // batched asynchronous RPC design.
 type Client struct {
-	conn net.Conn
-	enc  *gob.Encoder
+	conn  net.Conn
+	enc   *gob.Encoder
+	calls atomic.Int64
 
 	wmu    sync.Mutex // serializes encoder access
 	mu     sync.Mutex // guards pending/nextID/err
@@ -26,6 +28,11 @@ type Client struct {
 	err    error
 	done   chan struct{}
 }
+
+// Calls returns how many requests this connection has issued — the RPC
+// message count of the session (observability for the Fig. 7-style
+// overhead accounting on the prototype path).
+func (c *Client) Calls() int64 { return c.calls.Load() }
 
 // Dial connects to a deduplication server.
 func Dial(addr string) (*Client, error) {
@@ -100,6 +107,9 @@ func (c *Client) Call(req Request) (Response, error) {
 		c.mu.Unlock()
 		return Response{}, fmt.Errorf("rpc: send: %w", err)
 	}
+	// Count only requests that actually reached the wire, so Calls()
+	// reflects real message traffic even on failing connections.
+	c.calls.Add(1)
 	resp, ok := <-ch
 	if !ok {
 		c.mu.Lock()

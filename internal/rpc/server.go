@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/node"
@@ -17,8 +18,9 @@ import (
 // concurrently and responses are serialized by a per-connection writer
 // lock, so a pipelined client sees maximal parallelism.
 type Server struct {
-	node *node.Node
-	ln   net.Listener
+	node  *node.Node
+	ln    net.Listener
+	delay time.Duration
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -26,14 +28,29 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithHandlerDelay makes every request handler sleep d before dispatch,
+// emulating remote-node service latency (disk seeks, WAN round trips) on
+// loopback deployments. Handlers run concurrently, so the delay models
+// per-request latency, not reduced node throughput — exactly the regime
+// where request pipelining pays. Intended for benchmarks; zero disables.
+func WithHandlerDelay(d time.Duration) ServerOption {
+	return func(s *Server) { s.delay = d }
+}
+
 // NewServer wraps a deduplication node and listens on addr
 // (e.g. "127.0.0.1:0"). The returned server is already accepting.
-func NewServer(n *node.Node, addr string) (*Server, error) {
+func NewServer(n *node.Node, addr string, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: listen %s: %w", addr, err)
 	}
 	s := &Server{node: n, ln: ln, conns: make(map[net.Conn]struct{})}
+	for _, o := range opts {
+		o(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -120,6 +137,9 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // handle dispatches one request against the node.
 func (s *Server) handle(req Request) Response {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
 	resp := Response{ID: req.ID}
 	switch req.Op {
 	case OpBid:

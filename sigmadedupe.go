@@ -30,6 +30,7 @@ import (
 	"sigmadedupe/internal/experiments"
 	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/node"
+	"sigmadedupe/internal/pipeline"
 	"sigmadedupe/internal/router"
 	"sigmadedupe/internal/rpc"
 	"sigmadedupe/internal/workload"
@@ -243,15 +244,25 @@ type BackupClientConfig struct {
 	SuperChunkSize int64
 	// HandprintSize is k (default 8).
 	HandprintSize int
+	// Workers sizes the chunk-fingerprint worker pool of the ingest
+	// pipeline (default: GOMAXPROCS). 1 fingerprints serially.
+	Workers int
+	// InflightSuperChunks bounds the window of asynchronous Store RPCs a
+	// stream keeps in flight, so fingerprinting of super-chunk n+1
+	// overlaps the network transfer of n (default 4; 1 restores the fully
+	// serial store path).
+	InflightSuperChunks int
 }
 
 // NewBackupClient connects a backup client to a set of deduplication
 // servers and a director.
 func NewBackupClient(cfg BackupClientConfig, dir *Director, nodeAddrs []string) (*BackupClient, error) {
 	inner, err := client.New(client.Config{
-		Name:           cfg.Name,
-		SuperChunkSize: cfg.SuperChunkSize,
-		HandprintK:     cfg.HandprintSize,
+		Name:                cfg.Name,
+		SuperChunkSize:      cfg.SuperChunkSize,
+		HandprintK:          cfg.HandprintSize,
+		Pipeline:            pipeline.Config{Workers: cfg.Workers},
+		InflightSuperChunks: cfg.InflightSuperChunks,
 	}, dir, nodeAddrs)
 	if err != nil {
 		return nil, err
