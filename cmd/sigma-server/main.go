@@ -1,9 +1,11 @@
 // Command sigma-server runs one Σ-Dedupe deduplication server node,
-// speaking the internal RPC protocol over TCP.
+// speaking the internal RPC protocol over TCP. With -dir the node is
+// durable (containers + recovery manifest on disk); -recover re-opens
+// that state after a restart.
 //
 // Usage:
 //
-//	sigma-server -addr 127.0.0.1:7701 -id 0 [-dir /var/lib/sigma/node0]
+//	sigma-server -addr 127.0.0.1:7701 -id 0 [-dir /var/lib/sigma/node0] [-recover]
 package main
 
 import (
@@ -27,20 +29,30 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:7701", "TCP listen address")
 	id := flag.Int("id", 0, "node ID")
-	dir := flag.String("dir", "", "container spill directory (empty = RAM only)")
+	dir := flag.String("dir", "", "durable directory: containers + recovery manifest (empty = RAM only)")
+	recover := flag.Bool("recover", false, "re-open durable state from -dir (restart after shutdown or crash)")
 	handprint := flag.Int("handprint", 8, "handprint size k")
 	locks := flag.Int("locks", 1024, "similarity-index lock stripes")
 	flag.Parse()
 
+	if *recover && *dir == "" {
+		return fmt.Errorf("-recover requires -dir")
+	}
 	n, err := node.New(node.Config{
 		ID:            *id,
 		HandprintSize: *handprint,
 		SimIndexLocks: *locks,
 		KeepPayloads:  true,
 		Dir:           *dir,
+		Recover:       *recover,
 	})
 	if err != nil {
 		return err
+	}
+	if *recover {
+		st := n.Stats()
+		fmt.Printf("sigma-server: node %d recovered %d chunks (%d MB) from %s\n",
+			*id, st.UniqueChunks, st.PhysicalBytes>>20, *dir)
 	}
 	srv, err := rpc.NewServer(n, *addr)
 	if err != nil {
@@ -52,7 +64,7 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("sigma-server: shutting down")
-	if err := n.Flush(); err != nil {
+	if err := n.Close(); err != nil { // seals containers; durable state complete
 		return err
 	}
 	st := n.Stats()

@@ -22,6 +22,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -141,6 +142,11 @@ func New(cfg Config) (*Cluster, error) {
 		ncfg := cfg.Node
 		ncfg.ID = i
 		ncfg.HandprintSize = cfg.HandprintK
+		if ncfg.Dir != "" {
+			// Each node owns a subdirectory so container files and
+			// manifests never collide and a node restarts independently.
+			ncfg.Dir = filepath.Join(cfg.Node.Dir, fmt.Sprintf("node%02d", i))
+		}
 		n, err := node.New(ncfg)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: %w", err)
@@ -440,6 +446,56 @@ func (c *Cluster) EDR(exactPhysical int64) float64 {
 func (c *Cluster) NormalizedDR(exactPhysical int64) float64 {
 	sdr := metrics.DedupRatio(c.Stats().LogicalBytes, exactPhysical)
 	return metrics.NormalizedDR(c.DedupRatio(), sdr)
+}
+
+// RestartNode stops node i — sealing its open containers and closing its
+// manifest — and re-opens it from its durable directory, replaying the
+// manifest to restore the chunk index, similarity index and container
+// directory. The node must have been configured with a durable Dir. Not
+// safe to call while backups are in flight; quiesce streams first.
+func (c *Cluster) RestartNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: node %d out of range [0,%d)", i, len(c.nodes))
+	}
+	ncfg := c.nodes[i].Config()
+	if ncfg.Dir == "" {
+		return fmt.Errorf("cluster: node %d has no durable dir to restart from", i)
+	}
+	if err := c.nodes[i].Close(); err != nil {
+		return fmt.Errorf("cluster: stop node %d: %w", i, err)
+	}
+	ncfg.Recover = true
+	n, err := node.New(ncfg)
+	if err != nil {
+		return fmt.Errorf("cluster: restart node %d: %w", i, err)
+	}
+	c.nodes[i] = n
+	return nil
+}
+
+// Restart bounces every node in turn: a full cluster stop/restart/restore
+// cycle against durable storage. Same quiescence requirement as
+// RestartNode.
+func (c *Cluster) Restart() error {
+	for i := range c.nodes {
+		if err := c.RestartNode(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts every node down, sealing open containers and releasing
+// durable manifests. Durable nodes can be re-opened by a future cluster
+// with Node.Recover set. The cluster must not be used afterwards.
+func (c *Cluster) Close() error {
+	var err error
+	for _, n := range c.nodes {
+		if cerr := n.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Nodes exposes the underlying nodes (read-only use: stats inspection).

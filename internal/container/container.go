@@ -6,14 +6,21 @@
 // chunk-fingerprint cache with an entire locality unit.
 //
 // The Manager supports parallel container management: each data stream
-// owns a dedicated open container, a new one is opened when it fills, and
-// all disk accesses happen at container granularity.
+// owns a dedicated open container guarded by its own lock, so concurrent
+// streams append without contending on one global mutex; a new container
+// is opened when the stream's fills, and all disk accesses happen at
+// container granularity. Sealed containers are immutable. When a spill
+// directory is configured, sealed containers are persisted in the SDC1
+// format (CRC32-protected, see Encode) and an LRU of recently loaded
+// containers keeps restore from re-reading a container file per chunk.
 package container
 
 import (
+	"container/list"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -25,6 +32,11 @@ import (
 // DefaultCapacity is the default container payload capacity. 4MB is the
 // conventional container size in DDFS-style systems.
 const DefaultCapacity = 4 << 20
+
+// DefaultLoadedContainers is the default capacity (in containers) of the
+// loaded-container LRU that retains spilled containers read back from
+// disk. 16 containers × 4MB bounds it at 64MB of payload RAM.
+const DefaultLoadedContainers = 16
 
 // ChunkMeta is one entry of a container's metadata section.
 type ChunkMeta struct {
@@ -67,20 +79,57 @@ func (c *Container) Fingerprints() []fingerprint.Fingerprint {
 // ErrNotFound reports a missing container or chunk.
 var ErrNotFound = errors.New("container: not found")
 
-// Manager allocates, fills, seals, persists and reads containers.
+// ErrCorrupt reports a container file that failed its CRC32 integrity
+// check or whose structure contradicts its header.
+var ErrCorrupt = errors.New("container: corrupt")
+
+// SealRecord describes one sealed container, passed to the seal hook so a
+// storage engine can journal the seal (e.g. into a recovery manifest).
+type SealRecord struct {
+	CID    uint64
+	File   string // base name of the spilled file; "" when RAM-only
+	Chunks int
+	Bytes  int64
+	CRC    uint32 // CRC32 (IEEE) of the spilled file; 0 when RAM-only
+}
+
+// openStream is one stream's open container plus the lock that serializes
+// appends and seals on that stream. Distinct streams never share a lock.
+type openStream struct {
+	mu sync.Mutex
+	c  *Container // nil between seal and the next append
+}
+
+// Manager allocates, fills, seals, persists and reads containers. All
+// methods are safe for concurrent use; appends on distinct streams
+// proceed in parallel.
 type Manager struct {
-	mu       sync.Mutex
 	capacity int
 	keepData bool
 	dir      string // when non-empty, sealed containers are spilled here
-	nextID   uint64
-	open     map[string]*Container // stream → open container
-	sealed   map[uint64]*Container
-	onDisk   map[uint64]bool
+	lruCap   int
+	onSeal   func(SealRecord) error
 
-	readIOs  atomic.Uint64
-	writeIOs atomic.Uint64
-	bytes    atomic.Int64
+	nextID atomic.Uint64
+
+	// mu guards the four maps below. Stream locks (openStream.mu) are
+	// always acquired before mu, never while holding it.
+	mu        sync.RWMutex
+	open      map[string]*openStream
+	openByCID map[uint64]*openStream // open containers indexed by CID
+	sealed    map[uint64]*Container  // metadata always resident
+	onDisk    map[uint64]bool
+
+	// lru retains recently loaded spilled containers (payloads) so restore
+	// and repeated Gets do not re-read the container file per call.
+	lruMu sync.Mutex
+	lruLL *list.List // of *Container; front = most recently used
+	lruIx map[uint64]*list.Element
+
+	readIOs   atomic.Uint64
+	writeIOs  atomic.Uint64
+	diskLoads atomic.Uint64
+	bytes     atomic.Int64
 }
 
 // Option configures a Manager.
@@ -102,13 +151,28 @@ func WithDir(dir string) Option {
 	}
 }
 
+// WithLoadedLRU sets how many loaded spilled containers are retained in
+// RAM (0 disables retention; default DefaultLoadedContainers).
+func WithLoadedLRU(n int) Option { return func(m *Manager) { m.lruCap = n } }
+
+// WithSealHook registers fn to be invoked after every successful seal,
+// with the seal already durable (file written) but before the sealing
+// append/Seal call returns. A hook error fails that call.
+func WithSealHook(fn func(SealRecord) error) Option {
+	return func(m *Manager) { m.onSeal = fn }
+}
+
 // NewManager creates a container manager.
 func NewManager(opts ...Option) (*Manager, error) {
 	m := &Manager{
-		capacity: DefaultCapacity,
-		open:     make(map[string]*Container),
-		sealed:   make(map[uint64]*Container),
-		onDisk:   make(map[uint64]bool),
+		capacity:  DefaultCapacity,
+		lruCap:    DefaultLoadedContainers,
+		open:      make(map[string]*openStream),
+		openByCID: make(map[uint64]*openStream),
+		sealed:    make(map[uint64]*Container),
+		onDisk:    make(map[uint64]bool),
+		lruLL:     list.New(),
+		lruIx:     make(map[uint64]*list.Element),
 	}
 	for _, o := range opts {
 		o(m)
@@ -124,10 +188,29 @@ func NewManager(opts ...Option) (*Manager, error) {
 	return m, nil
 }
 
+// streamState returns the stream's lock+container slot, creating it on
+// first use. The slot outlives individual containers.
+func (m *Manager) streamState(stream string) *openStream {
+	m.mu.RLock()
+	s := m.open[stream]
+	m.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s = m.open[stream]; s == nil {
+		s = &openStream{}
+		m.open[stream] = s
+	}
+	return s
+}
+
 // Append stores one unique chunk for the given stream, returning its
 // location. The chunk payload may be nil in metadata-only mode, in which
 // case size carries the chunk length. A stream's open container is sealed
-// automatically when appending would exceed capacity.
+// automatically when appending would exceed capacity. Appends on distinct
+// streams run in parallel.
 func (m *Manager) Append(stream string, fp fingerprint.Fingerprint, data []byte, size int) (Loc, error) {
 	if data != nil {
 		size = len(data)
@@ -138,27 +221,31 @@ func (m *Manager) Append(stream string, fp fingerprint.Fingerprint, data []byte,
 	if size > m.capacity {
 		return Loc{}, fmt.Errorf("container: chunk size %d exceeds capacity %d", size, m.capacity)
 	}
-	m.mu.Lock()
-	c := m.open[stream]
-	if c != nil && c.bytes+size > m.capacity {
-		m.sealLocked(stream)
-		c = nil
+	s := m.streamState(stream)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c != nil && s.c.bytes+size > m.capacity {
+		if err := m.sealStream(s); err != nil {
+			return Loc{}, err
+		}
 	}
-	if c == nil {
-		m.nextID++
-		c = &Container{ID: m.nextID}
+	if s.c == nil {
+		c := &Container{ID: m.nextID.Add(1)}
 		if m.keepData {
 			c.Data = make([]byte, 0, m.capacity)
 		}
-		m.open[stream] = c
+		s.c = c
+		m.mu.Lock()
+		m.openByCID[c.ID] = s
+		m.mu.Unlock()
 	}
+	c := s.c
 	loc := Loc{CID: c.ID, Offset: uint32(c.bytes), Length: uint32(size)}
 	c.Meta = append(c.Meta, ChunkMeta{FP: fp, Offset: loc.Offset, Length: loc.Length})
 	if m.keepData && data != nil {
 		c.Data = append(c.Data, data...)
 	}
 	c.bytes += size
-	m.mu.Unlock()
 	m.bytes.Add(int64(size))
 	return loc, nil
 }
@@ -166,90 +253,181 @@ func (m *Manager) Append(stream string, fp fingerprint.Fingerprint, data []byte,
 // Seal closes the stream's open container, making it readable via Get.
 // Sealing an idle stream is a no-op.
 func (m *Manager) Seal(stream string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.sealLocked(stream)
+	m.mu.RLock()
+	s := m.open[stream]
+	m.mu.RUnlock()
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return m.sealStream(s)
 }
 
 // SealAll closes every open container (end of backup session).
 func (m *Manager) SealAll() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for stream := range m.open {
-		if err := m.sealLocked(stream); err != nil {
+	m.mu.RLock()
+	streams := make([]*openStream, 0, len(m.open))
+	for _, s := range m.open {
+		streams = append(streams, s)
+	}
+	m.mu.RUnlock()
+	for _, s := range streams {
+		s.mu.Lock()
+		err := m.sealStream(s)
+		s.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (m *Manager) sealLocked(stream string) error {
-	c := m.open[stream]
+// sealStream seals s's open container. Caller holds s.mu. The spill (when
+// configured) happens under the stream lock only, so other streams keep
+// appending while this one writes its container file. Commit order is
+// spill+fsync → seal hook (manifest record) → publish: a hook failure
+// leaves the container open and the caller's operation failed, so a
+// sealed-but-unjournaled container can never survive a later Flush.
+func (m *Manager) sealStream(s *openStream) error {
+	c := s.c
 	if c == nil {
 		return nil
 	}
-	delete(m.open, stream)
-	m.sealed[c.ID] = c
+	rec := SealRecord{CID: c.ID, Chunks: len(c.Meta), Bytes: int64(c.bytes)}
 	if m.dir != "" {
-		if err := m.spill(c); err != nil {
+		crc, err := m.spill(c)
+		if err != nil {
 			return err
 		}
-		// Keep metadata resident; drop payload to bound RAM.
+		rec.File = FileName(c.ID)
+		rec.CRC = crc
+	}
+	if m.onSeal != nil {
+		if err := m.onSeal(rec); err != nil {
+			return fmt.Errorf("container: seal hook for %d: %w", c.ID, err)
+		}
+	}
+	if m.dir != "" {
+		// Keep metadata resident; drop the payload to bound RAM. Done
+		// before publishing into sealed so no reader sees it half-dropped.
 		c.Data = nil
+	}
+	s.c = nil
+	m.mu.Lock()
+	delete(m.openByCID, c.ID)
+	m.sealed[c.ID] = c
+	if m.dir != "" {
 		m.onDisk[c.ID] = true
 	}
+	m.mu.Unlock()
 	m.writeIOs.Add(1)
 	return nil
 }
 
-// Get returns a sealed container, reading it back from disk when spilled.
-// Each call counts one container read I/O, the unit of disk access in the
-// locality-preserved caching design.
+// Get returns a sealed container. Each call counts one container read I/O,
+// the unit of disk access in the locality-preserved caching design.
+// Spilled containers are served from the loaded-container LRU when
+// resident; otherwise the file is read back (one disk load) and retained.
 func (m *Manager) Get(cid uint64) (*Container, error) {
-	m.mu.Lock()
+	m.mu.RLock()
 	c, ok := m.sealed[cid]
 	disk := m.onDisk[cid]
-	m.mu.Unlock()
+	m.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: container %d", ErrNotFound, cid)
 	}
 	m.readIOs.Add(1)
-	if disk && c.Data == nil {
-		loaded, err := m.load(cid)
-		if err != nil {
-			return nil, err
-		}
-		return loaded, nil
+	if !disk || c.Data != nil {
+		return c, nil
 	}
-	return c, nil
+	if lc := m.lruGet(cid); lc != nil {
+		return lc, nil
+	}
+	loaded, err := m.load(cid)
+	if err != nil {
+		return nil, err
+	}
+	m.lruPut(loaded)
+	return loaded, nil
+}
+
+// lruGet returns the retained loaded copy of cid, refreshing its LRU
+// position, or nil.
+func (m *Manager) lruGet(cid uint64) *Container {
+	m.lruMu.Lock()
+	defer m.lruMu.Unlock()
+	el, ok := m.lruIx[cid]
+	if !ok {
+		return nil
+	}
+	m.lruLL.MoveToFront(el)
+	return el.Value.(*Container)
+}
+
+// lruPut retains a loaded container, evicting the least recently used one
+// beyond capacity. A concurrent load of the same cid wins idempotently.
+func (m *Manager) lruPut(c *Container) {
+	if m.lruCap <= 0 {
+		return
+	}
+	m.lruMu.Lock()
+	defer m.lruMu.Unlock()
+	if _, ok := m.lruIx[c.ID]; ok {
+		return
+	}
+	for m.lruLL.Len() >= m.lruCap {
+		back := m.lruLL.Back()
+		if back == nil {
+			break
+		}
+		m.lruLL.Remove(back)
+		delete(m.lruIx, back.Value.(*Container).ID)
+	}
+	m.lruIx[c.ID] = m.lruLL.PushFront(c)
 }
 
 // Metadata returns only the metadata section of a container. For sealed
 // containers this counts as one read I/O (the prefetch path reads the
-// metadata section from disk, §3.3); open containers are served from RAM
-// for free, since their metadata is still resident.
+// metadata section from disk, §3.3); open containers are found via the
+// CID index and served from RAM for free, since their metadata is still
+// resident.
 func (m *Manager) Metadata(cid uint64) ([]ChunkMeta, error) {
-	m.mu.Lock()
-	c, sealed := m.sealed[cid]
-	if !sealed {
-		for _, oc := range m.open {
-			if oc.ID == cid {
-				c = oc
-				break
-			}
+	m.mu.RLock()
+	c, sealedOK := m.sealed[cid]
+	var s *openStream
+	if !sealedOK {
+		s = m.openByCID[cid]
+	}
+	m.mu.RUnlock()
+	if sealedOK {
+		m.readIOs.Add(1)
+		return copyMeta(c.Meta), nil
+	}
+	if s != nil {
+		s.mu.Lock()
+		if s.c != nil && s.c.ID == cid {
+			out := copyMeta(s.c.Meta)
+			s.mu.Unlock()
+			return out, nil
+		}
+		s.mu.Unlock()
+		// Sealed between our index lookup and taking the stream lock.
+		m.mu.RLock()
+		c, sealedOK = m.sealed[cid]
+		m.mu.RUnlock()
+		if sealedOK {
+			m.readIOs.Add(1)
+			return copyMeta(c.Meta), nil
 		}
 	}
-	if c == nil {
-		m.mu.Unlock()
-		return nil, fmt.Errorf("%w: container %d", ErrNotFound, cid)
-	}
-	out := make([]ChunkMeta, len(c.Meta))
-	copy(out, c.Meta)
-	m.mu.Unlock()
-	if sealed {
-		m.readIOs.Add(1)
-	}
-	return out, nil
+	return nil, fmt.Errorf("%w: container %d", ErrNotFound, cid)
+}
+
+func copyMeta(meta []ChunkMeta) []ChunkMeta {
+	out := make([]ChunkMeta, len(meta))
+	copy(out, meta)
+	return out
 }
 
 // ReadChunk fetches one chunk payload by location. Only valid when
@@ -272,41 +450,108 @@ func (m *Manager) ReadChunk(loc Loc) ([]byte, error) {
 	return out, nil
 }
 
+// AdoptSealed registers a recovered container as sealed, crediting its
+// bytes and advancing the ID allocator past it. Used by storage-engine
+// recovery; the container must be fully decoded (metadata resident).
+func (m *Manager) AdoptSealed(c *Container, spilled bool) {
+	m.mu.Lock()
+	m.sealed[c.ID] = c
+	if spilled {
+		m.onDisk[c.ID] = true
+	}
+	m.mu.Unlock()
+	m.bytes.Add(int64(c.bytes))
+	for {
+		cur := m.nextID.Load()
+		if c.ID <= cur || m.nextID.CompareAndSwap(cur, c.ID) {
+			break
+		}
+	}
+}
+
 // Stats reports cumulative I/O counters and stored bytes.
 func (m *Manager) Stats() (readIOs, writeIOs uint64, storedBytes int64) {
 	return m.readIOs.Load(), m.writeIOs.Load(), m.bytes.Load()
 }
 
+// DiskLoads reports how many container files were actually read back from
+// disk (readIOs counts container-granularity accesses; this counts the
+// subset that missed the loaded-container LRU).
+func (m *Manager) DiskLoads() uint64 { return m.diskLoads.Load() }
+
 // IsSealed reports whether cid refers to a sealed container. An unknown
 // cid (including open containers) reports false.
 func (m *Manager) IsSealed(cid uint64) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	_, ok := m.sealed[cid]
 	return ok
 }
 
 // NumSealed returns the number of sealed containers.
 func (m *Manager) NumSealed() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.sealed)
 }
 
 // StoredBytes returns the total physical payload bytes appended.
 func (m *Manager) StoredBytes() int64 { return m.bytes.Load() }
 
-func (m *Manager) path(cid uint64) string {
-	return filepath.Join(m.dir, fmt.Sprintf("container-%08d.bin", cid))
+// FileName returns the base name of the spill file for cid.
+func FileName(cid uint64) string {
+	return fmt.Sprintf("container-%08d.bin", cid)
 }
 
-// spill serializes a sealed container to disk:
+func (m *Manager) path(cid uint64) string {
+	return filepath.Join(m.dir, FileName(cid))
+}
+
+// spill serializes a sealed container to disk, returning the file's CRC.
+// The file is fsynced before return: the manifest seal record that
+// commits this container must never name a file whose pages could still
+// be lost to a crash.
+func (m *Manager) spill(c *Container) (uint32, error) {
+	buf := Encode(c)
+	f, err := os.OpenFile(m.path(c.ID), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("container: spill %d: %w", c.ID, err)
+	}
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return 0, fmt.Errorf("container: spill %d: %w", c.ID, err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("container: spill %d: %w", c.ID, err)
+	}
+	return binary.BigEndian.Uint32(buf[len(buf)-4:]), nil
+}
+
+// load reads a spilled container back from disk.
+func (m *Manager) load(cid uint64) (*Container, error) {
+	raw, err := os.ReadFile(m.path(cid))
+	if err != nil {
+		return nil, fmt.Errorf("container: load %d: %w", cid, err)
+	}
+	m.diskLoads.Add(1)
+	c, err := Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("container: load %d: %w", cid, err)
+	}
+	return c, nil
+}
+
+// Encode serializes a container in the SDC1 on-disk format:
 //
 //	header:  magic "SDC1" | id u64 | nmeta u32 | ndata u32
 //	meta:    nmeta × (fp[20] | offset u32 | length u32)
 //	data:    ndata bytes
-func (m *Manager) spill(c *Container) error {
-	buf := make([]byte, 0, 20+len(c.Meta)*28+len(c.Data))
+//	footer:  crc32 u32 (IEEE, over header+meta+data)
+func Encode(c *Container) []byte {
+	buf := make([]byte, 0, 24+len(c.Meta)*28+len(c.Data))
 	buf = append(buf, 'S', 'D', 'C', '1')
 	buf = binary.BigEndian.AppendUint64(buf, c.ID)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Meta)))
@@ -317,44 +562,56 @@ func (m *Manager) spill(c *Container) error {
 		buf = binary.BigEndian.AppendUint32(buf, cm.Length)
 	}
 	buf = append(buf, c.Data...)
-	if err := os.WriteFile(m.path(c.ID), buf, 0o644); err != nil {
-		return fmt.Errorf("container: spill %d: %w", c.ID, err)
-	}
-	return nil
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 }
 
-// load reads a spilled container back from disk.
-func (m *Manager) load(cid uint64) (*Container, error) {
-	raw, err := os.ReadFile(m.path(cid))
-	if err != nil {
-		return nil, fmt.Errorf("container: load %d: %w", cid, err)
-	}
-	return Decode(raw)
-}
+// Decode parses a serialized container, verifying its CRC32 footer.
+func Decode(raw []byte) (*Container, error) { return decode(raw, true) }
 
-// Decode parses a serialized container.
-func Decode(raw []byte) (*Container, error) {
-	if len(raw) < 20 || string(raw[:4]) != "SDC1" {
+// DecodeMeta parses and CRC-verifies a serialized container without
+// retaining its payload — the recovery path's decode, where metadata is
+// rebuilt into the indexes and the payload stays on disk.
+func DecodeMeta(raw []byte) (*Container, error) { return decode(raw, false) }
+
+func decode(raw []byte, keepPayload bool) (*Container, error) {
+	if len(raw) < 4 || string(raw[:4]) != "SDC1" {
 		return nil, errors.New("container: bad magic")
+	}
+	if len(raw) < 24 {
+		return nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(raw))
 	}
 	id := binary.BigEndian.Uint64(raw[4:])
 	nmeta := int(binary.BigEndian.Uint32(raw[12:]))
 	ndata := int(binary.BigEndian.Uint32(raw[16:]))
-	want := 20 + nmeta*28 + ndata
+	want := 20 + nmeta*28 + ndata + 4
 	if len(raw) != want {
-		return nil, fmt.Errorf("container: size %d, want %d", len(raw), want)
+		return nil, fmt.Errorf("%w: size %d, want %d", ErrCorrupt, len(raw), want)
+	}
+	sum := crc32.ChecksumIEEE(raw[:len(raw)-4])
+	if got := binary.BigEndian.Uint32(raw[len(raw)-4:]); got != sum {
+		return nil, fmt.Errorf("%w: CRC32 %08x on disk, computed %08x", ErrCorrupt, got, sum)
 	}
 	c := &Container{ID: id, Meta: make([]ChunkMeta, nmeta)}
 	p := 20
+	metaBytes := 0
 	for i := 0; i < nmeta; i++ {
 		var cm ChunkMeta
 		copy(cm.FP[:], raw[p:p+20])
 		cm.Offset = binary.BigEndian.Uint32(raw[p+20:])
 		cm.Length = binary.BigEndian.Uint32(raw[p+24:])
 		c.Meta[i] = cm
+		metaBytes += int(cm.Length)
 		p += 28
 	}
-	c.Data = append([]byte(nil), raw[p:]...)
-	c.bytes = ndata
+	if ndata > 0 {
+		if keepPayload {
+			c.Data = append([]byte(nil), raw[p:p+ndata]...)
+		}
+		c.bytes = ndata
+	} else {
+		// Metadata-only containers carry no payload; the logical size is
+		// the sum of the chunk lengths.
+		c.bytes = metaBytes
+	}
 	return c, nil
 }

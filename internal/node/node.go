@@ -1,32 +1,23 @@
-// Package node implements a Σ-Dedupe deduplication server node: the
-// intra-node engine that combines the similarity index, the
-// chunk-fingerprint cache with container-granularity prefetch
-// (locality-preserved caching), the traditional on-disk chunk index with a
-// Bloom filter, and parallel container management (paper §3.3, Fig. 3).
+// Package node implements a Σ-Dedupe deduplication server node. The
+// intra-node machinery — similarity index, chunk-fingerprint cache with
+// container-granularity prefetch (locality-preserved caching), the
+// traditional on-disk chunk index with a Bloom filter, and parallel
+// container management (paper §3.3, Fig. 3) — lives in the storage engine
+// (package store); Node binds one engine to a cluster identity and the
+// node-level API used by the RPC server and the cluster simulator.
 //
-// The deduplication path for one super-chunk is exactly the paper's:
-//
-//  1. Look up the super-chunk's representative fingerprints in the
-//     similarity index; each match names a container.
-//  2. Prefetch the chunk-fingerprint sets of those containers into the
-//     cache (reading their metadata sections).
-//  3. Test every chunk fingerprint against the cache; misses fall through
-//     to the on-disk chunk index (unless it is disabled, which yields the
-//     paper's similarity-index-only approximate dedup of Fig. 5b).
-//  4. Store unique chunks into the stream's open container and index the
-//     handprint for future routing and prefetch.
+// The store path is concurrent: there is no node-wide store lock. The
+// engine's fingerprint-sharded lock striping lets multiple backup streams
+// dedupe in parallel inside one node, and with a durable directory the
+// node survives a full stop/restart/restore cycle (Config.Recover).
 package node
 
 import (
 	"fmt"
-	"sync"
 
-	"sigmadedupe/internal/chunkindex"
-	"sigmadedupe/internal/container"
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/fingerprint"
-	"sigmadedupe/internal/fpcache"
-	"sigmadedupe/internal/simindex"
+	"sigmadedupe/internal/store"
 )
 
 // Config parameterizes a deduplication node.
@@ -54,27 +45,36 @@ type Config struct {
 	DisablePrefetch bool
 	// KeepPayloads retains chunk payloads for restore support.
 	KeepPayloads bool
-	// Dir, when set, spills sealed containers to disk.
+	// Dir, when set, makes the node durable: sealed containers spill to
+	// disk and a manifest journals recovery state.
 	Dir string
+	// StoreShards is the fingerprint lock-stripe count of the store path
+	// (default store.DefaultShards; 1 restores the single-store-lock
+	// behavior for A/B benchmarking).
+	StoreShards int
+	// LoadedContainers bounds the LRU of spilled containers loaded back
+	// into RAM during restore and prefetch.
+	LoadedContainers int
+	// Recover re-opens the engine from Dir, replaying the manifest to
+	// restore the node's pre-shutdown state. Requires Dir.
+	Recover bool
 }
 
-func (c Config) withDefaults() Config {
-	if c.HandprintSize <= 0 {
-		c.HandprintSize = core.DefaultHandprintSize
+func (c Config) storeConfig() store.Config {
+	return store.Config{
+		NodeID:            c.ID,
+		HandprintSize:     c.HandprintSize,
+		SimIndexLocks:     c.SimIndexLocks,
+		CacheContainers:   c.CacheContainers,
+		ContainerCapacity: c.ContainerCapacity,
+		ExpectedChunks:    c.ExpectedChunks,
+		DisableChunkIndex: c.DisableChunkIndex,
+		DisablePrefetch:   c.DisablePrefetch,
+		KeepPayloads:      c.KeepPayloads,
+		Dir:               c.Dir,
+		Shards:            c.StoreShards,
+		LoadedContainers:  c.LoadedContainers,
 	}
-	if c.SimIndexLocks <= 0 {
-		c.SimIndexLocks = 1024
-	}
-	if c.CacheContainers <= 0 {
-		c.CacheContainers = 256
-	}
-	if c.ContainerCapacity <= 0 {
-		c.ContainerCapacity = container.DefaultCapacity
-	}
-	if c.ExpectedChunks <= 0 {
-		c.ExpectedChunks = 1 << 20
-	}
-	return c
 }
 
 // Stats aggregates a node's deduplication counters.
@@ -99,69 +99,42 @@ func (s Stats) DedupRatio() float64 {
 }
 
 // StoreResult describes the outcome of storing one super-chunk.
-type StoreResult struct {
-	UniqueChunks int
-	DupChunks    int
-	UniqueBytes  int64
-	DupBytes     int64
-}
+type StoreResult = store.Result
 
 // Node is one deduplication server. All methods are safe for concurrent
 // use by multiple backup streams.
 type Node struct {
-	cfg        Config
-	sim        *simindex.Index
-	cache      *fpcache.Cache
-	cidx       *chunkindex.Index // nil when disabled
-	containers *container.Manager
-
-	// storeMu serializes the store path (StoreSuperChunk/StoreFileInBin):
-	// the lookup-then-append sequence is not atomic across the
-	// subcomponents' own locks, so two concurrent stores of the same new
-	// chunk would both miss the lookup and store it twice. Bids, queries
-	// and reads stay lock-free concurrent.
-	storeMu sync.Mutex
-
-	mu    sync.Mutex
-	stats Stats
-
-	// bins holds Extreme Binning per-representative chunk-fingerprint
-	// sets, used only when the node serves the EB baseline.
-	binsMu sync.Mutex
-	bins   map[fingerprint.Fingerprint]map[fingerprint.Fingerprint]struct{}
+	cfg Config
+	eng *store.Engine
 }
 
-// New creates a node from cfg.
+// New creates a node from cfg. With cfg.Recover set the node re-opens its
+// durable state from cfg.Dir instead of starting empty.
 func New(cfg Config) (*Node, error) {
-	cfg = cfg.withDefaults()
-	sim, err := simindex.New(cfg.SimIndexLocks)
+	var (
+		eng *store.Engine
+		err error
+	)
+	if cfg.Recover {
+		eng, err = store.Open(cfg.storeConfig())
+	} else {
+		eng, err = store.New(cfg.storeConfig())
+	}
 	if err != nil {
 		return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
 	}
-	cache, err := fpcache.New(cfg.CacheContainers)
-	if err != nil {
-		return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
-	}
-	var cidx *chunkindex.Index
-	if !cfg.DisableChunkIndex {
-		cidx, err = chunkindex.New(cfg.ExpectedChunks)
-		if err != nil {
-			return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
-		}
-	}
-	var opts []container.Option
-	opts = append(opts, container.WithCapacity(cfg.ContainerCapacity))
-	if cfg.KeepPayloads {
-		opts = append(opts, container.WithPayloads())
-	}
-	if cfg.Dir != "" {
-		opts = append(opts, container.WithDir(cfg.Dir))
-	}
-	cm, err := container.NewManager(opts...)
-	if err != nil {
-		return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
-	}
-	return &Node{cfg: cfg, sim: sim, cache: cache, cidx: cidx, containers: cm}, nil
+	// Echo the engine's resolved defaults (the single defaults table) so
+	// Config() reports effective values and a restart reconstructs an
+	// identical node.
+	eff := eng.Config()
+	cfg.HandprintSize = eff.HandprintSize
+	cfg.SimIndexLocks = eff.SimIndexLocks
+	cfg.CacheContainers = eff.CacheContainers
+	cfg.ContainerCapacity = eff.ContainerCapacity
+	cfg.ExpectedChunks = eff.ExpectedChunks
+	cfg.StoreShards = eff.Shards
+	cfg.LoadedContainers = eff.LoadedContainers
+	return &Node{cfg: cfg, eng: eng}, nil
 }
 
 // ID returns the node's cluster identity.
@@ -170,268 +143,88 @@ func (n *Node) ID() int { return n.cfg.ID }
 // Config returns the node's effective configuration.
 func (n *Node) Config() Config { return n.cfg }
 
+// Engine exposes the node's storage engine (stats inspection and tests).
+func (n *Node) Engine() *store.Engine { return n.eng }
+
 // CountHandprintMatches implements the routing bid of Algorithm 1 step 2:
 // how many representative fingerprints of hp this node has stored.
 func (n *Node) CountHandprintMatches(hp core.Handprint) int {
-	return n.sim.CountMatches(hp)
+	return n.eng.CountHandprintMatches(hp)
 }
 
 // StorageUsage returns the node's physical storage usage in bytes, the
 // w_i input of Algorithm 1 step 3.
-func (n *Node) StorageUsage() int64 { return n.containers.StoredBytes() }
+func (n *Node) StorageUsage() int64 { return n.eng.StorageUsage() }
 
 // CountStoredChunks reports how many of the given chunk fingerprints this
 // node already stores — the sampled chunk-index bid used by EMC-style
 // Stateful routing. Charged against the chunk index like any other lookup.
 func (n *Node) CountStoredChunks(fps []fingerprint.Fingerprint) int {
-	if n.cidx == nil {
-		return 0
-	}
-	count := 0
-	for _, fp := range fps {
-		if _, ok := n.cidx.Lookup(fp); ok {
-			count++
-		}
-	}
-	return count
-}
-
-// prefetch pulls the fingerprint sets of the named containers into the
-// chunk-fingerprint cache.
-func (n *Node) prefetch(cids []uint64) {
-	if n.cfg.DisablePrefetch {
-		return
-	}
-	for _, cid := range cids {
-		// Sealed containers are immutable, so a cached copy stays valid.
-		// Open containers keep growing and are re-read (from RAM, free).
-		if n.cache.HasContainer(cid) && n.containers.IsSealed(cid) {
-			continue
-		}
-		meta, err := n.containers.Metadata(cid)
-		if err != nil {
-			continue // container may not be sealed yet; skip
-		}
-		fps := make([]fingerprint.Fingerprint, len(meta))
-		for i, m := range meta {
-			fps[i] = m.FP
-		}
-		n.cache.AddContainer(cid, fps)
-		n.mu.Lock()
-		n.stats.Prefetches++
-		n.mu.Unlock()
-	}
+	return n.eng.CountStoredChunks(fps)
 }
 
 // StoreSuperChunk deduplicates and stores one routed super-chunk arriving
-// on the given stream. It performs the full paper pipeline and returns the
-// per-super-chunk outcome.
+// on the given stream. Concurrent streams dedupe in parallel; the engine
+// serializes only same-fingerprint races.
 func (n *Node) StoreSuperChunk(stream string, sc *core.SuperChunk) (StoreResult, error) {
-	n.storeMu.Lock()
-	defer n.storeMu.Unlock()
-	hp := sc.Handprint(n.cfg.HandprintSize)
-
-	// Step 1–2: similarity index lookup and container prefetch.
-	n.prefetch(n.sim.LookupContainers(hp))
-
-	// Step 3–4: chunk-level dedup against cache, then disk index.
-	var res StoreResult
-	// Chunks stored earlier in this same super-chunk (intra-super-chunk
-	// duplicates) must be detected even in similarity-only mode.
-	local := make(map[fingerprint.Fingerprint]uint64, len(sc.Chunks))
-	// rfpCID records which container ends up holding each representative
-	// fingerprint so the handprint can be indexed afterwards.
-	rfpCID := make(map[fingerprint.Fingerprint]uint64, len(hp))
-
-	for _, ch := range sc.Chunks {
-		cid, dup := n.lookupChunk(ch.FP, local)
-		if dup {
-			res.DupChunks++
-			res.DupBytes += int64(ch.Size)
-		} else {
-			loc, err := n.containers.Append(stream, ch.FP, ch.Data, ch.Size)
-			if err != nil {
-				return res, fmt.Errorf("node %d: store chunk: %w", n.cfg.ID, err)
-			}
-			if n.cidx != nil {
-				n.cidx.Insert(ch.FP, loc)
-			}
-			local[ch.FP] = loc.CID
-			cid = loc.CID
-			res.UniqueChunks++
-			res.UniqueBytes += int64(ch.Size)
-		}
-		if hp.Contains(ch.FP) {
-			rfpCID[ch.FP] = cid
-		}
-	}
-
-	// Index the handprint for future routing bids and prefetches.
-	for _, rfp := range hp {
-		if cid, ok := rfpCID[rfp]; ok {
-			n.sim.Insert(rfp, cid)
-		}
-	}
-
-	n.mu.Lock()
-	n.stats.SuperChunks++
-	n.stats.LogicalBytes += res.UniqueBytes + res.DupBytes
-	n.stats.PhysicalBytes += res.UniqueBytes
-	n.stats.LogicalChunks += int64(len(sc.Chunks))
-	n.stats.UniqueChunks += int64(res.UniqueChunks)
-	n.mu.Unlock()
-	return res, nil
-}
-
-// lookupChunk decides whether fp is a duplicate, returning the container
-// that holds it. Verdict order: intra-super-chunk map, fingerprint cache,
-// then on-disk chunk index (with container prefetch on hit, which is what
-// preserves locality for the following chunks).
-func (n *Node) lookupChunk(fp fingerprint.Fingerprint, local map[fingerprint.Fingerprint]uint64) (uint64, bool) {
-	if cid, ok := local[fp]; ok {
-		return cid, true
-	}
-	if cid, ok := n.cache.Lookup(fp); ok {
-		n.mu.Lock()
-		n.stats.CacheHits++
-		n.mu.Unlock()
-		return cid, true
-	}
-	if n.cidx == nil {
-		return 0, false
-	}
-	loc, ok := n.cidx.Lookup(fp)
-	if !ok {
-		return 0, false
-	}
-	n.mu.Lock()
-	n.stats.DiskIndexHits++
-	n.mu.Unlock()
-	// DDFS-style: a disk-index hit prefetches the whole container so the
-	// stream's following chunks hit the cache.
-	n.prefetch([]uint64{loc.CID})
-	return loc.CID, true
+	return n.eng.StoreSuperChunk(stream, sc)
 }
 
 // StoreFileInBin implements Extreme Binning's bin-scoped approximate
-// deduplication (Bhagwat et al., MASCOTS'09): the file's chunks are
-// deduplicated only against the bin identified by the file's
-// representative (minimum) fingerprint — not against the node's full chunk
-// index. Duplicates that live in other bins on the same node are missed;
-// that approximation is EB's defining tradeoff and is what the paper's
-// Fig. 8 comparison measures.
+// deduplication (the EB baseline of the paper's Fig. 8 comparison).
 func (n *Node) StoreFileInBin(stream string, binKey fingerprint.Fingerprint, sc *core.SuperChunk) (StoreResult, error) {
-	n.storeMu.Lock()
-	defer n.storeMu.Unlock()
-	n.binsMu.Lock()
-	if n.bins == nil {
-		n.bins = make(map[fingerprint.Fingerprint]map[fingerprint.Fingerprint]struct{})
-	}
-	bin, ok := n.bins[binKey]
-	if !ok {
-		bin = make(map[fingerprint.Fingerprint]struct{})
-		n.bins[binKey] = bin
-	}
-	n.binsMu.Unlock()
-
-	var res StoreResult
-	for _, ch := range sc.Chunks {
-		n.binsMu.Lock()
-		_, dup := bin[ch.FP]
-		if !dup {
-			bin[ch.FP] = struct{}{}
-		}
-		n.binsMu.Unlock()
-		if dup {
-			res.DupChunks++
-			res.DupBytes += int64(ch.Size)
-			continue
-		}
-		if _, err := n.containers.Append(stream, ch.FP, ch.Data, ch.Size); err != nil {
-			return res, fmt.Errorf("node %d: store bin chunk: %w", n.cfg.ID, err)
-		}
-		res.UniqueChunks++
-		res.UniqueBytes += int64(ch.Size)
-	}
-
-	n.mu.Lock()
-	n.stats.SuperChunks++
-	n.stats.LogicalBytes += res.UniqueBytes + res.DupBytes
-	n.stats.PhysicalBytes += res.UniqueBytes
-	n.stats.LogicalChunks += int64(len(sc.Chunks))
-	n.stats.UniqueChunks += int64(res.UniqueChunks)
-	n.mu.Unlock()
-	return res, nil
+	return n.eng.StoreFileInBin(stream, binKey, sc)
 }
 
 // NumBins returns the number of Extreme Binning bins on this node.
-func (n *Node) NumBins() int {
-	n.binsMu.Lock()
-	defer n.binsMu.Unlock()
-	return len(n.bins)
-}
+func (n *Node) NumBins() int { return n.eng.NumBins() }
 
 // QuerySuperChunk answers a source-dedup batched fingerprint query: for
-// each chunk of the super-chunk, report whether it is already stored. The
-// node performs the same similarity-index prefetch as StoreSuperChunk but
-// mutates nothing, so the client can transfer only unique chunks.
+// each chunk of the super-chunk, report whether it is already stored.
 func (n *Node) QuerySuperChunk(sc *core.SuperChunk) []bool {
-	hp := sc.Handprint(n.cfg.HandprintSize)
-	n.prefetch(n.sim.LookupContainers(hp))
-	out := make([]bool, len(sc.Chunks))
-	for i, ch := range sc.Chunks {
-		if _, ok := n.cache.Lookup(ch.FP); ok {
-			out[i] = true
-			continue
-		}
-		if n.cidx != nil {
-			if _, ok := n.cidx.Lookup(ch.FP); ok {
-				out[i] = true
-			}
-		}
-	}
-	return out
+	return n.eng.QuerySuperChunk(sc)
 }
 
 // ReadChunk fetches a stored chunk payload (restore path). Requires
 // KeepPayloads or Dir.
 func (n *Node) ReadChunk(fp fingerprint.Fingerprint) ([]byte, error) {
-	if n.cidx == nil {
-		return nil, fmt.Errorf("node %d: restore requires the chunk index", n.cfg.ID)
-	}
-	loc, ok := n.cidx.Lookup(fp)
-	if !ok {
-		return nil, fmt.Errorf("node %d: chunk %s: %w", n.cfg.ID, fp.Short(), container.ErrNotFound)
-	}
-	data, err := n.containers.ReadChunk(loc)
-	if err != nil {
-		return nil, fmt.Errorf("node %d: %w", n.cfg.ID, err)
-	}
-	return data, nil
+	return n.eng.ReadChunk(fp)
 }
 
-// Flush seals all open containers (end of a backup session).
-func (n *Node) Flush() error { return n.containers.SealAll() }
+// Flush seals all open containers (end of a backup session). In durable
+// mode everything stored before a successful Flush is recoverable.
+func (n *Node) Flush() error { return n.eng.Flush() }
+
+// Close flushes the node and releases its durable state so the directory
+// can be re-opened by a future node with Config.Recover.
+func (n *Node) Close() error { return n.eng.Close() }
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	st := n.eng.Stats()
+	return Stats{
+		LogicalBytes:  st.LogicalBytes,
+		PhysicalBytes: st.PhysicalBytes,
+		LogicalChunks: st.LogicalChunks,
+		UniqueChunks:  st.UniqueChunks,
+		SuperChunks:   st.SuperChunks,
+		CacheHits:     st.CacheHits,
+		DiskIndexHits: st.DiskIndexHits,
+		Prefetches:    st.Prefetches,
+	}
 }
 
+// NumSealedContainers returns the node's sealed-container count.
+func (n *Node) NumSealedContainers() int { return n.eng.Manager().NumSealed() }
+
 // SimIndexSize returns the similarity index entry count (RAM accounting).
-func (n *Node) SimIndexSize() int { return n.sim.Len() }
+func (n *Node) SimIndexSize() int { return n.eng.SimIndexSize() }
 
 // CacheHitRate returns the chunk-fingerprint cache hit rate.
-func (n *Node) CacheHitRate() float64 { return n.cache.HitRate() }
+func (n *Node) CacheHitRate() float64 { return n.eng.CacheHitRate() }
 
 // DiskIndexStats returns the chunk index disk-I/O counters (zeroes when
 // the index is disabled).
 func (n *Node) DiskIndexStats() (diskReads, bloomSkips uint64) {
-	if n.cidx == nil {
-		return 0, 0
-	}
-	r, s, _ := n.cidx.Stats()
-	return r, s
+	return n.eng.DiskIndexStats()
 }

@@ -261,12 +261,19 @@ func TestConcurrentStreams(t *testing.T) {
 }
 
 func TestConfigDefaults(t *testing.T) {
-	cfg := Config{}.withDefaults()
+	n, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := n.Config()
 	if cfg.HandprintSize != core.DefaultHandprintSize {
 		t.Fatalf("default k = %d", cfg.HandprintSize)
 	}
 	if cfg.SimIndexLocks <= 0 || cfg.CacheContainers <= 0 || cfg.ContainerCapacity <= 0 {
 		t.Fatal("defaults must be positive")
+	}
+	if cfg.StoreShards <= 0 || cfg.LoadedContainers <= 0 {
+		t.Fatal("store defaults must be echoed")
 	}
 }
 

@@ -1,0 +1,261 @@
+// Manifest: the append-only journal that makes a storage engine
+// restartable. Each line is one JSON record; two record types exist:
+//
+//	{"t":"seal","cid":7,"file":"container-00000007.bin","chunks":128,"bytes":4194304,"crc":3735928559}
+//	{"t":"rfp","fps":["<40-hex>",...],"cids":[7,...]}
+//
+// A "seal" record commits a spilled container (written and fsynced before
+// the record lands, so a record always names a complete file). An "rfp"
+// record journals the representative-fingerprint → container entries one
+// stored super-chunk added to the similarity index. Recovery replays seal
+// records first (rebuilding the chunk index and container directory from
+// container metadata, CRC-verified), then rfp records in order, so
+// later-super-chunk overwrites of a representative fingerprint win
+// exactly as they did online. A torn final line — a crash mid-append — is
+// ignored; torn or corrupt earlier lines fail the open.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"sigmadedupe/internal/container"
+	"sigmadedupe/internal/fingerprint"
+)
+
+// ManifestName is the manifest's file name under the engine's Dir.
+const ManifestName = "MANIFEST"
+
+// record is one manifest line.
+type record struct {
+	T      string   `json:"t"`
+	CID    uint64   `json:"cid,omitempty"`
+	File   string   `json:"file,omitempty"`
+	Chunks int      `json:"chunks,omitempty"`
+	Bytes  int64    `json:"bytes,omitempty"`
+	CRC    uint32   `json:"crc,omitempty"`
+	FPs    []string `json:"fps,omitempty"`
+	CIDs   []uint64 `json:"cids,omitempty"`
+}
+
+// manifest is the open append handle. Appends are serialized by mu; seal
+// records are fsynced (they commit data), rfp records are not (losing
+// them only degrades the recovered similarity index, never correctness —
+// the chunk index is rebuilt from container metadata). rfp records are
+// additionally buffered in RAM and written in batches, so the per-super-
+// chunk store path never touches the file: it takes only the short
+// buffer lock, keeping the sharded store path off one global file write.
+type manifest struct {
+	mu sync.Mutex
+	f  *os.File
+
+	bufMu sync.Mutex
+	buf   []record
+}
+
+// rfpFlushThreshold bounds the RAM held by buffered rfp records before an
+// inline batch write.
+const rfpFlushThreshold = 1024
+
+func openManifest(dir string) (*manifest, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("manifest: create dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, ManifestName), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: open: %w", err)
+	}
+	return &manifest{f: f}, nil
+}
+
+func (m *manifest) append(rec record, sync bool) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("manifest: encode: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return errors.New("manifest: closed")
+	}
+	if _, err := m.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("manifest: append: %w", err)
+	}
+	if sync {
+		if err := m.f.Sync(); err != nil {
+			return fmt.Errorf("manifest: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+func (m *manifest) appendSeal(rec container.SealRecord) error {
+	// Drain buffered rfp records first so the journal stays roughly in
+	// insertion order (replay is two-pass and order-tolerant regardless).
+	if err := m.flushRFPs(); err != nil {
+		return err
+	}
+	return m.append(record{
+		T:      "seal",
+		CID:    rec.CID,
+		File:   rec.File,
+		Chunks: rec.Chunks,
+		Bytes:  rec.Bytes,
+		CRC:    rec.CRC,
+	}, true)
+}
+
+// bufferRFPs queues one super-chunk's similarity-index entries. No file
+// I/O happens here — the hot store path only appends to a slice.
+func (m *manifest) bufferRFPs(fps []fingerprint.Fingerprint, cids []uint64) error {
+	hexes := make([]string, len(fps))
+	for i, fp := range fps {
+		hexes[i] = fp.String()
+	}
+	m.bufMu.Lock()
+	m.buf = append(m.buf, record{T: "rfp", FPs: hexes, CIDs: cids})
+	full := len(m.buf) >= rfpFlushThreshold
+	m.bufMu.Unlock()
+	if full {
+		return m.flushRFPs()
+	}
+	return nil
+}
+
+// flushRFPs writes all buffered rfp records as one batch.
+func (m *manifest) flushRFPs() error {
+	m.bufMu.Lock()
+	batch := m.buf
+	m.buf = nil
+	m.bufMu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	var lines []byte
+	for _, rec := range batch {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("manifest: encode: %w", err)
+		}
+		lines = append(lines, line...)
+		lines = append(lines, '\n')
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return errors.New("manifest: closed")
+	}
+	if _, err := m.f.Write(lines); err != nil {
+		return fmt.Errorf("manifest: append: %w", err)
+	}
+	return nil
+}
+
+func (m *manifest) close() error {
+	err := m.flushRFPs()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return err
+	}
+	if serr := m.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	m.f = nil
+	return err
+}
+
+// readManifest parses the manifest under dir. A missing manifest yields
+// no records (fresh store). A torn final line is ignored; a malformed
+// earlier line is an error.
+func readManifest(dir string) ([]record, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("manifest: read: %w", err)
+	}
+	lines := bytes.Split(raw, []byte{'\n'})
+	var recs []record
+	for i, ln := range lines {
+		ln = bytes.TrimSpace(ln)
+		if len(ln) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(ln, &r); err != nil {
+			if i == len(lines)-1 {
+				break // torn tail write from a crash mid-append
+			}
+			return nil, fmt.Errorf("manifest: line %d: %w", i+1, err)
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}
+
+// replay rebuilds engine state from manifest records: seal records first
+// (container directory + chunk index, CRC-verified), then rfp records in
+// journal order (similarity index).
+func (e *Engine) replay(recs []record) error {
+	for _, r := range recs {
+		if r.T != "seal" {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(e.cfg.Dir, r.File))
+		if err != nil {
+			return fmt.Errorf("recover container %d: %w", r.CID, err)
+		}
+		c, err := container.DecodeMeta(raw)
+		if err != nil {
+			return fmt.Errorf("recover container %d (%s): %w", r.CID, r.File, err)
+		}
+		if c.ID != r.CID {
+			return fmt.Errorf("recover container %d (%s): %w: file holds container %d",
+				r.CID, r.File, container.ErrCorrupt, c.ID)
+		}
+		// Cross-check the journaled CRC: a self-consistent but substituted
+		// container file must not pass recovery.
+		if got := binary.BigEndian.Uint32(raw[len(raw)-4:]); got != r.CRC {
+			return fmt.Errorf("recover container %d (%s): %w: file CRC %08x, manifest committed %08x",
+				r.CID, r.File, container.ErrCorrupt, got, r.CRC)
+		}
+		if e.cidx != nil {
+			for _, cm := range c.Meta {
+				e.cidx.Insert(cm.FP, container.Loc{CID: c.ID, Offset: cm.Offset, Length: cm.Length})
+			}
+		}
+		e.uniqueChunks.Add(int64(len(c.Meta)))
+		e.physicalBytes.Add(int64(c.Bytes()))
+		// Metadata stays resident; the payload lives on disk and is pulled
+		// through the loaded-container LRU on demand.
+		e.containers.AdoptSealed(c, true)
+	}
+	for _, r := range recs {
+		if r.T != "rfp" || len(r.FPs) != len(r.CIDs) {
+			continue
+		}
+		for i, hex := range r.FPs {
+			if !e.containers.IsSealed(r.CIDs[i]) {
+				continue // pointed at a container lost with the crash
+			}
+			fp, err := fingerprint.Parse(hex)
+			if err != nil {
+				return fmt.Errorf("recover similarity entry: %w", err)
+			}
+			e.sim.Insert(fp, r.CIDs[i])
+		}
+	}
+	return nil
+}

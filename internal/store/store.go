@@ -1,0 +1,575 @@
+// Package store implements the per-node storage engine of a Σ-Dedupe
+// deduplication server: the similarity index, chunk-fingerprint cache,
+// on-disk chunk index and container manager composed behind a single
+// transactional "lookup-or-append super-chunk" API (paper §3.3, Fig. 3).
+//
+// Concurrency. The engine replaces the historical node-wide store mutex
+// with fingerprint-sharded lock striping: the non-atomic
+// lookup-then-append sequence for one chunk runs under the shard lock of
+// that chunk's fingerprint, so two streams racing to store the same new
+// chunk serialize on its shard (the loser finds the winner's chunk-index
+// insert and takes the duplicate verdict), while chunks with different
+// fingerprints — the overwhelming majority — dedupe fully in parallel.
+// Each stream additionally owns its open container (package container),
+// so appends do not contend either.
+//
+// Durability. With a Dir configured the engine is a restartable store:
+// sealed containers are spilled in the CRC32-protected SDC1 format and
+// journaled in an append-only manifest together with the representative-
+// fingerprint entries of the similarity index. Open replays the manifest,
+// reading each container file once (CRC-verified) and retaining only its
+// metadata, to rebuild the chunk index, similarity index and container
+// directory — a full stop/restart/restore lifecycle. Chunks in
+// containers not yet sealed at shutdown are not durable; Flush (or
+// Close) seals everything.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"sigmadedupe/internal/chunkindex"
+	"sigmadedupe/internal/container"
+	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/fpcache"
+	"sigmadedupe/internal/simindex"
+)
+
+// DefaultShards is the default fingerprint lock-stripe count of the
+// lookup-or-append path.
+const DefaultShards = 512
+
+// Config parameterizes a storage engine.
+type Config struct {
+	// NodeID identifies the owning node in error messages.
+	NodeID int
+	// HandprintSize is k, the representative fingerprints per super-chunk.
+	HandprintSize int
+	// SimIndexLocks is the similarity-index lock-stripe count (Fig. 4b).
+	SimIndexLocks int
+	// CacheContainers is the chunk-fingerprint cache capacity in
+	// containers.
+	CacheContainers int
+	// ContainerCapacity is the container payload capacity in bytes.
+	ContainerCapacity int
+	// ExpectedChunks sizes the on-disk chunk index Bloom filter.
+	ExpectedChunks int
+	// DisableChunkIndex turns off the traditional chunk index, leaving
+	// only similarity-index + cache dedup (approximate; Fig. 5b mode).
+	DisableChunkIndex bool
+	// DisablePrefetch turns off container-granularity cache prefetch.
+	DisablePrefetch bool
+	// KeepPayloads retains chunk payloads for restore support.
+	KeepPayloads bool
+	// Dir, when set, makes the engine durable: sealed containers are
+	// spilled there and a manifest journals recovery state.
+	Dir string
+	// Shards is the fingerprint lock-stripe count of the store path,
+	// rounded up to a power of two. 1 degenerates to a single store lock
+	// (the pre-engine behavior, kept for A/B benchmarking).
+	Shards int
+	// LoadedContainers bounds the LRU of spilled containers loaded back
+	// into RAM during restore and prefetch.
+	LoadedContainers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HandprintSize <= 0 {
+		c.HandprintSize = core.DefaultHandprintSize
+	}
+	if c.SimIndexLocks <= 0 {
+		c.SimIndexLocks = 1024
+	}
+	if c.CacheContainers <= 0 {
+		c.CacheContainers = 256
+	}
+	if c.ContainerCapacity <= 0 {
+		c.ContainerCapacity = container.DefaultCapacity
+	}
+	if c.ExpectedChunks <= 0 {
+		c.ExpectedChunks = 1 << 20
+	}
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.LoadedContainers <= 0 {
+		c.LoadedContainers = container.DefaultLoadedContainers
+	}
+	return c
+}
+
+// Stats is a snapshot of the engine's deduplication counters.
+type Stats struct {
+	LogicalBytes  int64  // bytes presented for backup
+	PhysicalBytes int64  // unique bytes actually stored
+	LogicalChunks int64  // chunks presented
+	UniqueChunks  int64  // chunks stored
+	SuperChunks   int64  // super-chunks processed
+	CacheHits     uint64 // duplicate verdicts served from the fp cache
+	DiskIndexHits uint64 // duplicate verdicts served from the chunk index
+	Prefetches    uint64 // container metadata prefetches
+}
+
+// Result describes the outcome of storing one super-chunk.
+type Result struct {
+	UniqueChunks int
+	DupChunks    int
+	UniqueBytes  int64
+	DupBytes     int64
+}
+
+// shard is one lock stripe of the store path, padded to its own cache
+// line to limit false sharing between adjacent stripes.
+type shard struct {
+	mu sync.Mutex
+	_  [56]byte
+}
+
+// Engine is a per-node storage engine. All methods are safe for
+// concurrent use by multiple backup streams.
+type Engine struct {
+	cfg        Config
+	sim        *simindex.Index
+	cache      *fpcache.Cache
+	cidx       *chunkindex.Index // nil when disabled
+	containers *container.Manager
+	man        *manifest // nil when not durable
+
+	shards    []shard
+	shardMask uint64
+
+	superChunks   atomic.Int64
+	logicalBytes  atomic.Int64
+	physicalBytes atomic.Int64
+	logicalChunks atomic.Int64
+	uniqueChunks  atomic.Int64
+	cacheHits     atomic.Uint64
+	diskIndexHits atomic.Uint64
+	prefetches    atomic.Uint64
+
+	// bins holds Extreme Binning per-representative chunk-fingerprint
+	// sets, used only when the node serves the EB baseline.
+	binsMu sync.Mutex
+	bins   map[fingerprint.Fingerprint]map[fingerprint.Fingerprint]struct{}
+}
+
+// newEngine builds the index structures (no container manager yet).
+func newEngine(cfg Config) (*Engine, error) {
+	sim, err := simindex.New(cfg.SimIndexLocks)
+	if err != nil {
+		return nil, fmt.Errorf("store node %d: %w", cfg.NodeID, err)
+	}
+	cache, err := fpcache.New(cfg.CacheContainers)
+	if err != nil {
+		return nil, fmt.Errorf("store node %d: %w", cfg.NodeID, err)
+	}
+	var cidx *chunkindex.Index
+	if !cfg.DisableChunkIndex {
+		cidx, err = chunkindex.New(cfg.ExpectedChunks)
+		if err != nil {
+			return nil, fmt.Errorf("store node %d: %w", cfg.NodeID, err)
+		}
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	return &Engine{
+		cfg:       cfg,
+		sim:       sim,
+		cache:     cache,
+		cidx:      cidx,
+		shards:    make([]shard, n),
+		shardMask: uint64(n - 1),
+	}, nil
+}
+
+func (e *Engine) managerOpts() []container.Option {
+	opts := []container.Option{
+		container.WithCapacity(e.cfg.ContainerCapacity),
+		container.WithLoadedLRU(e.cfg.LoadedContainers),
+	}
+	if e.cfg.KeepPayloads {
+		opts = append(opts, container.WithPayloads())
+	}
+	if e.cfg.Dir != "" {
+		opts = append(opts, container.WithDir(e.cfg.Dir))
+		opts = append(opts, container.WithSealHook(func(rec container.SealRecord) error {
+			return e.man.appendSeal(rec)
+		}))
+	}
+	return opts
+}
+
+// New creates a fresh storage engine. With cfg.Dir set the engine is
+// durable from the first seal. A Dir that already holds durable state is
+// refused: silently starting fresh would re-allocate container IDs from
+// 1 and overwrite the previous session's files — use Open to recover, or
+// remove the directory to discard it.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Dir != "" {
+		if fi, err := os.Stat(filepath.Join(cfg.Dir, ManifestName)); err == nil && fi.Size() > 0 {
+			return nil, fmt.Errorf(
+				"store node %d: %s already holds durable state; open with Recover or remove the directory",
+				cfg.NodeID, cfg.Dir)
+		}
+	}
+	return create(cfg)
+}
+
+// create builds an engine over cfg.Dir without the prior-state guard.
+func create(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Dir != "" {
+		if e.man, err = openManifest(cfg.Dir); err != nil {
+			return nil, fmt.Errorf("store node %d: %w", cfg.NodeID, err)
+		}
+	}
+	if e.containers, err = container.NewManager(e.managerOpts()...); err != nil {
+		return nil, fmt.Errorf("store node %d: %w", cfg.NodeID, err)
+	}
+	return e, nil
+}
+
+// Open recovers a durable storage engine from cfg.Dir by replaying its
+// manifest: sealed containers are re-read (metadata and CRC verified) to
+// rebuild the chunk index and container directory, and journaled
+// representative-fingerprint entries rebuild the similarity index. A
+// container failing its CRC32 check aborts the open with an error wrapping
+// container.ErrCorrupt. An empty or absent manifest yields a fresh engine.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("store: Open requires a durable Dir")
+	}
+	eng, err := create(cfg)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := readManifest(cfg.Dir)
+	if err != nil {
+		eng.man.close()
+		return nil, fmt.Errorf("store node %d: %w", cfg.NodeID, err)
+	}
+	if err := eng.replay(recs); err != nil {
+		eng.man.close()
+		return nil, fmt.Errorf("store node %d: %w", cfg.NodeID, err)
+	}
+	return eng, nil
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Manager exposes the container manager (stats inspection and tests).
+func (e *Engine) Manager() *container.Manager { return e.containers }
+
+func (e *Engine) shardFor(fp fingerprint.Fingerprint) *shard {
+	return &e.shards[fp.Uint64()&e.shardMask]
+}
+
+// prefetch pulls the fingerprint sets of the named containers into the
+// chunk-fingerprint cache.
+func (e *Engine) prefetch(cids []uint64) {
+	if e.cfg.DisablePrefetch {
+		return
+	}
+	for _, cid := range cids {
+		// Sealed containers are immutable, so a cached copy stays valid.
+		// Open containers keep growing and are re-read (from RAM, free).
+		if e.cache.HasContainer(cid) && e.containers.IsSealed(cid) {
+			continue
+		}
+		meta, err := e.containers.Metadata(cid)
+		if err != nil {
+			continue // container may have been lost; skip
+		}
+		fps := make([]fingerprint.Fingerprint, len(meta))
+		for i, m := range meta {
+			fps[i] = m.FP
+		}
+		e.cache.AddContainer(cid, fps)
+		e.prefetches.Add(1)
+	}
+}
+
+// StoreSuperChunk deduplicates and stores one routed super-chunk arriving
+// on the given stream: similarity-index lookup, container prefetch, then
+// per-chunk lookup-or-append under the chunk's fingerprint shard lock.
+func (e *Engine) StoreSuperChunk(stream string, sc *core.SuperChunk) (Result, error) {
+	hp := sc.Handprint(e.cfg.HandprintSize)
+
+	// Step 1–2: similarity index lookup and container prefetch.
+	e.prefetch(e.sim.LookupContainers(hp))
+
+	// Step 3–4: chunk-level dedup against cache, then disk index.
+	var res Result
+	// Chunks stored earlier in this same super-chunk (intra-super-chunk
+	// duplicates) must be detected even in similarity-only mode.
+	local := make(map[fingerprint.Fingerprint]uint64, len(sc.Chunks))
+	// rfpCID records which container ends up holding each representative
+	// fingerprint so the handprint can be indexed afterwards.
+	rfpCID := make(map[fingerprint.Fingerprint]uint64, len(hp))
+
+	for _, ch := range sc.Chunks {
+		cid, dup, err := e.lookupOrAppend(stream, ch, local)
+		if err != nil {
+			return res, err
+		}
+		if dup {
+			res.DupChunks++
+			res.DupBytes += int64(ch.Size)
+		} else {
+			res.UniqueChunks++
+			res.UniqueBytes += int64(ch.Size)
+		}
+		if hp.Contains(ch.FP) {
+			rfpCID[ch.FP] = cid
+		}
+	}
+
+	// Index the handprint for future routing bids and prefetches, and
+	// journal the entries so recovery can rebuild the similarity index.
+	var fps []fingerprint.Fingerprint
+	var cids []uint64
+	for _, rfp := range hp {
+		if cid, ok := rfpCID[rfp]; ok {
+			e.sim.Insert(rfp, cid)
+			fps = append(fps, rfp)
+			cids = append(cids, cid)
+		}
+	}
+	if e.man != nil && len(fps) > 0 {
+		if err := e.man.bufferRFPs(fps, cids); err != nil {
+			return res, fmt.Errorf("store node %d: %w", e.cfg.NodeID, err)
+		}
+	}
+
+	e.noteSuperChunk(res, len(sc.Chunks))
+	return res, nil
+}
+
+// lookupOrAppend is the transactional core of the store path: decide
+// whether fp is a duplicate and, when it is not, append it — atomically
+// with respect to every other store of the same fingerprint, by holding
+// that fingerprint's shard lock across the decision and the append.
+// Verdict order: intra-super-chunk map, fingerprint cache, then on-disk
+// chunk index (with container prefetch on hit, which is what preserves
+// locality for the following chunks).
+func (e *Engine) lookupOrAppend(stream string, ch core.ChunkRef, local map[fingerprint.Fingerprint]uint64) (uint64, bool, error) {
+	if cid, ok := local[ch.FP]; ok {
+		return cid, true, nil
+	}
+	sh := e.shardFor(ch.FP)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cid, ok := e.cache.Lookup(ch.FP); ok {
+		e.cacheHits.Add(1)
+		return cid, true, nil
+	}
+	if e.cidx != nil {
+		if loc, ok := e.cidx.Lookup(ch.FP); ok {
+			e.diskIndexHits.Add(1)
+			// DDFS-style: a disk-index hit prefetches the whole container
+			// so the stream's following chunks hit the cache.
+			e.prefetch([]uint64{loc.CID})
+			return loc.CID, true, nil
+		}
+	}
+	loc, err := e.containers.Append(stream, ch.FP, ch.Data, ch.Size)
+	if err != nil {
+		return 0, false, fmt.Errorf("store node %d: store chunk: %w", e.cfg.NodeID, err)
+	}
+	if e.cidx != nil {
+		e.cidx.Insert(ch.FP, loc)
+	}
+	local[ch.FP] = loc.CID
+	return loc.CID, false, nil
+}
+
+func (e *Engine) noteSuperChunk(res Result, chunks int) {
+	e.superChunks.Add(1)
+	e.logicalBytes.Add(res.UniqueBytes + res.DupBytes)
+	e.physicalBytes.Add(res.UniqueBytes)
+	e.logicalChunks.Add(int64(chunks))
+	e.uniqueChunks.Add(int64(res.UniqueChunks))
+}
+
+// StoreFileInBin implements Extreme Binning's bin-scoped approximate
+// deduplication (Bhagwat et al., MASCOTS'09): the file's chunks are
+// deduplicated only against the bin identified by the file's
+// representative (minimum) fingerprint — not against the engine's full
+// chunk index. Duplicates that live in other bins are missed; that
+// approximation is EB's defining tradeoff (paper Fig. 8).
+func (e *Engine) StoreFileInBin(stream string, binKey fingerprint.Fingerprint, sc *core.SuperChunk) (Result, error) {
+	e.binsMu.Lock()
+	if e.bins == nil {
+		e.bins = make(map[fingerprint.Fingerprint]map[fingerprint.Fingerprint]struct{})
+	}
+	bin, ok := e.bins[binKey]
+	if !ok {
+		bin = make(map[fingerprint.Fingerprint]struct{})
+		e.bins[binKey] = bin
+	}
+	e.binsMu.Unlock()
+
+	var res Result
+	for _, ch := range sc.Chunks {
+		e.binsMu.Lock()
+		_, dup := bin[ch.FP]
+		if !dup {
+			bin[ch.FP] = struct{}{}
+		}
+		e.binsMu.Unlock()
+		if dup {
+			res.DupChunks++
+			res.DupBytes += int64(ch.Size)
+			continue
+		}
+		if _, err := e.containers.Append(stream, ch.FP, ch.Data, ch.Size); err != nil {
+			return res, fmt.Errorf("store node %d: store bin chunk: %w", e.cfg.NodeID, err)
+		}
+		res.UniqueChunks++
+		res.UniqueBytes += int64(ch.Size)
+	}
+	e.noteSuperChunk(res, len(sc.Chunks))
+	return res, nil
+}
+
+// NumBins returns the number of Extreme Binning bins.
+func (e *Engine) NumBins() int {
+	e.binsMu.Lock()
+	defer e.binsMu.Unlock()
+	return len(e.bins)
+}
+
+// QuerySuperChunk answers a source-dedup batched fingerprint query: for
+// each chunk of the super-chunk, report whether it is already stored. The
+// engine performs the same similarity-index prefetch as StoreSuperChunk
+// but mutates no dedup state.
+func (e *Engine) QuerySuperChunk(sc *core.SuperChunk) []bool {
+	hp := sc.Handprint(e.cfg.HandprintSize)
+	e.prefetch(e.sim.LookupContainers(hp))
+	out := make([]bool, len(sc.Chunks))
+	for i, ch := range sc.Chunks {
+		if _, ok := e.cache.Lookup(ch.FP); ok {
+			out[i] = true
+			continue
+		}
+		if e.cidx != nil {
+			if _, ok := e.cidx.Lookup(ch.FP); ok {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// ReadChunk fetches a stored chunk payload (restore path). Requires
+// KeepPayloads or Dir.
+func (e *Engine) ReadChunk(fp fingerprint.Fingerprint) ([]byte, error) {
+	if e.cidx == nil {
+		return nil, fmt.Errorf("store node %d: restore requires the chunk index", e.cfg.NodeID)
+	}
+	loc, ok := e.cidx.Lookup(fp)
+	if !ok {
+		return nil, fmt.Errorf("store node %d: chunk %s: %w", e.cfg.NodeID, fp.Short(), container.ErrNotFound)
+	}
+	data, err := e.containers.ReadChunk(loc)
+	if err != nil {
+		return nil, fmt.Errorf("store node %d: %w", e.cfg.NodeID, err)
+	}
+	return data, nil
+}
+
+// CountHandprintMatches reports how many representative fingerprints of
+// hp are present in the similarity index (routing bid, Algorithm 1).
+func (e *Engine) CountHandprintMatches(hp core.Handprint) int {
+	return e.sim.CountMatches(hp)
+}
+
+// CountStoredChunks reports how many of the given chunk fingerprints are
+// already stored — the sampled chunk-index bid of EMC-style Stateful
+// routing. Charged against the chunk index like any other lookup.
+func (e *Engine) CountStoredChunks(fps []fingerprint.Fingerprint) int {
+	if e.cidx == nil {
+		return 0
+	}
+	count := 0
+	for _, fp := range fps {
+		if _, ok := e.cidx.Lookup(fp); ok {
+			count++
+		}
+	}
+	return count
+}
+
+// StorageUsage returns physical storage usage in bytes.
+func (e *Engine) StorageUsage() int64 { return e.containers.StoredBytes() }
+
+// SimIndexSize returns the similarity index entry count.
+func (e *Engine) SimIndexSize() int { return e.sim.Len() }
+
+// CacheHitRate returns the chunk-fingerprint cache hit rate.
+func (e *Engine) CacheHitRate() float64 { return e.cache.HitRate() }
+
+// DiskIndexStats returns the chunk index disk-I/O counters (zeroes when
+// the index is disabled).
+func (e *Engine) DiskIndexStats() (diskReads, bloomSkips uint64) {
+	if e.cidx == nil {
+		return 0, 0
+	}
+	r, s, _ := e.cidx.Stats()
+	return r, s
+}
+
+// Stats returns a snapshot of the engine's counters. After a recovery the
+// session counters (logical bytes/chunks, cache and index hits) restart
+// from zero while PhysicalBytes and UniqueChunks reflect the restored
+// containers.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		LogicalBytes:  e.logicalBytes.Load(),
+		PhysicalBytes: e.physicalBytes.Load(),
+		LogicalChunks: e.logicalChunks.Load(),
+		UniqueChunks:  e.uniqueChunks.Load(),
+		SuperChunks:   e.superChunks.Load(),
+		CacheHits:     e.cacheHits.Load(),
+		DiskIndexHits: e.diskIndexHits.Load(),
+		Prefetches:    e.prefetches.Load(),
+	}
+}
+
+// Flush seals all open containers (end of a backup session). In durable
+// mode everything stored before a successful Flush is recoverable.
+func (e *Engine) Flush() error {
+	if err := e.containers.SealAll(); err != nil {
+		return err
+	}
+	if e.man != nil {
+		// Sealing drains buffered rfp records, but a Flush that seals
+		// nothing must still land them.
+		return e.man.flushRFPs()
+	}
+	return nil
+}
+
+// Close flushes the engine and releases the manifest. A closed durable
+// engine can be reopened with Open.
+func (e *Engine) Close() error {
+	err := e.Flush()
+	if e.man != nil {
+		if cerr := e.man.close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -84,6 +84,10 @@ type ClusterConfig struct {
 	SuperChunkSize int64
 	// ChunkSize is the static chunk size in bytes (default 4KB).
 	ChunkSize int
+	// Dir, when set, makes every node durable: each gets its own
+	// subdirectory for spilled containers and a recovery manifest, and
+	// RestartNode can bounce it.
+	Dir string
 }
 
 // ClusterStats reports the outcome of a simulated backup.
@@ -121,6 +125,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Scheme:         cfg.Scheme.internal(),
 		HandprintK:     cfg.HandprintSize,
 		SuperChunkSize: cfg.SuperChunkSize,
+		Node:           node.Config{Dir: cfg.Dir},
 	})
 	if err != nil {
 		return nil, err
@@ -157,6 +162,17 @@ func (c *Cluster) Backup(name string, r io.Reader) error {
 // super-chunk and seals containers).
 func (c *Cluster) Flush() error { return c.inner.Flush() }
 
+// Close shuts every node down, releasing durable manifests. A durable
+// cluster directory can be re-opened later.
+func (c *Cluster) Close() error { return c.inner.Close() }
+
+// RestartNode stops node i and re-opens it from its durable directory
+// (requires ClusterConfig.Dir). Quiesce backups first.
+func (c *Cluster) RestartNode(i int) error { return c.inner.RestartNode(i) }
+
+// Restart bounces every node: a full cluster stop/restart/restore cycle.
+func (c *Cluster) Restart() error { return c.inner.Restart() }
+
 // Stats summarizes the cluster after a backup.
 func (c *Cluster) Stats() ClusterStats {
 	st := c.inner.Stats()
@@ -183,9 +199,14 @@ type ServerConfig struct {
 	ID int
 	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
 	Addr string
-	// Dir, when set, spills sealed containers to this directory;
-	// otherwise chunk payloads are kept in RAM.
+	// Dir, when set, spills sealed containers to this directory and
+	// journals a recovery manifest; otherwise chunk payloads are kept in
+	// RAM and the node is not restartable.
 	Dir string
+	// Recover re-opens the node's durable state from Dir (containers,
+	// chunk index, similarity index) instead of starting empty. The
+	// server resumes serving everything sealed before the last shutdown.
+	Recover bool
 	// HandprintSize is k (default 8).
 	HandprintSize int
 }
@@ -197,6 +218,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		HandprintSize: cfg.HandprintSize,
 		KeepPayloads:  true,
 		Dir:           cfg.Dir,
+		Recover:       cfg.Recover,
 	}
 	n, err := node.New(ncfg)
 	if err != nil {
@@ -216,8 +238,16 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 // Addr returns the server's bound address.
 func (s *Server) Addr() string { return s.inner.Addr() }
 
-// Close shuts the server down.
-func (s *Server) Close() error { return s.inner.Close() }
+// Close shuts the server down: the listener stops, then the node seals
+// its open containers and closes its manifest, so a durable server can be
+// brought back with ServerConfig.Recover.
+func (s *Server) Close() error {
+	err := s.inner.Close()
+	if nerr := s.inner.Node().Close(); err == nil {
+		err = nerr
+	}
+	return err
+}
 
 // DedupRatio returns the node's logical/physical ratio so far.
 func (s *Server) DedupRatio() float64 { return s.inner.Node().Stats().DedupRatio() }
