@@ -5,7 +5,9 @@
 // ingest comparison on loopback servers (add -disk for disk-backed
 // nodes); "nodeconc" measures multi-stream single-node store-path scaling
 // with the single store lock vs fingerprint-sharded locking; "recovery"
-// measures the durable stop/restart/restore cycle.
+// measures the durable stop/restart/restore cycle; "gc" measures backup
+// deletion, reference-counting GC and container compaction under
+// concurrent ingest.
 //
 // Usage:
 //
@@ -14,6 +16,7 @@
 //	            [-latency 0] [-disk] ingest
 //	sigma-bench [-json] [-mb 64] [-streams 8] nodeconc
 //	sigma-bench [-json] [-mb 64] [-streams 4] recovery
+//	sigma-bench [-json] [-mb 32] [-streams 8] gc
 //
 // With -json every result is emitted as one JSON object per line
 // (machine-readable; suitable for tracking BENCH_*.json trajectories).
@@ -68,7 +71,7 @@ func run(args []string) error {
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		fmt.Printf("available experiments: %s, ingest, nodeconc, recovery, all\n", strings.Join(experiments.Names(), ", "))
+		fmt.Printf("available experiments: %s, ingest, nodeconc, recovery, gc, all\n", strings.Join(experiments.Names(), ", "))
 		return nil
 	}
 	if len(names) == 1 && names[0] == "all" {
@@ -113,6 +116,15 @@ func run(args []string) error {
 			rep, err := runRecovery(*mb, *streamsFlag)
 			if err != nil {
 				return fmt.Errorf("recovery: %w", err)
+			}
+			if err := emit(rep); err != nil {
+				return err
+			}
+			continue
+		case "gc":
+			rep, err := runGC(*mb, *streamsFlag)
+			if err != nil {
+				return fmt.Errorf("gc: %w", err)
 			}
 			if err := emit(rep); err != nil {
 				return err
@@ -499,6 +511,242 @@ func (r *recoveryReport) print(w *os.File) {
 		r.IngestSeconds, r.Containers, r.UniqueChunks, r.PhysicalMB)
 	fmt.Fprintf(w, "  recover: %.3fs (%.1f MB/s), %d chunks restore-verified byte-identical\n\n",
 		r.RecoverSeconds, r.RecoverMBps, r.VerifiedChunks)
+}
+
+// gcReport records one delete → compact-under-ingest → verify cycle.
+type gcReport struct {
+	Experiment     string `json:"experiment"`
+	DataMB         int    `json:"data_mb"`
+	Streams        int    `json:"streams"`
+	Backups        int    `json:"backups"`
+	DeletedBackups int    `json:"deleted_backups"`
+	// Space accounting (bytes of container files on disk).
+	DiskBytesBefore      int64 `json:"disk_bytes_before"`
+	DiskBytesAfter       int64 `json:"disk_bytes_after"`
+	DeadShareBytes       int64 `json:"dead_share_bytes"`
+	ReclaimedBytes       int64 `json:"reclaimed_bytes"`
+	RetiredOldContainers int64 `json:"retired_containers"`
+	// Ingest throughput, same workload shape, without and with the
+	// compactor running concurrently.
+	IngestMBps           float64 `json:"ingest_mb_s"`
+	IngestMBpsCompacting float64 `json:"ingest_mb_s_compacting"`
+	CompactSeconds       float64 `json:"compact_seconds"`
+	VerifiedChunks       int     `json:"verified_chunks"`
+}
+
+func (r *gcReport) print(w *os.File) {
+	fmt.Fprintf(w, "== gc: durable node, %d MB over %d backups, %d deleted\n",
+		r.DataMB, r.Backups, r.DeletedBackups)
+	fmt.Fprintf(w, "  disk: %.1f MB -> %.1f MB  (dead share %.1f MB, reclaimed %.1f MB, %d containers retired)\n",
+		float64(r.DiskBytesBefore)/(1<<20), float64(r.DiskBytesAfter)/(1<<20),
+		float64(r.DeadShareBytes)/(1<<20), float64(r.ReclaimedBytes)/(1<<20), r.RetiredOldContainers)
+	fmt.Fprintf(w, "  ingest: %.1f MB/s alone, %.1f MB/s with compactor running (compaction %.3fs)\n",
+		r.IngestMBps, r.IngestMBpsCompacting, r.CompactSeconds)
+	fmt.Fprintf(w, "  %d surviving chunks restore-verified byte-identical\n\n", r.VerifiedChunks)
+}
+
+// gcDiskBytes sums the sizes of the container files under dir.
+func gcDiskBytes(dir string) (int64, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "container-*.bin"))
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil {
+			return 0, err
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}
+
+// runGC measures the deletion/compaction subsystem end to end on a
+// durable node: `streams` backups of unique payload data are stored
+// (each on its own stream), half are deleted (recipe-driven decrefs),
+// and compaction reclaims their containers while a second ingest
+// generation runs concurrently. Reports on-disk space before/after,
+// ingest throughput with and without the concurrent compactor, and
+// restore-verifies sampled surviving chunks.
+func runGC(mb, streams int) (*gcReport, error) {
+	if mb <= 0 {
+		mb = 32
+	}
+	if streams <= 0 {
+		streams = 4
+	}
+	backups := 2 * streams // half will be deleted
+	dir, err := os.MkdirTemp("", "sigma-bench-gc-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	nd, err := node.New(node.Config{Dir: dir, KeepPayloads: true})
+	if err != nil {
+		return nil, err
+	}
+	defer nd.Close()
+
+	const chunkSize = 8 << 10
+	const scChunks = 128
+	perBackup := mb << 20 / backups / (scChunks * chunkSize)
+	if perBackup == 0 {
+		perBackup = 1
+	}
+	type sample struct {
+		fp   fingerprint.Fingerprint
+		data []byte
+	}
+	type recipe struct {
+		fps []fingerprint.Fingerprint
+		ns  []int64
+	}
+
+	// ingestGen stores one generation of `backups` backups concurrently
+	// (streams at a time), returning per-backup recipes, per-backup
+	// payload samples (one per super-chunk), and the measured throughput.
+	ingestGen := func(gen int) ([]recipe, [][]sample, float64, error) {
+		recipes := make([]recipe, backups)
+		samples := make([][]sample, backups)
+		var wg sync.WaitGroup
+		errs := make(chan error, backups)
+		start := time.Now()
+		sem := make(chan struct{}, streams)
+		for b := 0; b < backups; b++ {
+			wg.Add(1)
+			go func(b int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				rng := rand.New(rand.NewSource(int64(1000*gen + b)))
+				stream := fmt.Sprintf("gen%d-backup%d", gen, b)
+				var fps []fingerprint.Fingerprint
+				var ns []int64
+				for i := 0; i < perBackup; i++ {
+					sc := &core.SuperChunk{}
+					for j := 0; j < scChunks; j++ {
+						data := make([]byte, chunkSize)
+						rng.Read(data)
+						fp := fingerprint.Sum(data)
+						sc.Chunks = append(sc.Chunks, core.ChunkRef{FP: fp, Size: chunkSize, Data: data})
+						fps = append(fps, fp)
+						ns = append(ns, 1)
+					}
+					if _, err := nd.StoreSuperChunk(stream, sc); err != nil {
+						errs <- err
+						return
+					}
+					samples[b] = append(samples[b], sample{sc.Chunks[0].FP, sc.Chunks[0].Data})
+				}
+				recipes[b] = recipe{fps: fps, ns: ns}
+			}(b)
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			return nil, nil, 0, err
+		default:
+		}
+		if err := nd.Flush(); err != nil {
+			return nil, nil, 0, err
+		}
+		elapsed := time.Since(start).Seconds()
+		logical := float64(backups*perBackup*scChunks*chunkSize) / (1 << 20)
+		return recipes, samples, logical / elapsed, nil
+	}
+
+	// Generation 1: baseline ingest throughput, then delete half.
+	recipes, samples1, mbpsAlone, err := ingestGen(1)
+	if err != nil {
+		return nil, err
+	}
+	diskBefore, err := gcDiskBytes(dir)
+	if err != nil {
+		return nil, err
+	}
+	var deadShare int64
+	for b := 0; b < backups/2; b++ {
+		if err := nd.DecRef(recipes[b].fps, recipes[b].ns); err != nil {
+			return nil, err
+		}
+		deadShare += int64(len(recipes[b].fps) * chunkSize)
+	}
+	// Surviving samples: generation-1 super-chunks of the kept backups.
+	var surviving []sample
+	for b := backups / 2; b < backups; b++ {
+		surviving = append(surviving, samples1[b]...)
+	}
+
+	// Generation 2 ingests while the compactor runs concurrently.
+	stopCompact := make(chan struct{})
+	var compactWG sync.WaitGroup
+	var compactSeconds float64
+	compactWG.Add(1)
+	go func() {
+		defer compactWG.Done()
+		start := time.Now()
+		for {
+			select {
+			case <-stopCompact:
+				compactSeconds = time.Since(start).Seconds()
+				return
+			default:
+			}
+			if _, err := nd.Compact(0.95); err != nil {
+				compactSeconds = time.Since(start).Seconds()
+				return
+			}
+		}
+	}()
+	_, samples2, mbpsCompacting, err := ingestGen(2)
+	if err != nil {
+		return nil, err
+	}
+	close(stopCompact)
+	compactWG.Wait()
+	// Final sweep for anything that died after the last concurrent scan.
+	if _, err := nd.Compact(0.95); err != nil {
+		return nil, err
+	}
+	diskAfter, err := gcDiskBytes(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Verify every surviving sampled chunk restores byte-identically.
+	for _, per := range samples2 {
+		surviving = append(surviving, per...)
+	}
+	verified := 0
+	for _, s := range surviving {
+		got, err := nd.ReadChunk(s.fp)
+		if err != nil {
+			return nil, fmt.Errorf("verify: %w", err)
+		}
+		if !bytes.Equal(got, s.data) {
+			return nil, fmt.Errorf("verify: chunk %s corrupted across delete+compact", s.fp.Short())
+		}
+		verified++
+	}
+	gcStats := nd.GCStats()
+	return &gcReport{
+		Experiment:           "gc",
+		DataMB:               mb,
+		Streams:              streams,
+		Backups:              backups,
+		DeletedBackups:       backups / 2,
+		DiskBytesBefore:      diskBefore,
+		DiskBytesAfter:       diskAfter,
+		DeadShareBytes:       deadShare,
+		ReclaimedBytes:       gcStats.ReclaimedBytes,
+		RetiredOldContainers: gcStats.RetiredContainers,
+		IngestMBps:           mbpsAlone,
+		IngestMBpsCompacting: mbpsCompacting,
+		CompactSeconds:       compactSeconds,
+		VerifiedChunks:       verified,
+	}, nil
 }
 
 // runRecovery ingests payload-carrying data into a disk-backed node from

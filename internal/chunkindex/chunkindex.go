@@ -64,6 +64,16 @@ func (x *Index) Insert(fp fingerprint.Fingerprint, loc container.Loc) {
 	x.mu.Unlock()
 }
 
+// Delete removes fp from the index (garbage collection: the chunk's last
+// reference is gone and its container copy is being retired). The Bloom
+// filter cannot unlearn fp; subsequent lookups of it cost one false-
+// positive disk read, which is the standard DDFS tradeoff.
+func (x *Index) Delete(fp fingerprint.Fingerprint) {
+	x.mu.Lock()
+	delete(x.m, fp)
+	x.mu.Unlock()
+}
+
 // Lookup finds the stored location of fp. A negative Bloom-filter answer
 // short-circuits without disk access; otherwise one disk read is charged.
 func (x *Index) Lookup(fp fingerprint.Fingerprint) (container.Loc, bool) {
@@ -78,6 +88,16 @@ func (x *Index) Lookup(fp fingerprint.Fingerprint) (container.Loc, bool) {
 	if !ok {
 		x.falsePos++
 	}
+	return loc, ok
+}
+
+// Peek finds fp without charging any modeled disk I/O — for GC liveness
+// decisions and recovery sweeps, which are bookkeeping, not part of the
+// measured deduplication lookup path.
+func (x *Index) Peek(fp fingerprint.Fingerprint) (container.Loc, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	loc, ok := x.m[fp]
 	return loc, ok
 }
 

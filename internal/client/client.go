@@ -16,6 +16,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -26,6 +27,7 @@ import (
 	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/pipeline"
 	"sigmadedupe/internal/rpc"
+	"sigmadedupe/internal/store"
 )
 
 // DefaultInflightSuperChunks is the default window of Store RPCs kept in
@@ -536,13 +538,33 @@ func (c *Client) nextPending() *pendingFile {
 	return nil
 }
 
-// finalizeRecipes registers recipes for files whose chunks are all routed.
+// finalizeRecipes registers recipes for files whose chunks are all
+// routed. A new recipe supersedes any previous backup of the same path:
+// after the new recipe is committed, the superseded recipe's chunk
+// references are released on the nodes — it can no longer be restored
+// (the director keeps only the latest recipe per path), so keeping its
+// references would leak every superseded generation's unique chunks
+// forever. Ordering is leak-safe: put-new first, decref-old second, so a
+// failure in between strands references but never frees a chunk the new
+// recipe needs (the new backup's stores took their own references).
 func (c *Client) finalizeRecipes() error {
 	remaining := c.pending[:0]
 	for _, pf := range c.pending {
 		if pf.done && len(pf.entries) == pf.want {
+			prev, prevErr := c.dir.GetRecipe(pf.path)
+			if prevErr != nil && !errors.Is(prevErr, director.ErrNoRecipe) {
+				// A transport failure is not "no previous recipe": silently
+				// skipping the supersede decref would leak the old
+				// generation's references forever.
+				return fmt.Errorf("client: finalize %s: %w", pf.path, prevErr)
+			}
 			if err := c.dir.PutRecipe(c.session, pf.path, pf.entries); err != nil {
 				return err
+			}
+			if prevErr == nil {
+				if err := c.decRefRecipe(pf.path, prev.Chunks); err != nil {
+					return err
+				}
 			}
 			continue
 		}
@@ -550,6 +572,85 @@ func (c *Client) finalizeRecipes() error {
 	}
 	c.pending = remaining
 	return nil
+}
+
+// DeleteBackup deletes one backed-up file end to end: the recipe is
+// removed from the director (journaled first on a durable director — the
+// deletion's commit point), then each node that holds the file's chunks
+// is told to drop the recipe's references on them. Chunks whose last
+// reference goes become dead weight in their containers until node-side
+// compaction reclaims the space. Crash ordering is leak-safe: failing
+// after the recipe is gone but before every decref lands can only leave
+// references behind (space), never free a chunk another backup needs.
+//
+// Deletion is independent of the backup session: it works on a client
+// whose session has already ended and does not touch the sticky backup
+// error state.
+func (c *Client) DeleteBackup(path string) error {
+	recipe, err := c.dir.DeleteRecipe(path)
+	if err != nil {
+		return fmt.Errorf("client: delete %s: %w", path, err)
+	}
+	return c.decRefRecipe(path, recipe.Chunks)
+}
+
+// decRefRecipe releases one recipe's chunk references on the owning
+// nodes, one batch per node, counts grouped per fingerprint.
+func (c *Client) decRefRecipe(path string, entries []director.ChunkEntry) error {
+	byNode := make(map[int32][]fingerprint.Fingerprint)
+	for _, e := range entries {
+		byNode[e.Node] = append(byNode[e.Node], e.FP)
+	}
+	for nd, fps := range byNode {
+		if nd < 0 || int(nd) >= len(c.conns) {
+			return fmt.Errorf("client: delete %s: node %d out of range", path, nd)
+		}
+		order, ns := core.AggregateRefs(fps)
+		if err := c.conns[nd].DecRef(order, ns); err != nil {
+			return fmt.Errorf("client: delete %s: decref node %d: %w", path, nd, err)
+		}
+	}
+	return nil
+}
+
+// Compact asks every node to run one compaction scan (≤0 threshold
+// selects each node's configured live-ratio floor) and returns the
+// summed results.
+func (c *Client) Compact(threshold float64) (store.CompactResult, error) {
+	var total store.CompactResult
+	for i, conn := range c.conns {
+		res, err := conn.Compact(threshold)
+		if err != nil {
+			return total, fmt.Errorf("client: compact node %d: %w", i, err)
+		}
+		total.Scanned += res.Scanned
+		total.Rewritten += res.Rewritten
+		total.Retired += res.Retired
+		total.CopiedBytes += res.CopiedBytes
+		total.ReclaimedBytes += res.ReclaimedBytes
+		total.SkippedNoPayload += res.SkippedNoPayload
+	}
+	return total, nil
+}
+
+// GCStats sums the deletion/compaction counters of every node.
+func (c *Client) GCStats() (store.GCStats, error) {
+	var total store.GCStats
+	for i, conn := range c.conns {
+		gc, _, err := conn.GCStats()
+		if err != nil {
+			return total, fmt.Errorf("client: gc stats node %d: %w", i, err)
+		}
+		total.StoredBytes += gc.StoredBytes
+		total.DeadBytes += gc.DeadBytes
+		total.LiveBytes += gc.LiveBytes
+		total.Containers += gc.Containers
+		total.RetiredContainers += gc.RetiredContainers
+		total.ReclaimedBytes += gc.ReclaimedBytes
+		total.CopiedBytes += gc.CopiedBytes
+		total.CompactRuns += gc.CompactRuns
+	}
+	return total, nil
 }
 
 // restoreWorkers sizes the restore prefetch pool. A defaulted pool is

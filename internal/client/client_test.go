@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"sigmadedupe/internal/director"
 	"sigmadedupe/internal/node"
@@ -233,11 +234,121 @@ func TestSessionFailsStickyAfterError(t *testing.T) {
 	}
 }
 
+// TestPipelineSurfacesSeverPromptly kills the server mid-
+// InflightSuperChunks window (rpc.WithSeverAfter drops the connection
+// after N responses) and asserts the client's concurrent pipeline
+// surfaces the failure promptly — BackupFile/Flush return an error
+// instead of hanging on stranded Store/Query/Bid calls.
+func TestPipelineSurfacesSeverPromptly(t *testing.T) {
+	nd, err := node.New(node.Config{ID: 0, KeepPayloads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := rpc.NewServer(nd, "127.0.0.1:0",
+		rpc.WithHandlerDelay(5*time.Millisecond), rpc.WithSeverAfter(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	dir := director.New()
+	// Small super-chunks and a wide window: many RPCs in flight when the
+	// connection dies.
+	c, err := New(Config{Name: "t", SuperChunkSize: 8 << 10, InflightSuperChunks: 8}, dir, []string{srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	result := make(chan error, 1)
+	go func() {
+		if err := c.BackupFile("/doomed", bytes.NewReader(randBytes(77, 1<<20))); err != nil {
+			result <- err
+			return
+		}
+		result <- c.Flush()
+	}()
+	select {
+	case err := <-result:
+		if err == nil {
+			t.Fatal("backup over a severed connection reported success")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("backup pipeline hung after the server severed the connection")
+	}
+	// The session is sticky-failed and further use fails fast.
+	start := time.Now()
+	if err := c.BackupFile("/after", bytes.NewReader(randBytes(78, 8<<10))); err == nil {
+		t.Fatal("session must stay failed after the sever")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("post-sever backup took %v; should fail fast", elapsed)
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{}, director.New(), nil); err == nil {
 		t.Fatal("no node addresses should error")
 	}
 	if _, err := New(Config{}, director.New(), []string{"127.0.0.1:1"}); err == nil {
 		t.Fatal("unreachable node should error")
+	}
+}
+
+// TestRebackupSupersedesAndReleasesOldReferences: backing the same path
+// up again must release the superseded recipe's chunk references, so the
+// old generation's unique chunks become reclaimable instead of leaking
+// forever.
+func TestRebackupSupersedesAndReleasesOldReferences(t *testing.T) {
+	nd, err := node.New(node.Config{ID: 0, KeepPayloads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := rpc.NewServer(nd, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	dir := director.New()
+	c, err := New(Config{Name: "t", SuperChunkSize: 32 << 10}, dir, []string{srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	v1 := randBytes(60, 128<<10)
+	v2 := randBytes(61, 128<<10) // fully distinct content
+	if err := c.BackupFile("/data", bytes.NewReader(v1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BackupFile("/data", bytes.NewReader(v2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// v1 is superseded: all of its unique bytes must be dead on the node.
+	gc := nd.GCStats()
+	if gc.DeadBytes < int64(len(v1)) {
+		t.Fatalf("DeadBytes after supersede = %d, want >= %d (v1's share)", gc.DeadBytes, len(v1))
+	}
+	if _, err := nd.Compact(0.99); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := c.Restore("/data", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), v2) {
+		t.Fatal("latest generation corrupted after superseded space was reclaimed")
+	}
+	// Deleting the path releases v2's references too; nothing leaks.
+	if err := c.DeleteBackup("/data"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nd.Compact(0.99); err != nil {
+		t.Fatal(err)
+	}
+	if usage := nd.StorageUsage(); usage != 0 {
+		t.Fatalf("storage after deleting every generation = %d, want 0", usage)
 	}
 }

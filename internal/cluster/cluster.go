@@ -32,6 +32,7 @@ import (
 	"sigmadedupe/internal/node"
 	"sigmadedupe/internal/pipeline"
 	"sigmadedupe/internal/router"
+	"sigmadedupe/internal/store"
 )
 
 // Config parameterizes a simulated cluster.
@@ -58,6 +59,13 @@ type Config struct {
 	// bids are memory lookups, so the fan-out only pays off when many
 	// streams contend for cores or bids become genuinely remote.
 	ParallelBids bool
+	// TrackRecipes records, for every backup item with a non-zero fileID,
+	// which chunk fingerprints it routed to which node, enabling
+	// DeleteBackup. Tracking cuts super-chunks at item boundaries so the
+	// attribution is exact (a small routing-granularity cost, the price of
+	// retention). Incompatible with the Extreme Binning scheme, whose
+	// bin-scoped stores bypass the refcounted chunk index.
+	TrackRecipes bool
 	// Node is the per-node configuration template; ID is overridden.
 	Node node.Config
 }
@@ -117,8 +125,21 @@ type Cluster struct {
 	// bound.
 	base Stats
 
+	// recipes holds, per tracked backup item, the chunk references it
+	// took and where they were routed (Config.TrackRecipes).
+	recMu   sync.Mutex
+	recipes map[uint64][]RecipeEntry
+
 	// def is the default stream backing the single-stream BackupItem API.
 	def *Stream
+}
+
+// RecipeEntry is one tracked chunk reference of a backup item: the chunk
+// fingerprint, its size and the node it was routed to.
+type RecipeEntry struct {
+	FP   fingerprint.Fingerprint
+	Size int
+	Node int
 }
 
 var _ router.View = (*Cluster)(nil)
@@ -126,6 +147,9 @@ var _ router.View = (*Cluster)(nil)
 // New builds a cluster of cfg.N nodes.
 func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
+	if cfg.TrackRecipes && cfg.Scheme == router.ExtremeBinning {
+		return nil, fmt.Errorf("cluster: recipe tracking is incompatible with Extreme Binning (bin stores bypass the refcounted chunk index)")
+	}
 	rt, err := router.New(cfg.Scheme, cfg.HandprintK, cfg.SampleRate)
 	if err != nil {
 		return nil, err
@@ -153,7 +177,7 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		nodes[i] = n
 	}
-	c := &Cluster{cfg: cfg, nodes: nodes, rt: rt}
+	c := &Cluster{cfg: cfg, nodes: nodes, rt: rt, recipes: make(map[uint64][]RecipeEntry)}
 	// The default stream keeps the seed's container naming ("client0") so
 	// single-stream results are bit-identical to the serial simulator.
 	def, err := c.Stream("client0")
@@ -313,7 +337,10 @@ func (s *Stream) BackupItem(fileID uint64, refs []core.ChunkRef) error {
 			}
 		}
 	}
-	if fileScoped {
+	if fileScoped || s.c.cfg.TrackRecipes {
+		// Recipe tracking cuts the super-chunk at every item boundary —
+		// including untracked (fileID 0) items — so no partial super-chunk
+		// can carry one item's chunks into the next item's attribution.
 		if sc := s.part.Flush(); sc != nil {
 			sc.FileMinFP = fileMin
 			if err := s.routeAndStore(sc); err != nil {
@@ -365,6 +392,15 @@ func (s *Stream) routeAndStore(sc *core.SuperChunk) error {
 		}
 		if err != nil {
 			return err
+		}
+		if c.cfg.TrackRecipes && sc.FileID != 0 {
+			entries := make([]RecipeEntry, len(target.Chunks))
+			for i, ch := range target.Chunks {
+				entries[i] = RecipeEntry{FP: ch.FP, Size: ch.Size, Node: a.Node}
+			}
+			c.recMu.Lock()
+			c.recipes[sc.FileID] = append(c.recipes[sc.FileID], entries...)
+			c.recMu.Unlock()
 		}
 	}
 	return nil
@@ -446,6 +482,88 @@ func (c *Cluster) EDR(exactPhysical int64) float64 {
 func (c *Cluster) NormalizedDR(exactPhysical int64) float64 {
 	sdr := metrics.DedupRatio(c.Stats().LogicalBytes, exactPhysical)
 	return metrics.NormalizedDR(c.DedupRatio(), sdr)
+}
+
+// Recipe returns the tracked chunk references of a backup item
+// (Config.TrackRecipes), or false when the item is unknown.
+func (c *Cluster) Recipe(fileID uint64) ([]RecipeEntry, bool) {
+	c.recMu.Lock()
+	defer c.recMu.Unlock()
+	r, ok := c.recipes[fileID]
+	if !ok {
+		return nil, false
+	}
+	out := make([]RecipeEntry, len(r))
+	copy(out, r)
+	return out, true
+}
+
+// DeleteBackup deletes a tracked backup item: its recipe is dropped and
+// every node that holds its chunks releases the recipe's references on
+// them. Chunks whose last reference goes become dead space that Compact
+// reclaims. Requires Config.TrackRecipes and a non-zero fileID at backup
+// time.
+func (c *Cluster) DeleteBackup(fileID uint64) error {
+	if !c.cfg.TrackRecipes {
+		return fmt.Errorf("cluster: DeleteBackup requires Config.TrackRecipes")
+	}
+	c.recMu.Lock()
+	entries, ok := c.recipes[fileID]
+	if ok {
+		delete(c.recipes, fileID)
+	}
+	c.recMu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: no tracked backup %d", fileID)
+	}
+	byNode := make(map[int][]fingerprint.Fingerprint)
+	for _, e := range entries {
+		byNode[e.Node] = append(byNode[e.Node], e.FP)
+	}
+	for nd, fps := range byNode {
+		order, ns := core.AggregateRefs(fps)
+		if err := c.nodes[nd].DecRef(order, ns); err != nil {
+			return fmt.Errorf("cluster: delete backup %d: %w", fileID, err)
+		}
+	}
+	return nil
+}
+
+// Compact runs one compaction scan on every node (≤0 threshold selects
+// each node's configured live-ratio floor) and returns the summed
+// results.
+func (c *Cluster) Compact(threshold float64) (store.CompactResult, error) {
+	var total store.CompactResult
+	for i, n := range c.nodes {
+		res, err := n.Compact(threshold)
+		if err != nil {
+			return total, fmt.Errorf("cluster: compact node %d: %w", i, err)
+		}
+		total.Scanned += res.Scanned
+		total.Rewritten += res.Rewritten
+		total.Retired += res.Retired
+		total.CopiedBytes += res.CopiedBytes
+		total.ReclaimedBytes += res.ReclaimedBytes
+		total.SkippedNoPayload += res.SkippedNoPayload
+	}
+	return total, nil
+}
+
+// GCStats sums the deletion/compaction counters of every node.
+func (c *Cluster) GCStats() store.GCStats {
+	var total store.GCStats
+	for _, n := range c.nodes {
+		gc := n.GCStats()
+		total.StoredBytes += gc.StoredBytes
+		total.DeadBytes += gc.DeadBytes
+		total.LiveBytes += gc.LiveBytes
+		total.Containers += gc.Containers
+		total.RetiredContainers += gc.RetiredContainers
+		total.ReclaimedBytes += gc.ReclaimedBytes
+		total.CopiedBytes += gc.CopiedBytes
+		total.CompactRuns += gc.CompactRuns
+	}
+	return total
 }
 
 // RestartNode stops node i — sealing its open containers and closing its

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/node"
 	"sigmadedupe/internal/router"
 	"sigmadedupe/internal/workload"
@@ -307,4 +309,70 @@ func TestRestartNodeRequiresDir(t *testing.T) {
 	if err := c.RestartNode(5); err == nil {
 		t.Fatal("RestartNode out of range should fail")
 	}
+}
+
+// TestTrackedRecipesExactWithUntrackedItems: an untracked (fileID 0)
+// item interleaved before a tracked one must not leak its chunks into
+// the tracked item's recipe — super-chunks are cut at every item
+// boundary while tracking.
+func TestTrackedRecipesExactWithUntrackedItems(t *testing.T) {
+	c, err := New(Config{N: 2, TrackRecipes: true, Node: node.Config{KeepPayloads: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	refsA := payloadRefs(70, 8) // anonymous trace segment
+	refsB := payloadRefs(71, 8) // tracked backup item
+	if err := c.BackupItem(0, refsA); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BackupItem(7, refsB); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := c.Recipe(7)
+	if !ok {
+		t.Fatal("tracked item has no recipe")
+	}
+	want := make(map[string]bool, len(refsB))
+	for _, r := range refsB {
+		want[r.FP.String()] = true
+	}
+	if len(rec) != len(refsB) {
+		t.Fatalf("recipe holds %d chunks, want %d (untracked item leaked in?)", len(rec), len(refsB))
+	}
+	for _, e := range rec {
+		if !want[e.FP.String()] {
+			t.Fatalf("recipe 7 contains foreign chunk %s", e.FP.Short())
+		}
+	}
+	// Deleting item 7 must not touch the untracked item's chunks.
+	if err := c.DeleteBackup(7); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refsA {
+		alive := false
+		for _, n := range c.Nodes() {
+			if n.Engine().RefCount(r.FP) > 0 {
+				alive = true
+			}
+		}
+		if !alive {
+			t.Fatalf("untracked item's chunk %s lost its references to a foreign delete", r.FP.Short())
+		}
+	}
+}
+
+// payloadRefs builds n random fingerprinted 4KB chunk refs with payloads.
+func payloadRefs(seed int64, n int) []core.ChunkRef {
+	rng := rand.New(rand.NewSource(seed))
+	refs := make([]core.ChunkRef, n)
+	for i := range refs {
+		data := make([]byte, 4096)
+		rng.Read(data)
+		refs[i] = core.ChunkRef{FP: fingerprint.Sum(data), Size: len(data), Data: data}
+	}
+	return refs
 }

@@ -23,6 +23,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -461,12 +462,77 @@ func (m *Manager) AdoptSealed(c *Container, spilled bool) {
 	}
 	m.mu.Unlock()
 	m.bytes.Add(int64(c.bytes))
+	m.AdvanceID(c.ID)
+}
+
+// AdvanceID moves the container ID allocator past cid. Recovery calls it
+// for every journaled container — including retired ones whose files are
+// gone — so a new session can never re-allocate an ID that already
+// appears in the manifest.
+func (m *Manager) AdvanceID(cid uint64) {
 	for {
 		cur := m.nextID.Load()
-		if c.ID <= cur || m.nextID.CompareAndSwap(cur, c.ID) {
+		if cid <= cur || m.nextID.CompareAndSwap(cur, cid) {
 			break
 		}
 	}
+}
+
+// Retire removes a sealed container from the manager and deletes its
+// spill file: the compaction endgame, after every surviving chunk has
+// been copied out and the retire record is durable. Retiring an unknown
+// or open container is an error. The caller is responsible for having
+// journaled the retirement first — Retire itself is not atomic against a
+// crash, which is why recovery replays retire records before adopting
+// seals.
+func (m *Manager) Retire(cid uint64) error {
+	m.mu.Lock()
+	c, ok := m.sealed[cid]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: retire container %d", ErrNotFound, cid)
+	}
+	disk := m.onDisk[cid]
+	delete(m.sealed, cid)
+	delete(m.onDisk, cid)
+	m.mu.Unlock()
+
+	m.lruMu.Lock()
+	if el, ok := m.lruIx[cid]; ok {
+		m.lruLL.Remove(el)
+		delete(m.lruIx, cid)
+	}
+	m.lruMu.Unlock()
+
+	m.bytes.Add(-int64(c.bytes))
+	if disk {
+		if err := os.Remove(m.path(cid)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("container: retire %d: %w", cid, err)
+		}
+	}
+	return nil
+}
+
+// SealedInfo describes one sealed container for GC scans.
+type SealedInfo struct {
+	CID    uint64
+	Bytes  int64
+	Chunks int
+	OnDisk bool
+}
+
+// SealedContainers snapshots the sealed-container directory (CID, payload
+// size, chunk count, disk residency), sorted by CID. The compactor uses it
+// to pick low-live-ratio rewrite candidates.
+func (m *Manager) SealedContainers() []SealedInfo {
+	m.mu.RLock()
+	out := make([]SealedInfo, 0, len(m.sealed))
+	for cid, c := range m.sealed {
+		out = append(out, SealedInfo{CID: cid, Bytes: int64(c.bytes), Chunks: len(c.Meta), OnDisk: m.onDisk[cid]})
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].CID < out[j].CID })
+	return out
 }
 
 // Stats reports cumulative I/O counters and stored bytes.

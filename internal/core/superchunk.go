@@ -208,3 +208,24 @@ func (p *Partitioner) flush() *SuperChunk {
 	p.size = 0
 	return out
 }
+
+// AggregateRefs folds a list of chunk fingerprints — typically the
+// entries of a backup recipe or a stored super-chunk, where the same
+// chunk may appear several times — into (fingerprint, count) pairs in
+// first-appearance order. It is the shared shape of every reference
+// batch in the deletion subsystem: each occurrence is one reference.
+func AggregateRefs(fps []fingerprint.Fingerprint) ([]fingerprint.Fingerprint, []int64) {
+	counts := make(map[fingerprint.Fingerprint]int64, len(fps))
+	order := make([]fingerprint.Fingerprint, 0, len(fps))
+	for _, fp := range fps {
+		if counts[fp] == 0 {
+			order = append(order, fp)
+		}
+		counts[fp]++
+	}
+	ns := make([]int64, len(order))
+	for i, fp := range order {
+		ns[i] = counts[fp]
+	}
+	return order, ns
+}

@@ -5,11 +5,25 @@
 // the node each chunk was routed to — required to reconstruct the file on
 // restore. All backup-session-level and file-level metadata lives here;
 // deduplication nodes never need to know about files.
+//
+// Recipes are first-class durable objects when the director is opened
+// with a directory (OpenAt): every PutRecipe and DeleteRecipe appends an
+// fsynced record to a JSON-lines journal, and a restarted director
+// replays it to recover the full recipe catalog. The recipe catalog is
+// what the deletion subsystem hangs off: deleting a backup removes its
+// recipe (journaled first — the commit point) and hands the recipe's
+// per-node chunk references back to the caller for decref, so nodes can
+// account per-container liveness and compact dead space.
 package director
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -57,6 +71,7 @@ type Director struct {
 	nextID   uint64
 	sessions map[uint64]*Session
 	recipes  map[string]*Recipe // latest recipe per path
+	journal  *os.File           // nil for an in-RAM director
 }
 
 // Errors returned by recipe and session lookups.
@@ -65,13 +80,120 @@ var (
 	ErrNoRecipe  = errors.New("director: no recipe for file")
 )
 
-// New creates an empty director.
+// JournalName is the recipe journal's file name under a durable
+// director's directory.
+const JournalName = "RECIPES"
+
+// recipeRecord is one line of the recipe journal.
+type recipeRecord struct {
+	T       string      `json:"t"` // "put" or "del"
+	Path    string      `json:"path"`
+	Session uint64      `json:"session,omitempty"`
+	Chunks  []chunkJSON `json:"chunks,omitempty"`
+}
+
+type chunkJSON struct {
+	FP   string `json:"fp"`
+	Size int32  `json:"size"`
+	Node int32  `json:"node"`
+}
+
+// New creates an empty in-RAM director (recipes do not survive a
+// restart; use OpenAt for a durable one).
 func New() *Director {
 	return &Director{
 		now:      time.Now,
 		sessions: make(map[uint64]*Session),
 		recipes:  make(map[string]*Recipe),
 	}
+}
+
+// OpenAt creates a durable director rooted at dir: recipes are journaled
+// (fsynced per mutation) to dir/RECIPES and an existing journal is
+// replayed, so the recipe catalog survives restarts. Sessions are
+// deliberately ephemeral — a recovered recipe keeps its original session
+// ID for provenance, but old sessions are not resurrected.
+func OpenAt(dir string) (*Director, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("director: create dir: %w", err)
+	}
+	d := New()
+	path := filepath.Join(dir, JournalName)
+	raw, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("director: read journal: %w", err)
+	}
+	lines := bytes.Split(raw, []byte{'\n'})
+	for i, ln := range lines {
+		ln = bytes.TrimSpace(ln)
+		if len(ln) == 0 {
+			continue
+		}
+		var rec recipeRecord
+		if err := json.Unmarshal(ln, &rec); err != nil {
+			if i == len(lines)-1 {
+				break // torn tail write from a crash mid-append
+			}
+			return nil, fmt.Errorf("director: journal line %d: %w", i+1, err)
+		}
+		switch rec.T {
+		case "put":
+			chunks := make([]ChunkEntry, len(rec.Chunks))
+			for j, c := range rec.Chunks {
+				fp, err := fingerprint.Parse(c.FP)
+				if err != nil {
+					return nil, fmt.Errorf("director: journal line %d: %w", i+1, err)
+				}
+				chunks[j] = ChunkEntry{FP: fp, Size: c.Size, Node: c.Node}
+			}
+			d.recipes[rec.Path] = &Recipe{Path: rec.Path, Session: rec.Session, Chunks: chunks}
+			if rec.Session > d.nextID {
+				d.nextID = rec.Session
+			}
+		case "del":
+			delete(d.recipes, rec.Path)
+		default:
+			return nil, fmt.Errorf("director: journal line %d: unknown record type %q", i+1, rec.T)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("director: open journal: %w", err)
+	}
+	d.journal = f
+	return d, nil
+}
+
+// appendJournal writes one fsynced record; caller holds d.mu. A nil
+// journal (in-RAM director) is a no-op.
+func (d *Director) appendJournal(rec recipeRecord) error {
+	if d.journal == nil {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("director: encode journal record: %w", err)
+	}
+	if _, err := d.journal.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("director: journal append: %w", err)
+	}
+	if err := d.journal.Sync(); err != nil {
+		return fmt.Errorf("director: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close releases the recipe journal (durable directors). Safe on in-RAM
+// directors.
+func (d *Director) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.journal == nil {
+		return nil
+	}
+	err := d.journal.Close()
+	d.journal = nil
+	return err
 }
 
 // BeginSession opens a backup session for a client and returns its ID.
@@ -100,7 +222,9 @@ func (d *Director) EndSession(id uint64) error {
 }
 
 // PutRecipe records the recipe of one backed-up file within a session.
-// A later backup of the same path supersedes the previous recipe.
+// A later backup of the same path supersedes the previous recipe. On a
+// durable director the recipe is journaled (fsynced) before it becomes
+// visible.
 func (d *Director) PutRecipe(session uint64, path string, chunks []ChunkEntry) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -108,11 +232,40 @@ func (d *Director) PutRecipe(session uint64, path string, chunks []ChunkEntry) e
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSession, session)
 	}
+	if d.journal != nil {
+		js := make([]chunkJSON, len(chunks))
+		for i, c := range chunks {
+			js[i] = chunkJSON{FP: c.FP.String(), Size: c.Size, Node: c.Node}
+		}
+		if err := d.appendJournal(recipeRecord{T: "put", Path: path, Session: session, Chunks: js}); err != nil {
+			return err
+		}
+	}
 	s.Files = append(s.Files, path)
 	cp := make([]ChunkEntry, len(chunks))
 	copy(cp, chunks)
 	d.recipes[path] = &Recipe{Path: path, Session: session, Chunks: cp}
 	return nil
+}
+
+// DeleteRecipe removes a backup's recipe and returns it so the caller
+// can release the recipe's chunk references on the owning nodes. On a
+// durable director the deletion is journaled (fsynced) before the recipe
+// disappears — the commit point of the backup deletion: delete the
+// recipe first, then decref the nodes, so a crash in between can only
+// leak references (space), never free chunks a surviving recipe needs.
+func (d *Director) DeleteRecipe(path string) (Recipe, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.recipes[path]
+	if !ok {
+		return Recipe{}, fmt.Errorf("%w: %s", ErrNoRecipe, path)
+	}
+	if err := d.appendJournal(recipeRecord{T: "del", Path: path}); err != nil {
+		return Recipe{}, err
+	}
+	delete(d.recipes, path)
+	return *r, nil
 }
 
 // GetRecipe returns the latest recipe for a path.

@@ -132,3 +132,69 @@ func TestConcurrentSessions(t *testing.T) {
 		t.Fatalf("Files = %d, want 16", len(d.Files()))
 	}
 }
+
+// TestDurableRecipesSurviveReopen: a durable director's recipe catalog —
+// puts and deletes — is rebuilt from the journal on reopen.
+func TestDurableRecipesSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := d.BeginSession("c")
+	mkChunks := func(seed string) []ChunkEntry {
+		return []ChunkEntry{
+			{FP: fingerprint.Sum([]byte(seed + "1")), Size: 4096, Node: 0},
+			{FP: fingerprint.Sum([]byte(seed + "2")), Size: 1024, Node: 1},
+		}
+	}
+	if err := d.PutRecipe(sess, "/a", mkChunks("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PutRecipe(sess, "/b", mkChunks("b")); err != nil {
+		t.Fatal(err)
+	}
+	deleted, err := d.DeleteRecipe("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted.Chunks) != 2 {
+		t.Fatalf("deleted recipe has %d chunks, want 2", len(deleted.Chunks))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenAt(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.GetRecipe("/a"); !errors.Is(err, ErrNoRecipe) {
+		t.Fatalf("deleted recipe resurrected across reopen: %v", err)
+	}
+	got, err := r.GetRecipe("/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mkChunks("b")
+	if len(got.Chunks) != len(want) || got.Chunks[0] != want[0] || got.Chunks[1] != want[1] {
+		t.Fatalf("recovered recipe = %+v, want %+v", got.Chunks, want)
+	}
+	if got.Session != sess {
+		t.Fatalf("recovered recipe session = %d, want %d (provenance)", got.Session, sess)
+	}
+	// New sessions allocate past the journaled ones.
+	if s2 := r.BeginSession("c2"); s2 <= sess {
+		t.Fatalf("reopened director reused session ID %d (prior %d)", s2, sess)
+	}
+}
+
+// TestDeleteRecipeUnknown: deleting a recipe that does not exist fails
+// with ErrNoRecipe and journals nothing.
+func TestDeleteRecipeUnknown(t *testing.T) {
+	d := New()
+	if _, err := d.DeleteRecipe("/ghost"); !errors.Is(err, ErrNoRecipe) {
+		t.Fatalf("err = %v, want ErrNoRecipe", err)
+	}
+}

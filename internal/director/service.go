@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 )
 
@@ -16,6 +17,7 @@ type Metadata interface {
 	EndSession(id uint64) error
 	PutRecipe(session uint64, path string, chunks []ChunkEntry) error
 	GetRecipe(path string) (Recipe, error)
+	DeleteRecipe(path string) (Recipe, error)
 }
 
 var (
@@ -31,6 +33,7 @@ const (
 	opEnd
 	opPut
 	opGet
+	opDelete
 )
 
 type dirRequest struct {
@@ -148,6 +151,13 @@ func (s *Service) serveConn(conn net.Conn) {
 			} else {
 				resp.Recipe = r
 			}
+		case opDelete:
+			r, err := s.dir.DeleteRecipe(req.Path)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Recipe = r
+			}
 		default:
 			resp.Err = fmt.Sprintf("director: unknown op %d", int(req.Op))
 		}
@@ -189,9 +199,21 @@ func (r *Remote) call(req dirRequest) (dirResponse, error) {
 		return dirResponse{}, fmt.Errorf("director: recv: %w", err)
 	}
 	if resp.Err != "" {
-		return resp, errors.New(resp.Err)
+		return resp, wireError(resp.Err)
 	}
 	return resp, nil
+}
+
+// wireError rehydrates the sentinel errors callers dispatch on (a
+// missing recipe must stay distinguishable from a transport failure —
+// the client's supersede logic skips its decref only on ErrNoRecipe).
+func wireError(msg string) error {
+	for _, sentinel := range []error{ErrNoRecipe, ErrNoSession} {
+		if strings.Contains(msg, sentinel.Error()) {
+			return fmt.Errorf("%w (remote: %s)", sentinel, msg)
+		}
+	}
+	return errors.New(msg)
 }
 
 // BeginSession implements Metadata. A transport failure returns session 0,
@@ -219,6 +241,15 @@ func (r *Remote) PutRecipe(session uint64, path string, chunks []ChunkEntry) err
 // GetRecipe implements Metadata.
 func (r *Remote) GetRecipe(path string) (Recipe, error) {
 	resp, err := r.call(dirRequest{Op: opGet, Path: path})
+	if err != nil {
+		return Recipe{}, err
+	}
+	return resp.Recipe, nil
+}
+
+// DeleteRecipe implements Metadata.
+func (r *Remote) DeleteRecipe(path string) (Recipe, error) {
+	resp, err := r.call(dirRequest{Op: opDelete, Path: path})
 	if err != nil {
 		return Recipe{}, err
 	}

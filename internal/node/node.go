@@ -14,6 +14,7 @@ package node
 
 import (
 	"fmt"
+	"time"
 
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/fingerprint"
@@ -58,6 +59,13 @@ type Config struct {
 	// Recover re-opens the engine from Dir, replaying the manifest to
 	// restore the node's pre-shutdown state. Requires Dir.
 	Recover bool
+	// CompactEvery, when positive, runs a background compactor that
+	// periodically rewrites containers whose live-chunk ratio fell below
+	// CompactThreshold. Zero leaves compaction manual (Compact).
+	CompactEvery time.Duration
+	// CompactThreshold is the live-ratio floor below which a container is
+	// rewritten (default store.DefaultCompactThreshold).
+	CompactThreshold float64
 }
 
 func (c Config) storeConfig() store.Config {
@@ -74,6 +82,8 @@ func (c Config) storeConfig() store.Config {
 		Dir:               c.Dir,
 		Shards:            c.StoreShards,
 		LoadedContainers:  c.LoadedContainers,
+		CompactEvery:      c.CompactEvery,
+		CompactThreshold:  c.CompactThreshold,
 	}
 }
 
@@ -134,6 +144,7 @@ func New(cfg Config) (*Node, error) {
 	cfg.ExpectedChunks = eff.ExpectedChunks
 	cfg.StoreShards = eff.Shards
 	cfg.LoadedContainers = eff.LoadedContainers
+	cfg.CompactThreshold = eff.CompactThreshold
 	return &Node{cfg: cfg, eng: eng}, nil
 }
 
@@ -190,6 +201,23 @@ func (n *Node) QuerySuperChunk(sc *core.SuperChunk) []bool {
 func (n *Node) ReadChunk(fp fingerprint.Fingerprint) ([]byte, error) {
 	return n.eng.ReadChunk(fp)
 }
+
+// DecRef releases backup references on chunks: fps[i] loses ns[i]
+// references — the per-node share of a deleted backup's recipe. Durable
+// nodes journal the batch before applying it. See store.Engine.DecRef.
+func (n *Node) DecRef(fps []fingerprint.Fingerprint, ns []int64) error {
+	return n.eng.DecRef(fps, ns)
+}
+
+// Compact runs one compaction scan, rewriting sealed containers whose
+// live ratio fell below minLive (≤0 selects the configured threshold).
+// Safe to run concurrently with backups and restores.
+func (n *Node) Compact(minLive float64) (store.CompactResult, error) {
+	return n.eng.Compact(minLive)
+}
+
+// GCStats returns the node's deletion/compaction counters.
+func (n *Node) GCStats() store.GCStats { return n.eng.GCStats() }
 
 // Flush seals all open containers (end of a backup session). In durable
 // mode everything stored before a successful Flush is recoverable.

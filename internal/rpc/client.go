@@ -10,6 +10,7 @@ import (
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/node"
+	"sigmadedupe/internal/store"
 )
 
 // Client is a pipelined connection to one deduplication server. Multiple
@@ -169,6 +170,37 @@ func (c *Client) ReadChunk(fp fingerprint.Fingerprint) ([]byte, error) {
 func (c *Client) Flush() error {
 	_, err := c.Call(Request{Op: OpFlush})
 	return err
+}
+
+// DecRef releases backup references on the server's chunks: fps[i] loses
+// ns[i] references (one batch per node of a deleted backup's recipe).
+func (c *Client) DecRef(fps []fingerprint.Fingerprint, ns []int64) error {
+	chunks := make([]ChunkWire, len(fps))
+	for i, fp := range fps {
+		chunks[i] = ChunkWire{FP: fp}
+	}
+	_, err := c.Call(Request{Op: OpDecRef, Chunks: chunks, Counts: ns})
+	return err
+}
+
+// Compact runs one compaction scan on the server (≤0 threshold selects
+// the server's configured live-ratio floor).
+func (c *Client) Compact(threshold float64) (store.CompactResult, error) {
+	resp, err := c.Call(Request{Op: OpCompact, Threshold: threshold})
+	if err != nil {
+		return store.CompactResult{}, err
+	}
+	return resp.Compacted, nil
+}
+
+// GCStats fetches the server's deletion/compaction counters and storage
+// usage.
+func (c *Client) GCStats() (store.GCStats, int64, error) {
+	resp, err := c.Call(Request{Op: OpGCStats})
+	if err != nil {
+		return store.GCStats{}, 0, err
+	}
+	return resp.GC, resp.Usage, nil
 }
 
 // Stats fetches node statistics and storage usage.

@@ -12,6 +12,7 @@ package rpc
 import (
 	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/node"
+	"sigmadedupe/internal/store"
 )
 
 // Op enumerates request types understood by a deduplication server.
@@ -35,6 +36,13 @@ const (
 	OpFlush
 	// OpStats fetches node statistics.
 	OpStats
+	// OpDecRef releases backup references on chunks (backup deletion: one
+	// batch per node, grouped from the deleted recipe).
+	OpDecRef
+	// OpCompact runs one compaction scan on the node.
+	OpCompact
+	// OpGCStats fetches the node's deletion/compaction counters.
+	OpGCStats
 )
 
 // ChunkWire is one chunk on the wire: fingerprint, size and (for store
@@ -55,8 +63,15 @@ type Request struct {
 	Handprint []fingerprint.Fingerprint
 	// Chunks carries the super-chunk membership for OpQuery (sizes and
 	// fingerprints only), the unique chunks for OpStore (with payloads),
-	// or the single fingerprint for OpReadChunk.
+	// the single fingerprint for OpReadChunk, or the fingerprints losing
+	// references for OpDecRef.
 	Chunks []ChunkWire
+	// Counts carries per-fingerprint reference counts for OpDecRef
+	// (parallel to Chunks).
+	Counts []int64
+	// Threshold is the live-ratio floor for OpCompact (≤0 selects the
+	// node's configured threshold).
+	Threshold float64
 }
 
 // Response is the single envelope for all server replies.
@@ -73,4 +88,8 @@ type Response struct {
 	Chunks []ChunkWire
 	// Stats is populated for OpStats.
 	Stats node.Stats
+	// GC is populated for OpGCStats.
+	GC store.GCStats
+	// Compacted is populated for OpCompact.
+	Compacted store.CompactResult
 }

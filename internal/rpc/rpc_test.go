@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/fingerprint"
@@ -194,6 +195,75 @@ func TestMultipleClients(t *testing.T) {
 		if !d {
 			t.Fatalf("client2 chunk %d should be duplicate", i)
 		}
+	}
+}
+
+// TestSeverMidWindowFailsAllInflightCalls is the RPC fault-injection
+// exercise: the server dies (WithSeverAfter) while a window of pipelined
+// calls is in flight. Every in-flight call must surface a connection
+// error promptly — none may hang on a response that will never come.
+func TestSeverMidWindowFailsAllInflightCalls(t *testing.T) {
+	const calls = 32
+	const survive = 5
+	nd, err := node.New(node.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The handler delay holds the whole window in flight so the sever
+	// strands calls that were already sent, not just unsent ones.
+	srv, err := NewServer(nd, "127.0.0.1:0",
+		WithHandlerDelay(20*time.Millisecond), WithSeverAfter(survive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := makeSC(int64(9000+i), 4)
+			_, _, errs[i] = c.Bid(sc.Handprint(4))
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight calls hung after the server severed the connection")
+	}
+	okCount, errCount := 0, 0
+	for _, err := range errs {
+		if err != nil {
+			errCount++
+		} else {
+			okCount++
+		}
+	}
+	if okCount > survive {
+		t.Fatalf("%d calls succeeded after a sever at %d responses", okCount, survive)
+	}
+	if errCount < calls-survive {
+		t.Fatalf("only %d of %d stranded calls surfaced errors", errCount, calls-survive)
+	}
+	// The connection is failed for good: later calls fail fast, not hang.
+	start := time.Now()
+	if _, _, err := c.Bid(core.Handprint{fingerprint.Sum([]byte("post"))}); err == nil {
+		t.Fatal("call on a severed connection should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("post-sever call took %v; should fail fast", elapsed)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/node"
 )
 
@@ -18,9 +19,10 @@ import (
 // concurrently and responses are serialized by a per-connection writer
 // lock, so a pipelined client sees maximal parallelism.
 type Server struct {
-	node  *node.Node
-	ln    net.Listener
-	delay time.Duration
+	node       *node.Node
+	ln         net.Listener
+	delay      time.Duration
+	severAfter int
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -38,6 +40,15 @@ type ServerOption func(*Server)
 // where request pipelining pays. Intended for benchmarks; zero disables.
 func WithHandlerDelay(d time.Duration) ServerOption {
 	return func(s *Server) { s.delay = d }
+}
+
+// WithSeverAfter makes the server hard-close each connection immediately
+// after writing its n-th response, emulating a server death mid-window:
+// every call still in flight on that connection loses its response and
+// must surface a connection error at the client promptly rather than
+// hang. Fault-injection hook for tests; zero disables.
+func WithSeverAfter(n int) ServerOption {
+	return func(s *Server) { s.severAfter = n }
 }
 
 // NewServer wraps a deduplication node and listens on addr
@@ -111,6 +122,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	var wmu sync.Mutex
+	var responses int
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 	for {
@@ -130,6 +142,12 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Encoding errors mean the peer is gone; the read loop will
 			// notice and tear the connection down.
 			_ = enc.Encode(resp)
+			responses++
+			if s.severAfter > 0 && responses == s.severAfter {
+				// Fault injection: die mid-conversation, stranding every
+				// other in-flight call on this connection.
+				conn.Close()
+			}
 			wmu.Unlock()
 		}(req)
 	}
@@ -173,6 +191,26 @@ func (s *Server) handle(req Request) Response {
 
 	case OpStats:
 		resp.Stats = s.node.Stats()
+		resp.Usage = s.node.StorageUsage()
+
+	case OpDecRef:
+		fps := make([]fingerprint.Fingerprint, len(req.Chunks))
+		for i, ch := range req.Chunks {
+			fps[i] = ch.FP
+		}
+		if err := s.node.DecRef(fps, req.Counts); err != nil {
+			resp.Err = err.Error()
+		}
+
+	case OpCompact:
+		res, err := s.node.Compact(req.Threshold)
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		resp.Compacted = res
+
+	case OpGCStats:
+		resp.GC = s.node.GCStats()
 		resp.Usage = s.node.StorageUsage()
 
 	default:

@@ -1,18 +1,42 @@
 // Manifest: the append-only journal that makes a storage engine
-// restartable. Each line is one JSON record; two record types exist:
+// restartable. Each line is one JSON record; five record types exist:
 //
 //	{"t":"seal","cid":7,"file":"container-00000007.bin","chunks":128,"bytes":4194304,"crc":3735928559}
 //	{"t":"rfp","fps":["<40-hex>",...],"cids":[7,...]}
+//	{"t":"ref","fps":["<40-hex>",...],"ns":[2,...]}
+//	{"t":"decref","fps":["<40-hex>",...],"ns":[1,...]}
+//	{"t":"retire","cid":7}
 //
 // A "seal" record commits a spilled container (written and fsynced before
 // the record lands, so a record always names a complete file). An "rfp"
 // record journals the representative-fingerprint → container entries one
-// stored super-chunk added to the similarity index. Recovery replays seal
-// records first (rebuilding the chunk index and container directory from
-// container metadata, CRC-verified), then rfp records in order, so
-// later-super-chunk overwrites of a representative fingerprint win
-// exactly as they did online. A torn final line — a crash mid-append — is
-// ignored; torn or corrupt earlier lines fail the open.
+// stored super-chunk added to the similarity index. A "ref" record
+// journals chunk-reference increments (one count per fingerprint) from
+// stored super-chunks; a "decref" record journals the reference
+// decrements of a backup deletion — together they make the per-chunk
+// refcounts, and with them the per-container live ratios, recoverable. A
+// "retire" record commits a compaction: the named container's surviving
+// chunks live in a later-sealed container, and its file is dead.
+//
+// Recovery replays seal records first (rebuilding the chunk index and
+// container directory from container metadata, CRC-verified, skipping
+// retired containers), then rfp records in order, then ref/decref records
+// in journal order. A torn final line — a crash mid-append — is ignored;
+// torn or corrupt earlier lines fail the open, and so do records of an
+// unknown type or retire/decref records referencing containers or chunk
+// references the journal never introduced: a manifest that claims to
+// delete state this store never had is corrupt, and restoring from it
+// silently could hand the compactor live chunks.
+//
+// Durability classes: seal, retire and decref records are fsynced (they
+// commit container data, container death, and backup deletion
+// respectively). rfp and ref records are buffered in RAM and batch-
+// written — they are drained ahead of every seal record (whose fsync then
+// covers them) and Flush both drains and fsyncs, so after a successful
+// Flush the refcounts of everything stored are durable. Losing unflushed
+// ref records in a crash can only over-count references (the backup that
+// made them never became durable either), which leaks space but never
+// frees a live chunk.
 package store
 
 import (
@@ -43,14 +67,16 @@ type record struct {
 	CRC    uint32   `json:"crc,omitempty"`
 	FPs    []string `json:"fps,omitempty"`
 	CIDs   []uint64 `json:"cids,omitempty"`
+	Ns     []int64  `json:"ns,omitempty"`
 }
 
-// manifest is the open append handle. Appends are serialized by mu; seal
-// records are fsynced (they commit data), rfp records are not (losing
-// them only degrades the recovered similarity index, never correctness —
-// the chunk index is rebuilt from container metadata). rfp records are
-// additionally buffered in RAM and written in batches, so the per-super-
-// chunk store path never touches the file: it takes only the short
+// manifest is the open append handle. Appends are serialized by mu;
+// seal, retire and decref records are fsynced (they commit data, a
+// container's death, and a deletion respectively), rfp and ref records
+// are not (rfp loss only degrades the recovered similarity index; ref
+// loss can only over-count, see the package comment). rfp/ref records
+// are additionally buffered in RAM and written in batches, so the per-
+// super-chunk store path never touches the file: it takes only the short
 // buffer lock, keeping the sharded store path off one global file write.
 type manifest struct {
 	mu sync.Mutex
@@ -60,9 +86,9 @@ type manifest struct {
 	buf   []record
 }
 
-// rfpFlushThreshold bounds the RAM held by buffered rfp records before an
-// inline batch write.
-const rfpFlushThreshold = 1024
+// bufFlushThreshold bounds the RAM held by buffered rfp/ref records
+// before an inline batch write.
+const bufFlushThreshold = 1024
 
 func openManifest(dir string) (*manifest, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -97,9 +123,10 @@ func (m *manifest) append(rec record, sync bool) error {
 }
 
 func (m *manifest) appendSeal(rec container.SealRecord) error {
-	// Drain buffered rfp records first so the journal stays roughly in
-	// insertion order (replay is two-pass and order-tolerant regardless).
-	if err := m.flushRFPs(); err != nil {
+	// Drain buffered rfp/ref records first so the journal stays roughly
+	// in insertion order (replay is multi-pass and order-tolerant
+	// regardless) and the seal's fsync makes them durable too.
+	if err := m.flushBuffered(); err != nil {
 		return err
 	}
 	return m.append(record{
@@ -112,25 +139,58 @@ func (m *manifest) appendSeal(rec container.SealRecord) error {
 	}, true)
 }
 
-// bufferRFPs queues one super-chunk's similarity-index entries. No file
-// I/O happens here — the hot store path only appends to a slice.
-func (m *manifest) bufferRFPs(fps []fingerprint.Fingerprint, cids []uint64) error {
+// appendRetire journals (fsynced) that a compacted container is dead: its
+// surviving chunks live in a later-sealed container and its file may be
+// removed. Replay must see any seal records for the survivors' new home
+// before this, which the compactor guarantees by sealing first.
+func (m *manifest) appendRetire(cid uint64) error {
+	if err := m.flushBuffered(); err != nil {
+		return err
+	}
+	return m.append(record{T: "retire", CID: cid}, true)
+}
+
+// appendDecref journals (fsynced) the reference decrements of one backup
+// deletion — the deletion's commit point.
+func (m *manifest) appendDecref(fps []fingerprint.Fingerprint, ns []int64) error {
+	if err := m.flushBuffered(); err != nil {
+		return err
+	}
+	return m.append(record{T: "decref", FPs: hexFPs(fps), Ns: ns}, true)
+}
+
+func hexFPs(fps []fingerprint.Fingerprint) []string {
 	hexes := make([]string, len(fps))
 	for i, fp := range fps {
 		hexes[i] = fp.String()
 	}
+	return hexes
+}
+
+// bufferRFPs queues one super-chunk's similarity-index entries. No file
+// I/O happens here — the hot store path only appends to a slice.
+func (m *manifest) bufferRFPs(fps []fingerprint.Fingerprint, cids []uint64) error {
+	return m.buffer(record{T: "rfp", FPs: hexFPs(fps), CIDs: cids})
+}
+
+// bufferRefs queues one super-chunk's chunk-reference increments.
+func (m *manifest) bufferRefs(fps []fingerprint.Fingerprint, ns []int64) error {
+	return m.buffer(record{T: "ref", FPs: hexFPs(fps), Ns: ns})
+}
+
+func (m *manifest) buffer(rec record) error {
 	m.bufMu.Lock()
-	m.buf = append(m.buf, record{T: "rfp", FPs: hexes, CIDs: cids})
-	full := len(m.buf) >= rfpFlushThreshold
+	m.buf = append(m.buf, rec)
+	full := len(m.buf) >= bufFlushThreshold
 	m.bufMu.Unlock()
 	if full {
-		return m.flushRFPs()
+		return m.flushBuffered()
 	}
 	return nil
 }
 
-// flushRFPs writes all buffered rfp records as one batch.
-func (m *manifest) flushRFPs() error {
+// flushBuffered writes all buffered rfp/ref records as one batch.
+func (m *manifest) flushBuffered() error {
 	m.bufMu.Lock()
 	batch := m.buf
 	m.buf = nil
@@ -158,8 +218,26 @@ func (m *manifest) flushRFPs() error {
 	return nil
 }
 
+// sync drains buffered records and fsyncs the manifest, making every
+// journaled fact durable (Flush's commit point for refcounts on backups
+// that seal no container).
+func (m *manifest) sync() error {
+	if err := m.flushBuffered(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return errors.New("manifest: closed")
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("manifest: sync: %w", err)
+	}
+	return nil
+}
+
 func (m *manifest) close() error {
-	err := m.flushRFPs()
+	err := m.flushBuffered()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.f == nil {
@@ -205,12 +283,51 @@ func readManifest(dir string) ([]record, error) {
 	return recs, nil
 }
 
-// replay rebuilds engine state from manifest records: seal records first
-// (container directory + chunk index, CRC-verified), then rfp records in
-// journal order (similarity index).
+// replay rebuilds engine state from manifest records: the retired set is
+// collected first (with loud validation — unknown record types and
+// retire/decref records referencing state the journal never introduced
+// fail the open), then seal records rebuild the container directory and
+// chunk index (later seals of a compacted chunk's new home overwrite the
+// old location, exactly as the compactor did online), then rfp records
+// rebuild the similarity index, then ref/decref records in journal order
+// rebuild the chunk refcounts, and finally a sweep over the adopted
+// containers re-derives per-container dead bytes so the compactor's
+// live-ratio scan resumes where it left off.
 func (e *Engine) replay(recs []record) error {
+	// Pass 1: validate record types in journal order; collect retires.
+	sealed := make(map[uint64]bool)
+	retired := make(map[uint64]bool)
+	for i, r := range recs {
+		switch r.T {
+		case "seal":
+			sealed[r.CID] = true
+		case "retire":
+			if !sealed[r.CID] {
+				return fmt.Errorf("manifest: record %d: retire of container %d the journal never sealed", i+1, r.CID)
+			}
+			if retired[r.CID] {
+				return fmt.Errorf("manifest: record %d: container %d retired twice", i+1, r.CID)
+			}
+			retired[r.CID] = true
+		case "rfp", "ref", "decref":
+		default:
+			return fmt.Errorf("manifest: record %d: unknown record type %q", i+1, r.T)
+		}
+	}
+
+	// Pass 2: adopt sealed containers, skipping retired ones (their files
+	// are dead; a leftover from a crash between the retire record and the
+	// file removal is deleted here).
+	var adopted []*container.Container
 	for _, r := range recs {
 		if r.T != "seal" {
+			continue
+		}
+		if retired[r.CID] {
+			e.containers.AdvanceID(r.CID) // never re-allocate a journaled ID
+			if r.File != "" {
+				_ = os.Remove(filepath.Join(e.cfg.Dir, r.File))
+			}
 			continue
 		}
 		raw, err := os.ReadFile(filepath.Join(e.cfg.Dir, r.File))
@@ -241,7 +358,10 @@ func (e *Engine) replay(recs []record) error {
 		// Metadata stays resident; the payload lives on disk and is pulled
 		// through the loaded-container LRU on demand.
 		e.containers.AdoptSealed(c, true)
+		adopted = append(adopted, c)
 	}
+
+	// Pass 3: similarity index.
 	for _, r := range recs {
 		if r.T != "rfp" || len(r.FPs) != len(r.CIDs) {
 			continue
@@ -255,6 +375,112 @@ func (e *Engine) replay(recs []record) error {
 				return fmt.Errorf("recover similarity entry: %w", err)
 			}
 			e.sim.Insert(fp, r.CIDs[i])
+		}
+	}
+
+	// Pass 4–5: refcounts. Skipped when GC is disabled (no chunk index to
+	// anchor liveness to); deletion is unsupported there anyway.
+	if !e.gcEnabled() {
+		return nil
+	}
+	// Legacy manifests predate refcounting: they hold sealed chunks but no
+	// ref/decref records at all. Replaying them verbatim would leave every
+	// chunk at zero references — the dead sweep below would mark the whole
+	// store dead and the first compaction would delete all pre-upgrade
+	// data. Instead, seed one reference per primary chunk copy (the
+	// conservative direction: retained forever unless something explicitly
+	// decrefs) and journal the seeding so the store is only ever migrated
+	// once — later sessions see the seeded ref records like any others.
+	hasRefRecords := false
+	for _, r := range recs {
+		if r.T == "ref" || r.T == "decref" {
+			hasRefRecords = true
+			break
+		}
+	}
+	if !hasRefRecords && len(adopted) > 0 {
+		for _, c := range adopted {
+			var fps []fingerprint.Fingerprint
+			for _, cm := range c.Meta {
+				if loc, ok := e.cidx.Peek(cm.FP); ok && loc.CID == c.ID {
+					e.shardFor(cm.FP).refs[cm.FP] = 1
+					fps = append(fps, cm.FP)
+				}
+			}
+			if len(fps) > 0 {
+				ns := make([]int64, len(fps))
+				for i := range ns {
+					ns[i] = 1
+				}
+				if err := e.man.bufferRefs(fps, ns); err != nil {
+					return err
+				}
+			}
+		}
+		if err := e.man.sync(); err != nil {
+			return err
+		}
+	}
+	for i, r := range recs {
+		if r.T != "ref" && r.T != "decref" {
+			continue
+		}
+		for j, hex := range r.FPs {
+			fp, err := fingerprint.Parse(hex)
+			if err != nil {
+				return fmt.Errorf("recover refcount entry: %w", err)
+			}
+			n := int64(1)
+			if j < len(r.Ns) {
+				n = r.Ns[j]
+			}
+			if n <= 0 {
+				return fmt.Errorf("manifest: record %d: non-positive refcount delta %d for %s", i+1, n, fp.Short())
+			}
+			sh := e.shardFor(fp)
+			if r.T == "ref" {
+				sh.refs[fp] += n
+				continue
+			}
+			if sh.refs[fp] < n {
+				return fmt.Errorf(
+					"manifest: record %d: decref of %d references on chunk %s which has only %d — deletion of state this store never held",
+					i+1, n, fp.Short(), sh.refs[fp])
+			}
+			sh.refs[fp] -= n
+			if sh.refs[fp] == 0 {
+				delete(sh.refs, fp)
+			}
+		}
+	}
+	// Drop refcounts for chunks lost with unsealed containers (their ref
+	// records were drained by another stream's seal before the crash, but
+	// the chunks themselves never became durable — and neither did the
+	// backup that referenced them).
+	for i := range e.shards {
+		sh := &e.shards[i]
+		for fp := range sh.refs {
+			if _, ok := e.cidx.Peek(fp); !ok {
+				delete(sh.refs, fp)
+			}
+		}
+	}
+	// Pass 6: per-container dead bytes. A chunk copy is dead when nothing
+	// references it any more, or when the chunk index points at another
+	// copy (a compaction that crashed after sealing the new home but
+	// before retiring the old one leaves such stale copies behind; marking
+	// them dead lets the next compaction run converge).
+	for _, c := range adopted {
+		var dead int64
+		for _, cm := range c.Meta {
+			sh := e.shardFor(cm.FP)
+			loc, ok := e.cidx.Peek(cm.FP)
+			if sh.refs[cm.FP] == 0 || !ok || loc.CID != c.ID {
+				dead += int64(cm.Length)
+			}
+		}
+		if dead > 0 {
+			e.dead[c.ID] = dead
 		}
 	}
 	return nil

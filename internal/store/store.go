@@ -31,6 +31,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sigmadedupe/internal/chunkindex"
 	"sigmadedupe/internal/container"
@@ -43,6 +44,18 @@ import (
 // DefaultShards is the default fingerprint lock-stripe count of the
 // lookup-or-append path.
 const DefaultShards = 512
+
+// DefaultCompactThreshold is the live-ratio floor below which the
+// compactor rewrites a sealed container: at 0.5, a container is rewritten
+// once more than half of its payload bytes are dead.
+const DefaultCompactThreshold = 0.5
+
+// ErrChunkVanished reports a store of a brand-new chunk without its
+// payload on a payload-keeping engine: the client's duplicate query raced
+// a deletion+compaction that collected the chunk in between. The backup
+// fails cleanly instead of storing an unrestorable chunk; retrying the
+// backup resends the payload.
+var ErrChunkVanished = errors.New("store: chunk vanished between query and store")
 
 // Config parameterizes a storage engine.
 type Config struct {
@@ -76,6 +89,14 @@ type Config struct {
 	// LoadedContainers bounds the LRU of spilled containers loaded back
 	// into RAM during restore and prefetch.
 	LoadedContainers int
+	// CompactEvery, when positive, runs a background compactor that
+	// periodically rewrites sealed containers whose live-chunk ratio has
+	// dropped below CompactThreshold. Zero leaves compaction manual
+	// (Compact).
+	CompactEvery time.Duration
+	// CompactThreshold is the live-ratio floor below which a sealed
+	// container is rewritten (default DefaultCompactThreshold).
+	CompactThreshold float64
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +120,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LoadedContainers <= 0 {
 		c.LoadedContainers = container.DefaultLoadedContainers
+	}
+	if c.CompactThreshold <= 0 || c.CompactThreshold >= 1 {
+		c.CompactThreshold = DefaultCompactThreshold
 	}
 	return c
 }
@@ -124,10 +148,16 @@ type Result struct {
 }
 
 // shard is one lock stripe of the store path, padded to its own cache
-// line to limit false sharing between adjacent stripes.
+// line to limit false sharing between adjacent stripes. Besides the
+// lock it owns the chunk refcounts of its fingerprint stripe: every
+// reference a stored super-chunk takes on a chunk and every recipe-driven
+// decref of that chunk mutate the count under the same lock that
+// serializes the chunk's lookup-or-append, so liveness decisions and
+// store verdicts can never interleave.
 type shard struct {
-	mu sync.Mutex
-	_  [56]byte
+	mu   sync.Mutex
+	refs map[fingerprint.Fingerprint]int64
+	_    [48]byte
 }
 
 // Engine is a per-node storage engine. All methods are safe for
@@ -151,6 +181,28 @@ type Engine struct {
 	cacheHits     atomic.Uint64
 	diskIndexHits atomic.Uint64
 	prefetches    atomic.Uint64
+
+	// GC state. dead holds per-container dead payload bytes (chunk copies
+	// no backup references any more); gcMu guards it and is always
+	// acquired after a shard lock, never before. decrefMu serializes
+	// DeleteBackup-driven decrefs so validation and journal append cannot
+	// interleave between two deletions. compactMu serializes compaction
+	// runs (background ticker vs manual Compact).
+	gcMu     sync.Mutex
+	dead     map[uint64]int64
+	decrefMu sync.Mutex
+
+	compactMu         sync.Mutex
+	retiredContainers atomic.Int64
+	reclaimedBytes    atomic.Int64
+	copiedBytes       atomic.Int64
+	compactRuns       atomic.Int64
+	// compactFault, when set (tests), is invoked at each named stage of a
+	// container's compaction; an error aborts mid-flight, emulating a
+	// crash at that point.
+	compactFault func(stage CompactStage, cid uint64) error
+	compactStop  chan struct{}
+	compactWG    sync.WaitGroup
 
 	// bins holds Extreme Binning per-representative chunk-fingerprint
 	// sets, used only when the node serves the EB baseline.
@@ -179,15 +231,26 @@ func newEngine(cfg Config) (*Engine, error) {
 	for n < cfg.Shards {
 		n <<= 1
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		sim:       sim,
 		cache:     cache,
 		cidx:      cidx,
 		shards:    make([]shard, n),
 		shardMask: uint64(n - 1),
-	}, nil
+		dead:      make(map[uint64]int64),
+	}
+	for i := range e.shards {
+		e.shards[i].refs = make(map[fingerprint.Fingerprint]int64)
+	}
+	return e, nil
 }
+
+// gcEnabled reports whether chunk refcounting (and with it deletion and
+// compaction) is active. GC anchors liveness to the full chunk index;
+// the approximate similarity-only mode has no authoritative record of
+// what is stored, so deletion is unsupported there.
+func (e *Engine) gcEnabled() bool { return e.cidx != nil }
 
 func (e *Engine) managerOpts() []container.Option {
 	opts := []container.Option{
@@ -219,10 +282,17 @@ func New(cfg Config) (*Engine, error) {
 				cfg.NodeID, cfg.Dir)
 		}
 	}
-	return create(cfg)
+	e, err := create(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.startCompactor()
+	return e, nil
 }
 
-// create builds an engine over cfg.Dir without the prior-state guard.
+// create builds an engine over cfg.Dir without the prior-state guard and
+// without starting the background compactor (Open starts it only after
+// replay).
 func create(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	e, err := newEngine(cfg)
@@ -263,6 +333,7 @@ func Open(cfg Config) (*Engine, error) {
 		eng.man.close()
 		return nil, fmt.Errorf("store node %d: %w", cfg.NodeID, err)
 	}
+	eng.startCompactor()
 	return eng, nil
 }
 
@@ -352,9 +423,27 @@ func (e *Engine) StoreSuperChunk(stream string, sc *core.SuperChunk) (Result, er
 			return res, fmt.Errorf("store node %d: %w", e.cfg.NodeID, err)
 		}
 	}
+	// Journal the chunk references this super-chunk took (each chunk
+	// occurrence is one reference; intra-super-chunk duplicates count each
+	// time, mirroring the recipe entries a deletion will decref).
+	if e.man != nil && e.gcEnabled() {
+		refFPs, refNs := aggregateRefs(sc.Chunks)
+		if err := e.man.bufferRefs(refFPs, refNs); err != nil {
+			return res, fmt.Errorf("store node %d: %w", e.cfg.NodeID, err)
+		}
+	}
 
 	e.noteSuperChunk(res, len(sc.Chunks))
 	return res, nil
+}
+
+// aggregateRefs folds a super-chunk's chunk list into (fp, count) pairs.
+func aggregateRefs(chunks []core.ChunkRef) ([]fingerprint.Fingerprint, []int64) {
+	fps := make([]fingerprint.Fingerprint, len(chunks))
+	for i, ch := range chunks {
+		fps[i] = ch.FP
+	}
+	return core.AggregateRefs(fps)
 }
 
 // lookupOrAppend is the transactional core of the store path: decide
@@ -365,14 +454,26 @@ func (e *Engine) StoreSuperChunk(stream string, sc *core.SuperChunk) (Result, er
 // chunk index (with container prefetch on hit, which is what preserves
 // locality for the following chunks).
 func (e *Engine) lookupOrAppend(stream string, ch core.ChunkRef, local map[fingerprint.Fingerprint]uint64) (uint64, bool, error) {
+	gc := e.gcEnabled()
+	sh := e.shardFor(ch.FP)
 	if cid, ok := local[ch.FP]; ok {
+		if gc {
+			sh.mu.Lock()
+			sh.refs[ch.FP]++
+			sh.mu.Unlock()
+		}
 		return cid, true, nil
 	}
-	sh := e.shardFor(ch.FP)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if cid, ok := e.cache.Lookup(ch.FP); ok {
+	// A cache hit is only a trustworthy duplicate verdict while the chunk
+	// is referenced: once its refcount reaches zero the compactor may
+	// collect it at any moment, so the authoritative chunk index decides.
+	if cid, ok := e.cache.Lookup(ch.FP); ok && (!gc || sh.refs[ch.FP] > 0) {
 		e.cacheHits.Add(1)
+		if gc {
+			sh.refs[ch.FP]++
+		}
 		return cid, true, nil
 	}
 	if e.cidx != nil {
@@ -381,8 +482,32 @@ func (e *Engine) lookupOrAppend(stream string, ch core.ChunkRef, local map[finge
 			// DDFS-style: a disk-index hit prefetches the whole container
 			// so the stream's following chunks hit the cache.
 			e.prefetch([]uint64{loc.CID})
+			if gc {
+				if sh.refs[ch.FP] == 0 {
+					// Resurrection: a dead chunk regains its first
+					// reference; its container copy is live again.
+					e.gcMu.Lock()
+					if e.dead[loc.CID] > 0 {
+						e.dead[loc.CID] -= int64(loc.Length)
+						if e.dead[loc.CID] <= 0 {
+							delete(e.dead, loc.CID)
+						}
+					}
+					e.gcMu.Unlock()
+				}
+				sh.refs[ch.FP]++
+			}
 			return loc.CID, true, nil
 		}
+	}
+	if ch.Data == nil && e.cfg.KeepPayloads {
+		// A payload-keeping engine received a brand-new chunk without its
+		// payload: the client's duplicate query raced a deletion+compaction
+		// that collected the chunk in between. Failing the store keeps the
+		// backup honest; storing a payload-less chunk would corrupt its
+		// restore. (Trace-driven engines, which never carry payloads, are
+		// exempt — they only ever measure dedup state.)
+		return 0, false, fmt.Errorf("store node %d: chunk %s: %w", e.cfg.NodeID, ch.FP.Short(), ErrChunkVanished)
 	}
 	loc, err := e.containers.Append(stream, ch.FP, ch.Data, ch.Size)
 	if err != nil {
@@ -390,6 +515,9 @@ func (e *Engine) lookupOrAppend(stream string, ch core.ChunkRef, local map[finge
 	}
 	if e.cidx != nil {
 		e.cidx.Insert(ch.FP, loc)
+	}
+	if gc {
+		sh.refs[ch.FP]++
 	}
 	local[ch.FP] = loc.CID
 	return loc.CID, false, nil
@@ -460,34 +588,53 @@ func (e *Engine) QuerySuperChunk(sc *core.SuperChunk) []bool {
 	e.prefetch(e.sim.LookupContainers(hp))
 	out := make([]bool, len(sc.Chunks))
 	for i, ch := range sc.Chunks {
+		dup := false
 		if _, ok := e.cache.Lookup(ch.FP); ok {
-			out[i] = true
-			continue
-		}
-		if e.cidx != nil {
+			dup = true
+		} else if e.cidx != nil {
 			if _, ok := e.cidx.Lookup(ch.FP); ok {
-				out[i] = true
+				dup = true
 			}
 		}
+		// A dead chunk (zero references) may be collected before the
+		// client's store arrives; reporting it as absent makes the client
+		// resend its payload, which the store path then either resurrects
+		// (duplicate verdict) or appends fresh.
+		if dup && e.gcEnabled() {
+			sh := e.shardFor(ch.FP)
+			sh.mu.Lock()
+			dup = sh.refs[ch.FP] > 0
+			sh.mu.Unlock()
+		}
+		out[i] = dup
 	}
 	return out
 }
 
 // ReadChunk fetches a stored chunk payload (restore path). Requires
-// KeepPayloads or Dir.
+// KeepPayloads or Dir. A restore racing the compactor can look a chunk up
+// just before its container is rewritten; the read retries through the
+// chunk index once, picking up the chunk's new location.
 func (e *Engine) ReadChunk(fp fingerprint.Fingerprint) ([]byte, error) {
 	if e.cidx == nil {
 		return nil, fmt.Errorf("store node %d: restore requires the chunk index", e.cfg.NodeID)
 	}
-	loc, ok := e.cidx.Lookup(fp)
-	if !ok {
-		return nil, fmt.Errorf("store node %d: chunk %s: %w", e.cfg.NodeID, fp.Short(), container.ErrNotFound)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		loc, ok := e.cidx.Lookup(fp)
+		if !ok {
+			return nil, fmt.Errorf("store node %d: chunk %s: %w", e.cfg.NodeID, fp.Short(), container.ErrNotFound)
+		}
+		data, err := e.containers.ReadChunk(loc)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if !errors.Is(err, container.ErrNotFound) && !errors.Is(err, os.ErrNotExist) {
+			break
+		}
 	}
-	data, err := e.containers.ReadChunk(loc)
-	if err != nil {
-		return nil, fmt.Errorf("store node %d: %w", e.cfg.NodeID, err)
-	}
-	return data, nil
+	return nil, fmt.Errorf("store node %d: %w", e.cfg.NodeID, lastErr)
 }
 
 // CountHandprintMatches reports how many representative fingerprints of
@@ -549,22 +696,24 @@ func (e *Engine) Stats() Stats {
 }
 
 // Flush seals all open containers (end of a backup session). In durable
-// mode everything stored before a successful Flush is recoverable.
+// mode everything stored before a successful Flush is recoverable —
+// including its chunk refcounts: the manifest is fsynced even when no
+// container sealed (a fully-duplicate backup stores no new data but
+// still takes references that a crash must not forget).
 func (e *Engine) Flush() error {
 	if err := e.containers.SealAll(); err != nil {
 		return err
 	}
 	if e.man != nil {
-		// Sealing drains buffered rfp records, but a Flush that seals
-		// nothing must still land them.
-		return e.man.flushRFPs()
+		return e.man.sync()
 	}
 	return nil
 }
 
-// Close flushes the engine and releases the manifest. A closed durable
-// engine can be reopened with Open.
+// Close stops the background compactor, flushes the engine and releases
+// the manifest. A closed durable engine can be reopened with Open.
 func (e *Engine) Close() error {
+	e.stopCompactor()
 	err := e.Flush()
 	if e.man != nil {
 		if cerr := e.man.close(); err == nil {
@@ -572,4 +721,105 @@ func (e *Engine) Close() error {
 		}
 	}
 	return err
+}
+
+// DecRef releases backup references on chunks: fps[i] loses ns[i]
+// references (the recipe entries of a deleted backup, grouped by
+// fingerprint). The decrement batch is journaled fsynced before it is
+// applied — the durable commit point of the deletion on this node. A
+// chunk whose last reference goes is not erased immediately; it becomes
+// dead weight in its container until the compactor rewrites or retires
+// the container.
+//
+// Decrefing more references than a chunk holds, or a chunk this engine
+// never stored, fails loudly without journaling or applying anything:
+// it means the caller's recipes and this store disagree, and guessing
+// would eventually free live chunks.
+func (e *Engine) DecRef(fps []fingerprint.Fingerprint, ns []int64) error {
+	if !e.gcEnabled() {
+		return fmt.Errorf("store node %d: deletion requires the chunk index", e.cfg.NodeID)
+	}
+	if len(ns) != len(fps) {
+		return fmt.Errorf("store node %d: decref: %d fingerprints, %d counts", e.cfg.NodeID, len(fps), len(ns))
+	}
+	e.decrefMu.Lock()
+	defer e.decrefMu.Unlock()
+	// Validate the whole batch first. Concurrent stores can only add
+	// references, and concurrent DecRefs are serialized by decrefMu, so a
+	// batch that validates here cannot under-run when applied below.
+	for i, fp := range fps {
+		if ns[i] <= 0 {
+			return fmt.Errorf("store node %d: decref: non-positive count %d for %s", e.cfg.NodeID, ns[i], fp.Short())
+		}
+		sh := e.shardFor(fp)
+		sh.mu.Lock()
+		have := sh.refs[fp]
+		sh.mu.Unlock()
+		if have < ns[i] {
+			return fmt.Errorf("store node %d: decref: chunk %s has %d references, asked to drop %d",
+				e.cfg.NodeID, fp.Short(), have, ns[i])
+		}
+	}
+	if e.man != nil {
+		if err := e.man.appendDecref(fps, ns); err != nil {
+			return fmt.Errorf("store node %d: %w", e.cfg.NodeID, err)
+		}
+	}
+	for i, fp := range fps {
+		sh := e.shardFor(fp)
+		sh.mu.Lock()
+		sh.refs[fp] -= ns[i]
+		if sh.refs[fp] <= 0 {
+			delete(sh.refs, fp)
+			if loc, ok := e.cidx.Peek(fp); ok {
+				e.gcMu.Lock()
+				e.dead[loc.CID] += int64(loc.Length)
+				e.gcMu.Unlock()
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// GCStats is a snapshot of the deletion/compaction subsystem.
+type GCStats struct {
+	StoredBytes       int64 // physical payload bytes currently held
+	DeadBytes         int64 // bytes of chunk copies with zero references
+	LiveBytes         int64 // StoredBytes - DeadBytes
+	Containers        int   // sealed containers currently held
+	RetiredContainers int64 // containers removed by compaction, ever
+	ReclaimedBytes    int64 // payload bytes freed by compaction, ever
+	CopiedBytes       int64 // surviving bytes rewritten by compaction, ever
+	CompactRuns       int64 // compaction scans completed
+}
+
+// GCStats returns the engine's garbage-collection counters.
+func (e *Engine) GCStats() GCStats {
+	var dead int64
+	e.gcMu.Lock()
+	for _, d := range e.dead {
+		dead += d
+	}
+	e.gcMu.Unlock()
+	stored := e.containers.StoredBytes()
+	return GCStats{
+		StoredBytes:       stored,
+		DeadBytes:         dead,
+		LiveBytes:         stored - dead,
+		Containers:        e.containers.NumSealed(),
+		RetiredContainers: e.retiredContainers.Load(),
+		ReclaimedBytes:    e.reclaimedBytes.Load(),
+		CopiedBytes:       e.copiedBytes.Load(),
+		CompactRuns:       e.compactRuns.Load(),
+	}
+}
+
+// RefCount reports the current reference count of a chunk (tests and
+// diagnostics).
+func (e *Engine) RefCount(fp fingerprint.Fingerprint) int64 {
+	sh := e.shardFor(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.refs[fp]
 }

@@ -21,6 +21,7 @@ package sigmadedupe
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"sigmadedupe/internal/chunker"
 	"sigmadedupe/internal/client"
@@ -88,6 +89,18 @@ type ClusterConfig struct {
 	// subdirectory for spilled containers and a recovery manifest, and
 	// RestartNode can bounce it.
 	Dir string
+	// KeepPayloads retains chunk payloads on the simulated nodes. Dedup
+	// accounting does not need them, but compaction does: only a
+	// payload-carrying cluster can physically rewrite containers after
+	// DeleteBackup.
+	KeepPayloads bool
+	// CompactEvery, when positive, runs a background compactor on every
+	// node, rewriting containers whose live-chunk ratio fell below
+	// CompactThreshold. Zero leaves compaction manual (Compact).
+	CompactEvery time.Duration
+	// CompactThreshold is the live-ratio floor below which a container is
+	// rewritten (default 0.5).
+	CompactThreshold float64
 }
 
 // ClusterStats reports the outcome of a simulated backup.
@@ -110,9 +123,12 @@ type Cluster struct {
 	exact     *cluster.ExactTracker
 	algorithm fingerprint.Algorithm
 	nextFile  uint64
+	fileIDs   map[string]uint64 // backup name → tracked item ID
 }
 
-// NewCluster builds a simulated cluster.
+// NewCluster builds a simulated cluster. Backups fed through Backup are
+// recipe-tracked, so DeleteBackup can retire them and Compact can
+// reclaim their container space.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
@@ -125,7 +141,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Scheme:         cfg.Scheme.internal(),
 		HandprintK:     cfg.HandprintSize,
 		SuperChunkSize: cfg.SuperChunkSize,
-		Node:           node.Config{Dir: cfg.Dir},
+		TrackRecipes:   cfg.Scheme != SchemeExtremeBinning,
+		Node: node.Config{
+			Dir:              cfg.Dir,
+			KeepPayloads:     cfg.KeepPayloads,
+			CompactEvery:     cfg.CompactEvery,
+			CompactThreshold: cfg.CompactThreshold,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -135,6 +157,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		inner:     inner,
 		exact:     cluster.NewExactTracker(),
 		algorithm: fingerprint.SHA1,
+		fileIDs:   make(map[string]uint64),
 	}, nil
 }
 
@@ -153,9 +176,86 @@ func (c *Cluster) Backup(name string, r io.Reader) error {
 	refs := make([]core.ChunkRef, len(chunks))
 	for i, ch := range chunks {
 		refs[i] = core.ChunkRef{FP: c.algorithm.Sum(ch.Data), Size: ch.Len()}
+		if c.cfg.KeepPayloads {
+			refs[i].Data = ch.Data
+		}
 	}
 	c.exact.Add(refs)
-	return c.inner.BackupItem(c.nextFile, refs)
+	if err := c.inner.BackupItem(c.nextFile, refs); err != nil {
+		return err
+	}
+	// Only a completed backup takes the name: a failed re-backup must not
+	// repoint the name at a partial recipe (nor strand the previous one).
+	prev, hadPrev := c.fileIDs[name]
+	c.fileIDs[name] = c.nextFile
+	// A re-backup of the same name supersedes the previous generation:
+	// only the latest is restorable/deletable by name, so the superseded
+	// recipe's references are released (the new backup took its own).
+	if hadPrev && c.cfg.Scheme != SchemeExtremeBinning {
+		return c.inner.DeleteBackup(prev)
+	}
+	return nil
+}
+
+// DeleteBackup deletes a named backup: its tracked recipe is dropped and
+// the owning nodes release its chunk references. The freed chunks become
+// dead container space until Compact (or the background compactor)
+// reclaims it. Deleting a name that was backed up more than once deletes
+// the most recent backup of that name.
+func (c *Cluster) DeleteBackup(name string) error {
+	id, ok := c.fileIDs[name]
+	if !ok {
+		return fmt.Errorf("sigmadedupe: no backup named %q", name)
+	}
+	if err := c.inner.DeleteBackup(id); err != nil {
+		return err
+	}
+	delete(c.fileIDs, name)
+	return nil
+}
+
+// GCResult summarizes one compaction pass across the cluster.
+type GCResult struct {
+	ContainersScanned int
+	ContainersRetired int
+	CopiedBytes       int64
+	ReclaimedBytes    int64
+}
+
+// Compact runs one compaction scan on every node, rewriting containers
+// whose live-chunk ratio fell below threshold (≤0 selects the configured
+// default, 0.5) and reclaiming the dead space of deleted backups.
+func (c *Cluster) Compact(threshold float64) (GCResult, error) {
+	res, err := c.inner.Compact(threshold)
+	return GCResult{
+		ContainersScanned: res.Scanned,
+		ContainersRetired: res.Retired,
+		CopiedBytes:       res.CopiedBytes,
+		ReclaimedBytes:    res.ReclaimedBytes,
+	}, err
+}
+
+// GCStats reports the cluster-wide deletion/compaction state.
+type GCStats struct {
+	StoredBytes       int64 // physical payload bytes currently held
+	LiveBytes         int64 // bytes still referenced by some backup
+	DeadBytes         int64 // bytes awaiting compaction
+	Containers        int   // sealed containers
+	RetiredContainers int64 // containers removed by compaction, ever
+	ReclaimedBytes    int64 // payload bytes freed by compaction, ever
+}
+
+// GCStats returns the cluster's garbage-collection counters.
+func (c *Cluster) GCStats() GCStats {
+	gc := c.inner.GCStats()
+	return GCStats{
+		StoredBytes:       gc.StoredBytes,
+		LiveBytes:         gc.LiveBytes,
+		DeadBytes:         gc.DeadBytes,
+		Containers:        gc.Containers,
+		RetiredContainers: gc.RetiredContainers,
+		ReclaimedBytes:    gc.ReclaimedBytes,
+	}
 }
 
 // Flush completes the backup session (routes the final partial
@@ -209,16 +309,26 @@ type ServerConfig struct {
 	Recover bool
 	// HandprintSize is k (default 8).
 	HandprintSize int
+	// CompactEvery, when positive, runs a background compactor on the
+	// node, reclaiming the container space of deleted backups whose live
+	// ratio fell below CompactThreshold. Zero leaves compaction manual
+	// (client-driven Compact).
+	CompactEvery time.Duration
+	// CompactThreshold is the live-ratio floor below which a container is
+	// rewritten (default 0.5).
+	CompactThreshold float64
 }
 
 // StartServer launches a deduplication server node.
 func StartServer(cfg ServerConfig) (*Server, error) {
 	ncfg := node.Config{
-		ID:            cfg.ID,
-		HandprintSize: cfg.HandprintSize,
-		KeepPayloads:  true,
-		Dir:           cfg.Dir,
-		Recover:       cfg.Recover,
+		ID:               cfg.ID,
+		HandprintSize:    cfg.HandprintSize,
+		KeepPayloads:     true,
+		Dir:              cfg.Dir,
+		Recover:          cfg.Recover,
+		CompactEvery:     cfg.CompactEvery,
+		CompactThreshold: cfg.CompactThreshold,
 	}
 	n, err := node.New(ncfg)
 	if err != nil {
@@ -255,11 +365,44 @@ func (s *Server) DedupRatio() float64 { return s.inner.Node().Stats().DedupRatio
 // StorageUsage returns the node's stored physical bytes.
 func (s *Server) StorageUsage() int64 { return s.inner.Node().StorageUsage() }
 
+// Compact runs one compaction scan on the node (≤0 threshold selects the
+// configured live-ratio floor) and reports containers retired and bytes
+// reclaimed.
+func (s *Server) Compact(threshold float64) (GCResult, error) {
+	res, err := s.inner.Node().Compact(threshold)
+	return GCResult{
+		ContainersScanned: res.Scanned,
+		ContainersRetired: res.Retired,
+		CopiedBytes:       res.CopiedBytes,
+		ReclaimedBytes:    res.ReclaimedBytes,
+	}, err
+}
+
+// GCStats returns the node's garbage-collection counters.
+func (s *Server) GCStats() GCStats {
+	gc := s.inner.Node().GCStats()
+	return GCStats{
+		StoredBytes:       gc.StoredBytes,
+		LiveBytes:         gc.LiveBytes,
+		DeadBytes:         gc.DeadBytes,
+		Containers:        gc.Containers,
+		RetiredContainers: gc.RetiredContainers,
+		ReclaimedBytes:    gc.ReclaimedBytes,
+	}
+}
+
 // Director is the metadata service: backup sessions and file recipes.
 type Director = director.Director
 
-// NewDirector creates an empty director.
+// NewDirector creates an empty in-RAM director (recipes do not survive a
+// restart; use OpenDirectorAt for a durable one).
 func NewDirector() *Director { return director.New() }
+
+// OpenDirectorAt creates a durable director rooted at dir: every recipe
+// put and delete is journaled (fsynced), and an existing journal is
+// replayed so the recipe catalog — the source of truth for what can be
+// restored and what DeleteBackup may free — survives restarts.
+func OpenDirectorAt(dir string) (*Director, error) { return director.OpenAt(dir) }
 
 // BackupClient performs source inline deduplicated backup over TCP.
 type BackupClient struct {
@@ -311,6 +454,41 @@ func (b *BackupClient) Flush() error { return b.inner.Flush() }
 // Restore streams a backed-up file to w.
 func (b *BackupClient) Restore(path string, w io.Writer) error {
 	return b.inner.Restore(path, w)
+}
+
+// DeleteBackup deletes one backed-up file: the recipe leaves the
+// director (journaled first on a durable director), then every node
+// holding the file's chunks releases the recipe's references on them.
+// The freed chunks become dead container space until node-side
+// compaction (Compact here, Server.Compact, or a background compactor)
+// reclaims it.
+func (b *BackupClient) DeleteBackup(path string) error {
+	return b.inner.DeleteBackup(path)
+}
+
+// Compact asks every connected node to run one compaction scan (≤0
+// threshold selects each node's configured live-ratio floor).
+func (b *BackupClient) Compact(threshold float64) (GCResult, error) {
+	res, err := b.inner.Compact(threshold)
+	return GCResult{
+		ContainersScanned: res.Scanned,
+		ContainersRetired: res.Retired,
+		CopiedBytes:       res.CopiedBytes,
+		ReclaimedBytes:    res.ReclaimedBytes,
+	}, err
+}
+
+// GCStats sums the garbage-collection counters of every connected node.
+func (b *BackupClient) GCStats() (GCStats, error) {
+	gc, err := b.inner.GCStats()
+	return GCStats{
+		StoredBytes:       gc.StoredBytes,
+		LiveBytes:         gc.LiveBytes,
+		DeadBytes:         gc.DeadBytes,
+		Containers:        gc.Containers,
+		RetiredContainers: gc.RetiredContainers,
+		ReclaimedBytes:    gc.ReclaimedBytes,
+	}, err
 }
 
 // Close releases connections.
