@@ -1,0 +1,235 @@
+package sigmadedupe
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"sigmadedupe/internal/chunker"
+)
+
+// Backend is the single service surface of a Σ-Dedupe deployment. Both
+// the in-process simulator (Cluster) and the TCP prototype (Remote)
+// implement it, so scenarios, benchmarks and tests drive either through
+// identical code — the middleware contract: one stable interface over
+// heterogeneous deployments.
+//
+// Every blocking operation takes a context.Context; cancellation and
+// deadlines propagate through the whole stack (chunking pipeline,
+// in-flight super-chunk window, RPC wire, node storage engine), so a
+// canceled backup stops within about one super-chunk of work.
+//
+// The one-shot Backup/Restore/Delete verbs are convenience entry points
+// over an implicit default backup stream; open explicit Sessions for
+// concurrent streams or custom chunking.
+type Backend interface {
+	// Backup deduplicates one named stream into the cluster, reading r
+	// incrementally: peak buffered payload is bounded by the in-flight
+	// window, never by stream size.
+	Backup(ctx context.Context, name string, r io.Reader) error
+	// Restore streams a backed-up name to w. A name never backed up (or
+	// deleted) fails with ErrNotFound.
+	Restore(ctx context.Context, name string, w io.Writer) error
+	// Delete removes one backup: its recipe disappears and its chunk
+	// references are released; the dead space is reclaimed by Compact.
+	Delete(ctx context.Context, name string) error
+	// Compact runs one compaction scan on every node (≤0 threshold
+	// selects each node's configured live-ratio floor).
+	Compact(ctx context.Context, threshold float64) (GCResult, error)
+	// Stats reports backend-wide counters.
+	Stats(ctx context.Context) (BackendStats, error)
+	// Flush completes outstanding backup work: the final partial
+	// super-chunk routes and node containers seal.
+	Flush(ctx context.Context) error
+	// NewSession opens an explicit backup stream with its own pipeline.
+	NewSession(ctx context.Context, opts ...SessionOption) (*Session, error)
+	// Close releases the backend, propagating the first close failure.
+	Close() error
+}
+
+// Interface conformance of both deployments.
+var (
+	_ Backend = (*Cluster)(nil)
+	_ Backend = (*Remote)(nil)
+)
+
+// BackendStats is the deployment-independent statistics snapshot.
+type BackendStats struct {
+	// LogicalBytes is the total bytes presented for backup.
+	LogicalBytes int64
+	// PhysicalBytes is the unique bytes actually stored cluster-wide.
+	PhysicalBytes int64
+	// DedupRatio is logical/physical (0 when nothing is stored).
+	DedupRatio float64
+	// Backups is the number of named backups currently retained.
+	Backups int
+	// Nodes is the cluster size.
+	Nodes int
+	// StorageSkew is σ/α over per-node storage usage (0 = perfectly
+	// balanced).
+	StorageSkew float64
+}
+
+// ChunkMethod identifies a chunking algorithm for backup streams.
+type ChunkMethod int
+
+// Chunking algorithms (see internal/chunker for the paper context).
+const (
+	// ChunkFixed is static chunking at a constant size — the paper's
+	// choice for its main experiments (negligible CPU cost).
+	ChunkFixed ChunkMethod = iota + 1
+	// ChunkCDC is content-defined chunking with a rolling Rabin hash:
+	// boundaries survive insertions/deletions, at more CPU per byte.
+	ChunkCDC
+	// ChunkTTTD is the Two-Threshold Two-Divisor CDC variant used in the
+	// paper's resemblance analysis.
+	ChunkTTTD
+)
+
+// String returns the paper's abbreviation for the method.
+func (m ChunkMethod) String() string { return m.internal().String() }
+
+func (m ChunkMethod) internal() chunker.Method {
+	switch m {
+	case ChunkCDC:
+		return chunker.Rabin
+	case ChunkTTTD:
+		return chunker.TTTD
+	default:
+		return chunker.Fixed
+	}
+}
+
+// ChunkSpec selects the chunking algorithm and granularity of a backup
+// stream. The zero value means ChunkFixed at 4KB, the paper's default.
+type ChunkSpec struct {
+	// Method is the chunking algorithm (default ChunkFixed).
+	Method ChunkMethod
+	// Size is the fixed chunk size (ChunkFixed) or the target average
+	// (ChunkCDC) in bytes; ChunkTTTD uses its standard thresholds.
+	// Default 4096.
+	Size int
+}
+
+// sessionConfig is the resolved option set of one session.
+type sessionConfig struct {
+	name           string
+	chunk          ChunkSpec
+	superChunkSize int64
+	handprintK     int
+	workers        int
+	inflight       int
+}
+
+// SessionOption configures a backup session (NewSession).
+type SessionOption func(*sessionConfig)
+
+// WithSessionName names the session's backup stream (container
+// attribution on the nodes; defaults to a backend-chosen name).
+func WithSessionName(name string) SessionOption {
+	return func(c *sessionConfig) { c.name = name }
+}
+
+// WithChunkSpec selects the stream's chunking algorithm and size.
+func WithChunkSpec(spec ChunkSpec) SessionOption {
+	return func(c *sessionConfig) { c.chunk = spec }
+}
+
+// WithSuperChunkSize sets the routing granularity in bytes (default
+// 1MB, the paper's choice).
+func WithSuperChunkSize(n int64) SessionOption {
+	return func(c *sessionConfig) { c.superChunkSize = n }
+}
+
+// WithWorkers sizes the fingerprint worker pool (default GOMAXPROCS; 1
+// fingerprints serially).
+func WithWorkers(n int) SessionOption {
+	return func(c *sessionConfig) { c.workers = n }
+}
+
+// WithInflightSuperChunks bounds the window of super-chunks concurrently
+// in the route/query/store stage (default 4; 1 restores the fully serial
+// path). Together with the super-chunk size this caps the session's peak
+// buffered payload.
+func WithInflightSuperChunks(n int) SessionOption {
+	return func(c *sessionConfig) { c.inflight = n }
+}
+
+// SessionStats summarizes one backup session.
+type SessionStats struct {
+	// LogicalBytes is bytes presented for backup on this session.
+	LogicalBytes int64
+	// TransferredBytes is unique payload bytes that crossed the network
+	// (always equal to stored bytes on the in-process simulator).
+	TransferredBytes int64
+	// SuperChunks is the number of routed super-chunks.
+	SuperChunks int64
+	// Files is the number of Backup calls.
+	Files int64
+	// PeakBufferedBytes is the maximum payload bytes the session's
+	// pipeline held in memory at once — bounded by the in-flight window
+	// (InflightSuperChunks × super-chunk size), never by stream size.
+	PeakBufferedBytes int64
+}
+
+// BandwidthSaving returns the fraction of payload bytes source dedup
+// kept off the network.
+func (s SessionStats) BandwidthSaving() float64 {
+	if s.LogicalBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.TransferredBytes)/float64(s.LogicalBytes)
+}
+
+// sessionBackend is the per-deployment session implementation.
+type sessionBackend interface {
+	backup(ctx context.Context, name string, r io.Reader) error
+	flush(ctx context.Context) error
+	stats() SessionStats
+	close() error
+}
+
+// Session is one backup stream: its own chunking pipeline, fingerprint
+// worker pool and in-flight super-chunk window. Streams from any Backend
+// look identical here. A Session is single-stream (not safe for
+// concurrent use); open one Session per concurrent backup stream — that
+// is the paper's design, one pipeline per stream.
+type Session struct {
+	impl sessionBackend
+}
+
+// Backup chunks, fingerprints, routes and dedup-stores one named stream,
+// reading r incrementally with memory bounded by the in-flight window.
+// Canceling ctx aborts within about one super-chunk of work.
+func (s *Session) Backup(ctx context.Context, name string, r io.Reader) error {
+	return s.impl.backup(ctx, name, r)
+}
+
+// Flush completes the session's outstanding work: the final partial
+// super-chunk routes and in-flight transfers drain.
+func (s *Session) Flush(ctx context.Context) error { return s.impl.flush(ctx) }
+
+// Stats returns the session's counters, including the peak buffered
+// payload high-water mark.
+func (s *Session) Stats() SessionStats { return s.impl.stats() }
+
+// Close releases the session. Flush first to complete a backup.
+func (s *Session) Close() error { return s.impl.close() }
+
+// resolveSessionConfig applies options over backend defaults.
+func resolveSessionConfig(defaults sessionConfig, opts []SessionOption) (sessionConfig, error) {
+	cfg := defaults
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.chunk.Method == 0 {
+		cfg.chunk.Method = ChunkFixed
+	}
+	if cfg.chunk.Method < ChunkFixed || cfg.chunk.Method > ChunkTTTD {
+		return cfg, fmt.Errorf("sigmadedupe: unknown chunk method %d", int(cfg.chunk.Method))
+	}
+	if cfg.chunk.Size <= 0 {
+		cfg.chunk.Size = 4096
+	}
+	return cfg, nil
+}

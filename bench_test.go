@@ -1,6 +1,7 @@
 package sigmadedupe
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -135,12 +136,12 @@ func BenchmarkPublicAPIBackup(b *testing.B) {
 		var logical int64
 		err = WorkloadFiles("web", 0.2, 0, func(path string, data []byte) error {
 			logical += int64(len(data))
-			return c.Backup(path, readerOf(data))
+			return c.Backup(context.Background(), path, readerOf(data))
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := c.Flush(); err != nil {
+		if err := c.Flush(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		b.SetBytes(logical)

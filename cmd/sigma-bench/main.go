@@ -24,9 +24,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -35,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"sigmadedupe"
 	"sigmadedupe/internal/client"
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/director"
@@ -66,10 +69,14 @@ func run(args []string) error {
 		"ingest: injected per-request server latency (e.g. 2ms emulates a disk-bound remote node)")
 	disk := fs.Bool("disk", false, "ingest: give every server a durable spill directory (containers + manifest on disk)")
 	streamsFlag := fs.Int("streams", 8, "nodeconc/recovery: maximum concurrent backup streams")
+	mode := fs.String("mode", "", "run one experiment by name (alias for the positional argument, e.g. -mode stream)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	names := fs.Args()
+	if *mode != "" {
+		names = append(names, *mode)
+	}
 	if len(names) == 0 {
 		fmt.Printf("available experiments: %s, ingest, nodeconc, recovery, gc, all\n", strings.Join(experiments.Names(), ", "))
 		return nil
@@ -125,6 +132,15 @@ func run(args []string) error {
 			rep, err := runGC(*mb, *streamsFlag)
 			if err != nil {
 				return fmt.Errorf("gc: %w", err)
+			}
+			if err := emit(rep); err != nil {
+				return err
+			}
+			continue
+		case "stream":
+			rep, err := runStream(*mb, *nodes, *inflight)
+			if err != nil {
+				return fmt.Errorf("stream: %w", err)
 			}
 			if err := emit(rep); err != nil {
 				return err
@@ -301,7 +317,7 @@ func measureIngest(cfg ingestConfig, contents [][]byte, workers, inflight int) (
 		addrs[i] = srv.Addr()
 	}
 	dir := director.New()
-	c, err := client.New(client.Config{
+	c, err := client.New(context.Background(), client.Config{
 		Name:                "bench",
 		SuperChunkSize:      256 << 10,
 		Pipeline:            pipeline.Config{Workers: workers},
@@ -316,11 +332,11 @@ func measureIngest(cfg ingestConfig, contents [][]byte, workers, inflight int) (
 	var logical int64
 	for i, content := range contents {
 		logical += int64(len(content))
-		if err := c.BackupFile(fmt.Sprintf("/bench/file%d", i), bytes.NewReader(content)); err != nil {
+		if err := c.BackupFile(context.Background(), fmt.Sprintf("/bench/file%d", i), bytes.NewReader(content)); err != nil {
 			return nil, err
 		}
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
@@ -694,7 +710,7 @@ func runGC(mb, streams int) (*gcReport, error) {
 				return
 			default:
 			}
-			if _, err := nd.Compact(0.95); err != nil {
+			if _, err := nd.Compact(context.Background(), 0.95); err != nil {
 				compactSeconds = time.Since(start).Seconds()
 				return
 			}
@@ -707,7 +723,7 @@ func runGC(mb, streams int) (*gcReport, error) {
 	close(stopCompact)
 	compactWG.Wait()
 	// Final sweep for anything that died after the last concurrent scan.
-	if _, err := nd.Compact(0.95); err != nil {
+	if _, err := nd.Compact(context.Background(), 0.95); err != nil {
 		return nil, err
 	}
 	diskAfter, err := gcDiskBytes(dir)
@@ -862,4 +878,121 @@ func runRecovery(mb, streams int) (*recoveryReport, error) {
 		rep.RecoverMBps = physicalMB / recover
 	}
 	return rep, nil
+}
+
+// streamReport records one bounded-memory streaming-session smoke: a
+// single large unique stream backed up through the public v2 Session
+// API, with the counter-instrumented peak buffered payload against the
+// in-flight window bound. Compare throughput_mb_s with the pipelined
+// run of BENCH_ingest.json (same super-chunk size and node count): the
+// streaming session is the same pipeline behind the new surface, so it
+// must hold equal-or-better throughput while bounding memory.
+type streamReport struct {
+	Experiment        string  `json:"experiment"`
+	DataMB            int     `json:"data_mb"`
+	Nodes             int     `json:"nodes"`
+	SuperChunkKB      int64   `json:"super_chunk_kb"`
+	Inflight          int     `json:"inflight_super_chunks"`
+	Seconds           float64 `json:"seconds"`
+	ThroughputMBps    float64 `json:"throughput_mb_s"`
+	PeakBufferedBytes int64   `json:"peak_buffered_bytes"`
+	WindowBoundBytes  int64   `json:"window_bound_bytes"`
+	// Bounded is true when peak buffered payload stayed within 2× the
+	// window bound — the acceptance criterion for O(window) memory.
+	Bounded bool `json:"bounded"`
+}
+
+func (r *streamReport) print(w *os.File) {
+	fmt.Fprintf(w, "== stream: v2 session, %d MB unique stream, %d nodes, %dKB super-chunks, window %d\n",
+		r.DataMB, r.Nodes, r.SuperChunkKB, r.Inflight)
+	fmt.Fprintf(w, "  throughput: %.1f MB/s in %.3fs\n", r.ThroughputMBps, r.Seconds)
+	fmt.Fprintf(w, "  peak buffered payload: %.2f MB (window bound %.2f MB, bounded=%v)\n\n",
+		float64(r.PeakBufferedBytes)/(1<<20), float64(r.WindowBoundBytes)/(1<<20), r.Bounded)
+}
+
+// streamSource yields exactly n pseudo-random bytes — a stream, not a
+// buffer: the bench proves the session never materializes it.
+type streamSource struct {
+	rng  *rand.Rand
+	left int
+}
+
+func (s *streamSource) Read(p []byte) (int, error) {
+	if s.left <= 0 {
+		return 0, io.EOF
+	}
+	if len(p) > s.left {
+		p = p[:s.left]
+	}
+	s.rng.Read(p)
+	s.left -= len(p)
+	return len(p), nil
+}
+
+// runStream backs one mb-MB unique stream up through the public
+// streaming Session API against nNodes loopback servers and reports
+// throughput plus the instrumented peak buffered payload.
+func runStream(mb, nNodes, inflight int) (*streamReport, error) {
+	if mb <= 0 {
+		mb = 64
+	}
+	if nNodes <= 0 {
+		nNodes = 4
+	}
+	if inflight <= 0 {
+		inflight = client.DefaultInflightSuperChunks
+	}
+	const scSize = int64(256 << 10) // match the ingest bench's granularity
+	addrs := make([]string, nNodes)
+	for i := range addrs {
+		srv, err := sigmadedupe.StartServer(sigmadedupe.ServerConfig{ID: i})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		addrs[i] = srv.Addr()
+	}
+	ctx := context.Background()
+	be, err := sigmadedupe.NewRemote(ctx, sigmadedupe.RemoteConfig{
+		Name:     "stream-bench",
+		Director: sigmadedupe.NewDirector(),
+		Nodes:    addrs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer be.Close()
+	sess, err := be.NewSession(ctx,
+		sigmadedupe.WithSuperChunkSize(scSize),
+		sigmadedupe.WithInflightSuperChunks(inflight),
+	)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	size := mb << 20
+	start := time.Now()
+	if err := sess.Backup(ctx, "/stream/big", &streamSource{rng: rand.New(rand.NewSource(11)), left: size}); err != nil {
+		return nil, err
+	}
+	if err := sess.Flush(ctx); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	st := sess.Stats()
+	windowBound := int64(inflight) * 2 * scSize
+	return &streamReport{
+		Experiment:        "streaming",
+		DataMB:            mb,
+		Nodes:             nNodes,
+		SuperChunkKB:      scSize >> 10,
+		Inflight:          inflight,
+		Seconds:           elapsed.Seconds(),
+		ThroughputMBps:    float64(size) / (1 << 20) / elapsed.Seconds(),
+		PeakBufferedBytes: st.PeakBufferedBytes,
+		WindowBoundBytes:  windowBound,
+		Bounded:           st.PeakBufferedBytes <= 2*windowBound,
+	}, nil
 }

@@ -1,21 +1,26 @@
-// Command sigma-client performs source inline deduplicated backup and
-// restore against a Σ-Dedupe cluster.
+// Command sigma-client performs source inline deduplicated backup,
+// restore and deletion against a Σ-Dedupe cluster, through the public
+// context-first Backend API. Ctrl-C cancels a backup mid-stream: the
+// pipeline stops within about one super-chunk of work.
 //
 // Usage:
 //
 //	sigma-client -director 127.0.0.1:7700 -nodes 127.0.0.1:7701,127.0.0.1:7702 backup FILE...
 //	sigma-client -director 127.0.0.1:7700 -nodes ... restore PATH -out FILE
+//	sigma-client -director 127.0.0.1:7700 -nodes ... delete PATH
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
-	"sigmadedupe/internal/client"
-	"sigmadedupe/internal/director"
+	"sigmadedupe"
 )
 
 func main() {
@@ -31,26 +36,33 @@ func run() error {
 	name := flag.String("name", "sigma-client", "client name for sessions")
 	out := flag.String("out", "", "output file for restore")
 	scSize := flag.Int64("superchunk", 1<<20, "super-chunk size in bytes")
+	cdc := flag.Bool("cdc", false, "content-defined chunking instead of fixed 4KB chunks")
 	flag.Parse()
+
+	// Interrupts cancel the whole operation tree: client pipeline,
+	// in-flight RPC window, and the server-side work for those calls.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	args := flag.Args()
 	if len(args) < 1 {
-		return fmt.Errorf("usage: sigma-client [flags] backup FILE... | restore PATH -out FILE")
+		return fmt.Errorf("usage: sigma-client [flags] backup FILE... | restore PATH -out FILE | delete PATH")
 	}
-	remote, err := director.DialRemote(*dirAddr)
-	if err != nil {
-		return err
+	chunk := sigmadedupe.ChunkSpec{Method: sigmadedupe.ChunkFixed}
+	if *cdc {
+		chunk.Method = sigmadedupe.ChunkCDC
 	}
-	defer remote.Close()
-
-	c, err := client.New(client.Config{
+	be, err := sigmadedupe.NewRemote(ctx, sigmadedupe.RemoteConfig{
 		Name:           *name,
+		DirectorAddr:   *dirAddr,
+		Nodes:          strings.Split(*nodes, ","),
 		SuperChunkSize: *scSize,
-	}, remote, strings.Split(*nodes, ","))
+		Chunk:          chunk,
+	})
 	if err != nil {
 		return err
 	}
-	defer c.Close()
+	defer be.Close()
 
 	switch args[0] {
 	case "backup":
@@ -62,16 +74,16 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			err = c.BackupFile(filepath.Clean(path), f)
+			err = be.Backup(ctx, filepath.Clean(path), f)
 			f.Close()
 			if err != nil {
 				return err
 			}
 		}
-		if err := c.Flush(); err != nil {
+		if err := be.Flush(ctx); err != nil {
 			return err
 		}
-		st := c.Stats()
+		st := be.BackupStats()
 		fmt.Printf("backed up %d files, %d bytes logical, %d bytes transferred (%.1f%% bandwidth saved)\n",
 			st.Files, st.LogicalBytes, st.TransferredBytes, 100*st.BandwidthSaving())
 		return nil
@@ -85,10 +97,20 @@ func run() error {
 			return err
 		}
 		defer f.Close()
-		if err := c.Restore(filepath.Clean(args[1]), f); err != nil {
+		if err := be.Restore(ctx, filepath.Clean(args[1]), f); err != nil {
 			return err
 		}
 		fmt.Printf("restored %s to %s\n", args[1], *out)
+		return nil
+
+	case "delete":
+		if len(args) != 2 {
+			return fmt.Errorf("delete: need PATH")
+		}
+		if err := be.Delete(ctx, filepath.Clean(args[1])); err != nil {
+			return err
+		}
+		fmt.Printf("deleted %s\n", args[1])
 		return nil
 
 	default:

@@ -2,6 +2,7 @@ package sigmadedupe
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -268,17 +269,17 @@ func TestSimulatorDeleteAndCompact(t *testing.T) {
 	var doomedBytes int64
 	for i := 0; i < 6; i++ {
 		data := gcRandBytes(int64(860+i), 100<<10)
-		if err := c.Backup(fmt.Sprintf("file%d", i), bytes.NewReader(data)); err != nil {
+		if err := c.Backup(context.Background(), fmt.Sprintf("file%d", i), bytes.NewReader(data)); err != nil {
 			t.Fatal(err)
 		}
 		if i%2 == 1 {
 			doomedBytes += int64(len(data))
 		}
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	before := c.Stats().PhysicalBytes
+	before := c.SimStats().PhysicalBytes
 	for i := 1; i < 6; i += 2 {
 		if err := c.DeleteBackup(fmt.Sprintf("file%d", i)); err != nil {
 			t.Fatal(err)
@@ -287,14 +288,14 @@ func TestSimulatorDeleteAndCompact(t *testing.T) {
 	if gc := c.GCStats(); gc.DeadBytes < doomedBytes {
 		t.Fatalf("DeadBytes = %d, want >= %d", gc.DeadBytes, doomedBytes)
 	}
-	res, err := c.Compact(0.95)
+	res, err := c.Compact(context.Background(), 0.95)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.ReclaimedBytes < doomedBytes {
 		t.Fatalf("reclaimed %d, want >= %d", res.ReclaimedBytes, doomedBytes)
 	}
-	if got := c.Stats().PhysicalBytes; got > before-doomedBytes {
+	if got := c.SimStats().PhysicalBytes; got > before-doomedBytes {
 		t.Fatalf("physical bytes after compaction = %d, want <= %d", got, before-doomedBytes)
 	}
 	if err := c.DeleteBackup("file1"); err == nil {

@@ -2,6 +2,7 @@ package sigmadedupe
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -287,7 +288,7 @@ func TestCompactionCrashFidelity(t *testing.T) {
 				}
 				return nil
 			})
-			if _, err := s.Compact(0.99); err == nil {
+			if _, err := s.Compact(context.Background(), 0.99); err == nil {
 				// Nothing below the threshold on this node is possible for
 				// later stages after earlier partial passes; only fail the
 				// test if no node ever faulted.
@@ -331,7 +332,7 @@ func TestCompactionCrashFidelity(t *testing.T) {
 	// Convergence: a clean compaction pass reclaims the doomed space.
 	for _, s := range servers {
 		s.inner.Node().Engine().SetCompactFault(nil)
-		if _, err := s.Compact(0.99); err != nil {
+		if _, err := s.Compact(context.Background(), 0.99); err != nil {
 			t.Fatal(err)
 		}
 	}

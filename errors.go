@@ -1,0 +1,27 @@
+package sigmadedupe
+
+import "sigmadedupe/internal/sderr"
+
+// The public error taxonomy. Every layer of the system wraps these
+// sentinels, and the RPC protocols carry them across the wire, so
+// errors.Is/As hold end to end: a restore of an unknown backup against a
+// remote TCP cluster satisfies errors.Is(err, ErrNotFound) exactly like
+// one against the in-process simulator.
+var (
+	// ErrNotFound reports a missing object: an unknown backup name, an
+	// absent recipe, a chunk or container a node does not hold.
+	ErrNotFound = sderr.ErrNotFound
+	// ErrCorrupt reports data that failed an integrity check (container
+	// CRC mismatch, truncated file, bad journal record).
+	ErrCorrupt = sderr.ErrCorrupt
+	// ErrChunkVanished reports the query/store race losing its chunk: a
+	// chunk reported duplicate was deleted before the store landed.
+	// Retrying the backup resends the payload.
+	ErrChunkVanished = sderr.ErrChunkVanished
+)
+
+// BackupError is a failed backup operation, carrying the backup name and
+// the pipeline stage that failed ("chunk", "route", "query", "store",
+// "finalize"). Recover it with errors.As; it unwraps to the underlying
+// cause (taxonomy sentinels, context.Canceled, transport errors).
+type BackupError = sderr.BackupError

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -26,6 +27,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	schemes := []sigmadedupe.Scheme{
 		sigmadedupe.SchemeSigma,
 		sigmadedupe.SchemeStateful,
@@ -42,15 +44,15 @@ func run() error {
 			return err
 		}
 		err = sigmadedupe.WorkloadFiles("linux", 0.4, 0, func(path string, data []byte) error {
-			return c.Backup(path, bytes.NewReader(data))
+			return c.Backup(ctx, path, bytes.NewReader(data))
 		})
 		if err != nil {
 			return err
 		}
-		if err := c.Flush(); err != nil {
+		if err := c.Flush(ctx); err != nil {
 			return err
 		}
-		st := c.Stats()
+		st := c.SimStats()
 		fmt.Printf("%-14s  %.2f   %.3f  %.3f  %d\n",
 			scheme, st.DedupRatio, st.EffectiveDR, st.StorageSkew, st.FingerprintLookups)
 	}

@@ -1,12 +1,16 @@
-// Quickstart: bring up a 3-node Σ-Dedupe cluster with a director on
-// loopback TCP, back up two generations of a directory of files with
-// source inline deduplication, and restore one file back.
+// Quickstart for the v2 context-first API: bring up a 3-node Σ-Dedupe
+// cluster with a director on loopback TCP, drive it through the Backend
+// interface (the same code would drive the in-process simulator), back
+// up two generations of files with bounded-memory streaming sessions,
+// restore one file, delete another, and dispatch on a typed error.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -21,6 +25,8 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	// 1. Start three deduplication server nodes.
 	var addrs []string
 	for i := 0; i < 3; i++ {
@@ -33,19 +39,32 @@ func run() error {
 		fmt.Printf("node %d listening on %s\n", i, srv.Addr())
 	}
 
-	// 2. A director tracks sessions and file recipes.
-	dir := sigmadedupe.NewDirector()
-
-	// 3. Connect a backup client (64KB super-chunks keep this demo small).
-	bc, err := sigmadedupe.NewBackupClient(
-		sigmadedupe.BackupClientConfig{Name: "quickstart", SuperChunkSize: 64 << 10},
-		dir, addrs)
+	// 2. A director tracks sessions and file recipes; NewRemote binds it
+	//    and the nodes into one Backend (64KB super-chunks keep this
+	//    demo small).
+	var be sigmadedupe.Backend
+	be, err := sigmadedupe.NewRemote(ctx, sigmadedupe.RemoteConfig{
+		Name:           "quickstart",
+		Director:       sigmadedupe.NewDirector(),
+		Nodes:          addrs,
+		SuperChunkSize: 64 << 10,
+	})
 	if err != nil {
 		return err
 	}
-	defer bc.Close()
+	defer be.Close()
 
-	// 4. First backup generation: three files of pseudo-random content.
+	// 3. First backup generation, through an explicit streaming session
+	//    with content-defined chunking. The reader is consumed
+	//    incrementally: peak buffered payload is bounded by the
+	//    in-flight super-chunk window, never by file size.
+	sess, err := be.NewSession(ctx,
+		sigmadedupe.WithChunkSpec(sigmadedupe.ChunkSpec{Method: sigmadedupe.ChunkCDC, Size: 4096}),
+		sigmadedupe.WithInflightSuperChunks(4),
+	)
+	if err != nil {
+		return err
+	}
 	rng := rand.New(rand.NewSource(1))
 	files := map[string][]byte{}
 	for i := 0; i < 3; i++ {
@@ -53,12 +72,12 @@ func run() error {
 		rng.Read(data)
 		path := fmt.Sprintf("/home/alice/report-%d.dat", i)
 		files[path] = data
-		if err := bc.BackupFile(path, bytes.NewReader(data)); err != nil {
+		if err := sess.Backup(ctx, path, bytes.NewReader(data)); err != nil {
 			return err
 		}
 	}
 
-	// 5. Second generation: the same files, one lightly edited. Source
+	// 4. Second generation: the same files, one lightly edited. Source
 	//    dedup means almost no payload bytes cross the network again.
 	edited := append([]byte(nil), files["/home/alice/report-1.dat"]...)
 	copy(edited[1000:], []byte("edited in generation 2"))
@@ -66,25 +85,46 @@ func run() error {
 		if path == "/home/alice/report-1.dat" {
 			data = edited
 		}
-		if err := bc.BackupFile(path, bytes.NewReader(data)); err != nil {
+		if err := sess.Backup(ctx, path, bytes.NewReader(data)); err != nil {
 			return err
 		}
 	}
-	if err := bc.Flush(); err != nil {
+	if err := sess.Flush(ctx); err != nil {
 		return err
 	}
+	st := sess.Stats()
+	fmt.Printf("logical bytes backed up: %d\n", st.LogicalBytes)
+	fmt.Printf("bandwidth saved by source dedup: %.1f%%\n", 100*st.BandwidthSaving())
+	fmt.Printf("peak buffered payload: %d KB (window-bounded)\n", st.PeakBufferedBytes>>10)
+	sess.Close()
 
-	fmt.Printf("logical bytes backed up: %d\n", bc.LogicalBytes())
-	fmt.Printf("bandwidth saved by source dedup: %.1f%%\n", 100*bc.BandwidthSaving())
-
-	// 6. Restore the edited file and verify it round-trips.
+	// 5. Restore the edited file and verify it round-trips.
 	var out bytes.Buffer
-	if err := bc.Restore("/home/alice/report-1.dat", &out); err != nil {
+	if err := be.Restore(ctx, "/home/alice/report-1.dat", &out); err != nil {
 		return err
 	}
 	if !bytes.Equal(out.Bytes(), edited) {
 		return fmt.Errorf("restore mismatch: got %d bytes", out.Len())
 	}
 	fmt.Printf("restored /home/alice/report-1.dat: %d bytes, content verified\n", out.Len())
+
+	// 6. Delete a backup and watch the typed error taxonomy at work:
+	//    restoring it afterwards fails with ErrNotFound — across the TCP
+	//    wire, exactly as it would in process.
+	if err := be.Delete(ctx, "/home/alice/report-2.dat"); err != nil {
+		return err
+	}
+	err = be.Restore(ctx, "/home/alice/report-2.dat", &out)
+	if !errors.Is(err, sigmadedupe.ErrNotFound) {
+		return fmt.Errorf("expected ErrNotFound after delete, got %v", err)
+	}
+	fmt.Println("deleted /home/alice/report-2.dat; restore now fails with ErrNotFound")
+
+	bst, err := be.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster: %d backups retained on %d nodes, dedup ratio %.2f\n",
+		bst.Backups, bst.Nodes, bst.DedupRatio)
 	return nil
 }

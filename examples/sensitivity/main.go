@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -20,6 +21,7 @@ func main() {
 }
 
 func measure(k int, scSize int64) (sigmadedupe.ClusterStats, error) {
+	ctx := context.Background()
 	c, err := sigmadedupe.NewCluster(sigmadedupe.ClusterConfig{
 		Nodes:          16,
 		Scheme:         sigmadedupe.SchemeSigma,
@@ -30,15 +32,15 @@ func measure(k int, scSize int64) (sigmadedupe.ClusterStats, error) {
 		return sigmadedupe.ClusterStats{}, err
 	}
 	err = sigmadedupe.WorkloadFiles("linux", 0.3, 0, func(path string, data []byte) error {
-		return c.Backup(path, bytes.NewReader(data))
+		return c.Backup(ctx, path, bytes.NewReader(data))
 	})
 	if err != nil {
 		return sigmadedupe.ClusterStats{}, err
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(ctx); err != nil {
 		return sigmadedupe.ClusterStats{}, err
 	}
-	return c.Stats(), nil
+	return c.SimStats(), nil
 }
 
 func run() error {

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -24,6 +25,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	for _, scheme := range []sigmadedupe.Scheme{
 		sigmadedupe.SchemeSigma,
 		sigmadedupe.SchemeExtremeBinning,
@@ -38,15 +40,15 @@ func run() error {
 		var images int
 		err = sigmadedupe.WorkloadFiles("vm", 1, 0, func(path string, data []byte) error {
 			images++
-			return c.Backup(path, bytes.NewReader(data))
+			return c.Backup(ctx, path, bytes.NewReader(data))
 		})
 		if err != nil {
 			return err
 		}
-		if err := c.Flush(); err != nil {
+		if err := c.Flush(ctx); err != nil {
 			return err
 		}
-		st := c.Stats()
+		st := c.SimStats()
 		fmt.Printf("%s:\n", scheme)
 		fmt.Printf("  %d image backups, %.1f MB logical\n", images, float64(st.LogicalBytes)/(1<<20))
 		fmt.Printf("  cluster dedup ratio: %.2f\n", st.DedupRatio)

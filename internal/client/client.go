@@ -13,13 +13,21 @@
 // and stored concurrently so fingerprinting of super-chunk n+1 overlaps
 // the network transfer of n. Restore symmetrically prefetches chunks
 // with a bounded worker pool while writing them back in stream order.
+//
+// Every blocking operation takes a context.Context. Cancellation
+// propagates through the chunking pipeline (the stage group), the
+// in-flight super-chunk window (no new work is admitted) and every RPC
+// in flight (abandoned at the transport, deadline carried on the wire),
+// so a canceled backup stops within about one super-chunk of work.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"sigmadedupe/internal/chunker"
 	"sigmadedupe/internal/core"
@@ -27,6 +35,7 @@ import (
 	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/pipeline"
 	"sigmadedupe/internal/rpc"
+	"sigmadedupe/internal/sderr"
 	"sigmadedupe/internal/store"
 )
 
@@ -99,6 +108,10 @@ type Stats struct {
 	UniqueChunks     int64
 	SuperChunks      int64
 	Files            int64
+	// PeakBufferedBytes is the maximum payload bytes the in-flight
+	// super-chunk window pinned at once — the session's peak buffered
+	// memory, bounded by the window configuration, never by stream size.
+	PeakBufferedBytes int64
 }
 
 // BandwidthSaving returns the fraction of payload bytes the source dedup
@@ -145,10 +158,18 @@ type Client struct {
 	// (stats + recipe attribution) strictly in this order, only on the
 	// goroutine driving the backup, so no client state needs locking.
 	order []chan routeResult
+
+	// buffered counts payload bytes currently pinned by super-chunks in
+	// the route window or the unapplied-result queue; peakBuffered is its
+	// high-water mark — the counter-instrumented proof that streaming
+	// backups run in O(window), not O(stream).
+	buffered     atomic.Int64
+	peakBuffered atomic.Int64
 }
 
 // routeResult is the outcome of the concurrent route/query/store stage
-// for one super-chunk.
+// for one super-chunk. sc is set on errors too, so buffered-byte
+// accounting always settles.
 type routeResult struct {
 	sc     *core.SuperChunk
 	target int
@@ -157,15 +178,16 @@ type routeResult struct {
 }
 
 // New connects to the given deduplication server addresses and opens a
-// backup session with the director (in-process or remote).
-func New(cfg Config, dir director.Metadata, nodeAddrs []string) (*Client, error) {
+// backup session with the director (in-process or remote). ctx bounds
+// the dials.
+func New(ctx context.Context, cfg Config, dir director.Metadata, nodeAddrs []string) (*Client, error) {
 	cfg = cfg.withDefaults()
 	if len(nodeAddrs) == 0 {
 		return nil, fmt.Errorf("client: need at least one node address")
 	}
 	conns := make([]*rpc.Client, len(nodeAddrs))
 	for i, addr := range nodeAddrs {
-		c, err := rpc.Dial(addr)
+		c, err := rpc.DialContext(ctx, addr)
 		if err != nil {
 			for _, prev := range conns[:i] {
 				prev.Close()
@@ -182,7 +204,7 @@ func New(cfg Config, dir director.Metadata, nodeAddrs []string) (*Client, error)
 		cfg:     cfg,
 		conns:   conns,
 		dir:     dir,
-		session: dir.BeginSession(cfg.Name),
+		session: dir.BeginSession(ctx, cfg.Name),
 		part:    part,
 		routes:  pipeline.NewWindow(cfg.InflightSuperChunks),
 	}, nil
@@ -194,6 +216,17 @@ func (c *Client) Session() uint64 { return c.session }
 // Config returns the client's effective configuration (defaults filled).
 func (c *Client) Config() Config { return c.cfg }
 
+// addBuffered accounts payload bytes entering the in-flight window.
+func (c *Client) addBuffered(n int64) {
+	cur := c.buffered.Add(n)
+	for {
+		p := c.peakBuffered.Load()
+		if cur <= p || c.peakBuffered.CompareAndSwap(p, cur) {
+			return
+		}
+	}
+}
+
 // BackupFile chunks, fingerprints, routes and dedup-transfers one file
 // through the concurrent ingest pipeline: a producer goroutine reads and
 // chunks the stream, a worker pool fingerprints chunks in parallel, the
@@ -204,11 +237,16 @@ func (c *Client) Config() Config { return c.cfg }
 // BackupFile may return while the file's tail super-chunks are still in
 // flight; Flush (or any later call) surfaces their errors.
 //
+// Canceling ctx cancels the chunking pipeline, stops admitting new
+// super-chunks to the window and aborts the window's in-flight RPCs; the
+// call returns within about one super-chunk of work, and the session is
+// failed (a partially transferred stream cannot be resumed).
+//
 // Errors are sticky: after any backup error the session is failed and
 // every further BackupFile/Flush returns the first error. (Recipe
 // attribution is positional, so continuing past a dropped super-chunk
 // would corrupt later recipes.)
-func (c *Client) BackupFile(path string, r io.Reader) error {
+func (c *Client) BackupFile(ctx context.Context, path string, r io.Reader) error {
 	if c.err != nil {
 		return c.err
 	}
@@ -220,6 +258,10 @@ func (c *Client) BackupFile(path string, r io.Reader) error {
 	c.pending = append(c.pending, pf)
 	c.stats.Files++
 
+	chunkErr := func(err error) error {
+		return &sderr.BackupError{Name: path, Stage: "chunk", Err: err}
+	}
+
 	// consume feeds one fingerprinted chunk to the partitioner, on the
 	// calling goroutine: super-chunk boundaries and recipe attribution
 	// depend on stream order. Routing itself is handed to the bounded
@@ -228,7 +270,7 @@ func (c *Client) BackupFile(path string, r io.Reader) error {
 		pf.want++
 		c.stats.LogicalBytes += int64(ref.Size)
 		if sc := c.part.AddRef(ref); sc != nil {
-			return c.enqueueSuperChunk(sc)
+			return c.enqueueSuperChunk(ctx, sc)
 		}
 		return nil
 	}
@@ -242,19 +284,22 @@ func (c *Client) BackupFile(path string, r io.Reader) error {
 	// concurrency is deliberately disabled.
 	if c.cfg.Pipeline.Workers == 1 && c.cfg.InflightSuperChunks <= 1 {
 		for {
+			if err := ctx.Err(); err != nil {
+				return c.fail(chunkErr(err))
+			}
 			chunk, err := ck.Next()
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
-				return c.fail(fmt.Errorf("client: chunk %s: %w", path, err))
+				return c.fail(chunkErr(err))
 			}
 			if err := consume(fpRef(chunk)); err != nil {
 				return c.fail(err)
 			}
 		}
 		pf.done = true
-		return c.fail(c.finalizeRecipes())
+		return c.fail(c.finalizeRecipes(ctx))
 	}
 
 	// Peek ahead so empty and single-chunk files — the bulk of a typical
@@ -264,7 +309,7 @@ func (c *Client) BackupFile(path string, r io.Reader) error {
 	case errFirst == io.EOF:
 		// Empty file: nothing to route; an empty recipe is registered.
 	case errFirst != nil:
-		return c.fail(fmt.Errorf("client: chunk %s: %w", path, errFirst))
+		return c.fail(chunkErr(errFirst))
 	default:
 		second, errSecond := ck.Next()
 		if errSecond == io.EOF {
@@ -274,9 +319,9 @@ func (c *Client) BackupFile(path string, r io.Reader) error {
 			break
 		}
 		if errSecond != nil {
-			return c.fail(fmt.Errorf("client: chunk %s: %w", path, errSecond))
+			return c.fail(chunkErr(errSecond))
 		}
-		g := pipeline.NewGroup()
+		g := pipeline.NewGroupCtx(ctx)
 		raw := pipeline.Produce(g, c.cfg.Pipeline.Depth, func(yield func(chunker.Chunk) bool) error {
 			if !yield(first) || !yield(second) {
 				return nil
@@ -287,7 +332,7 @@ func (c *Client) BackupFile(path string, r io.Reader) error {
 					return nil
 				}
 				if err != nil {
-					return fmt.Errorf("client: chunk %s: %w", path, err)
+					return chunkErr(err)
 				}
 				if !yield(chunk) {
 					return nil
@@ -313,7 +358,7 @@ func (c *Client) BackupFile(path string, r io.Reader) error {
 	if err := c.applyCompleted(len(c.order)); err != nil {
 		return c.fail(err)
 	}
-	return c.fail(c.finalizeRecipes())
+	return c.fail(c.finalizeRecipes(ctx))
 }
 
 // fail records err as the session's sticky failure (first error wins)
@@ -329,9 +374,10 @@ func (c *Client) fail(err error) error {
 // With InflightSuperChunks <= 1 the stage runs inline (the serial path);
 // otherwise up to InflightSuperChunks super-chunks are in flight at once
 // and results are applied in stream order as they complete.
-func (c *Client) enqueueSuperChunk(sc *core.SuperChunk) error {
+func (c *Client) enqueueSuperChunk(ctx context.Context, sc *core.SuperChunk) error {
+	c.addBuffered(sc.Size())
 	if c.cfg.InflightSuperChunks <= 1 {
-		return c.apply(c.routeSuperChunk(sc))
+		return c.apply(c.routeSuperChunk(ctx, sc))
 	}
 	// Bound the queue of completed-but-unapplied results (each pins its
 	// super-chunk payloads in memory) to twice the in-flight window.
@@ -339,15 +385,17 @@ func (c *Client) enqueueSuperChunk(sc *core.SuperChunk) error {
 		return err
 	}
 	slot := make(chan routeResult, 1)
-	err := c.routes.Submit(func() error {
-		res := c.routeSuperChunk(sc)
+	err := c.routes.Submit(ctx, func() error {
+		res := c.routeSuperChunk(ctx, sc)
 		slot <- res
 		return res.err
 	})
 	if err != nil {
-		// Submit refused (sticky prior error): the callback never runs, so
-		// the slot must not be queued — a queued-but-never-filled slot
-		// would deadlock a later applyCompleted.
+		// Submit refused (sticky prior error or canceled ctx): the
+		// callback never runs, so the slot must not be queued — a
+		// queued-but-never-filled slot would deadlock a later
+		// applyCompleted. The super-chunk never entered the window.
+		c.buffered.Add(-sc.Size())
 		return err
 	}
 	c.order = append(c.order, slot)
@@ -382,12 +430,12 @@ func (c *Client) applyCompleted(max int) error {
 // Flush routes the final partial super-chunk, drains in-flight
 // transfers, completes recipes, seals remote containers and ends the
 // session.
-func (c *Client) Flush() error {
+func (c *Client) Flush(ctx context.Context) error {
 	if c.err != nil {
 		return c.err
 	}
 	if sc := c.part.Flush(); sc != nil {
-		if err := c.enqueueSuperChunk(sc); err != nil {
+		if err := c.enqueueSuperChunk(ctx, sc); err != nil {
 			return c.fail(err)
 		}
 	}
@@ -397,31 +445,40 @@ func (c *Client) Flush() error {
 	if err := c.routes.Wait(); err != nil {
 		return c.fail(err)
 	}
-	if err := c.finalizeRecipes(); err != nil {
+	if err := c.finalizeRecipes(ctx); err != nil {
 		return c.fail(err)
 	}
 	for _, conn := range c.conns {
-		if err := conn.Flush(); err != nil {
+		if err := conn.Flush(ctx); err != nil {
 			return c.fail(err)
 		}
 	}
-	return c.fail(c.dir.EndSession(c.session))
+	return c.fail(c.dir.EndSession(ctx, c.session))
 }
 
-// Close releases connections. Call Flush first to complete the backup.
-// Connections close before in-flight routes are drained, so a wedged
-// server cannot hang Close: closing the transport fails the pending
-// calls, and the route goroutines exit promptly.
-func (c *Client) Close() {
+// Close releases connections, returning the first close failure. Call
+// Flush first to complete the backup. Connections close before in-flight
+// routes are drained, so a wedged server cannot hang Close: closing the
+// transport fails the pending calls, and the route goroutines exit
+// promptly.
+func (c *Client) Close() error {
+	var first error
 	for _, conn := range c.conns {
-		conn.Close()
+		if err := conn.Close(); first == nil {
+			first = err
+		}
 	}
 	c.routes.Wait()
+	return first
 }
 
 // Stats returns the client-side counters. Counters are attributed when a
 // super-chunk is routed, so after Flush they cover the whole session.
-func (c *Client) Stats() Stats { return c.stats }
+func (c *Client) Stats() Stats {
+	st := c.stats
+	st.PeakBufferedBytes = c.peakBuffered.Load()
+	return st
+}
 
 // RPCMessages returns the total RPC requests this client has issued
 // across all node connections — bids, queries, stores and reads, plus
@@ -443,7 +500,7 @@ func (c *Client) RPCMessages() int64 {
 // in-flight store of a neighboring super-chunk can miss a brand-new
 // duplicate — that costs bandwidth (the server re-checks on arrival),
 // never correctness.
-func (c *Client) routeSuperChunk(sc *core.SuperChunk) routeResult {
+func (c *Client) routeSuperChunk(ctx context.Context, sc *core.SuperChunk) routeResult {
 	hp := sc.Handprint(c.cfg.HandprintK)
 	cands := hp.CandidateNodes(len(c.conns))
 	if len(cands) == 0 {
@@ -456,7 +513,7 @@ func (c *Client) routeSuperChunk(sc *core.SuperChunk) routeResult {
 		// Fully serial path: one bid round trip after another, the
 		// pre-pipeline behavior (and the benchmark baseline).
 		for i, cand := range cands {
-			counts[i], usage[i], errs[i] = c.conns[cand].Bid(hp)
+			counts[i], usage[i], errs[i] = c.conns[cand].Bid(ctx, hp)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -464,23 +521,30 @@ func (c *Client) routeSuperChunk(sc *core.SuperChunk) routeResult {
 			wg.Add(1)
 			go func(i, cand int) {
 				defer wg.Done()
-				counts[i], usage[i], errs[i] = c.conns[cand].Bid(hp)
+				counts[i], usage[i], errs[i] = c.conns[cand].Bid(ctx, hp)
 			}(i, cand)
 		}
 		wg.Wait()
 	}
+	routeErr := func(stage string, node int, err error) routeResult {
+		return routeResult{sc: sc, err: &sderr.BackupError{
+			Name:  c.cfg.Name,
+			Stage: stage,
+			Err:   fmt.Errorf("node %d: %w", node, err),
+		}}
+	}
 	for i, err := range errs {
 		if err != nil {
-			return routeResult{err: fmt.Errorf("client: bid node %d: %w", cands[i], err)}
+			return routeErr("route", cands[i], err)
 		}
 	}
 	target := core.SelectTarget(cands, counts, usage).Node
 
 	// Batched fingerprint query: learn which chunks are duplicates so
 	// their payloads never cross the network.
-	dup, err := c.conns[target].Query(sc)
+	dup, err := c.conns[target].Query(ctx, sc)
 	if err != nil {
-		return routeResult{err: fmt.Errorf("client: query node %d: %w", target, err)}
+		return routeErr("query", target, err)
 	}
 	send := &core.SuperChunk{FileID: sc.FileID, FileMinFP: sc.FileMinFP}
 	for i, ch := range sc.Chunks {
@@ -490,8 +554,8 @@ func (c *Client) routeSuperChunk(sc *core.SuperChunk) routeResult {
 		}
 		send.Chunks = append(send.Chunks, ref)
 	}
-	if err := c.conns[target].Store(c.cfg.Name, send, true); err != nil {
-		return routeResult{err: fmt.Errorf("client: store node %d: %w", target, err)}
+	if err := c.conns[target].Store(ctx, c.cfg.Name, send, true); err != nil {
+		return routeErr("store", target, err)
 	}
 	return routeResult{sc: sc, target: target, dup: dup}
 }
@@ -500,6 +564,11 @@ func (c *Client) routeSuperChunk(sc *core.SuperChunk) routeResult {
 // recipe attribution — in super-chunk stream order, on the goroutine
 // driving the backup.
 func (c *Client) apply(res routeResult) error {
+	if res.sc != nil {
+		// The super-chunk left the window (success or failure): its
+		// payloads are no longer pinned by the pipeline.
+		c.buffered.Add(-res.sc.Size())
+	}
 	if res.err != nil {
 		return res.err
 	}
@@ -547,22 +616,22 @@ func (c *Client) nextPending() *pendingFile {
 // forever. Ordering is leak-safe: put-new first, decref-old second, so a
 // failure in between strands references but never frees a chunk the new
 // recipe needs (the new backup's stores took their own references).
-func (c *Client) finalizeRecipes() error {
+func (c *Client) finalizeRecipes(ctx context.Context) error {
 	remaining := c.pending[:0]
 	for _, pf := range c.pending {
 		if pf.done && len(pf.entries) == pf.want {
-			prev, prevErr := c.dir.GetRecipe(pf.path)
+			prev, prevErr := c.dir.GetRecipe(ctx, pf.path)
 			if prevErr != nil && !errors.Is(prevErr, director.ErrNoRecipe) {
 				// A transport failure is not "no previous recipe": silently
 				// skipping the supersede decref would leak the old
 				// generation's references forever.
-				return fmt.Errorf("client: finalize %s: %w", pf.path, prevErr)
+				return &sderr.BackupError{Name: pf.path, Stage: "finalize", Err: prevErr}
 			}
-			if err := c.dir.PutRecipe(c.session, pf.path, pf.entries); err != nil {
-				return err
+			if err := c.dir.PutRecipe(ctx, c.session, pf.path, pf.entries); err != nil {
+				return &sderr.BackupError{Name: pf.path, Stage: "finalize", Err: err}
 			}
 			if prevErr == nil {
-				if err := c.decRefRecipe(pf.path, prev.Chunks); err != nil {
+				if err := c.decRefRecipe(ctx, pf.path, prev.Chunks); err != nil {
 					return err
 				}
 			}
@@ -582,21 +651,23 @@ func (c *Client) finalizeRecipes() error {
 // compaction reclaims the space. Crash ordering is leak-safe: failing
 // after the recipe is gone but before every decref lands can only leave
 // references behind (space), never free a chunk another backup needs.
+// Canceling ctx between the recipe delete and the decrefs likewise only
+// strands space.
 //
 // Deletion is independent of the backup session: it works on a client
 // whose session has already ended and does not touch the sticky backup
 // error state.
-func (c *Client) DeleteBackup(path string) error {
-	recipe, err := c.dir.DeleteRecipe(path)
+func (c *Client) DeleteBackup(ctx context.Context, path string) error {
+	recipe, err := c.dir.DeleteRecipe(ctx, path)
 	if err != nil {
 		return fmt.Errorf("client: delete %s: %w", path, err)
 	}
-	return c.decRefRecipe(path, recipe.Chunks)
+	return c.decRefRecipe(ctx, path, recipe.Chunks)
 }
 
 // decRefRecipe releases one recipe's chunk references on the owning
 // nodes, one batch per node, counts grouped per fingerprint.
-func (c *Client) decRefRecipe(path string, entries []director.ChunkEntry) error {
+func (c *Client) decRefRecipe(ctx context.Context, path string, entries []director.ChunkEntry) error {
 	byNode := make(map[int32][]fingerprint.Fingerprint)
 	for _, e := range entries {
 		byNode[e.Node] = append(byNode[e.Node], e.FP)
@@ -606,7 +677,7 @@ func (c *Client) decRefRecipe(path string, entries []director.ChunkEntry) error 
 			return fmt.Errorf("client: delete %s: node %d out of range", path, nd)
 		}
 		order, ns := core.AggregateRefs(fps)
-		if err := c.conns[nd].DecRef(order, ns); err != nil {
+		if err := c.conns[nd].DecRef(ctx, order, ns); err != nil {
 			return fmt.Errorf("client: delete %s: decref node %d: %w", path, nd, err)
 		}
 	}
@@ -615,11 +686,12 @@ func (c *Client) decRefRecipe(path string, entries []director.ChunkEntry) error 
 
 // Compact asks every node to run one compaction scan (≤0 threshold
 // selects each node's configured live-ratio floor) and returns the
-// summed results.
-func (c *Client) Compact(threshold float64) (store.CompactResult, error) {
+// summed results. A canceled ctx stops between nodes and aborts the
+// in-flight node's scan between containers.
+func (c *Client) Compact(ctx context.Context, threshold float64) (store.CompactResult, error) {
 	var total store.CompactResult
 	for i, conn := range c.conns {
-		res, err := conn.Compact(threshold)
+		res, err := conn.Compact(ctx, threshold)
 		if err != nil {
 			return total, fmt.Errorf("client: compact node %d: %w", i, err)
 		}
@@ -634,10 +706,10 @@ func (c *Client) Compact(threshold float64) (store.CompactResult, error) {
 }
 
 // GCStats sums the deletion/compaction counters of every node.
-func (c *Client) GCStats() (store.GCStats, error) {
+func (c *Client) GCStats(ctx context.Context) (store.GCStats, error) {
 	var total store.GCStats
 	for i, conn := range c.conns {
-		gc, _, err := conn.GCStats()
+		gc, _, err := conn.GCStats(ctx)
 		if err != nil {
 			return total, fmt.Errorf("client: gc stats node %d: %w", i, err)
 		}
@@ -652,6 +724,20 @@ func (c *Client) GCStats() (store.GCStats, error) {
 	}
 	return total, nil
 }
+
+// NodeUsage fetches one node's logical/physical byte counters and
+// storage usage over the wire (observability for backends aggregating
+// cluster-wide stats).
+func (c *Client) NodeUsage(ctx context.Context, i int) (logical, physical, usage int64, err error) {
+	st, usage, err := c.conns[i].Stats(ctx)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("client: stats node %d: %w", i, err)
+	}
+	return st.LogicalBytes, st.PhysicalBytes, usage, nil
+}
+
+// Nodes returns the number of node connections.
+func (c *Client) Nodes() int { return len(c.conns) }
 
 // restoreWorkers sizes the restore prefetch pool. A defaulted pool is
 // widened to keep every node connection busy even when the CPU count is
@@ -674,9 +760,10 @@ func (c *Client) restoreWorkers() int {
 
 // Restore streams a backed-up file to w, prefetching chunks from the
 // nodes recorded in its recipe with a bounded worker pool while writing
-// strictly in stream order.
-func (c *Client) Restore(path string, w io.Writer) error {
-	recipe, err := c.dir.GetRecipe(path)
+// strictly in stream order. Canceling ctx aborts the prefetch pool and
+// every chunk read in flight.
+func (c *Client) Restore(ctx context.Context, path string, w io.Writer) error {
+	recipe, err := c.dir.GetRecipe(ctx, path)
 	if err != nil {
 		return err
 	}
@@ -684,7 +771,7 @@ func (c *Client) Restore(path string, w io.Writer) error {
 		idx   int
 		entry director.ChunkEntry
 	}
-	g := pipeline.NewGroup()
+	g := pipeline.NewGroupCtx(ctx)
 	workers := c.restoreWorkers()
 	entries := pipeline.Produce(g, workers, func(yield func(job) bool) error {
 		for i, entry := range recipe.Chunks {
@@ -698,7 +785,7 @@ func (c *Client) Restore(path string, w io.Writer) error {
 		if j.entry.Node < 0 || int(j.entry.Node) >= len(c.conns) {
 			return nil, fmt.Errorf("client: restore %s: node %d out of range", path, j.entry.Node)
 		}
-		data, err := c.conns[j.entry.Node].ReadChunk(j.entry.FP)
+		data, err := c.conns[j.entry.Node].ReadChunk(ctx, j.entry.FP)
 		if err != nil {
 			return nil, fmt.Errorf("client: restore %s chunk %d: %w", path, j.idx, err)
 		}

@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -42,22 +43,22 @@ func randBytes(seed int64, n int) []byte {
 func TestBackupAndRestoreSingleNode(t *testing.T) {
 	addrs := startCluster(t, 1)
 	dir := director.New()
-	c, err := New(Config{Name: "t"}, dir, addrs)
+	c, err := New(context.Background(), Config{Name: "t"}, dir, addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 
 	content := randBytes(1, 300<<10)
-	if err := c.BackupFile("/data/a.bin", bytes.NewReader(content)); err != nil {
+	if err := c.BackupFile(context.Background(), "/data/a.bin", bytes.NewReader(content)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
 	var out bytes.Buffer
-	if err := c.Restore("/data/a.bin", &out); err != nil {
+	if err := c.Restore(context.Background(), "/data/a.bin", &out); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), content) {
@@ -70,22 +71,22 @@ func TestSourceDedupSavesBandwidth(t *testing.T) {
 	dir := director.New()
 	// Small super-chunks so the first generation is fully stored before
 	// the second generation's batched queries run.
-	c, err := New(Config{Name: "t", SuperChunkSize: 32 << 10}, dir, addrs)
+	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 32 << 10}, dir, addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 
 	content := randBytes(2, 512<<10)
-	if err := c.BackupFile("/gen1", bytes.NewReader(content)); err != nil {
+	if err := c.BackupFile(context.Background(), "/gen1", bytes.NewReader(content)); err != nil {
 		t.Fatal(err)
 	}
 	// Second generation: identical content under a new path. The batched
 	// query must stop nearly every payload from crossing the wire.
-	if err := c.BackupFile("/gen2", bytes.NewReader(content)); err != nil {
+	if err := c.BackupFile(context.Background(), "/gen2", bytes.NewReader(content)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	st := c.Stats()
@@ -96,7 +97,7 @@ func TestSourceDedupSavesBandwidth(t *testing.T) {
 		t.Fatalf("bandwidth saving = %.2f, want >= 0.45 (second copy dedups)", st.BandwidthSaving())
 	}
 	var out bytes.Buffer
-	if err := c.Restore("/gen2", &out); err != nil {
+	if err := c.Restore(context.Background(), "/gen2", &out); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), content) {
@@ -107,7 +108,7 @@ func TestSourceDedupSavesBandwidth(t *testing.T) {
 func TestMultiFileMultiNodeRoundTrip(t *testing.T) {
 	addrs := startCluster(t, 4)
 	dir := director.New()
-	c, err := New(Config{Name: "t", SuperChunkSize: 64 << 10}, dir, addrs)
+	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 64 << 10}, dir, addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,16 +120,16 @@ func TestMultiFileMultiNodeRoundTrip(t *testing.T) {
 		files[path] = randBytes(int64(10+i), 40<<10+i*1000)
 	}
 	for path, content := range files {
-		if err := c.BackupFile(path, bytes.NewReader(content)); err != nil {
+		if err := c.BackupFile(context.Background(), path, bytes.NewReader(content)); err != nil {
 			t.Fatalf("%s: %v", path, err)
 		}
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for path, content := range files {
 		var out bytes.Buffer
-		if err := c.Restore(path, &out); err != nil {
+		if err := c.Restore(context.Background(), path, &out); err != nil {
 			t.Fatalf("restore %s: %v", path, err)
 		}
 		if !bytes.Equal(out.Bytes(), content) {
@@ -143,16 +144,16 @@ func TestMultiFileMultiNodeRoundTrip(t *testing.T) {
 func TestRecipesRecordRouting(t *testing.T) {
 	addrs := startCluster(t, 3)
 	dir := director.New()
-	c, _ := New(Config{Name: "t", SuperChunkSize: 16 << 10}, dir, addrs)
+	c, _ := New(context.Background(), Config{Name: "t", SuperChunkSize: 16 << 10}, dir, addrs)
 	defer c.Close()
 	content := randBytes(3, 100<<10)
-	if err := c.BackupFile("/f", bytes.NewReader(content)); err != nil {
+	if err := c.BackupFile(context.Background(), "/f", bytes.NewReader(content)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	r, err := dir.GetRecipe("/f")
+	r, err := dir.GetRecipe(context.Background(), "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,15 +170,15 @@ func TestRecipesRecordRouting(t *testing.T) {
 func TestBackupEmptyFile(t *testing.T) {
 	addrs := startCluster(t, 1)
 	dir := director.New()
-	c, _ := New(Config{Name: "t"}, dir, addrs)
+	c, _ := New(context.Background(), Config{Name: "t"}, dir, addrs)
 	defer c.Close()
-	if err := c.BackupFile("/empty", bytes.NewReader(nil)); err != nil {
+	if err := c.BackupFile(context.Background(), "/empty", bytes.NewReader(nil)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	r, err := dir.GetRecipe("/empty")
+	r, err := dir.GetRecipe(context.Background(), "/empty")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestBackupEmptyFile(t *testing.T) {
 		t.Fatalf("empty file recipe has %d chunks", len(r.Chunks))
 	}
 	var out bytes.Buffer
-	if err := c.Restore("/empty", &out); err != nil {
+	if err := c.Restore(context.Background(), "/empty", &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() != 0 {
@@ -208,12 +209,12 @@ func TestSessionFailsStickyAfterError(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := director.New()
-	c, err := New(Config{Name: "t", SuperChunkSize: 16 << 10}, dir, []string{srv.Addr()})
+	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 16 << 10}, dir, []string{srv.Addr()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.BackupFile("/ok", bytes.NewReader(randBytes(9, 64<<10))); err != nil {
+	if err := c.BackupFile(context.Background(), "/ok", bytes.NewReader(randBytes(9, 64<<10))); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
@@ -221,15 +222,15 @@ func TestSessionFailsStickyAfterError(t *testing.T) {
 	// super-chunks of the previous call are settled lazily).
 	var backupErr error
 	for i := 0; i < 3 && backupErr == nil; i++ {
-		backupErr = c.BackupFile(fmt.Sprintf("/dead%d", i), bytes.NewReader(randBytes(int64(20+i), 64<<10)))
+		backupErr = c.BackupFile(context.Background(), fmt.Sprintf("/dead%d", i), bytes.NewReader(randBytes(int64(20+i), 64<<10)))
 	}
 	if backupErr == nil {
 		t.Fatal("backup against a dead node never failed")
 	}
-	if err := c.BackupFile("/after", bytes.NewReader(randBytes(30, 1<<10))); err == nil {
+	if err := c.BackupFile(context.Background(), "/after", bytes.NewReader(randBytes(30, 1<<10))); err == nil {
 		t.Fatal("session must stay failed after an error")
 	}
-	if err := c.Flush(); err == nil {
+	if err := c.Flush(context.Background()); err == nil {
 		t.Fatal("flush of a failed session must fail")
 	}
 }
@@ -253,7 +254,7 @@ func TestPipelineSurfacesSeverPromptly(t *testing.T) {
 	dir := director.New()
 	// Small super-chunks and a wide window: many RPCs in flight when the
 	// connection dies.
-	c, err := New(Config{Name: "t", SuperChunkSize: 8 << 10, InflightSuperChunks: 8}, dir, []string{srv.Addr()})
+	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 8 << 10, InflightSuperChunks: 8}, dir, []string{srv.Addr()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,11 +262,11 @@ func TestPipelineSurfacesSeverPromptly(t *testing.T) {
 
 	result := make(chan error, 1)
 	go func() {
-		if err := c.BackupFile("/doomed", bytes.NewReader(randBytes(77, 1<<20))); err != nil {
+		if err := c.BackupFile(context.Background(), "/doomed", bytes.NewReader(randBytes(77, 1<<20))); err != nil {
 			result <- err
 			return
 		}
-		result <- c.Flush()
+		result <- c.Flush(context.Background())
 	}()
 	select {
 	case err := <-result:
@@ -277,7 +278,7 @@ func TestPipelineSurfacesSeverPromptly(t *testing.T) {
 	}
 	// The session is sticky-failed and further use fails fast.
 	start := time.Now()
-	if err := c.BackupFile("/after", bytes.NewReader(randBytes(78, 8<<10))); err == nil {
+	if err := c.BackupFile(context.Background(), "/after", bytes.NewReader(randBytes(78, 8<<10))); err == nil {
 		t.Fatal("session must stay failed after the sever")
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
@@ -286,10 +287,10 @@ func TestPipelineSurfacesSeverPromptly(t *testing.T) {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(Config{}, director.New(), nil); err == nil {
+	if _, err := New(context.Background(), Config{}, director.New(), nil); err == nil {
 		t.Fatal("no node addresses should error")
 	}
-	if _, err := New(Config{}, director.New(), []string{"127.0.0.1:1"}); err == nil {
+	if _, err := New(context.Background(), Config{}, director.New(), []string{"127.0.0.1:1"}); err == nil {
 		t.Fatal("unreachable node should error")
 	}
 }
@@ -309,7 +310,7 @@ func TestRebackupSupersedesAndReleasesOldReferences(t *testing.T) {
 	}
 	t.Cleanup(func() { srv.Close() })
 	dir := director.New()
-	c, err := New(Config{Name: "t", SuperChunkSize: 32 << 10}, dir, []string{srv.Addr()})
+	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 32 << 10}, dir, []string{srv.Addr()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,13 +318,13 @@ func TestRebackupSupersedesAndReleasesOldReferences(t *testing.T) {
 
 	v1 := randBytes(60, 128<<10)
 	v2 := randBytes(61, 128<<10) // fully distinct content
-	if err := c.BackupFile("/data", bytes.NewReader(v1)); err != nil {
+	if err := c.BackupFile(context.Background(), "/data", bytes.NewReader(v1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.BackupFile("/data", bytes.NewReader(v2)); err != nil {
+	if err := c.BackupFile(context.Background(), "/data", bytes.NewReader(v2)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// v1 is superseded: all of its unique bytes must be dead on the node.
@@ -331,21 +332,21 @@ func TestRebackupSupersedesAndReleasesOldReferences(t *testing.T) {
 	if gc.DeadBytes < int64(len(v1)) {
 		t.Fatalf("DeadBytes after supersede = %d, want >= %d (v1's share)", gc.DeadBytes, len(v1))
 	}
-	if _, err := nd.Compact(0.99); err != nil {
+	if _, err := nd.Compact(context.Background(), 0.99); err != nil {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := c.Restore("/data", &out); err != nil {
+	if err := c.Restore(context.Background(), "/data", &out); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), v2) {
 		t.Fatal("latest generation corrupted after superseded space was reclaimed")
 	}
 	// Deleting the path releases v2's references too; nothing leaks.
-	if err := c.DeleteBackup("/data"); err != nil {
+	if err := c.DeleteBackup(context.Background(), "/data"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := nd.Compact(0.99); err != nil {
+	if _, err := nd.Compact(context.Background(), 0.99); err != nil {
 		t.Fatal(err)
 	}
 	if usage := nd.StorageUsage(); usage != 0 {

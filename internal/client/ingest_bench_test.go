@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -55,15 +56,15 @@ func benchIngest(b *testing.B, addrs []string, workers, inflight int, size int) 
 		b.StopTimer()
 		content := randBytes(int64(1000+i), size)
 		dir := director.New()
-		c, err := New(cfg, dir, addrs)
+		c, err := New(context.Background(), cfg, dir, addrs)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		if err := c.BackupFile(fmt.Sprintf("/bench/%d", i), bytes.NewReader(content)); err != nil {
+		if err := c.BackupFile(context.Background(), fmt.Sprintf("/bench/%d", i), bytes.NewReader(content)); err != nil {
 			b.Fatal(err)
 		}
-		if err := c.Flush(); err != nil {
+		if err := c.Flush(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		b.StopTimer()
@@ -100,17 +101,17 @@ func BenchmarkIngestRemoteLatency(b *testing.B) {
 func BenchmarkRestore(b *testing.B) {
 	addrs := benchServers(b, 4, 0)
 	dir := director.New()
-	c, err := New(Config{Name: "bench", SuperChunkSize: 128 << 10}, dir, addrs)
+	c, err := New(context.Background(), Config{Name: "bench", SuperChunkSize: 128 << 10}, dir, addrs)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer c.Close()
 	size := 8 << 20
 	content := randBytes(42, size)
-	if err := c.BackupFile("/bench/restore", bytes.NewReader(content)); err != nil {
+	if err := c.BackupFile(context.Background(), "/bench/restore", bytes.NewReader(content)); err != nil {
 		b.Fatal(err)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(size))
@@ -118,7 +119,7 @@ func BenchmarkRestore(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var out bytes.Buffer
 		out.Grow(size)
-		if err := c.Restore("/bench/restore", &out); err != nil {
+		if err := c.Restore(context.Background(), "/bench/restore", &out); err != nil {
 			b.Fatal(err)
 		}
 		if out.Len() != size {

@@ -21,7 +21,9 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -32,6 +34,7 @@ import (
 	"sigmadedupe/internal/node"
 	"sigmadedupe/internal/pipeline"
 	"sigmadedupe/internal/router"
+	"sigmadedupe/internal/sderr"
 	"sigmadedupe/internal/store"
 )
 
@@ -193,11 +196,21 @@ func New(cfg Config) (*Cluster, error) {
 // Stream is single-goroutine (one backup stream = one pipeline), but
 // distinct Streams may run concurrently.
 func (c *Cluster) Stream(name string) (*Stream, error) {
+	return c.StreamSized(name, 0)
+}
+
+// StreamSized opens a named backup stream with its own routing
+// granularity (0 selects the cluster's SuperChunkSize) — per-stream
+// super-chunk sizing for the session API.
+func (c *Cluster) StreamSized(name string, superChunkSize int64) (*Stream, error) {
+	if superChunkSize <= 0 {
+		superChunkSize = c.cfg.SuperChunkSize
+	}
 	var popts []core.PartitionerOption
 	if c.cfg.FixedBoundaries {
 		popts = append(popts, core.WithFixedBoundaries())
 	}
-	part, err := core.NewPartitioner(c.cfg.SuperChunkSize, fingerprint.SHA1, c.cfg.Node.KeepPayloads, popts...)
+	part, err := core.NewPartitioner(superChunkSize, fingerprint.SHA1, c.cfg.Node.KeepPayloads, popts...)
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +248,10 @@ func (c *Cluster) Scheme() string { return c.rt.Name() }
 func (c *Cluster) BackupItem(fileID uint64, refs []core.ChunkRef) error {
 	return c.def.BackupItem(fileID, refs)
 }
+
+// Default returns the cluster's default stream (the one BackupItem
+// feeds), for callers that stream chunks into it incrementally.
+func (c *Cluster) Default() *Stream { return c.def }
 
 // Item is one backup item of a trace stream: an optional file identity
 // plus its fingerprinted chunk references.
@@ -332,7 +349,7 @@ func (s *Stream) BackupItem(fileID uint64, refs []core.ChunkRef) error {
 		s.ctr.logicalBytes.Add(int64(r.Size))
 		if sc := s.part.AddRef(r); sc != nil {
 			sc.FileMinFP = fileMin
-			if err := s.routeAndStore(sc); err != nil {
+			if _, err := s.routeAndStore(sc); err != nil {
 				return err
 			}
 		}
@@ -343,7 +360,7 @@ func (s *Stream) BackupItem(fileID uint64, refs []core.ChunkRef) error {
 		// can carry one item's chunks into the next item's attribution.
 		if sc := s.part.Flush(); sc != nil {
 			sc.FileMinFP = fileMin
-			if err := s.routeAndStore(sc); err != nil {
+			if _, err := s.routeAndStore(sc); err != nil {
 				return err
 			}
 		}
@@ -355,18 +372,87 @@ func (s *Stream) BackupItem(fileID uint64, refs []core.ChunkRef) error {
 // node containers; Cluster.Flush does that once per session.
 func (s *Stream) Flush() error {
 	if sc := s.part.Flush(); sc != nil {
-		if err := s.routeAndStore(sc); err != nil {
+		if _, err := s.routeAndStore(sc); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (s *Stream) routeAndStore(sc *core.SuperChunk) error {
+// BeginItem starts one backup item on the stream: chunks fed with
+// AddChunk until the next BeginItem/EndItem belong to it. Together with
+// AddChunk and EndItem this is the streaming feed of the simulator —
+// chunks arrive one at a time and completed super-chunks route
+// immediately, so an arbitrarily large item is simulated with memory
+// bounded by the pending super-chunk, never the item size.
+func (s *Stream) BeginItem(fileID uint64) {
+	s.ctr.files.Add(1)
+	s.part.SetFileID(fileID)
+}
+
+// AddChunk feeds one fingerprinted chunk of the current item, returning
+// the route outcome (non-zero RoutedBytes when this chunk completed a
+// super-chunk, which routes and stores synchronously). A canceled ctx
+// stops the feed at the next super-chunk boundary.
+//
+// Not supported for the Extreme Binning scheme, whose file-level routing
+// needs the whole item's minimum fingerprint before any chunk can be
+// placed — use BackupItem there.
+func (s *Stream) AddChunk(ctx context.Context, ref core.ChunkRef) (RouteOutcome, error) {
+	if s.c.cfg.Scheme == router.ExtremeBinning {
+		return RouteOutcome{}, fmt.Errorf("cluster: streaming feed is not supported for Extreme Binning; use BackupItem")
+	}
+	if err := ctx.Err(); err != nil {
+		return RouteOutcome{}, err
+	}
+	s.ctr.logicalBytes.Add(int64(ref.Size))
+	if sc := s.part.AddRef(ref); sc != nil {
+		routed := sc.Size()
+		stored, err := s.routeAndStore(sc)
+		return RouteOutcome{RoutedBytes: routed, StoredBytes: stored}, err
+	}
+	return RouteOutcome{}, nil
+}
+
+// EndItem closes the current item, returning the route outcome of the
+// boundary cut. With recipe tracking on, the partial super-chunk is
+// cut and routed at the item boundary so no super-chunk can carry one
+// item's chunks into the next item's attribution — the same invariant
+// BackupItem maintains.
+func (s *Stream) EndItem(ctx context.Context) (RouteOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return RouteOutcome{}, err
+	}
+	if s.c.cfg.TrackRecipes {
+		if sc := s.part.Flush(); sc != nil {
+			routed := sc.Size()
+			stored, err := s.routeAndStore(sc)
+			return RouteOutcome{RoutedBytes: routed, StoredBytes: stored}, err
+		}
+	}
+	return RouteOutcome{}, nil
+}
+
+// AbortItem discards the partial super-chunk of a failed item so its
+// chunks cannot leak into the next item's routing or attribution. The
+// stream stays usable.
+func (s *Stream) AbortItem() { _ = s.part.Flush() }
+
+// RouteOutcome reports what one chunk feed did: payload bytes routed
+// (non-zero when a super-chunk completed) and the unique payload bytes
+// those routes actually stored (the simulator's analogue of transferred
+// bytes — duplicates cost nothing).
+type RouteOutcome struct {
+	RoutedBytes int64
+	StoredBytes int64
+}
+
+func (s *Stream) routeAndStore(sc *core.SuperChunk) (int64, error) {
 	c := s.c
 	d := c.rt.Route(sc, c)
 	s.ctr.superChunks.Add(1)
 	s.ctr.preRoutingMsgs.Add(d.PreRoutingMsgs)
+	var stored int64
 	for _, a := range d.Assignments {
 		target := sc
 		nChunks := len(sc.Chunks)
@@ -383,16 +469,18 @@ func (s *Stream) routeAndStore(sc *core.SuperChunk) error {
 		// node.Node); different nodes store in parallel, and routing bids
 		// read node state lock-free.
 		s.ctr.afterRoutingMsgs.Add(int64(nChunks))
+		var res store.Result
 		var err error
 		if c.cfg.Scheme == router.ExtremeBinning && !sc.FileMinFP.IsZero() {
 			// Extreme Binning dedups the file only against its bin.
-			_, err = c.nodes[a.Node].StoreFileInBin(s.name, sc.FileMinFP, target)
+			res, err = c.nodes[a.Node].StoreFileInBin(s.name, sc.FileMinFP, target)
 		} else {
-			_, err = c.nodes[a.Node].StoreSuperChunk(s.name, target)
+			res, err = c.nodes[a.Node].StoreSuperChunk(s.name, target)
 		}
 		if err != nil {
-			return err
+			return stored, err
 		}
+		stored += res.UniqueBytes
 		if c.cfg.TrackRecipes && sc.FileID != 0 {
 			entries := make([]RecipeEntry, len(target.Chunks))
 			for i, ch := range target.Chunks {
@@ -403,7 +491,7 @@ func (s *Stream) routeAndStore(sc *core.SuperChunk) error {
 			c.recMu.Unlock()
 		}
 	}
-	return nil
+	return stored, nil
 }
 
 // retire folds a finished stream's shard into the base totals and drops
@@ -514,7 +602,7 @@ func (c *Cluster) DeleteBackup(fileID uint64) error {
 	}
 	c.recMu.Unlock()
 	if !ok {
-		return fmt.Errorf("cluster: no tracked backup %d", fileID)
+		return fmt.Errorf("cluster: no tracked backup %d: %w", fileID, sderr.ErrNotFound)
 	}
 	byNode := make(map[int][]fingerprint.Fingerprint)
 	for _, e := range entries {
@@ -529,13 +617,37 @@ func (c *Cluster) DeleteBackup(fileID uint64) error {
 	return nil
 }
 
+// RestoreBackup streams a tracked backup item to w, reading each chunk
+// of its recipe from the owning node in stream order. Requires
+// Config.TrackRecipes and nodes that retain payloads (KeepPayloads or a
+// durable Dir). A canceled ctx stops between chunks.
+func (c *Cluster) RestoreBackup(ctx context.Context, fileID uint64, w io.Writer) error {
+	entries, ok := c.Recipe(fileID)
+	if !ok {
+		return fmt.Errorf("cluster: no tracked backup %d: %w", fileID, sderr.ErrNotFound)
+	}
+	for i, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		data, err := c.nodes[e.Node].ReadChunk(e.FP)
+		if err != nil {
+			return fmt.Errorf("cluster: restore backup %d chunk %d: %w", fileID, i, err)
+		}
+		if _, err := w.Write(data); err != nil {
+			return fmt.Errorf("cluster: restore backup %d: %w", fileID, err)
+		}
+	}
+	return nil
+}
+
 // Compact runs one compaction scan on every node (≤0 threshold selects
 // each node's configured live-ratio floor) and returns the summed
-// results.
-func (c *Cluster) Compact(threshold float64) (store.CompactResult, error) {
+// results. A canceled ctx stops between nodes and between containers.
+func (c *Cluster) Compact(ctx context.Context, threshold float64) (store.CompactResult, error) {
 	var total store.CompactResult
 	for i, n := range c.nodes {
-		res, err := n.Compact(threshold)
+		res, err := n.Compact(ctx, threshold)
 		if err != nil {
 			return total, fmt.Errorf("cluster: compact node %d: %w", i, err)
 		}
@@ -642,11 +754,23 @@ func (e *ExactTracker) Add(refs []core.ChunkRef) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, r := range refs {
-		e.logical += int64(r.Size)
-		if _, ok := e.seen[r.FP]; !ok {
-			e.seen[r.FP] = struct{}{}
-			e.unique += int64(r.Size)
-		}
+		e.add(r)
+	}
+}
+
+// AddRef accounts a single chunk reference (streaming feed).
+func (e *ExactTracker) AddRef(r core.ChunkRef) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.add(r)
+}
+
+// add accounts one reference; caller holds e.mu.
+func (e *ExactTracker) add(r core.ChunkRef) {
+	e.logical += int64(r.Size)
+	if _, ok := e.seen[r.FP]; !ok {
+		e.seen[r.FP] = struct{}{}
+		e.unique += int64(r.Size)
 	}
 }
 

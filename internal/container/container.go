@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/sderr"
 )
 
 // DefaultCapacity is the default container payload capacity. 4MB is the
@@ -77,12 +78,14 @@ func (c *Container) Fingerprints() []fingerprint.Fingerprint {
 	return out
 }
 
-// ErrNotFound reports a missing container or chunk.
-var ErrNotFound = errors.New("container: not found")
+// ErrNotFound reports a missing container or chunk. It wraps the
+// system-wide sderr.ErrNotFound, so callers may dispatch on either.
+var ErrNotFound = fmt.Errorf("container: %w", sderr.ErrNotFound)
 
 // ErrCorrupt reports a container file that failed its CRC32 integrity
-// check or whose structure contradicts its header.
-var ErrCorrupt = errors.New("container: corrupt")
+// check or whose structure contradicts its header. Wraps
+// sderr.ErrCorrupt.
+var ErrCorrupt = fmt.Errorf("container: %w", sderr.ErrCorrupt)
 
 // SealRecord describes one sealed container, passed to the seal hook so a
 // storage engine can journal the seal (e.g. into a recovery manifest).

@@ -18,6 +18,7 @@ package director
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/sderr"
 )
 
 // ChunkEntry is one recipe element: a chunk fingerprint, its size, and
@@ -74,10 +76,12 @@ type Director struct {
 	journal  *os.File           // nil for an in-RAM director
 }
 
-// Errors returned by recipe and session lookups.
+// Errors returned by recipe and session lookups. Both wrap the
+// system-wide taxonomy (sderr), so callers can dispatch on either the
+// director-level or the taxonomy sentinel, locally and across the wire.
 var (
-	ErrNoSession = errors.New("director: unknown session")
-	ErrNoRecipe  = errors.New("director: no recipe for file")
+	ErrNoSession = fmt.Errorf("director: %w", sderr.ErrNoSession)
+	ErrNoRecipe  = fmt.Errorf("director: no recipe for file: %w", sderr.ErrNotFound)
 )
 
 // JournalName is the recipe journal's file name under a durable
@@ -197,7 +201,9 @@ func (d *Director) Close() error {
 }
 
 // BeginSession opens a backup session for a client and returns its ID.
-func (d *Director) BeginSession(client string) uint64 {
+// (The in-process director is instantaneous; ctx exists for Metadata
+// interface symmetry with the TCP Remote.)
+func (d *Director) BeginSession(ctx context.Context, client string) uint64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.nextID++
@@ -210,7 +216,10 @@ func (d *Director) BeginSession(client string) uint64 {
 }
 
 // EndSession marks a session finished.
-func (d *Director) EndSession(id uint64) error {
+func (d *Director) EndSession(ctx context.Context, id uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	s, ok := d.sessions[id]
@@ -225,7 +234,10 @@ func (d *Director) EndSession(id uint64) error {
 // A later backup of the same path supersedes the previous recipe. On a
 // durable director the recipe is journaled (fsynced) before it becomes
 // visible.
-func (d *Director) PutRecipe(session uint64, path string, chunks []ChunkEntry) error {
+func (d *Director) PutRecipe(ctx context.Context, session uint64, path string, chunks []ChunkEntry) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	s, ok := d.sessions[session]
@@ -254,7 +266,10 @@ func (d *Director) PutRecipe(session uint64, path string, chunks []ChunkEntry) e
 // disappears — the commit point of the backup deletion: delete the
 // recipe first, then decref the nodes, so a crash in between can only
 // leak references (space), never free chunks a surviving recipe needs.
-func (d *Director) DeleteRecipe(path string) (Recipe, error) {
+func (d *Director) DeleteRecipe(ctx context.Context, path string) (Recipe, error) {
+	if err := ctx.Err(); err != nil {
+		return Recipe{}, err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	r, ok := d.recipes[path]
@@ -269,7 +284,10 @@ func (d *Director) DeleteRecipe(path string) (Recipe, error) {
 }
 
 // GetRecipe returns the latest recipe for a path.
-func (d *Director) GetRecipe(path string) (Recipe, error) {
+func (d *Director) GetRecipe(ctx context.Context, path string) (Recipe, error) {
+	if err := ctx.Err(); err != nil {
+		return Recipe{}, err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	r, ok := d.recipes[path]

@@ -1,6 +1,7 @@
 package director
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 func TestSessionLifecycle(t *testing.T) {
 	d := New()
-	id := d.BeginSession("laptop")
+	id := d.BeginSession(context.Background(), "laptop")
 	if id == 0 {
 		t.Fatal("session ID should be non-zero")
 	}
@@ -25,29 +26,29 @@ func TestSessionLifecycle(t *testing.T) {
 	if !s.Finished.IsZero() {
 		t.Fatal("session should not be finished yet")
 	}
-	if err := d.EndSession(id); err != nil {
+	if err := d.EndSession(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
 	s, _ = d.GetSession(id)
 	if s.Finished.IsZero() {
 		t.Fatal("EndSession should stamp Finished")
 	}
-	if err := d.EndSession(999); !errors.Is(err, ErrNoSession) {
+	if err := d.EndSession(context.Background(), 999); !errors.Is(err, ErrNoSession) {
 		t.Fatalf("EndSession(999) = %v, want ErrNoSession", err)
 	}
 }
 
 func TestRecipeRoundTrip(t *testing.T) {
 	d := New()
-	id := d.BeginSession("c")
+	id := d.BeginSession(context.Background(), "c")
 	chunks := []ChunkEntry{
 		{FP: fingerprint.Sum([]byte("a")), Size: 4096, Node: 2},
 		{FP: fingerprint.Sum([]byte("b")), Size: 100, Node: 0},
 	}
-	if err := d.PutRecipe(id, "/data/file1", chunks); err != nil {
+	if err := d.PutRecipe(context.Background(), id, "/data/file1", chunks); err != nil {
 		t.Fatal(err)
 	}
-	r, err := d.GetRecipe("/data/file1")
+	r, err := d.GetRecipe(context.Background(), "/data/file1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,21 +58,21 @@ func TestRecipeRoundTrip(t *testing.T) {
 	if len(r.Chunks) != 2 || r.Chunks[0].Node != 2 {
 		t.Fatalf("recipe = %+v", r)
 	}
-	if _, err := d.GetRecipe("/nope"); !errors.Is(err, ErrNoRecipe) {
+	if _, err := d.GetRecipe(context.Background(), "/nope"); !errors.Is(err, ErrNoRecipe) {
 		t.Fatalf("missing recipe err = %v", err)
 	}
-	if err := d.PutRecipe(77, "/x", nil); !errors.Is(err, ErrNoSession) {
+	if err := d.PutRecipe(context.Background(), 77, "/x", nil); !errors.Is(err, ErrNoSession) {
 		t.Fatalf("PutRecipe bad session err = %v", err)
 	}
 }
 
 func TestRecipeSupersedes(t *testing.T) {
 	d := New()
-	s1 := d.BeginSession("c")
-	s2 := d.BeginSession("c")
-	d.PutRecipe(s1, "/f", []ChunkEntry{{Size: 1}})
-	d.PutRecipe(s2, "/f", []ChunkEntry{{Size: 2}, {Size: 3}})
-	r, _ := d.GetRecipe("/f")
+	s1 := d.BeginSession(context.Background(), "c")
+	s2 := d.BeginSession(context.Background(), "c")
+	d.PutRecipe(context.Background(), s1, "/f", []ChunkEntry{{Size: 1}})
+	d.PutRecipe(context.Background(), s2, "/f", []ChunkEntry{{Size: 2}, {Size: 3}})
+	r, _ := d.GetRecipe(context.Background(), "/f")
 	if r.Session != s2 || len(r.Chunks) != 2 {
 		t.Fatalf("latest recipe not returned: %+v", r)
 	}
@@ -79,11 +80,11 @@ func TestRecipeSupersedes(t *testing.T) {
 
 func TestRecipeIsolatedFromCallerMutation(t *testing.T) {
 	d := New()
-	id := d.BeginSession("c")
+	id := d.BeginSession(context.Background(), "c")
 	chunks := []ChunkEntry{{Size: 10}}
-	d.PutRecipe(id, "/f", chunks)
+	d.PutRecipe(context.Background(), id, "/f", chunks)
 	chunks[0].Size = 999
-	r, _ := d.GetRecipe("/f")
+	r, _ := d.GetRecipe(context.Background(), "/f")
 	if r.Chunks[0].Size != 10 {
 		t.Fatal("director must copy recipe chunks at the boundary")
 	}
@@ -91,9 +92,9 @@ func TestRecipeIsolatedFromCallerMutation(t *testing.T) {
 
 func TestFilesSorted(t *testing.T) {
 	d := New()
-	id := d.BeginSession("c")
+	id := d.BeginSession(context.Background(), "c")
 	for _, p := range []string{"/b", "/a", "/c"} {
-		d.PutRecipe(id, p, nil)
+		d.PutRecipe(context.Background(), id, p, nil)
 	}
 	files := d.Files()
 	if len(files) != 3 || files[0] != "/a" || files[2] != "/c" {
@@ -105,7 +106,7 @@ func TestSessionTimesUseClock(t *testing.T) {
 	d := New()
 	fixed := time.Date(2026, 6, 13, 12, 0, 0, 0, time.UTC)
 	d.now = func() time.Time { return fixed }
-	id := d.BeginSession("c")
+	id := d.BeginSession(context.Background(), "c")
 	s, _ := d.GetSession(id)
 	if !s.Started.Equal(fixed) {
 		t.Fatal("injected clock not used")
@@ -119,9 +120,9 @@ func TestConcurrentSessions(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			id := d.BeginSession("c")
-			d.PutRecipe(id, "/f"+string(rune('a'+i)), []ChunkEntry{{Size: 1}})
-			d.EndSession(id)
+			id := d.BeginSession(context.Background(), "c")
+			d.PutRecipe(context.Background(), id, "/f"+string(rune('a'+i)), []ChunkEntry{{Size: 1}})
+			d.EndSession(context.Background(), id)
 		}(i)
 	}
 	wg.Wait()
@@ -141,20 +142,20 @@ func TestDurableRecipesSurviveReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess := d.BeginSession("c")
+	sess := d.BeginSession(context.Background(), "c")
 	mkChunks := func(seed string) []ChunkEntry {
 		return []ChunkEntry{
 			{FP: fingerprint.Sum([]byte(seed + "1")), Size: 4096, Node: 0},
 			{FP: fingerprint.Sum([]byte(seed + "2")), Size: 1024, Node: 1},
 		}
 	}
-	if err := d.PutRecipe(sess, "/a", mkChunks("a")); err != nil {
+	if err := d.PutRecipe(context.Background(), sess, "/a", mkChunks("a")); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.PutRecipe(sess, "/b", mkChunks("b")); err != nil {
+	if err := d.PutRecipe(context.Background(), sess, "/b", mkChunks("b")); err != nil {
 		t.Fatal(err)
 	}
-	deleted, err := d.DeleteRecipe("/a")
+	deleted, err := d.DeleteRecipe(context.Background(), "/a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,10 +171,10 @@ func TestDurableRecipesSurviveReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	if _, err := r.GetRecipe("/a"); !errors.Is(err, ErrNoRecipe) {
+	if _, err := r.GetRecipe(context.Background(), "/a"); !errors.Is(err, ErrNoRecipe) {
 		t.Fatalf("deleted recipe resurrected across reopen: %v", err)
 	}
-	got, err := r.GetRecipe("/b")
+	got, err := r.GetRecipe(context.Background(), "/b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestDurableRecipesSurviveReopen(t *testing.T) {
 		t.Fatalf("recovered recipe session = %d, want %d (provenance)", got.Session, sess)
 	}
 	// New sessions allocate past the journaled ones.
-	if s2 := r.BeginSession("c2"); s2 <= sess {
+	if s2 := r.BeginSession(context.Background(), "c2"); s2 <= sess {
 		t.Fatalf("reopened director reused session ID %d (prior %d)", s2, sess)
 	}
 }
@@ -194,7 +195,7 @@ func TestDurableRecipesSurviveReopen(t *testing.T) {
 // with ErrNoRecipe and journals nothing.
 func TestDeleteRecipeUnknown(t *testing.T) {
 	d := New()
-	if _, err := d.DeleteRecipe("/ghost"); !errors.Is(err, ErrNoRecipe) {
+	if _, err := d.DeleteRecipe(context.Background(), "/ghost"); !errors.Is(err, ErrNoRecipe) {
 		t.Fatalf("err = %v, want ErrNoRecipe", err)
 	}
 }

@@ -1,23 +1,26 @@
 package director
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
-	"strings"
 	"sync"
+	"time"
+
+	"sigmadedupe/internal/sderr"
 )
 
 // Metadata is the director API surface used by backup clients. Both the
 // in-process *Director and the TCP Remote client satisfy it.
 type Metadata interface {
-	BeginSession(client string) uint64
-	EndSession(id uint64) error
-	PutRecipe(session uint64, path string, chunks []ChunkEntry) error
-	GetRecipe(path string) (Recipe, error)
-	DeleteRecipe(path string) (Recipe, error)
+	BeginSession(ctx context.Context, client string) uint64
+	EndSession(ctx context.Context, id uint64) error
+	PutRecipe(ctx context.Context, session uint64, path string, chunks []ChunkEntry) error
+	GetRecipe(ctx context.Context, path string) (Recipe, error)
+	DeleteRecipe(ctx context.Context, path string) (Recipe, error)
 }
 
 var (
@@ -34,6 +37,7 @@ const (
 	opPut
 	opGet
 	opDelete
+	opFiles
 )
 
 type dirRequest struct {
@@ -48,6 +52,7 @@ type dirResponse struct {
 	Err     string
 	Session uint64
 	Recipe  Recipe
+	Files   []string
 }
 
 // Service exposes a Director over TCP with a simple sequential
@@ -135,29 +140,27 @@ func (s *Service) serveConn(conn net.Conn) {
 		var resp dirResponse
 		switch req.Op {
 		case opBegin:
-			resp.Session = s.dir.BeginSession(req.Client)
+			resp.Session = s.dir.BeginSession(context.Background(), req.Client)
 		case opEnd:
-			if err := s.dir.EndSession(req.Session); err != nil {
-				resp.Err = err.Error()
-			}
+			resp.Err = sderr.Encode(s.dir.EndSession(context.Background(), req.Session))
 		case opPut:
-			if err := s.dir.PutRecipe(req.Session, req.Path, req.Chunks); err != nil {
-				resp.Err = err.Error()
-			}
+			resp.Err = sderr.Encode(s.dir.PutRecipe(context.Background(), req.Session, req.Path, req.Chunks))
 		case opGet:
-			r, err := s.dir.GetRecipe(req.Path)
+			r, err := s.dir.GetRecipe(context.Background(), req.Path)
 			if err != nil {
-				resp.Err = err.Error()
+				resp.Err = sderr.Encode(err)
 			} else {
 				resp.Recipe = r
 			}
 		case opDelete:
-			r, err := s.dir.DeleteRecipe(req.Path)
+			r, err := s.dir.DeleteRecipe(context.Background(), req.Path)
 			if err != nil {
-				resp.Err = err.Error()
+				resp.Err = sderr.Encode(err)
 			} else {
 				resp.Recipe = r
 			}
+		case opFiles:
+			resp.Files = s.dir.Files()
 		default:
 			resp.Err = fmt.Sprintf("director: unknown op %d", int(req.Op))
 		}
@@ -174,11 +177,24 @@ type Remote struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	// err marks the connection permanently failed. The protocol has no
+	// request IDs, so once a call is abandoned mid-round-trip (canceled,
+	// timed out, transport error) a later call could otherwise decode
+	// the stale response as its own; instead the connection is closed
+	// and every later call fails fast with this sticky error.
+	err error
 }
 
 // DialRemote connects to a director service.
 func DialRemote(addr string) (*Remote, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialRemoteContext(context.Background(), addr)
+}
+
+// DialRemoteContext connects to a director service, honoring ctx for
+// the dial itself (deadline and cancellation).
+func DialRemoteContext(ctx context.Context, addr string) (*Remote, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("director: dial %s: %w", addr, err)
 	}
@@ -188,15 +204,52 @@ func DialRemote(addr string) (*Remote, error) {
 // Close releases the connection.
 func (r *Remote) Close() error { return r.conn.Close() }
 
-func (r *Remote) call(req dirRequest) (dirResponse, error) {
+func (r *Remote) call(ctx context.Context, req dirRequest) (dirResponse, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.enc.Encode(req); err != nil {
-		return dirResponse{}, fmt.Errorf("director: send: %w", err)
+	if r.err != nil {
+		return dirResponse{}, r.err
 	}
+	if err := ctx.Err(); err != nil {
+		return dirResponse{}, err
+	}
+	// The round trip is synchronous on one connection; a context watcher
+	// turns cancellation into a connection deadline so neither the send
+	// nor the receive can outlive the caller's budget. The connection is
+	// torn by a fired deadline (the request/response framing is broken
+	// mid-stream), which is the correct cost of abandoning the call.
+	watchStop, watchDone := make(chan struct{}), make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-ctx.Done():
+			r.conn.SetDeadline(time.Unix(1, 0))
+		case <-watchStop:
+		}
+	}()
+	if dl, ok := ctx.Deadline(); ok {
+		r.conn.SetDeadline(dl)
+	}
+	err := r.enc.Encode(req)
 	var resp dirResponse
-	if err := r.dec.Decode(&resp); err != nil {
-		return dirResponse{}, fmt.Errorf("director: recv: %w", err)
+	if err == nil {
+		err = r.dec.Decode(&resp)
+	}
+	close(watchStop)
+	<-watchDone // joined: no stale deadline can land after the reset
+	r.conn.SetDeadline(time.Time{})
+	if err != nil {
+		// The round trip was abandoned with the stream state unknown —
+		// the reply of this call may still arrive and would be decoded
+		// as the next call's response. Poison and close the connection.
+		if cerr := ctx.Err(); cerr != nil {
+			err = fmt.Errorf("director: call canceled: %w", cerr)
+		} else {
+			err = fmt.Errorf("director: call: %w", err)
+		}
+		r.err = err
+		r.conn.Close()
+		return dirResponse{}, err
 	}
 	if resp.Err != "" {
 		return resp, wireError(resp.Err)
@@ -207,19 +260,23 @@ func (r *Remote) call(req dirRequest) (dirResponse, error) {
 // wireError rehydrates the sentinel errors callers dispatch on (a
 // missing recipe must stay distinguishable from a transport failure —
 // the client's supersede logic skips its decref only on ErrNoRecipe).
+// The taxonomy codec restores the sderr sentinel; the director-level
+// sentinels are re-attached on top so errors.Is holds for both.
 func wireError(msg string) error {
-	for _, sentinel := range []error{ErrNoRecipe, ErrNoSession} {
-		if strings.Contains(msg, sentinel.Error()) {
-			return fmt.Errorf("%w (remote: %s)", sentinel, msg)
-		}
+	err := sderr.Decode(msg)
+	switch {
+	case errors.Is(err, sderr.ErrNotFound):
+		return fmt.Errorf("%w: %w", ErrNoRecipe, err)
+	case errors.Is(err, sderr.ErrNoSession):
+		return fmt.Errorf("%w: %w", ErrNoSession, err)
 	}
-	return errors.New(msg)
+	return err
 }
 
 // BeginSession implements Metadata. A transport failure returns session 0,
 // which downstream Put/End calls will reject.
-func (r *Remote) BeginSession(client string) uint64 {
-	resp, err := r.call(dirRequest{Op: opBegin, Client: client})
+func (r *Remote) BeginSession(ctx context.Context, client string) uint64 {
+	resp, err := r.call(ctx, dirRequest{Op: opBegin, Client: client})
 	if err != nil {
 		return 0
 	}
@@ -227,20 +284,20 @@ func (r *Remote) BeginSession(client string) uint64 {
 }
 
 // EndSession implements Metadata.
-func (r *Remote) EndSession(id uint64) error {
-	_, err := r.call(dirRequest{Op: opEnd, Session: id})
+func (r *Remote) EndSession(ctx context.Context, id uint64) error {
+	_, err := r.call(ctx, dirRequest{Op: opEnd, Session: id})
 	return err
 }
 
 // PutRecipe implements Metadata.
-func (r *Remote) PutRecipe(session uint64, path string, chunks []ChunkEntry) error {
-	_, err := r.call(dirRequest{Op: opPut, Session: session, Path: path, Chunks: chunks})
+func (r *Remote) PutRecipe(ctx context.Context, session uint64, path string, chunks []ChunkEntry) error {
+	_, err := r.call(ctx, dirRequest{Op: opPut, Session: session, Path: path, Chunks: chunks})
 	return err
 }
 
 // GetRecipe implements Metadata.
-func (r *Remote) GetRecipe(path string) (Recipe, error) {
-	resp, err := r.call(dirRequest{Op: opGet, Path: path})
+func (r *Remote) GetRecipe(ctx context.Context, path string) (Recipe, error) {
+	resp, err := r.call(ctx, dirRequest{Op: opGet, Path: path})
 	if err != nil {
 		return Recipe{}, err
 	}
@@ -248,10 +305,19 @@ func (r *Remote) GetRecipe(path string) (Recipe, error) {
 }
 
 // DeleteRecipe implements Metadata.
-func (r *Remote) DeleteRecipe(path string) (Recipe, error) {
-	resp, err := r.call(dirRequest{Op: opDelete, Path: path})
+func (r *Remote) DeleteRecipe(ctx context.Context, path string) (Recipe, error) {
+	resp, err := r.call(ctx, dirRequest{Op: opDelete, Path: path})
 	if err != nil {
 		return Recipe{}, err
 	}
 	return resp.Recipe, nil
+}
+
+// Files lists all paths with recipes on the remote director, sorted.
+func (r *Remote) Files(ctx context.Context) ([]string, error) {
+	resp, err := r.call(ctx, dirRequest{Op: opFiles})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Files, nil
 }

@@ -1,6 +1,7 @@
 package director
 
 import (
+	"context"
 	"testing"
 
 	"sigmadedupe/internal/fingerprint"
@@ -20,32 +21,32 @@ func TestServiceRoundTrip(t *testing.T) {
 	}
 	defer r.Close()
 
-	id := r.BeginSession("remote-client")
+	id := r.BeginSession(context.Background(), "remote-client")
 	if id == 0 {
 		t.Fatal("remote BeginSession returned 0")
 	}
 	chunks := []ChunkEntry{
 		{FP: fingerprint.Sum([]byte("x")), Size: 4096, Node: 1},
 	}
-	if err := r.PutRecipe(id, "/remote/file", chunks); err != nil {
+	if err := r.PutRecipe(context.Background(), id, "/remote/file", chunks); err != nil {
 		t.Fatal(err)
 	}
-	got, err := r.GetRecipe("/remote/file")
+	got, err := r.GetRecipe(context.Background(), "/remote/file")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got.Chunks) != 1 || got.Chunks[0].Node != 1 {
 		t.Fatalf("recipe = %+v", got)
 	}
-	if err := r.EndSession(id); err != nil {
+	if err := r.EndSession(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
 
 	// Errors must propagate as errors, not panics.
-	if _, err := r.GetRecipe("/missing"); err == nil {
+	if _, err := r.GetRecipe(context.Background(), "/missing"); err == nil {
 		t.Fatal("missing recipe should error over the wire")
 	}
-	if err := r.PutRecipe(9999, "/x", nil); err == nil {
+	if err := r.PutRecipe(context.Background(), 9999, "/x", nil); err == nil {
 		t.Fatal("bad session should error over the wire")
 	}
 }
@@ -67,15 +68,15 @@ func TestServiceMultipleClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r2.Close()
-	id1 := r1.BeginSession("a")
-	id2 := r2.BeginSession("b")
+	id1 := r1.BeginSession(context.Background(), "a")
+	id2 := r2.BeginSession(context.Background(), "b")
 	if id1 == id2 {
 		t.Fatal("sessions must be distinct across connections")
 	}
-	if err := r1.PutRecipe(id1, "/f1", nil); err != nil {
+	if err := r1.PutRecipe(context.Background(), id1, "/f1", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r2.GetRecipe("/f1"); err != nil {
+	if _, err := r2.GetRecipe(context.Background(), "/f1"); err != nil {
 		t.Fatal("recipes must be shared across connections")
 	}
 }

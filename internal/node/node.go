@@ -13,6 +13,7 @@
 package node
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -211,9 +212,10 @@ func (n *Node) DecRef(fps []fingerprint.Fingerprint, ns []int64) error {
 
 // Compact runs one compaction scan, rewriting sealed containers whose
 // live ratio fell below minLive (≤0 selects the configured threshold).
-// Safe to run concurrently with backups and restores.
-func (n *Node) Compact(minLive float64) (store.CompactResult, error) {
-	return n.eng.Compact(minLive)
+// Safe to run concurrently with backups and restores. Cancellation is
+// observed between containers (see store.Engine.Compact).
+func (n *Node) Compact(ctx context.Context, minLive float64) (store.CompactResult, error) {
+	return n.eng.Compact(ctx, minLive)
 }
 
 // GCStats returns the node's deletion/compaction counters.

@@ -25,6 +25,7 @@
 package pipeline
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -56,18 +57,42 @@ func (c Config) WithDefaults() Config {
 // Group runs the goroutines of one pipeline with first-error semantics:
 // the first goroutine to return a non-nil error (or an explicit Fail)
 // records the error and cancels the group; Wait blocks for all goroutines
-// and returns that first error. A zero Group is not usable; call NewGroup.
+// and returns that first error. A zero Group is not usable; call NewGroup
+// or NewGroupCtx.
 type Group struct {
 	done chan struct{}
-	wg   sync.WaitGroup
+	// stop is closed by the first Wait to retire the context watcher of a
+	// group that completed cleanly (done never closes on success).
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 
 	mu  sync.Mutex
 	err error
 }
 
-// NewGroup returns an empty running group.
+// NewGroup returns an empty running group with no external cancellation.
 func NewGroup() *Group {
-	return &Group{done: make(chan struct{})}
+	return &Group{done: make(chan struct{}), stop: make(chan struct{})}
+}
+
+// NewGroupCtx returns a group bound to ctx: when ctx is canceled the
+// group fails with ctx.Err(), so every stage selecting on Done unblocks
+// and Wait reports the cancellation. This is how a caller's
+// context.Context reaches every goroutine of a backup pipeline.
+func NewGroupCtx(ctx context.Context) *Group {
+	g := NewGroup()
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				g.Fail(ctx.Err())
+			case <-g.done:
+			case <-g.stop:
+			}
+		}()
+	}
+	return g
 }
 
 // Done returns a channel closed when the group is cancelled. Stage loops
@@ -108,6 +133,7 @@ func (g *Group) Err() error {
 // reports the first error (nil on clean completion).
 func (g *Group) Wait() error {
 	g.wg.Wait()
+	g.stopOnce.Do(func() { close(g.stop) })
 	return g.Err()
 }
 
@@ -250,9 +276,15 @@ func NewWindow(n int) *Window {
 // Submit runs fn asynchronously once a window slot is free. It returns
 // immediately after acquiring the slot; the returned error is the sticky
 // first error of previously completed calls (in which case fn does not
-// run).
-func (w *Window) Submit(fn func() error) error {
-	w.sem <- struct{}{}
+// run). A canceled ctx unblocks the slot wait and is returned without
+// running fn — this is the backpressure point where a caller's
+// cancellation stops admitting new work while the window is full.
+func (w *Window) Submit(ctx context.Context, fn func() error) error {
+	select {
+	case w.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	w.mu.Lock()
 	err := w.err
 	w.mu.Unlock()

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -8,6 +9,59 @@ import (
 	"testing"
 	"time"
 )
+
+// TestGroupCtxCancelFailsGroup: canceling the bound context must cancel
+// the group (stages unblock via Done) and Wait must report ctx.Err().
+func TestGroupCtxCancelFailsGroup(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroupCtx(ctx)
+	started := make(chan struct{})
+	g.Go(func() error {
+		close(started)
+		<-g.Done() // blocks until cancellation reaches the group
+		return nil
+	})
+	<-started
+	cancel()
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+}
+
+// TestGroupCtxCleanCompletion: a group bound to a never-canceled context
+// completes cleanly and does not leak its watcher (Wait retires it).
+func TestGroupCtxCleanCompletion(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g := NewGroupCtx(ctx)
+	g.Go(func() error { return nil })
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait = %v, want nil", err)
+	}
+}
+
+// TestWindowSubmitCtxCanceledWhileFull: a Submit blocked on a full
+// window must unblock with ctx.Err() when the context is canceled.
+func TestWindowSubmitCtxCanceledWhileFull(t *testing.T) {
+	w := NewWindow(1)
+	release := make(chan struct{})
+	if err := w.Submit(context.Background(), func() error { <-release; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := w.Submit(ctx, func() error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit on full window = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func TestMapPreservesOrder(t *testing.T) {
 	g := NewGroup()
@@ -144,7 +198,7 @@ func TestWindowLimitsInflight(t *testing.T) {
 	w := NewWindow(2)
 	var cur, peak atomic.Int64
 	for i := 0; i < 50; i++ {
-		err := w.Submit(func() error {
+		err := w.Submit(context.Background(), func() error {
 			c := cur.Add(1)
 			for {
 				p := peak.Load()
@@ -171,14 +225,14 @@ func TestWindowLimitsInflight(t *testing.T) {
 func TestWindowStickyError(t *testing.T) {
 	w := NewWindow(1)
 	boom := errors.New("store failed")
-	if err := w.Submit(func() error { return boom }); err != nil {
+	if err := w.Submit(context.Background(), func() error { return boom }); err != nil {
 		t.Fatalf("first submit failed early: %v", err)
 	}
 	// The failure surfaces on a later Submit or on Wait; later calls are
 	// refused.
 	var ran atomic.Bool
 	for i := 0; i < 10; i++ {
-		if err := w.Submit(func() error { ran.Store(true); return nil }); err != nil {
+		if err := w.Submit(context.Background(), func() error { ran.Store(true); return nil }); err != nil {
 			if !errors.Is(err, boom) {
 				t.Fatalf("submit error = %v, want sticky boom", err)
 			}

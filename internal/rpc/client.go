@@ -1,15 +1,18 @@
 package rpc
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/node"
+	"sigmadedupe/internal/sderr"
 	"sigmadedupe/internal/store"
 )
 
@@ -17,6 +20,11 @@ import (
 // goroutines may issue calls concurrently; requests are matched to
 // responses by ID, so many calls can be in flight at once — the paper's
 // batched asynchronous RPC design.
+//
+// Every call takes a context.Context: a context deadline travels on the
+// wire (the server bounds its handler with it), and cancellation
+// abandons the wait immediately — the response, if it ever arrives, is
+// discarded by the read loop.
 type Client struct {
 	conn  net.Conn
 	enc   *gob.Encoder
@@ -37,7 +45,14 @@ func (c *Client) Calls() int64 { return c.calls.Load() }
 
 // Dial connects to a deduplication server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a deduplication server, honoring ctx for the
+// dial itself (deadline and cancellation).
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
@@ -85,8 +100,21 @@ func (c *Client) readLoop() {
 	}
 }
 
-// Call issues one request and waits for its response.
-func (c *Client) Call(req Request) (Response, error) {
+// Call issues one request and waits for its response. A context deadline
+// is carried to the server as the request's time budget; cancellation
+// deregisters the pending call and returns ctx.Err() without waiting for
+// the (now unwanted) response.
+func (c *Client) Call(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.TimeoutMS = ms
+	}
 	ch := make(chan Response, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -100,34 +128,69 @@ func (c *Client) Call(req Request) (Response, error) {
 	c.mu.Unlock()
 
 	c.wmu.Lock()
+	// The gob encode writes straight to the socket and can block when the
+	// peer stops reading (send buffer full). A watcher turns ctx
+	// cancellation into a write deadline so the encode unblocks; a
+	// partially written request corrupts the gob framing, so the failed
+	// connection is simply surfaced as a send error (cancel-mid-write
+	// cannot preserve the stream).
+	var watchStop, watchDone chan struct{}
+	if ctx.Done() != nil {
+		watchStop, watchDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			select {
+			case <-ctx.Done():
+				c.conn.SetWriteDeadline(time.Unix(1, 0))
+			case <-watchStop:
+			}
+		}()
+	}
 	err := c.enc.Encode(req)
+	if watchStop != nil {
+		close(watchStop)
+		<-watchDone // joined: no stale deadline can land after the reset
+		c.conn.SetWriteDeadline(time.Time{})
+	}
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pend, req.ID)
 		c.mu.Unlock()
+		if cerr := ctx.Err(); cerr != nil {
+			return Response{}, fmt.Errorf("rpc: send canceled: %w", cerr)
+		}
 		return Response{}, fmt.Errorf("rpc: send: %w", err)
 	}
 	// Count only requests that actually reached the wire, so Calls()
 	// reflects real message traffic even on failing connections.
 	c.calls.Add(1)
-	resp, ok := <-ch
-	if !ok {
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return Response{}, err
+		}
+		if resp.Err != "" {
+			return resp, fmt.Errorf("rpc: remote: %w", sderr.Decode(resp.Err))
+		}
+		return resp, nil
+	case <-ctx.Done():
+		// Abandon the call: deregister so a late response is dropped by
+		// the read loop instead of leaking the slot.
 		c.mu.Lock()
-		err := c.err
+		delete(c.pend, req.ID)
 		c.mu.Unlock()
-		return Response{}, err
+		return Response{}, ctx.Err()
 	}
-	if resp.Err != "" {
-		return resp, fmt.Errorf("rpc: remote: %s", resp.Err)
-	}
-	return resp, nil
 }
 
 // Bid sends a handprint and returns the node's similarity match count and
 // storage usage (Algorithm 1 step 2).
-func (c *Client) Bid(hp core.Handprint) (count int, usage int64, err error) {
-	resp, err := c.Call(Request{Op: OpBid, Handprint: hp})
+func (c *Client) Bid(ctx context.Context, hp core.Handprint) (count int, usage int64, err error) {
+	resp, err := c.Call(ctx, Request{Op: OpBid, Handprint: hp})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -135,8 +198,8 @@ func (c *Client) Bid(hp core.Handprint) (count int, usage int64, err error) {
 }
 
 // Query performs the batched duplicate check for a super-chunk.
-func (c *Client) Query(sc *core.SuperChunk) ([]bool, error) {
-	resp, err := c.Call(Request{Op: OpQuery, Chunks: superChunkToWire(sc, false)})
+func (c *Client) Query(ctx context.Context, sc *core.SuperChunk) ([]bool, error) {
+	resp, err := c.Call(ctx, Request{Op: OpQuery, Chunks: superChunkToWire(sc, false)})
 	if err != nil {
 		return nil, err
 	}
@@ -145,18 +208,18 @@ func (c *Client) Query(sc *core.SuperChunk) ([]bool, error) {
 
 // Store sends a super-chunk (with payloads for chunks the server must
 // persist) to the target node.
-func (c *Client) Store(stream string, sc *core.SuperChunk, withData bool) error {
+func (c *Client) Store(ctx context.Context, stream string, sc *core.SuperChunk, withData bool) error {
 	op := OpStoreRefs
 	if withData {
 		op = OpStore
 	}
-	_, err := c.Call(Request{Op: op, Stream: stream, Chunks: superChunkToWire(sc, withData)})
+	_, err := c.Call(ctx, Request{Op: op, Stream: stream, Chunks: superChunkToWire(sc, withData)})
 	return err
 }
 
 // ReadChunk fetches one chunk payload by fingerprint (restore path).
-func (c *Client) ReadChunk(fp fingerprint.Fingerprint) ([]byte, error) {
-	resp, err := c.Call(Request{Op: OpReadChunk, Chunks: []ChunkWire{{FP: fp}}})
+func (c *Client) ReadChunk(ctx context.Context, fp fingerprint.Fingerprint) ([]byte, error) {
+	resp, err := c.Call(ctx, Request{Op: OpReadChunk, Chunks: []ChunkWire{{FP: fp}}})
 	if err != nil {
 		return nil, err
 	}
@@ -167,26 +230,26 @@ func (c *Client) ReadChunk(fp fingerprint.Fingerprint) ([]byte, error) {
 }
 
 // Flush seals the server's open containers.
-func (c *Client) Flush() error {
-	_, err := c.Call(Request{Op: OpFlush})
+func (c *Client) Flush(ctx context.Context) error {
+	_, err := c.Call(ctx, Request{Op: OpFlush})
 	return err
 }
 
 // DecRef releases backup references on the server's chunks: fps[i] loses
 // ns[i] references (one batch per node of a deleted backup's recipe).
-func (c *Client) DecRef(fps []fingerprint.Fingerprint, ns []int64) error {
+func (c *Client) DecRef(ctx context.Context, fps []fingerprint.Fingerprint, ns []int64) error {
 	chunks := make([]ChunkWire, len(fps))
 	for i, fp := range fps {
 		chunks[i] = ChunkWire{FP: fp}
 	}
-	_, err := c.Call(Request{Op: OpDecRef, Chunks: chunks, Counts: ns})
+	_, err := c.Call(ctx, Request{Op: OpDecRef, Chunks: chunks, Counts: ns})
 	return err
 }
 
 // Compact runs one compaction scan on the server (≤0 threshold selects
 // the server's configured live-ratio floor).
-func (c *Client) Compact(threshold float64) (store.CompactResult, error) {
-	resp, err := c.Call(Request{Op: OpCompact, Threshold: threshold})
+func (c *Client) Compact(ctx context.Context, threshold float64) (store.CompactResult, error) {
+	resp, err := c.Call(ctx, Request{Op: OpCompact, Threshold: threshold})
 	if err != nil {
 		return store.CompactResult{}, err
 	}
@@ -195,8 +258,8 @@ func (c *Client) Compact(threshold float64) (store.CompactResult, error) {
 
 // GCStats fetches the server's deletion/compaction counters and storage
 // usage.
-func (c *Client) GCStats() (store.GCStats, int64, error) {
-	resp, err := c.Call(Request{Op: OpGCStats})
+func (c *Client) GCStats(ctx context.Context) (store.GCStats, int64, error) {
+	resp, err := c.Call(ctx, Request{Op: OpGCStats})
 	if err != nil {
 		return store.GCStats{}, 0, err
 	}
@@ -204,8 +267,8 @@ func (c *Client) GCStats() (store.GCStats, int64, error) {
 }
 
 // Stats fetches node statistics and storage usage.
-func (c *Client) Stats() (node.Stats, int64, error) {
-	resp, err := c.Call(Request{Op: OpStats})
+func (c *Client) Stats(ctx context.Context) (node.Stats, int64, error) {
+	resp, err := c.Call(ctx, Request{Op: OpStats})
 	if err != nil {
 		return node.Stats{}, 0, err
 	}

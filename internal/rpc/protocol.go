@@ -72,6 +72,11 @@ type Request struct {
 	// Threshold is the live-ratio floor for OpCompact (≤0 selects the
 	// node's configured threshold).
 	Threshold float64
+	// TimeoutMS is the caller's remaining context deadline in
+	// milliseconds at send time (0 = none). The server bounds the
+	// handler's context with it, so a call the client has already given
+	// up on does not keep burning server work.
+	TimeoutMS int64
 }
 
 // Response is the single envelope for all server replies.

@@ -2,6 +2,8 @@ package rpc
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -51,7 +53,7 @@ func TestBidQueryStoreCycle(t *testing.T) {
 	sc := makeSC(1, 16)
 	hp := sc.Handprint(8)
 
-	count, usage, err := c.Bid(hp)
+	count, usage, err := c.Bid(context.Background(), hp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +61,7 @@ func TestBidQueryStoreCycle(t *testing.T) {
 		t.Fatalf("empty node bid = (%d,%d)", count, usage)
 	}
 
-	dup, err := c.Query(sc)
+	dup, err := c.Query(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,10 +71,10 @@ func TestBidQueryStoreCycle(t *testing.T) {
 		}
 	}
 
-	if err := c.Store("s", sc, true); err != nil {
+	if err := c.Store(context.Background(), "s", sc, true); err != nil {
 		t.Fatal(err)
 	}
-	count, usage, err = c.Bid(hp)
+	count, usage, err = c.Bid(context.Background(), hp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +85,7 @@ func TestBidQueryStoreCycle(t *testing.T) {
 		t.Fatalf("usage = %d, want %d", usage, 16*4096)
 	}
 
-	dup, err = c.Query(sc)
+	dup, err = c.Query(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,14 +99,14 @@ func TestBidQueryStoreCycle(t *testing.T) {
 func TestReadChunkRestore(t *testing.T) {
 	_, c := startServer(t, node.Config{KeepPayloads: true})
 	sc := makeSC(2, 4)
-	if err := c.Store("s", sc, true); err != nil {
+	if err := c.Store(context.Background(), "s", sc, true); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for i, ch := range sc.Chunks {
-		data, err := c.ReadChunk(ch.FP)
+		data, err := c.ReadChunk(context.Background(), ch.FP)
 		if err != nil {
 			t.Fatalf("chunk %d: %v", i, err)
 		}
@@ -112,7 +114,7 @@ func TestReadChunkRestore(t *testing.T) {
 			t.Fatalf("chunk %d corrupted over the wire", i)
 		}
 	}
-	if _, err := c.ReadChunk(fingerprint.Sum([]byte("missing"))); err == nil {
+	if _, err := c.ReadChunk(context.Background(), fingerprint.Sum([]byte("missing"))); err == nil {
 		t.Fatal("reading a missing chunk should fail")
 	}
 }
@@ -120,10 +122,10 @@ func TestReadChunkRestore(t *testing.T) {
 func TestStatsOverWire(t *testing.T) {
 	_, c := startServer(t, node.Config{})
 	sc := makeSC(3, 8)
-	if err := c.Store("s", sc, false); err != nil {
+	if err := c.Store(context.Background(), "s", sc, false); err != nil {
 		t.Fatal(err)
 	}
-	stats, usage, err := c.Stats()
+	stats, usage, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,11 +146,11 @@ func TestPipelinedConcurrentCalls(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
 				sc := makeSC(int64(w*1000+i), 4)
-				if err := c.Store("s"+string(rune('0'+w)), sc, false); err != nil {
+				if err := c.Store(context.Background(), "s"+string(rune('0'+w)), sc, false); err != nil {
 					t.Error(err)
 					return
 				}
-				if _, _, err := c.Bid(sc.Handprint(4)); err != nil {
+				if _, _, err := c.Bid(context.Background(), sc.Handprint(4)); err != nil {
 					t.Error(err)
 					return
 				}
@@ -156,7 +158,7 @@ func TestPipelinedConcurrentCalls(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	stats, _, err := c.Stats()
+	stats, _, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +172,7 @@ func TestServerCloseUnblocksClient(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.Bid(core.Handprint{fingerprint.Sum([]byte("x"))}); err == nil {
+	if _, _, err := c.Bid(context.Background(), core.Handprint{fingerprint.Sum([]byte("x"))}); err == nil {
 		t.Fatal("call against closed server should fail")
 	}
 }
@@ -183,11 +185,11 @@ func TestMultipleClients(t *testing.T) {
 	}
 	defer c2.Close()
 	sc := makeSC(4, 4)
-	if err := c1.Store("a", sc, false); err != nil {
+	if err := c1.Store(context.Background(), "a", sc, false); err != nil {
 		t.Fatal(err)
 	}
 	// Rebuild the same super-chunk so handprint state is independent.
-	dup, err := c2.Query(makeSC(4, 4))
+	dup, err := c2.Query(context.Background(), makeSC(4, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +232,7 @@ func TestSeverMidWindowFailsAllInflightCalls(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			sc := makeSC(int64(9000+i), 4)
-			_, _, errs[i] = c.Bid(sc.Handprint(4))
+			_, _, errs[i] = c.Bid(context.Background(), sc.Handprint(4))
 		}(i)
 	}
 	done := make(chan struct{})
@@ -259,7 +261,7 @@ func TestSeverMidWindowFailsAllInflightCalls(t *testing.T) {
 	}
 	// The connection is failed for good: later calls fail fast, not hang.
 	start := time.Now()
-	if _, _, err := c.Bid(core.Handprint{fingerprint.Sum([]byte("post"))}); err == nil {
+	if _, _, err := c.Bid(context.Background(), core.Handprint{fingerprint.Sum([]byte("post"))}); err == nil {
 		t.Fatal("call on a severed connection should fail")
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
@@ -270,11 +272,105 @@ func TestSeverMidWindowFailsAllInflightCalls(t *testing.T) {
 func TestRemoteErrorPropagates(t *testing.T) {
 	_, c := startServer(t, node.Config{}) // no payloads: restore unsupported
 	sc := makeSC(5, 2)
-	if err := c.Store("s", sc, false); err != nil {
+	if err := c.Store(context.Background(), "s", sc, false); err != nil {
 		t.Fatal(err)
 	}
-	c.Flush()
-	if _, err := c.ReadChunk(sc.Chunks[0].FP); err == nil {
+	c.Flush(context.Background())
+	if _, err := c.ReadChunk(context.Background(), sc.Chunks[0].FP); err == nil {
 		t.Fatal("restore without payloads should surface a remote error")
+	}
+}
+
+// TestCancelMidWindowAbortsInflightCalls is the context twin of the
+// sever test: a full window of pipelined calls is held in flight by the
+// handler delay, then the shared context is canceled. Every in-flight
+// call must return promptly with context.Canceled — none may wait out
+// its response — and the connection must remain usable for fresh calls.
+func TestCancelMidWindowAbortsInflightCalls(t *testing.T) {
+	const calls = 24
+	nd, err := node.New(node.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(nd, "127.0.0.1:0", WithHandlerDelay(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	start := time.Now()
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := makeSC(int64(7000+i), 4)
+			_, _, errs[i] = c.Bid(ctx, sc.Handprint(4))
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let the window take flight
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight calls hung after their context was canceled")
+	}
+	// Cancellation beat the 200ms handler delay: every call aborted
+	// early instead of waiting for its response.
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("canceled calls took %v; should abandon the wait immediately", elapsed)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("call %d error = %v, want context.Canceled", i, err)
+		}
+	}
+	// The transport survives: a fresh context works on the same conn.
+	if _, _, err := c.Bid(context.Background(), core.Handprint{fingerprint.Sum([]byte("fresh"))}); err != nil {
+		t.Fatalf("call after cancellation failed: %v", err)
+	}
+}
+
+// TestWireDeadlinePropagatesToServer: a context deadline travels on the
+// wire and the server answers with a deadline error instead of doing the
+// work once the budget is spent.
+func TestWireDeadlinePropagatesToServer(t *testing.T) {
+	nd, err := node.New(node.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(nd, "127.0.0.1:0", WithHandlerDelay(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, _, err = c.Bid(ctx, core.Handprint{fingerprint.Sum([]byte("slow"))})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline-bounded call = %v, want context.DeadlineExceeded", err)
+	}
+	// The node did no work for the expired call (the handler checked its
+	// context after the delay): super-chunk counters stay zero.
+	if st := nd.Stats(); st.SuperChunks != 0 {
+		t.Fatalf("server did work for an expired call: %+v", st)
 	}
 }

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -12,17 +13,26 @@ import (
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/node"
+	"sigmadedupe/internal/sderr"
 )
 
 // Server exposes one deduplication node over TCP. Each accepted
 // connection gets a reader goroutine; requests on a connection are served
 // concurrently and responses are serialized by a per-connection writer
 // lock, so a pipelined client sees maximal parallelism.
+//
+// Every connection owns a context that is canceled the moment the
+// connection is severed (peer gone, or server closing), and every call
+// runs under a child of it bounded by the client's wire deadline
+// (Request.TimeoutMS). Handlers observe that context, so the server
+// stops working for calls nobody is waiting on.
 type Server struct {
 	node       *node.Node
 	ln         net.Listener
 	delay      time.Duration
 	severAfter int
+	base       context.Context
+	baseCancel context.CancelFunc
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -58,7 +68,9 @@ func NewServer(n *node.Node, addr string, opts ...ServerOption) (*Server, error)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: listen %s: %w", addr, err)
 	}
-	s := &Server{node: n, ln: ln, conns: make(map[net.Conn]struct{})}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{node: n, ln: ln, conns: make(map[net.Conn]struct{}),
+		base: base, baseCancel: cancel}
 	for _, o := range opts {
 		o(s)
 	}
@@ -73,8 +85,8 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Node returns the wrapped deduplication node (for stats inspection).
 func (s *Server) Node() *node.Node { return s.node }
 
-// Close stops accepting, closes all connections, and waits for handler
-// goroutines to drain.
+// Close stops accepting, closes all connections (canceling every
+// in-flight call's context), and waits for handler goroutines to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -86,6 +98,7 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.baseCancel()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
@@ -113,6 +126,12 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	// connCtx dies with the connection: once the read loop exits (peer
+	// severed, decode error, server shutdown), every handler still
+	// running for this connection is canceled — the server aborts work
+	// whose caller can no longer receive the answer.
+	connCtx, connCancel := context.WithCancel(s.base)
+	defer connCancel()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -137,7 +156,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		handlers.Add(1)
 		go func(req Request) {
 			defer handlers.Done()
-			resp := s.handle(req)
+			ctx := connCtx
+			if req.TimeoutMS > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(connCtx, time.Duration(req.TimeoutMS)*time.Millisecond)
+				defer cancel()
+			}
+			resp := s.handle(ctx, req)
+			if connCtx.Err() != nil {
+				// The connection is gone; nobody can read this response.
+				return
+			}
 			wmu.Lock()
 			// Encoding errors mean the peer is gone; the read loop will
 			// notice and tear the connection down.
@@ -153,12 +182,21 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// handle dispatches one request against the node.
-func (s *Server) handle(req Request) Response {
+// handle dispatches one request against the node under ctx: a call whose
+// context is already dead (severed connection, expired wire deadline) is
+// answered with the context error instead of doing the work.
+func (s *Server) handle(ctx context.Context, req Request) Response {
 	if s.delay > 0 {
-		time.Sleep(s.delay)
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+		}
 	}
 	resp := Response{ID: req.ID}
+	if err := ctx.Err(); err != nil {
+		resp.Err = sderr.Encode(err)
+		return resp
+	}
 	switch req.Op {
 	case OpBid:
 		resp.Count = s.node.CountHandprintMatches(core.Handprint(req.Handprint))
@@ -171,14 +209,14 @@ func (s *Server) handle(req Request) Response {
 	case OpStore, OpStoreRefs:
 		sc := wireToSuperChunk(req.Chunks)
 		if _, err := s.node.StoreSuperChunk(req.Stream, sc); err != nil {
-			resp.Err = err.Error()
+			resp.Err = sderr.Encode(err)
 		}
 
 	case OpReadChunk:
 		for _, ch := range req.Chunks {
 			data, err := s.node.ReadChunk(ch.FP)
 			if err != nil {
-				resp.Err = err.Error()
+				resp.Err = sderr.Encode(err)
 				break
 			}
 			resp.Chunks = append(resp.Chunks, ChunkWire{FP: ch.FP, Size: int32(len(data)), Data: data})
@@ -186,7 +224,7 @@ func (s *Server) handle(req Request) Response {
 
 	case OpFlush:
 		if err := s.node.Flush(); err != nil {
-			resp.Err = err.Error()
+			resp.Err = sderr.Encode(err)
 		}
 
 	case OpStats:
@@ -199,13 +237,13 @@ func (s *Server) handle(req Request) Response {
 			fps[i] = ch.FP
 		}
 		if err := s.node.DecRef(fps, req.Counts); err != nil {
-			resp.Err = err.Error()
+			resp.Err = sderr.Encode(err)
 		}
 
 	case OpCompact:
-		res, err := s.node.Compact(req.Threshold)
+		res, err := s.node.Compact(ctx, req.Threshold)
 		if err != nil {
-			resp.Err = err.Error()
+			resp.Err = sderr.Encode(err)
 		}
 		resp.Compacted = res
 

@@ -34,6 +34,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -109,8 +110,11 @@ type CompactResult struct {
 // ratio is below minLive (0 < minLive ≤ 1; ≤0 selects the configured
 // CompactThreshold) is rewritten or, when fully dead, retired outright.
 // Safe to call concurrently with ingest and restore; concurrent Compact
-// calls serialize.
-func (e *Engine) Compact(minLive float64) (CompactResult, error) {
+// calls serialize. Cancellation is observed between containers: a
+// canceled ctx ends the scan after the in-flight container commits or
+// aborts whole, returning ctx.Err() with the partial result — already
+// compacted containers stay compacted.
+func (e *Engine) Compact(ctx context.Context, minLive float64) (CompactResult, error) {
 	var res CompactResult
 	if !e.gcEnabled() {
 		return res, fmt.Errorf("store node %d: compaction requires the chunk index", e.cfg.NodeID)
@@ -130,6 +134,10 @@ func (e *Engine) Compact(minLive float64) (CompactResult, error) {
 	e.gcMu.Unlock()
 
 	for _, info := range infos {
+		if err := ctx.Err(); err != nil {
+			e.compactRuns.Add(1)
+			return res, err
+		}
 		res.Scanned++
 		if info.Bytes <= 0 {
 			continue
@@ -299,6 +307,8 @@ func (e *Engine) startCompactor() {
 		return
 	}
 	e.compactStop = make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	e.compactCancel = cancel
 	e.compactWG.Add(1)
 	go func() {
 		defer e.compactWG.Done()
@@ -312,19 +322,21 @@ func (e *Engine) startCompactor() {
 				// Background compaction is best-effort; an error (e.g. a
 				// fault hook in tests) stops this pass, the next tick
 				// rescans from durable state.
-				_, _ = e.Compact(e.cfg.CompactThreshold)
+				_, _ = e.Compact(ctx, e.cfg.CompactThreshold)
 			}
 		}
 	}()
 }
 
-// stopCompactor stops the background loop and waits for an in-flight
-// pass to finish.
+// stopCompactor stops the background loop — canceling any in-flight
+// pass between containers — and waits for it to finish.
 func (e *Engine) stopCompactor() {
 	if e.compactStop == nil {
 		return
 	}
+	e.compactCancel()
 	close(e.compactStop)
 	e.compactWG.Wait()
 	e.compactStop = nil
+	e.compactCancel = nil
 }

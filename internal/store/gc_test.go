@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -139,7 +140,7 @@ func TestCompactReclaimsDeletedSpace(t *testing.T) {
 	if err := e.DecRef(fps, ns); err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Compact(0.99) // everything below 99% live is rewritten
+	res, err := e.Compact(context.Background(), 0.99) // everything below 99% live is rewritten
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestCompactMixedContainerCopiesSurvivors(t *testing.T) {
 	if err := e.DecRef(fps, ns); err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Compact(0.5)
+	res, err := e.Compact(context.Background(), 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestGCSurvivesReopen(t *testing.T) {
 	if got := r.RefCount(doomed.Chunks[0].FP); got != 0 {
 		t.Fatalf("recovered RefCount of deleted chunk = %d, want 0", got)
 	}
-	if _, err := r.Compact(0.99); err != nil {
+	if _, err := r.Compact(context.Background(), 0.99); err != nil {
 		t.Fatal(err)
 	}
 	if err := r.Close(); err != nil {
@@ -315,7 +316,7 @@ func TestCompactCrashAtEveryStage(t *testing.T) {
 				}
 				return nil
 			})
-			if _, err := e.Compact(0.5); !errors.Is(err, boom) {
+			if _, err := e.Compact(context.Background(), 0.5); !errors.Is(err, boom) {
 				t.Fatalf("Compact error = %v, want injected crash", err)
 			}
 			// Crash: abandon e without Close.
@@ -335,7 +336,7 @@ func TestCompactCrashAtEveryStage(t *testing.T) {
 			}
 			// The next compaction converges: afterwards no dead bytes
 			// remain and survivors still read back.
-			if _, err := r.Compact(0.99); err != nil {
+			if _, err := r.Compact(context.Background(), 0.99); err != nil {
 				t.Fatal(err)
 			}
 			if gc := r.GCStats(); gc.DeadBytes != 0 {
@@ -491,7 +492,7 @@ func TestCompactUnderConcurrentIngest(t *testing.T) {
 				return
 			default:
 			}
-			if _, err := e.Compact(0.75); err != nil {
+			if _, err := e.Compact(context.Background(), 0.75); err != nil {
 				errs <- err
 				return
 			}
@@ -508,7 +509,7 @@ func TestCompactUnderConcurrentIngest(t *testing.T) {
 	if err := e.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Compact(0.99); err != nil {
+	if _, err := e.Compact(context.Background(), 0.99); err != nil {
 		t.Fatal(err)
 	}
 	for s := range keep {
@@ -566,7 +567,7 @@ func TestCompactResurrectionRace(t *testing.T) {
 		}
 		return nil
 	})
-	if _, err := e.Compact(0.99); err != nil {
+	if _, err := e.Compact(context.Background(), 0.99); err != nil {
 		t.Fatal(err)
 	}
 	if !raced {
@@ -625,7 +626,7 @@ func TestCompactSkipsPayloadlessContainers(t *testing.T) {
 	if err := e.DecRef(fps, ns); err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Compact(0.99)
+	res, err := e.Compact(context.Background(), 0.99)
 	if err != nil {
 		t.Fatalf("payload-less compaction must skip, not fail: %v", err)
 	}
@@ -682,7 +683,7 @@ func TestOpenMigratesLegacyManifest(t *testing.T) {
 	if got := r.RefCount(sc.Chunks[0].FP); got != 1 {
 		t.Fatalf("legacy chunk seeded with %d references, want 1", got)
 	}
-	if res, err := r.Compact(0.99); err != nil || res.Retired != 0 {
+	if res, err := r.Compact(context.Background(), 0.99); err != nil || res.Retired != 0 {
 		t.Fatalf("compaction of a freshly migrated store retired %d containers (err %v), want 0", res.Retired, err)
 	}
 	for i, ch := range sc.Chunks {
@@ -708,7 +709,7 @@ func TestOpenMigratesLegacyManifest(t *testing.T) {
 	if err := r2.DecRef(fps, ns); err != nil {
 		t.Fatalf("decref of migrated references: %v", err)
 	}
-	if res, err := r2.Compact(0.99); err != nil || res.Retired == 0 {
+	if res, err := r2.Compact(context.Background(), 0.99); err != nil || res.Retired == 0 {
 		t.Fatalf("compaction after migrated deletion retired %d (err %v), want > 0", res.Retired, err)
 	}
 }

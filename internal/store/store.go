@@ -25,6 +25,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -38,6 +39,7 @@ import (
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/fpcache"
+	"sigmadedupe/internal/sderr"
 	"sigmadedupe/internal/simindex"
 )
 
@@ -54,8 +56,8 @@ const DefaultCompactThreshold = 0.5
 // payload on a payload-keeping engine: the client's duplicate query raced
 // a deletion+compaction that collected the chunk in between. The backup
 // fails cleanly instead of storing an unrestorable chunk; retrying the
-// backup resends the payload.
-var ErrChunkVanished = errors.New("store: chunk vanished between query and store")
+// backup resends the payload. Wraps sderr.ErrChunkVanished.
+var ErrChunkVanished = fmt.Errorf("store: %w", sderr.ErrChunkVanished)
 
 // Config parameterizes a storage engine.
 type Config struct {
@@ -200,9 +202,10 @@ type Engine struct {
 	// compactFault, when set (tests), is invoked at each named stage of a
 	// container's compaction; an error aborts mid-flight, emulating a
 	// crash at that point.
-	compactFault func(stage CompactStage, cid uint64) error
-	compactStop  chan struct{}
-	compactWG    sync.WaitGroup
+	compactFault  func(stage CompactStage, cid uint64) error
+	compactStop   chan struct{}
+	compactCancel context.CancelFunc
+	compactWG     sync.WaitGroup
 
 	// bins holds Extreme Binning per-representative chunk-fingerprint
 	// sets, used only when the node serves the EB baseline.

@@ -1,0 +1,8 @@
+//go:build race
+
+package sigmadedupe
+
+// raceEnabled reports whether the race detector instruments this build;
+// size-heavy streaming tests scale down under it (the properties they
+// check are size-independent).
+const raceEnabled = true

@@ -1,0 +1,436 @@
+package sigmadedupe
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"sigmadedupe/internal/client"
+	"sigmadedupe/internal/director"
+	"sigmadedupe/internal/metrics"
+	"sigmadedupe/internal/pipeline"
+)
+
+// RemoteConfig parameterizes a Remote backend: a director (in-process or
+// TCP) plus a set of deduplication server addresses.
+type RemoteConfig struct {
+	// Name identifies this backend's default backup stream (default
+	// "client").
+	Name string
+	// Director is an in-process metadata service. Exactly one of
+	// Director and DirectorAddr must be set.
+	Director *Director
+	// DirectorAddr is the TCP address of a remote director service.
+	DirectorAddr string
+	// Nodes lists the deduplication server addresses.
+	Nodes []string
+	// SuperChunkSize is the routing granularity (default 1MB).
+	SuperChunkSize int64
+	// HandprintSize is k (default 8).
+	HandprintSize int
+	// Chunk selects the default chunking algorithm and size for backup
+	// streams (default ChunkFixed at 4KB); WithChunkSpec overrides per
+	// session.
+	Chunk ChunkSpec
+	// Workers sizes the chunk-fingerprint worker pool of the ingest
+	// pipeline (default GOMAXPROCS; 1 fingerprints serially).
+	Workers int
+	// InflightSuperChunks bounds the window of asynchronous Store RPCs a
+	// stream keeps in flight, so fingerprinting of super-chunk n+1
+	// overlaps the network transfer of n (default 4; 1 restores the fully
+	// serial store path). Together with SuperChunkSize this caps a
+	// stream's peak buffered payload.
+	InflightSuperChunks int
+}
+
+// Remote is the TCP-prototype Backend: source inline deduplication
+// against real deduplication servers and a director, over the batched,
+// pipelined, cancelable RPC protocol.
+//
+// The one-shot Backup/Restore/Delete verbs share one implicit default
+// stream and are therefore single-goroutine, like any backup stream;
+// open explicit Sessions for concurrent streams.
+type Remote struct {
+	cfg        RemoteConfig
+	meta       director.Metadata
+	localMeta  *Director
+	remoteMeta *director.Remote
+
+	mu  sync.Mutex
+	def *client.Client // lazy default-stream client
+}
+
+// NewRemote connects a Remote backend. ctx bounds the director dial;
+// node connections are dialed lazily per session.
+func NewRemote(ctx context.Context, cfg RemoteConfig) (*Remote, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("sigmadedupe: remote backend needs at least one node address")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "client"
+	}
+	r := &Remote{cfg: cfg}
+	switch {
+	case cfg.Director != nil && cfg.DirectorAddr != "":
+		return nil, fmt.Errorf("sigmadedupe: set either Director or DirectorAddr, not both")
+	case cfg.Director != nil:
+		r.meta, r.localMeta = cfg.Director, cfg.Director
+	case cfg.DirectorAddr != "":
+		rem, err := director.DialRemoteContext(ctx, cfg.DirectorAddr)
+		if err != nil {
+			return nil, err
+		}
+		r.meta, r.remoteMeta = rem, rem
+	default:
+		return nil, fmt.Errorf("sigmadedupe: remote backend needs a Director or DirectorAddr")
+	}
+	if err := ctx.Err(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// sessionDefaults derives the backend's default session configuration.
+func (r *Remote) sessionDefaults() sessionConfig {
+	return sessionConfig{
+		chunk:          r.cfg.Chunk,
+		superChunkSize: r.cfg.SuperChunkSize,
+		handprintK:     r.cfg.HandprintSize,
+		workers:        r.cfg.Workers,
+		inflight:       r.cfg.InflightSuperChunks,
+	}
+}
+
+// newClient dials one backup-stream client.
+func (r *Remote) newClient(ctx context.Context, cfg sessionConfig) (*client.Client, error) {
+	return client.New(ctx, client.Config{
+		Name:                cfg.name,
+		ChunkMethod:         cfg.chunk.Method.internal(),
+		ChunkSize:           cfg.chunk.Size,
+		SuperChunkSize:      cfg.superChunkSize,
+		HandprintK:          cfg.handprintK,
+		Pipeline:            pipeline.Config{Workers: cfg.workers},
+		InflightSuperChunks: cfg.inflight,
+	}, r.meta, r.cfg.Nodes)
+}
+
+// defaultClient returns (dialing lazily) the client behind the one-shot
+// verbs.
+func (r *Remote) defaultClient(ctx context.Context) (*client.Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.def != nil {
+		return r.def, nil
+	}
+	cfg, err := resolveSessionConfig(r.sessionDefaults(), nil)
+	if err != nil {
+		return nil, err
+	}
+	cfg.name = r.cfg.Name
+	c, err := r.newClient(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.def = c
+	return c, nil
+}
+
+// NewSession opens an explicit backup stream: its own node connections,
+// fingerprint worker pool and in-flight super-chunk window.
+func (r *Remote) NewSession(ctx context.Context, opts ...SessionOption) (*Session, error) {
+	cfg, err := resolveSessionConfig(r.sessionDefaults(), opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.name == "" {
+		cfg.name = fmt.Sprintf("%s-session", r.cfg.Name)
+	}
+	c, err := r.newClient(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{impl: &remoteSession{c: c}}, nil
+}
+
+// Backup deduplicates and stores one named stream on the default backup
+// stream, reading r incrementally with peak buffered payload bounded by
+// the in-flight window. Canceling ctx aborts within about one
+// super-chunk of work; the default stream is then failed (recipe
+// attribution cannot survive a dropped super-chunk) and further one-shot
+// backups report the same error.
+func (r *Remote) Backup(ctx context.Context, name string, rd io.Reader) error {
+	c, err := r.defaultClient(ctx)
+	if err != nil {
+		return err
+	}
+	return c.BackupFile(ctx, name, rd)
+}
+
+// Flush completes the default backup stream: the final partial
+// super-chunk routes, in-flight transfers drain, recipes complete and
+// remote containers seal.
+func (r *Remote) Flush(ctx context.Context) error {
+	r.mu.Lock()
+	c := r.def
+	r.mu.Unlock()
+	if c == nil {
+		return nil // nothing backed up yet
+	}
+	return c.Flush(ctx)
+}
+
+// Restore streams a backed-up name to w, prefetching chunks from the
+// nodes recorded in its recipe. An unknown name fails with ErrNotFound.
+func (r *Remote) Restore(ctx context.Context, name string, w io.Writer) error {
+	c, err := r.defaultClient(ctx)
+	if err != nil {
+		return err
+	}
+	return c.Restore(ctx, name, w)
+}
+
+// Delete deletes one backup end to end: the recipe leaves the director
+// (journaled first on a durable director), then every node holding the
+// backup's chunks releases its references on them. The freed chunks
+// become dead container space until compaction reclaims it.
+func (r *Remote) Delete(ctx context.Context, name string) error {
+	c, err := r.defaultClient(ctx)
+	if err != nil {
+		return err
+	}
+	return c.DeleteBackup(ctx, name)
+}
+
+// Compact asks every node to run one compaction scan (≤0 threshold
+// selects each node's configured live-ratio floor).
+func (r *Remote) Compact(ctx context.Context, threshold float64) (GCResult, error) {
+	c, err := r.defaultClient(ctx)
+	if err != nil {
+		return GCResult{}, err
+	}
+	res, err := c.Compact(ctx, threshold)
+	return toGCResult(res), err
+}
+
+// GCStats sums the garbage-collection counters of every node.
+func (r *Remote) GCStats(ctx context.Context) (GCStats, error) {
+	c, err := r.defaultClient(ctx)
+	if err != nil {
+		return GCStats{}, err
+	}
+	gc, err := c.GCStats(ctx)
+	return toGCStats(gc), err
+}
+
+// Stats implements Backend: cluster-wide counters aggregated over the
+// wire, plus the director's retained-backup count.
+func (r *Remote) Stats(ctx context.Context) (BackendStats, error) {
+	c, err := r.defaultClient(ctx)
+	if err != nil {
+		return BackendStats{}, err
+	}
+	var st BackendStats
+	st.Nodes = c.Nodes()
+	usage := make([]int64, st.Nodes)
+	for i := 0; i < st.Nodes; i++ {
+		logical, _, u, err := c.NodeUsage(ctx, i)
+		if err != nil {
+			return st, err
+		}
+		st.LogicalBytes += logical
+		// Live storage usage, not the cumulative stored-bytes counter:
+		// usage shrinks when compaction reclaims space, matching the
+		// simulator's PhysicalBytes semantics.
+		st.PhysicalBytes += u
+		usage[i] = u
+	}
+	st.DedupRatio = metrics.DedupRatio(st.LogicalBytes, st.PhysicalBytes)
+	st.StorageSkew = metrics.Skew(usage)
+	switch {
+	case r.localMeta != nil:
+		st.Backups = len(r.localMeta.Files())
+	case r.remoteMeta != nil:
+		files, err := r.remoteMeta.Files(ctx)
+		if err != nil {
+			return st, err
+		}
+		st.Backups = len(files)
+	}
+	return st, nil
+}
+
+// BackupStats returns the default backup stream's session counters
+// (zero before the first one-shot Backup).
+func (r *Remote) BackupStats() SessionStats {
+	r.mu.Lock()
+	c := r.def
+	r.mu.Unlock()
+	if c == nil {
+		return SessionStats{}
+	}
+	return sessionStatsOf(c)
+}
+
+// RPCMessages returns the RPC requests issued by the default stream —
+// the prototype-side Fig. 7 overhead accounting.
+func (r *Remote) RPCMessages() int64 {
+	r.mu.Lock()
+	c := r.def
+	r.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.RPCMessages()
+}
+
+// Close releases the default stream's connections and the director
+// connection (when dialed), propagating the first failure.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	c := r.def
+	r.def = nil
+	r.mu.Unlock()
+	var first error
+	if c != nil {
+		first = c.Close()
+	}
+	if r.remoteMeta != nil {
+		if err := r.remoteMeta.Close(); first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// remoteSession implements sessionBackend over one client.Client.
+type remoteSession struct {
+	c *client.Client
+}
+
+func (s *remoteSession) backup(ctx context.Context, name string, r io.Reader) error {
+	return s.c.BackupFile(ctx, name, r)
+}
+
+func (s *remoteSession) flush(ctx context.Context) error { return s.c.Flush(ctx) }
+
+func (s *remoteSession) stats() SessionStats { return sessionStatsOf(s.c) }
+
+func (s *remoteSession) close() error { return s.c.Close() }
+
+func sessionStatsOf(c *client.Client) SessionStats {
+	st := c.Stats()
+	return SessionStats{
+		LogicalBytes:      st.LogicalBytes,
+		TransferredBytes:  st.TransferredBytes,
+		SuperChunks:       st.SuperChunks,
+		Files:             st.Files,
+		PeakBufferedBytes: st.PeakBufferedBytes,
+	}
+}
+
+// BackupClient performs source inline deduplicated backup over TCP.
+//
+// Deprecated: BackupClient is the v1 prototype surface, kept as a thin
+// wrapper for one release. Use NewRemote (the Backend interface) and
+// NewSession instead; see the migration table in README.md.
+type BackupClient struct {
+	r *Remote
+}
+
+// BackupClientConfig parameterizes a backup client.
+//
+// Deprecated: use RemoteConfig with NewRemote.
+type BackupClientConfig struct {
+	// Name identifies the client in sessions (default "client").
+	Name string
+	// SuperChunkSize is the routing granularity (default 1MB).
+	SuperChunkSize int64
+	// HandprintSize is k (default 8).
+	HandprintSize int
+	// Workers sizes the chunk-fingerprint worker pool of the ingest
+	// pipeline (default: GOMAXPROCS). 1 fingerprints serially.
+	Workers int
+	// InflightSuperChunks bounds the window of asynchronous Store RPCs a
+	// stream keeps in flight (default 4; 1 restores the fully serial
+	// store path).
+	InflightSuperChunks int
+}
+
+// NewBackupClient connects a backup client to a set of deduplication
+// servers and a director.
+//
+// Deprecated: use NewRemote.
+func NewBackupClient(cfg BackupClientConfig, dir *Director, nodeAddrs []string) (*BackupClient, error) {
+	r, err := NewRemote(context.Background(), RemoteConfig{
+		Name:                cfg.Name,
+		Director:            dir,
+		Nodes:               nodeAddrs,
+		SuperChunkSize:      cfg.SuperChunkSize,
+		HandprintSize:       cfg.HandprintSize,
+		Workers:             cfg.Workers,
+		InflightSuperChunks: cfg.InflightSuperChunks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// v1 dialed eagerly; keep that so connection errors surface here.
+	if _, err := r.defaultClient(context.Background()); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return &BackupClient{r: r}, nil
+}
+
+// BackupFile deduplicates and stores one file.
+//
+// Deprecated: use Remote.Backup or Session.Backup with a context.
+func (b *BackupClient) BackupFile(path string, r io.Reader) error {
+	return b.r.Backup(context.Background(), path, r)
+}
+
+// Flush completes the backup session.
+//
+// Deprecated: use Remote.Flush with a context.
+func (b *BackupClient) Flush() error { return b.r.Flush(context.Background()) }
+
+// Restore streams a backed-up file to w.
+//
+// Deprecated: use Remote.Restore with a context.
+func (b *BackupClient) Restore(path string, w io.Writer) error {
+	return b.r.Restore(context.Background(), path, w)
+}
+
+// DeleteBackup deletes one backed-up file.
+//
+// Deprecated: use Remote.Delete with a context.
+func (b *BackupClient) DeleteBackup(path string) error {
+	return b.r.Delete(context.Background(), path)
+}
+
+// Compact asks every connected node to run one compaction scan (≤0
+// threshold selects each node's configured live-ratio floor).
+//
+// Deprecated: use Remote.Compact with a context.
+func (b *BackupClient) Compact(threshold float64) (GCResult, error) {
+	return b.r.Compact(context.Background(), threshold)
+}
+
+// GCStats sums the garbage-collection counters of every connected node.
+//
+// Deprecated: use Remote.GCStats with a context.
+func (b *BackupClient) GCStats() (GCStats, error) {
+	return b.r.GCStats(context.Background())
+}
+
+// Close releases connections, propagating the first close failure (v1
+// silently swallowed them).
+func (b *BackupClient) Close() error { return b.r.Close() }
+
+// BandwidthSaving reports the fraction of payload bytes source dedup kept
+// off the network.
+func (b *BackupClient) BandwidthSaving() float64 { return b.r.BackupStats().BandwidthSaving() }
+
+// LogicalBytes reports bytes presented for backup.
+func (b *BackupClient) LogicalBytes() int64 { return b.r.BackupStats().LogicalBytes }

@@ -2,38 +2,48 @@
 // scalable inline cluster deduplication framework of Fu, Jiang and Xiao
 // (MIDDLEWARE 2012). It provides:
 //
-//   - Simulator: an in-process trace-driven deduplication cluster with the
-//     paper's similarity-based stateful routing (Algorithm 1) and the
-//     baseline schemes (EMC Stateless/Stateful, Extreme Binning,
-//     chunk-level DHT), with fingerprint-lookup message accounting.
+//   - One Backend surface: the in-process simulator (Cluster) and the TCP
+//     prototype (Remote) implement the same context-first
+//     Backup/Restore/Delete/Compact/Stats contract, with streaming
+//     Sessions whose peak buffered payload is bounded by the in-flight
+//     super-chunk window, never by stream size.
+//   - Simulator: a trace-driven deduplication cluster with the paper's
+//     similarity-based stateful routing (Algorithm 1) and the baseline
+//     schemes (EMC Stateless/Stateful, Extreme Binning, chunk-level DHT),
+//     with fingerprint-lookup message accounting.
 //   - Prototype: a real TCP client/server/director deployment
-//     (StartServer, NewBackupClient, NewDirector) performing source inline
-//     deduplication with batched, pipelined RPC.
+//     (StartServer, NewRemote, NewDirector) performing source inline
+//     deduplication with batched, pipelined, cancelable RPC.
 //   - Workloads: seeded synthetic stand-ins for the paper's four
 //     evaluation datasets (Linux, VM, Mail, Web), calibrated to Table 2.
 //   - Experiments: regeneration of every table and figure of the paper's
 //     evaluation (RunExperiment).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// Errors are typed end to end: errors.Is(err, ErrNotFound) (and the rest
+// of the taxonomy in errors.go) holds across the TCP wire. See DESIGN.md
+// for the system inventory and README.md for the v2 quickstart and the
+// v1→v2 migration table.
 package sigmadedupe
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"sigmadedupe/internal/chunker"
-	"sigmadedupe/internal/client"
 	"sigmadedupe/internal/cluster"
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/director"
 	"sigmadedupe/internal/experiments"
 	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/node"
-	"sigmadedupe/internal/pipeline"
 	"sigmadedupe/internal/router"
 	"sigmadedupe/internal/rpc"
+	"sigmadedupe/internal/sderr"
+	"sigmadedupe/internal/store"
 	"sigmadedupe/internal/workload"
 )
 
@@ -83,16 +93,17 @@ type ClusterConfig struct {
 	HandprintSize int
 	// SuperChunkSize is the routing granularity in bytes (default 1MB).
 	SuperChunkSize int64
-	// ChunkSize is the static chunk size in bytes (default 4KB).
+	// ChunkSize is the default chunk size in bytes (default 4KB). Per
+	// session, WithChunkSpec overrides both size and algorithm.
 	ChunkSize int
 	// Dir, when set, makes every node durable: each gets its own
 	// subdirectory for spilled containers and a recovery manifest, and
 	// RestartNode can bounce it.
 	Dir string
 	// KeepPayloads retains chunk payloads on the simulated nodes. Dedup
-	// accounting does not need them, but compaction does: only a
-	// payload-carrying cluster can physically rewrite containers after
-	// DeleteBackup.
+	// accounting does not need them, but Restore and compaction do: only
+	// a payload-carrying cluster can stream backups back or physically
+	// rewrite containers after Delete.
 	KeepPayloads bool
 	// CompactEvery, when positive, runs a background compactor on every
 	// node, rewriting containers whose live-chunk ratio fell below
@@ -103,7 +114,8 @@ type ClusterConfig struct {
 	CompactThreshold float64
 }
 
-// ClusterStats reports the outcome of a simulated backup.
+// ClusterStats reports the simulator-specific effectiveness metrics of
+// the paper's evaluation (SimStats).
 type ClusterStats struct {
 	LogicalBytes       int64
 	PhysicalBytes      int64
@@ -115,20 +127,31 @@ type ClusterStats struct {
 	FingerprintLookups int64   // total fingerprint-lookup messages
 }
 
-// Cluster is a simulated inline deduplication cluster. Feed it files with
-// Backup and read results with Stats. Not safe for concurrent use.
+// Cluster is the simulated inline deduplication cluster, one of the two
+// Backend implementations. The one-shot Backup/Restore/Delete verbs run
+// on an implicit default stream (single-goroutine, like a real backup
+// stream); concurrent streams go through NewSession.
 type Cluster struct {
 	cfg       ClusterConfig
 	inner     *cluster.Cluster
 	exact     *cluster.ExactTracker
 	algorithm fingerprint.Algorithm
-	nextFile  uint64
-	fileIDs   map[string]uint64 // backup name → tracked item ID
+
+	// mu guards the backup-name tracker: nextFile and fileIDs. Sessions
+	// may run concurrently; each reserves its IDs here.
+	mu       sync.Mutex
+	nextFile uint64
+	fileIDs  map[string]uint64 // backup name → tracked item ID
+
+	// defSess is the lazily created default session backing the one-shot
+	// Backup verb.
+	defSess *Session
 }
 
-// NewCluster builds a simulated cluster. Backups fed through Backup are
-// recipe-tracked, so DeleteBackup can retire them and Compact can
-// reclaim their container space.
+// NewCluster builds a simulated cluster. Backups fed through Backup or a
+// Session are recipe-tracked, so Delete can retire them, Restore can
+// stream them back (with KeepPayloads), and Compact can reclaim their
+// container space.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
@@ -161,17 +184,136 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}, nil
 }
 
-// Backup chunks and deduplicates one file (or stream segment) into the
-// cluster. Content is read fully; chunking is static at ChunkSize.
-func (c *Cluster) Backup(name string, r io.Reader) error {
+// sessionDefaults derives the cluster's default session configuration.
+func (c *Cluster) sessionDefaults() sessionConfig {
+	return sessionConfig{
+		chunk: ChunkSpec{Method: ChunkFixed, Size: c.cfg.ChunkSize},
+	}
+}
+
+// reserveID hands out the next backup item ID.
+func (c *Cluster) reserveID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.nextFile++
+	return c.nextFile
+}
+
+// commitBackup points name at the completed backup id. Only a completed
+// backup takes the name: a failed re-backup must not repoint the name at
+// a partial recipe (nor strand the previous one). A re-backup of the
+// same name supersedes the previous generation: only the latest is
+// restorable/deletable by name, so the superseded recipe's references
+// are released (the new backup took its own). The whole commit —
+// lookup, repoint, supersede-delete — runs under mu, so a concurrent
+// Delete of the same name serializes before or after it, never between.
+func (c *Cluster) commitBackup(name string, id uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, hadPrev := c.fileIDs[name]
+	c.fileIDs[name] = id
+	if hadPrev && c.cfg.Scheme != SchemeExtremeBinning {
+		return c.inner.DeleteBackup(prev)
+	}
+	return nil
+}
+
+// abortBackup cleans up after a failed backup: any partially routed
+// super-chunks release their references and tracked recipe entries, and
+// the reserved ID rolls back — the tracker is exactly as before the
+// attempt (the satellite invariant a failed backup must preserve). A
+// cleanup failure is returned (it means references may be stranded and
+// the caller must not claim a clean abort); "not found" is expected —
+// it just means nothing was routed before the failure.
+func (c *Cluster) abortBackup(id uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var cleanupErr error
+	if c.cfg.Scheme != SchemeExtremeBinning {
+		if err := c.inner.DeleteBackup(id); err != nil && !errors.Is(err, sderr.ErrNotFound) {
+			cleanupErr = fmt.Errorf("releasing partial backup %d: %w", id, err)
+		}
+	}
+	if c.nextFile == id {
+		c.nextFile--
+	}
+	return cleanupErr
+}
+
+// NewSession opens an explicit backup stream on the simulator: its own
+// super-chunk partitioner (WithSuperChunkSize is honored per stream)
+// and stats, streaming chunk-by-chunk with memory bounded by the
+// pending super-chunk. The compute knobs — WithWorkers,
+// WithInflightSuperChunks — have no effect here: the simulator
+// fingerprints on the calling goroutine and routes each super-chunk
+// synchronously (an in-process store is a memory operation, there is no
+// transfer to overlap). Not supported for SchemeExtremeBinning, whose
+// file-level routing needs whole files.
+func (c *Cluster) NewSession(ctx context.Context, opts ...SessionOption) (*Session, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.cfg.Scheme == SchemeExtremeBinning {
+		return nil, fmt.Errorf("sigmadedupe: streaming sessions are not supported for Extreme Binning (file-level routing needs the whole file); use Backup")
+	}
+	cfg, err := resolveSessionConfig(c.sessionDefaults(), opts)
+	if err != nil {
+		return nil, err
+	}
+	name := cfg.name
+	if name == "" {
+		name = fmt.Sprintf("session%d", c.reserveID())
+	}
+	stream, err := c.inner.StreamSized(name, cfg.superChunkSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{impl: &clusterSession{c: c, stream: stream, cfg: cfg}}, nil
+}
+
+// defaultSession returns the session backing the one-shot Backup verb,
+// bound to the simulator's default stream for bit-compatible container
+// attribution with earlier releases.
+func (c *Cluster) defaultSession() *Session {
+	if c.defSess == nil {
+		c.defSess = &Session{impl: &clusterSession{
+			c:      c,
+			stream: c.inner.Default(),
+			cfg:    c.sessionDefaults(),
+		}}
+	}
+	return c.defSess
+}
+
+// Backup chunks and deduplicates one named stream into the cluster,
+// reading r incrementally: completed super-chunks route while the stream
+// is still being read, so memory stays bounded by the pending
+// super-chunk regardless of stream size. Under SchemeExtremeBinning the
+// stream is buffered whole instead — file-level routing needs the whole
+// file's representative fingerprint; that is the scheme's nature, not an
+// implementation shortcut.
+//
+// A failed backup leaves the tracker untouched: the name keeps pointing
+// at its previous generation (if any) and nothing is stranded.
+func (c *Cluster) Backup(ctx context.Context, name string, r io.Reader) error {
+	if c.cfg.Scheme == SchemeExtremeBinning {
+		return c.backupBuffered(ctx, name, r)
+	}
+	return c.defaultSession().Backup(ctx, name, r)
+}
+
+// backupBuffered is the whole-file path for Extreme Binning.
+func (c *Cluster) backupBuffered(ctx context.Context, name string, r io.Reader) error {
+	if err := ctx.Err(); err != nil {
+		return &BackupError{Name: name, Stage: "chunk", Err: err}
+	}
 	ck, err := chunker.NewFixed(r, c.cfg.ChunkSize)
 	if err != nil {
 		return err
 	}
 	chunks, err := chunker.SplitAll(ck)
 	if err != nil {
-		return fmt.Errorf("backup %s: %w", name, err)
+		return &BackupError{Name: name, Stage: "chunk", Err: err}
 	}
 	refs := make([]core.ChunkRef, len(chunks))
 	for i, ch := range chunks {
@@ -181,37 +323,69 @@ func (c *Cluster) Backup(name string, r io.Reader) error {
 		}
 	}
 	c.exact.Add(refs)
-	if err := c.inner.BackupItem(c.nextFile, refs); err != nil {
-		return err
+	id := c.reserveID()
+	if err := c.inner.BackupItem(id, refs); err != nil {
+		berr := error(&BackupError{Name: name, Stage: "store", Err: err})
+		if cleanupErr := c.abortBackup(id); cleanupErr != nil {
+			berr = fmt.Errorf("%w (cleanup failed: %v)", berr, cleanupErr)
+		}
+		return berr
 	}
-	// Only a completed backup takes the name: a failed re-backup must not
-	// repoint the name at a partial recipe (nor strand the previous one).
-	prev, hadPrev := c.fileIDs[name]
-	c.fileIDs[name] = c.nextFile
-	// A re-backup of the same name supersedes the previous generation:
-	// only the latest is restorable/deletable by name, so the superseded
-	// recipe's references are released (the new backup took its own).
-	if hadPrev && c.cfg.Scheme != SchemeExtremeBinning {
-		return c.inner.DeleteBackup(prev)
-	}
-	return nil
+	return c.commitBackup(name, id)
 }
 
-// DeleteBackup deletes a named backup: its tracked recipe is dropped and
-// the owning nodes release its chunk references. The freed chunks become
+// Restore streams the named backup back to w, reading each chunk of its
+// tracked recipe from the owning simulated node. Requires KeepPayloads
+// (or a durable Dir). An unknown name fails with ErrNotFound.
+func (c *Cluster) Restore(ctx context.Context, name string, w io.Writer) error {
+	if c.cfg.Scheme == SchemeExtremeBinning {
+		// EB keeps no recipes (bin stores bypass the refcounted chunk
+		// index), so an existing backup must not masquerade as
+		// ErrNotFound — the operation is unsupported, full stop.
+		return fmt.Errorf("sigmadedupe: Restore is not supported for Extreme Binning (no recipe tracking)")
+	}
+	c.mu.Lock()
+	id, ok := c.fileIDs[name]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("sigmadedupe: no backup named %q: %w", name, sderr.ErrNotFound)
+	}
+	return c.inner.RestoreBackup(ctx, id, w)
+}
+
+// Delete deletes a named backup: its tracked recipe is dropped and the
+// owning nodes release its chunk references. The freed chunks become
 // dead container space until Compact (or the background compactor)
-// reclaims it. Deleting a name that was backed up more than once deletes
-// the most recent backup of that name.
-func (c *Cluster) DeleteBackup(name string) error {
+// reclaims it. An unknown name fails with ErrNotFound.
+func (c *Cluster) Delete(ctx context.Context, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if c.cfg.Scheme == SchemeExtremeBinning {
+		return fmt.Errorf("sigmadedupe: Delete is not supported for Extreme Binning (no recipe tracking)")
+	}
+	// Lookup, inner delete and name removal form one critical section:
+	// interleaving with a concurrent re-backup's commit would otherwise
+	// delete the superseded generation out from under the commit (or
+	// strand the new one nameless).
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	id, ok := c.fileIDs[name]
 	if !ok {
-		return fmt.Errorf("sigmadedupe: no backup named %q", name)
+		return fmt.Errorf("sigmadedupe: no backup named %q: %w", name, sderr.ErrNotFound)
 	}
 	if err := c.inner.DeleteBackup(id); err != nil {
 		return err
 	}
 	delete(c.fileIDs, name)
 	return nil
+}
+
+// DeleteBackup deletes a named backup.
+//
+// Deprecated: use Delete, which takes a context.
+func (c *Cluster) DeleteBackup(name string) error {
+	return c.Delete(context.Background(), name)
 }
 
 // GCResult summarizes one compaction pass across the cluster.
@@ -224,15 +398,35 @@ type GCResult struct {
 
 // Compact runs one compaction scan on every node, rewriting containers
 // whose live-chunk ratio fell below threshold (≤0 selects the configured
-// default, 0.5) and reclaiming the dead space of deleted backups.
-func (c *Cluster) Compact(threshold float64) (GCResult, error) {
-	res, err := c.inner.Compact(threshold)
+// default, 0.5) and reclaiming the dead space of deleted backups. A
+// canceled ctx stops between containers.
+func (c *Cluster) Compact(ctx context.Context, threshold float64) (GCResult, error) {
+	res, err := c.inner.Compact(ctx, threshold)
+	return toGCResult(res), err
+}
+
+// toGCResult converts the storage engine's compaction summary to the
+// public shape (shared by every backend and the server facade).
+func toGCResult(res store.CompactResult) GCResult {
 	return GCResult{
 		ContainersScanned: res.Scanned,
 		ContainersRetired: res.Retired,
 		CopiedBytes:       res.CopiedBytes,
 		ReclaimedBytes:    res.ReclaimedBytes,
-	}, err
+	}
+}
+
+// toGCStats converts the storage engine's GC counters to the public
+// shape.
+func toGCStats(gc store.GCStats) GCStats {
+	return GCStats{
+		StoredBytes:       gc.StoredBytes,
+		LiveBytes:         gc.LiveBytes,
+		DeadBytes:         gc.DeadBytes,
+		Containers:        gc.Containers,
+		RetiredContainers: gc.RetiredContainers,
+		ReclaimedBytes:    gc.ReclaimedBytes,
+	}
 }
 
 // GCStats reports the cluster-wide deletion/compaction state.
@@ -246,21 +440,16 @@ type GCStats struct {
 }
 
 // GCStats returns the cluster's garbage-collection counters.
-func (c *Cluster) GCStats() GCStats {
-	gc := c.inner.GCStats()
-	return GCStats{
-		StoredBytes:       gc.StoredBytes,
-		LiveBytes:         gc.LiveBytes,
-		DeadBytes:         gc.DeadBytes,
-		Containers:        gc.Containers,
-		RetiredContainers: gc.RetiredContainers,
-		ReclaimedBytes:    gc.ReclaimedBytes,
-	}
-}
+func (c *Cluster) GCStats() GCStats { return toGCStats(c.inner.GCStats()) }
 
-// Flush completes the backup session (routes the final partial
-// super-chunk and seals containers).
-func (c *Cluster) Flush() error { return c.inner.Flush() }
+// Flush completes the default backup stream (routes the final partial
+// super-chunk and seals containers). Explicit sessions flush themselves.
+func (c *Cluster) Flush(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.inner.Flush()
+}
 
 // Close shuts every node down, releasing durable manifests. A durable
 // cluster directory can be re-opened later.
@@ -273,8 +462,30 @@ func (c *Cluster) RestartNode(i int) error { return c.inner.RestartNode(i) }
 // Restart bounces every node: a full cluster stop/restart/restore cycle.
 func (c *Cluster) Restart() error { return c.inner.Restart() }
 
-// Stats summarizes the cluster after a backup.
-func (c *Cluster) Stats() ClusterStats {
+// Stats implements Backend: the deployment-independent counters.
+func (c *Cluster) Stats(ctx context.Context) (BackendStats, error) {
+	if err := ctx.Err(); err != nil {
+		return BackendStats{}, err
+	}
+	st := c.inner.Stats()
+	c.mu.Lock()
+	backups := len(c.fileIDs)
+	c.mu.Unlock()
+	return BackendStats{
+		LogicalBytes:  st.LogicalBytes,
+		PhysicalBytes: c.inner.PhysicalBytes(),
+		DedupRatio:    c.inner.DedupRatio(),
+		Backups:       backups,
+		Nodes:         c.cfg.Nodes,
+		StorageSkew:   c.inner.Skew(),
+	}, nil
+}
+
+// SimStats returns the simulator-specific effectiveness metrics of the
+// paper's evaluation: normalized and effective dedup ratios, storage
+// skew and fingerprint-lookup message counts. (This was Stats() in v1;
+// Stats now serves the Backend-portable snapshot.)
+func (c *Cluster) SimStats() ClusterStats {
 	st := c.inner.Stats()
 	return ClusterStats{
 		LogicalBytes:       st.LogicalBytes,
@@ -286,6 +497,125 @@ func (c *Cluster) Stats() ClusterStats {
 		StorageSkew:        c.inner.Skew(),
 		FingerprintLookups: st.TotalMsgs(),
 	}
+}
+
+// clusterSession implements sessionBackend on the simulator: chunks are
+// fed to the stream one at a time and completed super-chunks route
+// synchronously, so peak buffered payload is the pending super-chunk
+// (≤ 2× the super-chunk target), never the stream size.
+type clusterSession struct {
+	c      *Cluster
+	stream *cluster.Stream
+	cfg    sessionConfig
+	st     SessionStats
+	// pending tracks payload bytes buffered in the partitioner; its
+	// high-water mark is the session's PeakBufferedBytes.
+	pending int64
+	// exactBatch accumulates payload-free chunk refs for the cluster's
+	// shared exact-dedup tracker, flushed in batches so concurrent
+	// sessions take its mutex once per few thousand chunks instead of
+	// once per chunk.
+	exactBatch []core.ChunkRef
+}
+
+// exactBatchMax bounds the deferred exact-tracker batch (~4K refs,
+// metadata only — chunk payloads are never pinned by it).
+const exactBatchMax = 4096
+
+func (s *clusterSession) flushExact() {
+	if len(s.exactBatch) > 0 {
+		s.c.exact.Add(s.exactBatch)
+		s.exactBatch = s.exactBatch[:0]
+	}
+}
+
+func (s *clusterSession) backup(ctx context.Context, name string, r io.Reader) error {
+	ck, err := chunker.New(s.cfg.chunk.Method.internal(), r, s.cfg.chunk.Size)
+	if err != nil {
+		return err
+	}
+	keep := s.c.cfg.KeepPayloads || s.c.cfg.Dir != ""
+	id := s.c.reserveID()
+	s.stream.BeginItem(id)
+	s.st.Files++
+	for {
+		chunk, err := ck.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return s.abort(id, &BackupError{Name: name, Stage: "chunk", Err: err})
+		}
+		ref := core.ChunkRef{FP: s.c.algorithm.Sum(chunk.Data), Size: chunk.Len()}
+		if keep {
+			ref.Data = chunk.Data
+		}
+		s.exactBatch = append(s.exactBatch, core.ChunkRef{FP: ref.FP, Size: ref.Size})
+		if len(s.exactBatch) >= exactBatchMax {
+			s.flushExact()
+		}
+		s.st.LogicalBytes += int64(ref.Size)
+		s.pending += int64(ref.Size)
+		if s.pending > s.st.PeakBufferedBytes {
+			s.st.PeakBufferedBytes = s.pending
+		}
+		out, err := s.stream.AddChunk(ctx, ref)
+		if err != nil {
+			return s.abort(id, &BackupError{Name: name, Stage: "store", Err: err})
+		}
+		s.applyRouted(out)
+	}
+	out, err := s.stream.EndItem(ctx)
+	if err != nil {
+		return s.abort(id, &BackupError{Name: name, Stage: "store", Err: err})
+	}
+	s.applyRouted(out)
+	s.flushExact()
+	return s.c.commitBackup(name, id)
+}
+
+func (s *clusterSession) applyRouted(out cluster.RouteOutcome) {
+	if out.RoutedBytes > 0 {
+		s.pending -= out.RoutedBytes
+		s.st.SuperChunks++
+	}
+	// The simulator's "transferred" bytes are the unique bytes actually
+	// stored: an in-process deployment has no network, so transfer cost
+	// equals storage cost.
+	s.st.TransferredBytes += out.StoredBytes
+}
+
+// abort discards the failed item's partial super-chunk and unwinds the
+// tracker, returning cause (annotated with any cleanup failure — a
+// failed cleanup strands references, which the caller must hear about);
+// the session stays usable for further backups. The presented bytes
+// stay accounted in the exact tracker, as they were in v1.
+func (s *clusterSession) abort(id uint64, cause error) error {
+	s.stream.AbortItem()
+	s.pending = 0
+	s.flushExact()
+	if cleanupErr := s.c.abortBackup(id); cleanupErr != nil {
+		return fmt.Errorf("%w (cleanup failed: %v)", cause, cleanupErr)
+	}
+	return cause
+}
+
+func (s *clusterSession) flush(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := s.stream.Flush(); err != nil {
+		return err
+	}
+	s.pending = 0
+	return nil
+}
+
+func (s *clusterSession) stats() SessionStats { return s.st }
+
+func (s *clusterSession) close() error {
+	s.stream.Close()
+	return nil
 }
 
 // Server is a TCP deduplication server node.
@@ -348,9 +678,10 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 // Addr returns the server's bound address.
 func (s *Server) Addr() string { return s.inner.Addr() }
 
-// Close shuts the server down: the listener stops, then the node seals
-// its open containers and closes its manifest, so a durable server can be
-// brought back with ServerConfig.Recover.
+// Close shuts the server down: the listener stops (canceling every
+// in-flight call), then the node seals its open containers and closes
+// its manifest, so a durable server can be brought back with
+// ServerConfig.Recover.
 func (s *Server) Close() error {
 	err := s.inner.Close()
 	if nerr := s.inner.Node().Close(); err == nil {
@@ -367,29 +698,14 @@ func (s *Server) StorageUsage() int64 { return s.inner.Node().StorageUsage() }
 
 // Compact runs one compaction scan on the node (≤0 threshold selects the
 // configured live-ratio floor) and reports containers retired and bytes
-// reclaimed.
-func (s *Server) Compact(threshold float64) (GCResult, error) {
-	res, err := s.inner.Node().Compact(threshold)
-	return GCResult{
-		ContainersScanned: res.Scanned,
-		ContainersRetired: res.Retired,
-		CopiedBytes:       res.CopiedBytes,
-		ReclaimedBytes:    res.ReclaimedBytes,
-	}, err
+// reclaimed. A canceled ctx stops between containers.
+func (s *Server) Compact(ctx context.Context, threshold float64) (GCResult, error) {
+	res, err := s.inner.Node().Compact(ctx, threshold)
+	return toGCResult(res), err
 }
 
 // GCStats returns the node's garbage-collection counters.
-func (s *Server) GCStats() GCStats {
-	gc := s.inner.Node().GCStats()
-	return GCStats{
-		StoredBytes:       gc.StoredBytes,
-		LiveBytes:         gc.LiveBytes,
-		DeadBytes:         gc.DeadBytes,
-		Containers:        gc.Containers,
-		RetiredContainers: gc.RetiredContainers,
-		ReclaimedBytes:    gc.ReclaimedBytes,
-	}
-}
+func (s *Server) GCStats() GCStats { return toGCStats(s.inner.Node().GCStats()) }
 
 // Director is the metadata service: backup sessions and file recipes.
 type Director = director.Director
@@ -401,105 +717,8 @@ func NewDirector() *Director { return director.New() }
 // OpenDirectorAt creates a durable director rooted at dir: every recipe
 // put and delete is journaled (fsynced), and an existing journal is
 // replayed so the recipe catalog — the source of truth for what can be
-// restored and what DeleteBackup may free — survives restarts.
+// restored and what Delete may free — survives restarts.
 func OpenDirectorAt(dir string) (*Director, error) { return director.OpenAt(dir) }
-
-// BackupClient performs source inline deduplicated backup over TCP.
-type BackupClient struct {
-	inner *client.Client
-}
-
-// BackupClientConfig parameterizes a backup client.
-type BackupClientConfig struct {
-	// Name identifies the client in sessions (default "client").
-	Name string
-	// SuperChunkSize is the routing granularity (default 1MB).
-	SuperChunkSize int64
-	// HandprintSize is k (default 8).
-	HandprintSize int
-	// Workers sizes the chunk-fingerprint worker pool of the ingest
-	// pipeline (default: GOMAXPROCS). 1 fingerprints serially.
-	Workers int
-	// InflightSuperChunks bounds the window of asynchronous Store RPCs a
-	// stream keeps in flight, so fingerprinting of super-chunk n+1
-	// overlaps the network transfer of n (default 4; 1 restores the fully
-	// serial store path).
-	InflightSuperChunks int
-}
-
-// NewBackupClient connects a backup client to a set of deduplication
-// servers and a director.
-func NewBackupClient(cfg BackupClientConfig, dir *Director, nodeAddrs []string) (*BackupClient, error) {
-	inner, err := client.New(client.Config{
-		Name:                cfg.Name,
-		SuperChunkSize:      cfg.SuperChunkSize,
-		HandprintK:          cfg.HandprintSize,
-		Pipeline:            pipeline.Config{Workers: cfg.Workers},
-		InflightSuperChunks: cfg.InflightSuperChunks,
-	}, dir, nodeAddrs)
-	if err != nil {
-		return nil, err
-	}
-	return &BackupClient{inner: inner}, nil
-}
-
-// BackupFile deduplicates and stores one file.
-func (b *BackupClient) BackupFile(path string, r io.Reader) error {
-	return b.inner.BackupFile(path, r)
-}
-
-// Flush completes the backup session.
-func (b *BackupClient) Flush() error { return b.inner.Flush() }
-
-// Restore streams a backed-up file to w.
-func (b *BackupClient) Restore(path string, w io.Writer) error {
-	return b.inner.Restore(path, w)
-}
-
-// DeleteBackup deletes one backed-up file: the recipe leaves the
-// director (journaled first on a durable director), then every node
-// holding the file's chunks releases the recipe's references on them.
-// The freed chunks become dead container space until node-side
-// compaction (Compact here, Server.Compact, or a background compactor)
-// reclaims it.
-func (b *BackupClient) DeleteBackup(path string) error {
-	return b.inner.DeleteBackup(path)
-}
-
-// Compact asks every connected node to run one compaction scan (≤0
-// threshold selects each node's configured live-ratio floor).
-func (b *BackupClient) Compact(threshold float64) (GCResult, error) {
-	res, err := b.inner.Compact(threshold)
-	return GCResult{
-		ContainersScanned: res.Scanned,
-		ContainersRetired: res.Retired,
-		CopiedBytes:       res.CopiedBytes,
-		ReclaimedBytes:    res.ReclaimedBytes,
-	}, err
-}
-
-// GCStats sums the garbage-collection counters of every connected node.
-func (b *BackupClient) GCStats() (GCStats, error) {
-	gc, err := b.inner.GCStats()
-	return GCStats{
-		StoredBytes:       gc.StoredBytes,
-		LiveBytes:         gc.LiveBytes,
-		DeadBytes:         gc.DeadBytes,
-		Containers:        gc.Containers,
-		RetiredContainers: gc.RetiredContainers,
-		ReclaimedBytes:    gc.ReclaimedBytes,
-	}, err
-}
-
-// Close releases connections.
-func (b *BackupClient) Close() { b.inner.Close() }
-
-// BandwidthSaving reports the fraction of payload bytes source dedup kept
-// off the network.
-func (b *BackupClient) BandwidthSaving() float64 { return b.inner.Stats().BandwidthSaving() }
-
-// LogicalBytes reports bytes presented for backup.
-func (b *BackupClient) LogicalBytes() int64 { return b.inner.Stats().LogicalBytes }
 
 // ExperimentOptions tunes experiment cost; zero value = full scale.
 type ExperimentOptions = experiments.Options

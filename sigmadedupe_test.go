@@ -2,6 +2,7 @@ package sigmadedupe
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -16,16 +17,16 @@ func TestClusterFacadeEndToEnd(t *testing.T) {
 	content := make([]byte, 256<<10)
 	rng.Read(content)
 
-	if err := c.Backup("/a", bytes.NewReader(content)); err != nil {
+	if err := c.Backup(context.Background(), "/a", bytes.NewReader(content)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Backup("/a-again", bytes.NewReader(content)); err != nil {
+	if err := c.Backup(context.Background(), "/a-again", bytes.NewReader(content)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	st := c.Stats()
+	st := c.SimStats()
 	if st.LogicalBytes != 512<<10 {
 		t.Fatalf("logical = %d", st.LogicalBytes)
 	}
