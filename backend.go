@@ -43,8 +43,41 @@ type Backend interface {
 	Flush(ctx context.Context) error
 	// NewSession opens an explicit backup stream with its own pipeline.
 	NewSession(ctx context.Context, opts ...SessionOption) (*Session, error)
+	// AddNode commits a new membership epoch containing one fresh
+	// deduplication node and returns its stable ID. On the simulator the
+	// node is created in process and addr must be empty; on the Remote
+	// backend addr is the TCP address of an already-running server. The
+	// node joins empty: new backups start filling it immediately (it
+	// wins the least-loaded fallback of every zero-resemblance bid);
+	// existing placements move only when Rebalance asks. In-flight
+	// sessions keep the epoch they started on.
+	AddNode(ctx context.Context, addr string) (int, error)
+	// RemoveNode migrates every super-chunk off the node — recipe by
+	// recipe, under the journaled migration commit protocol — and
+	// commits a membership epoch without it. All pre-existing backups
+	// restore byte-identically afterwards. Quiesce backup sessions
+	// first; a node that keeps receiving traffic fails the drain.
+	RemoveNode(ctx context.Context, id int) (MigrationResult, error)
+	// Rebalance migrates super-chunk segments from members above the
+	// cluster's mean storage usage onto underloaded rendezvous owners —
+	// the follow-up that spreads existing data onto a freshly added
+	// node. Safe to run while backups proceed.
+	Rebalance(ctx context.Context) (MigrationResult, error)
 	// Close releases the backend, propagating the first close failure.
 	Close() error
+}
+
+// MigrationResult summarizes the super-chunk migration behind one
+// membership change or rebalance pass.
+type MigrationResult struct {
+	// Backups is the number of distinct backups whose placement changed.
+	Backups int
+	// SuperChunks is the number of super-chunk segments moved.
+	SuperChunks int
+	// Chunks is the number of chunk occurrences moved.
+	Chunks int64
+	// Bytes is the payload volume migrated node to node.
+	Bytes int64
 }
 
 // Interface conformance of both deployments.

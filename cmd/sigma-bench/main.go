@@ -17,6 +17,7 @@
 //	sigma-bench [-json] [-mb 64] [-streams 8] nodeconc
 //	sigma-bench [-json] [-mb 64] [-streams 4] recovery
 //	sigma-bench [-json] [-mb 32] [-streams 8] gc
+//	sigma-bench [-json] [-mb 32] [-nodes 3] -mode rebalance
 //
 // With -json every result is emitted as one JSON object per line
 // (machine-readable; suitable for tracking BENCH_*.json trajectories).
@@ -78,7 +79,7 @@ func run(args []string) error {
 		names = append(names, *mode)
 	}
 	if len(names) == 0 {
-		fmt.Printf("available experiments: %s, ingest, nodeconc, recovery, gc, all\n", strings.Join(experiments.Names(), ", "))
+		fmt.Printf("available experiments: %s, ingest, nodeconc, recovery, gc, stream, rebalance, all\n", strings.Join(experiments.Names(), ", "))
 		return nil
 	}
 	if len(names) == 1 && names[0] == "all" {
@@ -141,6 +142,15 @@ func run(args []string) error {
 			rep, err := runStream(*mb, *nodes, *inflight)
 			if err != nil {
 				return fmt.Errorf("stream: %w", err)
+			}
+			if err := emit(rep); err != nil {
+				return err
+			}
+			continue
+		case "rebalance":
+			rep, err := runRebalance(*mb, *nodes)
+			if err != nil {
+				return fmt.Errorf("rebalance: %w", err)
 			}
 			if err := emit(rep); err != nil {
 				return err
@@ -322,7 +332,7 @@ func measureIngest(cfg ingestConfig, contents [][]byte, workers, inflight int) (
 		SuperChunkSize:      256 << 10,
 		Pipeline:            pipeline.Config{Workers: workers},
 		InflightSuperChunks: inflight,
-	}, dir, addrs)
+	}, dir, client.DenseNodes(addrs))
 	if err != nil {
 		return nil, err
 	}
@@ -927,6 +937,151 @@ func (s *streamSource) Read(p []byte) (int, error) {
 	s.rng.Read(p)
 	s.left -= len(p)
 	return len(p), nil
+}
+
+// rebalanceReport records one elastic-cluster cycle: ingest a
+// generation, AddNode, then rebalance onto the new node while a second
+// generation ingests concurrently. The acceptance criterion is
+// IngestRatio: ingest throughput during the concurrent migration stays
+// a healthy fraction of idle throughput.
+type rebalanceReport struct {
+	Experiment string `json:"experiment"`
+	Nodes      int    `json:"nodes"`
+	DataMB     int    `json:"data_mb"`
+	// Migration volume and speed (Rebalance wall clock).
+	BackupsMoved     int     `json:"backups_moved"`
+	SuperChunksMoved int     `json:"super_chunks_moved"`
+	BytesMigrated    int64   `json:"bytes_migrated"`
+	MigrationSeconds float64 `json:"migration_seconds"`
+	MigrationMBps    float64 `json:"migration_mb_s"`
+	// Ingest throughput, same workload shape, without and with the
+	// migration running concurrently.
+	IngestMBpsIdle      float64 `json:"ingest_mb_s_idle"`
+	IngestMBpsMigrating float64 `json:"ingest_mb_s_migrating"`
+	IngestRatio         float64 `json:"ingest_ratio_migrating_vs_idle"`
+	// NewNodeMB is the physical data the joined node holds afterwards.
+	NewNodeMB float64 `json:"new_node_mb"`
+}
+
+func (r *rebalanceReport) print(w *os.File) {
+	fmt.Fprintf(w, "== rebalance: %d+1 nodes, %d MB per generation\n", r.Nodes, r.DataMB)
+	fmt.Fprintf(w, "  migrated: %d backups, %d super-chunks, %.1f MB in %.3fs (%.1f MB/s)\n",
+		r.BackupsMoved, r.SuperChunksMoved, float64(r.BytesMigrated)/(1<<20),
+		r.MigrationSeconds, r.MigrationMBps)
+	fmt.Fprintf(w, "  ingest: %.1f MB/s idle, %.1f MB/s while migrating (ratio %.2f)\n",
+		r.IngestMBpsIdle, r.IngestMBpsMigrating, r.IngestRatio)
+	fmt.Fprintf(w, "  new node holds %.1f MB after rebalance\n\n", r.NewNodeMB)
+}
+
+// runRebalance measures the elastic-membership path end to end on the
+// TCP prototype: `nNodes` loopback servers ingest one generation, a
+// fresh server joins (AddNode), and Rebalance migrates existing
+// super-chunks onto it while a second generation ingests concurrently.
+func runRebalance(mb, nNodes int) (*rebalanceReport, error) {
+	if mb <= 0 {
+		mb = 32
+	}
+	if nNodes <= 0 {
+		nNodes = 3
+	}
+	ctx := context.Background()
+	addrs := make([]string, nNodes)
+	for i := range addrs {
+		srv, err := sigmadedupe.StartServer(sigmadedupe.ServerConfig{ID: i})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		addrs[i] = srv.Addr()
+	}
+	be, err := sigmadedupe.NewRemote(ctx, sigmadedupe.RemoteConfig{
+		Name:           "rebalance-bench",
+		Director:       sigmadedupe.NewDirector(),
+		Nodes:          addrs,
+		SuperChunkSize: 256 << 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer be.Close()
+
+	const files = 4
+	ingestGen := func(gen int) (float64, error) {
+		sess, err := be.NewSession(ctx, sigmadedupe.WithSessionName(fmt.Sprintf("gen%d", gen)))
+		if err != nil {
+			return 0, err
+		}
+		defer sess.Close()
+		perFile := mb << 20 / files
+		start := time.Now()
+		for f := 0; f < files; f++ {
+			src := &streamSource{rng: rand.New(rand.NewSource(int64(100*gen + f))), left: perFile}
+			if err := sess.Backup(ctx, fmt.Sprintf("/gen%d/file%d", gen, f), src); err != nil {
+				return 0, err
+			}
+		}
+		if err := sess.Flush(ctx); err != nil {
+			return 0, err
+		}
+		return float64(files*perFile) / (1 << 20) / time.Since(start).Seconds(), nil
+	}
+
+	// Generation 1: idle ingest baseline.
+	idleMBps, err := ingestGen(1)
+	if err != nil {
+		return nil, err
+	}
+
+	// A fresh node joins.
+	joiner, err := sigmadedupe.StartServer(sigmadedupe.ServerConfig{ID: nNodes})
+	if err != nil {
+		return nil, err
+	}
+	defer joiner.Close()
+	if _, err := be.AddNode(ctx, joiner.Addr()); err != nil {
+		return nil, err
+	}
+
+	// Rebalance onto it while generation 2 ingests concurrently.
+	type migOutcome struct {
+		res     sigmadedupe.MigrationResult
+		seconds float64
+		err     error
+	}
+	migDone := make(chan migOutcome, 1)
+	go func() {
+		start := time.Now()
+		res, err := be.Rebalance(ctx)
+		migDone <- migOutcome{res: res, seconds: time.Since(start).Seconds(), err: err}
+	}()
+	migratingMBps, err := ingestGen(2)
+	if err != nil {
+		return nil, err
+	}
+	mig := <-migDone
+	if mig.err != nil {
+		return nil, mig.err
+	}
+
+	rep := &rebalanceReport{
+		Experiment:          "rebalance",
+		Nodes:               nNodes,
+		DataMB:              mb,
+		BackupsMoved:        mig.res.Backups,
+		SuperChunksMoved:    mig.res.SuperChunks,
+		BytesMigrated:       mig.res.Bytes,
+		MigrationSeconds:    mig.seconds,
+		IngestMBpsIdle:      idleMBps,
+		IngestMBpsMigrating: migratingMBps,
+		NewNodeMB:           float64(joiner.StorageUsage()) / (1 << 20),
+	}
+	if mig.seconds > 0 {
+		rep.MigrationMBps = float64(mig.res.Bytes) / (1 << 20) / mig.seconds
+	}
+	if idleMBps > 0 {
+		rep.IngestRatio = migratingMBps / idleMBps
+	}
+	return rep, nil
 }
 
 // runStream backs one mb-MB unique stream up through the public

@@ -1,13 +1,21 @@
 // Command sigma-client performs source inline deduplicated backup,
-// restore and deletion against a Σ-Dedupe cluster, through the public
-// context-first Backend API. Ctrl-C cancels a backup mid-stream: the
-// pipeline stops within about one super-chunk of work.
+// restore, deletion and online membership changes against a Σ-Dedupe
+// cluster, through the public context-first Backend API. Ctrl-C cancels
+// a backup mid-stream: the pipeline stops within about one super-chunk
+// of work.
 //
 // Usage:
 //
 //	sigma-client -director 127.0.0.1:7700 -nodes 127.0.0.1:7701,127.0.0.1:7702 backup FILE...
 //	sigma-client -director 127.0.0.1:7700 -nodes ... restore PATH -out FILE
 //	sigma-client -director 127.0.0.1:7700 -nodes ... delete PATH
+//	sigma-client -director 127.0.0.1:7700 -nodes "" add-node 127.0.0.1:7703
+//	sigma-client -director 127.0.0.1:7700 -nodes "" rebalance
+//	sigma-client -director 127.0.0.1:7700 -nodes "" remove-node 1
+//
+// Membership is director-managed: once the cluster has grown or shrunk,
+// pass -nodes "" so the director's journaled member list is used (or
+// list every current member's address).
 package main
 
 import (
@@ -52,10 +60,16 @@ func run() error {
 	if *cdc {
 		chunk.Method = sigmadedupe.ChunkCDC
 	}
+	var nodeAddrs []string
+	for _, a := range strings.Split(*nodes, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			nodeAddrs = append(nodeAddrs, a)
+		}
+	}
 	be, err := sigmadedupe.NewRemote(ctx, sigmadedupe.RemoteConfig{
 		Name:           *name,
 		DirectorAddr:   *dirAddr,
-		Nodes:          strings.Split(*nodes, ","),
+		Nodes:          nodeAddrs,
 		SuperChunkSize: *scSize,
 		Chunk:          chunk,
 	})
@@ -111,6 +125,42 @@ func run() error {
 			return err
 		}
 		fmt.Printf("deleted %s\n", args[1])
+		return nil
+
+	case "add-node":
+		if len(args) != 2 {
+			return fmt.Errorf("add-node: need the new server's ADDR")
+		}
+		id, err := be.AddNode(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node %d joined at %s; run rebalance to spread existing data onto it\n", id, args[1])
+		return nil
+
+	case "remove-node":
+		if len(args) != 2 {
+			return fmt.Errorf("remove-node: need the node ID")
+		}
+		var id int
+		if _, err := fmt.Sscanf(args[1], "%d", &id); err != nil {
+			return fmt.Errorf("remove-node: bad node ID %q", args[1])
+		}
+		res, err := be.RemoveNode(ctx, id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node %d drained and removed: %d backups, %d super-chunks, %d bytes migrated\n",
+			id, res.Backups, res.SuperChunks, res.Bytes)
+		return nil
+
+	case "rebalance":
+		res, err := be.Rebalance(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rebalanced: %d backups, %d super-chunks, %d bytes migrated\n",
+			res.Backups, res.SuperChunks, res.Bytes)
 		return nil
 
 	default:

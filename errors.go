@@ -18,6 +18,10 @@ var (
 	// chunk reported duplicate was deleted before the store landed.
 	// Retrying the backup resends the payload.
 	ErrChunkVanished = sderr.ErrChunkVanished
+	// ErrConflict reports an optimistic update losing its race — e.g. a
+	// super-chunk migration finding its backup superseded by a newer
+	// generation mid-move. The loser gives way; nothing is corrupted.
+	ErrConflict = sderr.ErrConflict
 )
 
 // BackupError is a failed backup operation, carrying the backup name and

@@ -66,6 +66,11 @@ type Config struct {
 	// DefaultInflightSuperChunks; 1 restores the fully serial
 	// route-and-transfer path).
 	InflightSuperChunks int
+	// Epoch is the membership epoch this client's node set belongs to
+	// (default 1). A Client pins its epoch for its whole life — the
+	// in-flight-session guarantee of elastic membership: node adds and
+	// removals become visible to new clients, never to this one.
+	Epoch uint64
 
 	// workersDefaulted records whether Pipeline.Workers was left zero by
 	// the caller: a defaulted pool may be widened for network-bound
@@ -97,7 +102,27 @@ func (c Config) withDefaults() Config {
 	if c.InflightSuperChunks <= 0 {
 		c.InflightSuperChunks = DefaultInflightSuperChunks
 	}
+	if c.Epoch == 0 {
+		c.Epoch = 1
+	}
 	return c
+}
+
+// NodeAddr is one deduplication server of the client's epoch: its
+// stable cluster ID and dial address.
+type NodeAddr struct {
+	ID   int
+	Addr string
+}
+
+// DenseNodes maps a plain address list onto node IDs 0..n-1 — the
+// fixed-cluster shorthand for deployments that never change membership.
+func DenseNodes(addrs []string) []NodeAddr {
+	out := make([]NodeAddr, len(addrs))
+	for i, a := range addrs {
+		out[i] = NodeAddr{ID: i, Addr: a}
+	}
+	return out
 }
 
 // Stats summarizes a backup session from the client's perspective.
@@ -135,8 +160,13 @@ type pendingFile struct {
 // one Client per backup stream (the paper's design gives every stream its
 // own pipeline — a Client *is* that pipeline).
 type Client struct {
-	cfg     Config
+	cfg Config
+	// conns holds one connection per node of the client's pinned epoch,
+	// ordered like members.Nodes; byID resolves a node's stable cluster
+	// ID (the value recipes carry) to its connection.
 	conns   []*rpc.Client
+	byID    map[int]*rpc.Client
+	members core.Membership
 	dir     director.Metadata
 	session uint64
 	part    *core.Partitioner
@@ -177,24 +207,31 @@ type routeResult struct {
 	err    error
 }
 
-// New connects to the given deduplication server addresses and opens a
-// backup session with the director (in-process or remote). ctx bounds
-// the dials.
-func New(ctx context.Context, cfg Config, dir director.Metadata, nodeAddrs []string) (*Client, error) {
+// New connects to the given deduplication servers and opens a backup
+// session with the director (in-process or remote). The node set — IDs
+// and addresses — is the membership epoch the client pins for its whole
+// life. ctx bounds the dials.
+func New(ctx context.Context, cfg Config, dir director.Metadata, nodes []NodeAddr) (*Client, error) {
 	cfg = cfg.withDefaults()
-	if len(nodeAddrs) == 0 {
+	if len(nodes) == 0 {
 		return nil, fmt.Errorf("client: need at least one node address")
 	}
-	conns := make([]*rpc.Client, len(nodeAddrs))
-	for i, addr := range nodeAddrs {
-		c, err := rpc.DialContext(ctx, addr)
+	ids := make([]int, len(nodes))
+	byID := make(map[int]*rpc.Client, len(nodes))
+	conns := make([]*rpc.Client, len(nodes))
+	for i, nd := range nodes {
+		c, err := rpc.DialContext(ctx, nd.Addr)
 		if err != nil {
 			for _, prev := range conns[:i] {
-				prev.Close()
+				if prev != nil {
+					prev.Close()
+				}
 			}
-			return nil, fmt.Errorf("client: node %d: %w", i, err)
+			return nil, fmt.Errorf("client: node %d: %w", nd.ID, err)
 		}
 		conns[i] = c
+		ids[i] = nd.ID
+		byID[nd.ID] = c
 	}
 	part, err := core.NewPartitioner(cfg.SuperChunkSize, cfg.Algorithm, true)
 	if err != nil {
@@ -203,11 +240,22 @@ func New(ctx context.Context, cfg Config, dir director.Metadata, nodeAddrs []str
 	return &Client{
 		cfg:     cfg,
 		conns:   conns,
+		byID:    byID,
+		members: core.NewMembership(cfg.Epoch, ids),
 		dir:     dir,
 		session: dir.BeginSession(ctx, cfg.Name),
 		part:    part,
 		routes:  pipeline.NewWindow(cfg.InflightSuperChunks),
 	}, nil
+}
+
+// connByID resolves a node's stable cluster ID to its connection.
+func (c *Client) connByID(id int) (*rpc.Client, error) {
+	conn := c.byID[id]
+	if conn == nil {
+		return nil, fmt.Errorf("client: node %d is not in this session's epoch %d", id, c.members.Epoch)
+	}
+	return conn, nil
 }
 
 // Session returns the director session ID of this backup run.
@@ -502,18 +550,29 @@ func (c *Client) RPCMessages() int64 {
 // never correctness.
 func (c *Client) routeSuperChunk(ctx context.Context, sc *core.SuperChunk) routeResult {
 	hp := sc.Handprint(c.cfg.HandprintK)
-	cands := hp.CandidateNodes(len(c.conns))
+	// Candidates are the rendezvous owners of the handprint within the
+	// session's pinned membership epoch: only nodes live in that epoch
+	// are ever bid.
+	cands := c.members.Candidates(hp)
 	if len(cands) == 0 {
-		cands = []int{0}
+		cands = []int{c.members.Nodes[0]}
 	}
 	counts := make([]int, len(cands))
 	usage := make([]int64, len(cands))
 	errs := make([]error, len(cands))
+	bid := func(i, cand int) {
+		conn, err := c.connByID(cand)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		counts[i], usage[i], errs[i] = conn.Bid(ctx, hp)
+	}
 	if c.cfg.InflightSuperChunks <= 1 {
 		// Fully serial path: one bid round trip after another, the
 		// pre-pipeline behavior (and the benchmark baseline).
 		for i, cand := range cands {
-			counts[i], usage[i], errs[i] = c.conns[cand].Bid(ctx, hp)
+			bid(i, cand)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -521,7 +580,7 @@ func (c *Client) routeSuperChunk(ctx context.Context, sc *core.SuperChunk) route
 			wg.Add(1)
 			go func(i, cand int) {
 				defer wg.Done()
-				counts[i], usage[i], errs[i] = c.conns[cand].Bid(ctx, hp)
+				bid(i, cand)
 			}(i, cand)
 		}
 		wg.Wait()
@@ -539,10 +598,14 @@ func (c *Client) routeSuperChunk(ctx context.Context, sc *core.SuperChunk) route
 		}
 	}
 	target := core.SelectTarget(cands, counts, usage).Node
+	tconn, err := c.connByID(target)
+	if err != nil {
+		return routeErr("query", target, err)
+	}
 
 	// Batched fingerprint query: learn which chunks are duplicates so
 	// their payloads never cross the network.
-	dup, err := c.conns[target].Query(ctx, sc)
+	dup, err := tconn.Query(ctx, sc)
 	if err != nil {
 		return routeErr("query", target, err)
 	}
@@ -554,7 +617,7 @@ func (c *Client) routeSuperChunk(ctx context.Context, sc *core.SuperChunk) route
 		}
 		send.Chunks = append(send.Chunks, ref)
 	}
-	if err := c.conns[target].Store(ctx, c.cfg.Name, send, true); err != nil {
+	if err := tconn.Store(ctx, c.cfg.Name, send, true); err != nil {
 		return routeErr("store", target, err)
 	}
 	return routeResult{sc: sc, target: target, dup: dup}
@@ -673,11 +736,12 @@ func (c *Client) decRefRecipe(ctx context.Context, path string, entries []direct
 		byNode[e.Node] = append(byNode[e.Node], e.FP)
 	}
 	for nd, fps := range byNode {
-		if nd < 0 || int(nd) >= len(c.conns) {
-			return fmt.Errorf("client: delete %s: node %d out of range", path, nd)
+		conn, err := c.connByID(int(nd))
+		if err != nil {
+			return fmt.Errorf("client: delete %s: %w", path, err)
 		}
 		order, ns := core.AggregateRefs(fps)
-		if err := c.conns[nd].DecRef(ctx, order, ns); err != nil {
+		if err := conn.DecRef(ctx, order, ns); err != nil {
 			return fmt.Errorf("client: delete %s: decref node %d: %w", path, nd, err)
 		}
 	}
@@ -782,10 +846,11 @@ func (c *Client) Restore(ctx context.Context, path string, w io.Writer) error {
 		return nil
 	})
 	datas := pipeline.Map(g, entries, workers, 2*workers, func(j job) ([]byte, error) {
-		if j.entry.Node < 0 || int(j.entry.Node) >= len(c.conns) {
-			return nil, fmt.Errorf("client: restore %s: node %d out of range", path, j.entry.Node)
+		conn, err := c.connByID(int(j.entry.Node))
+		if err != nil {
+			return nil, fmt.Errorf("client: restore %s: %w", path, err)
 		}
-		data, err := c.conns[j.entry.Node].ReadChunk(ctx, j.entry.FP)
+		data, err := conn.ReadChunk(ctx, j.entry.FP)
 		if err != nil {
 			return nil, fmt.Errorf("client: restore %s chunk %d: %w", path, j.idx, err)
 		}

@@ -43,7 +43,7 @@ func randBytes(seed int64, n int) []byte {
 func TestBackupAndRestoreSingleNode(t *testing.T) {
 	addrs := startCluster(t, 1)
 	dir := director.New()
-	c, err := New(context.Background(), Config{Name: "t"}, dir, addrs)
+	c, err := New(context.Background(), Config{Name: "t"}, dir, DenseNodes(addrs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestSourceDedupSavesBandwidth(t *testing.T) {
 	dir := director.New()
 	// Small super-chunks so the first generation is fully stored before
 	// the second generation's batched queries run.
-	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 32 << 10}, dir, addrs)
+	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 32 << 10}, dir, DenseNodes(addrs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestSourceDedupSavesBandwidth(t *testing.T) {
 func TestMultiFileMultiNodeRoundTrip(t *testing.T) {
 	addrs := startCluster(t, 4)
 	dir := director.New()
-	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 64 << 10}, dir, addrs)
+	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 64 << 10}, dir, DenseNodes(addrs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestMultiFileMultiNodeRoundTrip(t *testing.T) {
 func TestRecipesRecordRouting(t *testing.T) {
 	addrs := startCluster(t, 3)
 	dir := director.New()
-	c, _ := New(context.Background(), Config{Name: "t", SuperChunkSize: 16 << 10}, dir, addrs)
+	c, _ := New(context.Background(), Config{Name: "t", SuperChunkSize: 16 << 10}, dir, DenseNodes(addrs))
 	defer c.Close()
 	content := randBytes(3, 100<<10)
 	if err := c.BackupFile(context.Background(), "/f", bytes.NewReader(content)); err != nil {
@@ -170,7 +170,7 @@ func TestRecipesRecordRouting(t *testing.T) {
 func TestBackupEmptyFile(t *testing.T) {
 	addrs := startCluster(t, 1)
 	dir := director.New()
-	c, _ := New(context.Background(), Config{Name: "t"}, dir, addrs)
+	c, _ := New(context.Background(), Config{Name: "t"}, dir, DenseNodes(addrs))
 	defer c.Close()
 	if err := c.BackupFile(context.Background(), "/empty", bytes.NewReader(nil)); err != nil {
 		t.Fatal(err)
@@ -209,7 +209,7 @@ func TestSessionFailsStickyAfterError(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := director.New()
-	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 16 << 10}, dir, []string{srv.Addr()})
+	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 16 << 10}, dir, DenseNodes([]string{srv.Addr()}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestPipelineSurfacesSeverPromptly(t *testing.T) {
 	dir := director.New()
 	// Small super-chunks and a wide window: many RPCs in flight when the
 	// connection dies.
-	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 8 << 10, InflightSuperChunks: 8}, dir, []string{srv.Addr()})
+	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 8 << 10, InflightSuperChunks: 8}, dir, DenseNodes([]string{srv.Addr()}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(context.Background(), Config{}, director.New(), nil); err == nil {
 		t.Fatal("no node addresses should error")
 	}
-	if _, err := New(context.Background(), Config{}, director.New(), []string{"127.0.0.1:1"}); err == nil {
+	if _, err := New(context.Background(), Config{}, director.New(), DenseNodes([]string{"127.0.0.1:1"})); err == nil {
 		t.Fatal("unreachable node should error")
 	}
 }
@@ -310,7 +310,7 @@ func TestRebackupSupersedesAndReleasesOldReferences(t *testing.T) {
 	}
 	t.Cleanup(func() { srv.Close() })
 	dir := director.New()
-	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 32 << 10}, dir, []string{srv.Addr()})
+	c, err := New(context.Background(), Config{Name: "t", SuperChunkSize: 32 << 10}, dir, DenseNodes([]string{srv.Addr()}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,7 +56,7 @@ func benchIngest(b *testing.B, addrs []string, workers, inflight int, size int) 
 		b.StopTimer()
 		content := randBytes(int64(1000+i), size)
 		dir := director.New()
-		c, err := New(context.Background(), cfg, dir, addrs)
+		c, err := New(context.Background(), cfg, dir, DenseNodes(addrs))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +101,7 @@ func BenchmarkIngestRemoteLatency(b *testing.B) {
 func BenchmarkRestore(b *testing.B) {
 	addrs := benchServers(b, 4, 0)
 	dir := director.New()
-	c, err := New(context.Background(), Config{Name: "bench", SuperChunkSize: 128 << 10}, dir, addrs)
+	c, err := New(context.Background(), Config{Name: "bench", SuperChunkSize: 128 << 10}, dir, DenseNodes(addrs))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -31,6 +31,7 @@ import (
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/metrics"
+	"sigmadedupe/internal/migrate"
 	"sigmadedupe/internal/node"
 	"sigmadedupe/internal/pipeline"
 	"sigmadedupe/internal/router"
@@ -115,11 +116,34 @@ type shard struct {
 	afterRoutingMsgs atomic.Int64
 }
 
-// Cluster is a simulated deduplication cluster.
+// Cluster is a simulated deduplication cluster. The node set is
+// elastic: AddNode/RemoveNode commit membership epochs, node IDs are
+// stable for a node's lifetime, and every backup item pins the epoch it
+// started on so routing never observes a torn member list.
 type Cluster struct {
-	cfg   Config
-	nodes []*node.Node
-	rt    router.Router
+	cfg Config
+	rt  router.Router
+
+	// memberMu guards the node registry, the live membership and the
+	// per-epoch pin counts. Reads (bids, stats, routing) take the read
+	// lock; membership changes take the write lock, so every reader sees
+	// one consistent epoch.
+	memberMu sync.RWMutex
+	nodes    map[int]*node.Node
+	members  core.Membership
+	maxID    int
+	// epochUses counts backup items currently in flight against each
+	// pinned epoch — the grace period RemoveNode waits out so no item
+	// pinned to an epoch that still contains the node can store to it
+	// after the drain's final scan.
+	epochUses map[uint64]int
+
+	// Pending super-chunk migrations (see membership.go): transactions
+	// opened but not yet closed, the crash-recovery work list. Guarded
+	// by recMu together with the recipes they reference.
+	pendingMigs  map[uint64]simMigration
+	nextMig      uint64
+	migrateFault migrate.Fault
 
 	shardMu sync.Mutex
 	shards  []*shard
@@ -164,23 +188,24 @@ func New(cfg Config) (*Cluster, error) {
 	case *router.StatefulRouter:
 		r.Parallel = cfg.ParallelBids
 	}
-	nodes := make([]*node.Node, cfg.N)
-	for i := range nodes {
-		ncfg := cfg.Node
-		ncfg.ID = i
-		ncfg.HandprintSize = cfg.HandprintK
-		if ncfg.Dir != "" {
-			// Each node owns a subdirectory so container files and
-			// manifests never collide and a node restarts independently.
-			ncfg.Dir = filepath.Join(cfg.Node.Dir, fmt.Sprintf("node%02d", i))
-		}
-		n, err := node.New(ncfg)
+	nodes := make(map[int]*node.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		n, err := newClusterNode(cfg, i)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: %w", err)
+			return nil, err
 		}
 		nodes[i] = n
 	}
-	c := &Cluster{cfg: cfg, nodes: nodes, rt: rt, recipes: make(map[uint64][]RecipeEntry)}
+	c := &Cluster{
+		cfg:         cfg,
+		nodes:       nodes,
+		members:     core.DenseMembership(cfg.N),
+		maxID:       cfg.N - 1,
+		rt:          rt,
+		recipes:     make(map[uint64][]RecipeEntry),
+		pendingMigs: make(map[uint64]simMigration),
+		epochUses:   make(map[uint64]int),
+	}
 	// The default stream keeps the seed's container naming ("client0") so
 	// single-stream results are bit-identical to the serial simulator.
 	def, err := c.Stream("client0")
@@ -214,28 +239,101 @@ func (c *Cluster) StreamSized(name string, superChunkSize int64) (*Stream, error
 	if err != nil {
 		return nil, err
 	}
-	s := &Stream{c: c, name: name, part: part, ctr: &shard{}}
+	s := &Stream{c: c, name: name, part: part, ctr: &shard{}, pin: c.Membership()}
 	c.shardMu.Lock()
 	c.shards = append(c.shards, s.ctr)
 	c.shardMu.Unlock()
 	return s, nil
 }
 
-// N implements router.View.
-func (c *Cluster) N() int { return len(c.nodes) }
+// pinnedView is the cluster's router view pinned to one membership
+// epoch: bids and usage reads are live, but the member list — and with
+// it the candidate set — is the one the backup item started on.
+type pinnedView struct {
+	*Cluster
+	pin core.Membership
+}
 
-// BidHandprint implements router.View.
+func (v pinnedView) N() int { return v.pin.Len() }
+
+func (v pinnedView) Membership() core.Membership { return v.pin }
+
+// newClusterNode builds one node from the cluster template. Each
+// durable node owns a subdirectory so container files and manifests
+// never collide and a node restarts independently.
+func newClusterNode(cfg Config, id int) (*node.Node, error) {
+	ncfg := cfg.Node
+	ncfg.ID = id
+	ncfg.HandprintSize = cfg.HandprintK
+	if ncfg.Dir != "" {
+		ncfg.Dir = filepath.Join(cfg.Node.Dir, fmt.Sprintf("node%02d", id))
+	}
+	n, err := node.New(ncfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return n, nil
+}
+
+// nodeByID returns a live node by its cluster ID.
+func (c *Cluster) nodeByID(id int) (*node.Node, error) {
+	c.memberMu.RLock()
+	n := c.nodes[id]
+	c.memberMu.RUnlock()
+	if n == nil {
+		return nil, fmt.Errorf("cluster: no node %d in the current epoch: %w", id, sderr.ErrNotFound)
+	}
+	return n, nil
+}
+
+// N implements router.View: the live node count of the current epoch.
+func (c *Cluster) N() int {
+	c.memberMu.RLock()
+	defer c.memberMu.RUnlock()
+	return c.members.Len()
+}
+
+// Membership implements router.View: the current epoch's live node set.
+func (c *Cluster) Membership() core.Membership {
+	c.memberMu.RLock()
+	defer c.memberMu.RUnlock()
+	return c.members
+}
+
+// BidHandprint implements router.View. A bid against a node that left
+// the epoch mid-decision scores zero rather than panicking: the epoch
+// the caller pinned decides placement, and a departed node simply loses.
 func (c *Cluster) BidHandprint(nodeID int, hp core.Handprint) int {
-	return c.nodes[nodeID].CountHandprintMatches(hp)
+	c.memberMu.RLock()
+	n := c.nodes[nodeID]
+	c.memberMu.RUnlock()
+	if n == nil {
+		return 0
+	}
+	return n.CountHandprintMatches(hp)
 }
 
 // BidChunks implements router.View.
 func (c *Cluster) BidChunks(nodeID int, fps []fingerprint.Fingerprint) int {
-	return c.nodes[nodeID].CountStoredChunks(fps)
+	c.memberMu.RLock()
+	n := c.nodes[nodeID]
+	c.memberMu.RUnlock()
+	if n == nil {
+		return 0
+	}
+	return n.CountStoredChunks(fps)
 }
 
 // Usage implements router.View.
-func (c *Cluster) Usage(nodeID int) int64 { return c.nodes[nodeID].StorageUsage() }
+func (c *Cluster) Usage(nodeID int) int64 {
+	c.memberMu.RLock()
+	n := c.nodes[nodeID]
+	c.memberMu.RUnlock()
+	if n == nil {
+		return 0
+	}
+	return n.StorageUsage()
+}
 
 // Scheme returns the active routing scheme name.
 func (c *Cluster) Scheme() string { return c.rt.Name() }
@@ -293,6 +391,18 @@ func (c *Cluster) BackupItems(streams map[string][]Item) error {
 	return g.Wait()
 }
 
+// liveNodes snapshots the live nodes of the current epoch, ascending by
+// ID.
+func (c *Cluster) liveNodes() []*node.Node {
+	c.memberMu.RLock()
+	defer c.memberMu.RUnlock()
+	out := make([]*node.Node, 0, c.members.Len())
+	for _, id := range c.members.Nodes {
+		out = append(out, c.nodes[id])
+	}
+	return out
+}
+
 // Flush routes the default stream's partial super-chunk and seals all
 // node containers. Call at the end of a backup session, after every
 // explicitly opened Stream has been flushed.
@@ -300,7 +410,7 @@ func (c *Cluster) Flush() error {
 	if err := c.def.Flush(); err != nil {
 		return err
 	}
-	for _, n := range c.nodes {
+	for _, n := range c.liveNodes() {
 		if err := n.Flush(); err != nil {
 			return err
 		}
@@ -317,14 +427,54 @@ type Stream struct {
 	name string
 	part *core.Partitioner
 	ctr  *shard
+	// pin is the membership epoch this stream routes against, refreshed
+	// at every item boundary: a backup item never observes a torn member
+	// list, and a membership change becomes visible to the stream at its
+	// next item. While an item is in flight the pin is registered in the
+	// cluster's epochUses (holding), so RemoveNode can wait out every
+	// item that could still store to the departing node.
+	pin     core.Membership
+	holding bool
 	// retired guards against double-folding; protected by c.shardMu.
 	retired bool
 }
 
+// acquirePin re-pins the stream to the current epoch and registers the
+// in-flight item against it.
+func (s *Stream) acquirePin() {
+	s.releasePin()
+	c := s.c
+	c.memberMu.Lock()
+	s.pin = c.members
+	c.epochUses[s.pin.Epoch]++
+	s.holding = true
+	c.memberMu.Unlock()
+}
+
+// releasePin deregisters the stream's in-flight item (item boundary or
+// abort).
+func (s *Stream) releasePin() {
+	if !s.holding {
+		return
+	}
+	c := s.c
+	c.memberMu.Lock()
+	if c.epochUses[s.pin.Epoch]--; c.epochUses[s.pin.Epoch] <= 0 {
+		delete(c.epochUses, s.pin.Epoch)
+	}
+	s.holding = false
+	c.memberMu.Unlock()
+}
+
 // Close retires the stream: its counters fold into the cluster's base
-// totals and its shard is released. The stream must not be used again.
-// Safe to call more than once.
-func (s *Stream) Close() { s.c.retire(s) }
+// totals, its shard is released, and any still-held epoch pin is
+// dropped (an abandoned item must not stall RemoveNode's grace period
+// forever). The stream must not be used again. Safe to call more than
+// once.
+func (s *Stream) Close() {
+	s.releasePin()
+	s.c.retire(s)
+}
 
 // Name returns the stream name (container attribution on nodes).
 func (s *Stream) Name() string { return s.name }
@@ -332,6 +482,8 @@ func (s *Stream) Name() string { return s.name }
 // BackupItem feeds one backup item into this stream's pipeline.
 func (s *Stream) BackupItem(fileID uint64, refs []core.ChunkRef) error {
 	s.ctr.files.Add(1)
+	s.acquirePin()
+	defer s.releasePin()
 
 	fileScoped := s.c.cfg.Scheme == router.ExtremeBinning && fileID != 0
 	var fileMin fingerprint.Fingerprint
@@ -371,6 +523,8 @@ func (s *Stream) BackupItem(fileID uint64, refs []core.ChunkRef) error {
 // Flush routes the stream's final partial super-chunk. It does not seal
 // node containers; Cluster.Flush does that once per session.
 func (s *Stream) Flush() error {
+	s.acquirePin()
+	defer s.releasePin()
 	if sc := s.part.Flush(); sc != nil {
 		if _, err := s.routeAndStore(sc); err != nil {
 			return err
@@ -387,6 +541,7 @@ func (s *Stream) Flush() error {
 // bounded by the pending super-chunk, never the item size.
 func (s *Stream) BeginItem(fileID uint64) {
 	s.ctr.files.Add(1)
+	s.acquirePin()
 	s.part.SetFileID(fileID)
 }
 
@@ -420,6 +575,7 @@ func (s *Stream) AddChunk(ctx context.Context, ref core.ChunkRef) (RouteOutcome,
 // item's chunks into the next item's attribution — the same invariant
 // BackupItem maintains.
 func (s *Stream) EndItem(ctx context.Context) (RouteOutcome, error) {
+	defer s.releasePin()
 	if err := ctx.Err(); err != nil {
 		return RouteOutcome{}, err
 	}
@@ -436,7 +592,10 @@ func (s *Stream) EndItem(ctx context.Context) (RouteOutcome, error) {
 // AbortItem discards the partial super-chunk of a failed item so its
 // chunks cannot leak into the next item's routing or attribution. The
 // stream stays usable.
-func (s *Stream) AbortItem() { _ = s.part.Flush() }
+func (s *Stream) AbortItem() {
+	_ = s.part.Flush()
+	s.releasePin()
+}
 
 // RouteOutcome reports what one chunk feed did: payload bytes routed
 // (non-zero when a super-chunk completed) and the unique payload bytes
@@ -449,7 +608,7 @@ type RouteOutcome struct {
 
 func (s *Stream) routeAndStore(sc *core.SuperChunk) (int64, error) {
 	c := s.c
-	d := c.rt.Route(sc, c)
+	d := c.rt.Route(sc, pinnedView{Cluster: c, pin: s.pin})
 	s.ctr.superChunks.Add(1)
 	s.ctr.preRoutingMsgs.Add(d.PreRoutingMsgs)
 	var stored int64
@@ -469,13 +628,16 @@ func (s *Stream) routeAndStore(sc *core.SuperChunk) (int64, error) {
 		// node.Node); different nodes store in parallel, and routing bids
 		// read node state lock-free.
 		s.ctr.afterRoutingMsgs.Add(int64(nChunks))
+		nd, err := c.nodeByID(a.Node)
+		if err != nil {
+			return stored, err
+		}
 		var res store.Result
-		var err error
 		if c.cfg.Scheme == router.ExtremeBinning && !sc.FileMinFP.IsZero() {
 			// Extreme Binning dedups the file only against its bin.
-			res, err = c.nodes[a.Node].StoreFileInBin(s.name, sc.FileMinFP, target)
+			res, err = nd.StoreFileInBin(s.name, sc.FileMinFP, target)
 		} else {
-			res, err = c.nodes[a.Node].StoreSuperChunk(s.name, target)
+			res, err = nd.StoreSuperChunk(s.name, target)
 		}
 		if err != nil {
 			return stored, err
@@ -534,10 +696,12 @@ func (c *Cluster) Stats() Stats {
 	return st
 }
 
-// UsageVector returns per-node physical storage usage.
+// UsageVector returns per-node physical storage usage over the live
+// members of the current epoch, ascending by node ID.
 func (c *Cluster) UsageVector() []int64 {
-	out := make([]int64, len(c.nodes))
-	for i, n := range c.nodes {
+	nodes := c.liveNodes()
+	out := make([]int64, len(nodes))
+	for i, n := range nodes {
 		out[i] = n.StorageUsage()
 	}
 	return out
@@ -608,9 +772,13 @@ func (c *Cluster) DeleteBackup(fileID uint64) error {
 	for _, e := range entries {
 		byNode[e.Node] = append(byNode[e.Node], e.FP)
 	}
-	for nd, fps := range byNode {
+	for id, fps := range byNode {
+		nd, err := c.nodeByID(id)
+		if err != nil {
+			return fmt.Errorf("cluster: delete backup %d: %w", fileID, err)
+		}
 		order, ns := core.AggregateRefs(fps)
-		if err := c.nodes[nd].DecRef(order, ns); err != nil {
+		if err := nd.DecRef(order, ns); err != nil {
 			return fmt.Errorf("cluster: delete backup %d: %w", fileID, err)
 		}
 	}
@@ -630,7 +798,11 @@ func (c *Cluster) RestoreBackup(ctx context.Context, fileID uint64, w io.Writer)
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		data, err := c.nodes[e.Node].ReadChunk(e.FP)
+		nd, err := c.nodeByID(e.Node)
+		if err != nil {
+			return fmt.Errorf("cluster: restore backup %d chunk %d: %w", fileID, i, err)
+		}
+		data, err := nd.ReadChunk(e.FP)
 		if err != nil {
 			return fmt.Errorf("cluster: restore backup %d chunk %d: %w", fileID, i, err)
 		}
@@ -646,10 +818,10 @@ func (c *Cluster) RestoreBackup(ctx context.Context, fileID uint64, w io.Writer)
 // results. A canceled ctx stops between nodes and between containers.
 func (c *Cluster) Compact(ctx context.Context, threshold float64) (store.CompactResult, error) {
 	var total store.CompactResult
-	for i, n := range c.nodes {
+	for _, n := range c.liveNodes() {
 		res, err := n.Compact(ctx, threshold)
 		if err != nil {
-			return total, fmt.Errorf("cluster: compact node %d: %w", i, err)
+			return total, fmt.Errorf("cluster: compact node %d: %w", n.ID(), err)
 		}
 		total.Scanned += res.Scanned
 		total.Rewritten += res.Rewritten
@@ -664,7 +836,7 @@ func (c *Cluster) Compact(ctx context.Context, threshold float64) (store.Compact
 // GCStats sums the deletion/compaction counters of every node.
 func (c *Cluster) GCStats() store.GCStats {
 	var total store.GCStats
-	for _, n := range c.nodes {
+	for _, n := range c.liveNodes() {
 		gc := n.GCStats()
 		total.StoredBytes += gc.StoredBytes
 		total.DeadBytes += gc.DeadBytes
@@ -684,14 +856,15 @@ func (c *Cluster) GCStats() store.GCStats {
 // directory. The node must have been configured with a durable Dir. Not
 // safe to call while backups are in flight; quiesce streams first.
 func (c *Cluster) RestartNode(i int) error {
-	if i < 0 || i >= len(c.nodes) {
-		return fmt.Errorf("cluster: node %d out of range [0,%d)", i, len(c.nodes))
+	nd, err := c.nodeByID(i)
+	if err != nil {
+		return err
 	}
-	ncfg := c.nodes[i].Config()
+	ncfg := nd.Config()
 	if ncfg.Dir == "" {
 		return fmt.Errorf("cluster: node %d has no durable dir to restart from", i)
 	}
-	if err := c.nodes[i].Close(); err != nil {
+	if err := nd.Close(); err != nil {
 		return fmt.Errorf("cluster: stop node %d: %w", i, err)
 	}
 	ncfg.Recover = true
@@ -699,16 +872,18 @@ func (c *Cluster) RestartNode(i int) error {
 	if err != nil {
 		return fmt.Errorf("cluster: restart node %d: %w", i, err)
 	}
+	c.memberMu.Lock()
 	c.nodes[i] = n
+	c.memberMu.Unlock()
 	return nil
 }
 
-// Restart bounces every node in turn: a full cluster stop/restart/restore
-// cycle against durable storage. Same quiescence requirement as
-// RestartNode.
+// Restart bounces every live node in turn: a full cluster
+// stop/restart/restore cycle against durable storage. Same quiescence
+// requirement as RestartNode.
 func (c *Cluster) Restart() error {
-	for i := range c.nodes {
-		if err := c.RestartNode(i); err != nil {
+	for _, id := range c.Membership().Nodes {
+		if err := c.RestartNode(id); err != nil {
 			return err
 		}
 	}
@@ -720,7 +895,7 @@ func (c *Cluster) Restart() error {
 // with Node.Recover set. The cluster must not be used afterwards.
 func (c *Cluster) Close() error {
 	var err error
-	for _, n := range c.nodes {
+	for _, n := range c.liveNodes() {
 		if cerr := n.Close(); err == nil {
 			err = cerr
 		}
@@ -728,12 +903,9 @@ func (c *Cluster) Close() error {
 	return err
 }
 
-// Nodes exposes the underlying nodes (read-only use: stats inspection).
-func (c *Cluster) Nodes() []*node.Node {
-	out := make([]*node.Node, len(c.nodes))
-	copy(out, c.nodes)
-	return out
-}
+// Nodes exposes the live nodes of the current epoch, ascending by ID
+// (read-only use: stats inspection).
+func (c *Cluster) Nodes() []*node.Node { return c.liveNodes() }
 
 // ExactTracker computes the exact single-node deduplication physical size
 // of a stream (the SDR denominator of the paper's normalized metrics).

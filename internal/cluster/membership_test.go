@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/migrate"
+	"sigmadedupe/internal/node"
+	"sigmadedupe/internal/router"
+)
+
+func nodeCfgKeepPayloads() node.Config { return node.Config{KeepPayloads: true} }
+
+// membershipItem builds one payload-carrying backup item of unique
+// pseudo-random 4KB chunks.
+func membershipItem(seed int64, chunks int) []core.ChunkRef {
+	rng := rand.New(rand.NewSource(seed))
+	refs := make([]core.ChunkRef, chunks)
+	for i := range refs {
+		data := make([]byte, 4096)
+		rng.Read(data)
+		refs[i] = core.ChunkRef{FP: fingerprint.Sum(data), Size: len(data), Data: data}
+	}
+	return refs
+}
+
+func elasticCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		N:              n,
+		Scheme:         router.Sigma,
+		TrackRecipes:   true,
+		SuperChunkSize: 32 << 10,
+		Node:           nodeCfgKeepPayloads(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRoutingStabilityOnGrowth is the elastic-routing property test:
+// growing N → N+1 nodes moves at most ~1.5/(N+1) of super-chunk
+// placements on a re-backup of identical data, and the re-backup still
+// dedups ≥ 95% — the membership change does not collapse the dedup
+// ratio.
+func TestRoutingStabilityOnGrowth(t *testing.T) {
+	const (
+		n     = 4
+		items = 48
+	)
+	c := elasticCluster(t, n)
+	defer c.Close()
+
+	contents := make([][]core.ChunkRef, items)
+	for i := range contents {
+		contents[i] = membershipItem(int64(100+i), 24) // 96KB → ~3 super-chunks
+	}
+	for i, refs := range contents {
+		if err := c.BackupItem(uint64(1+i), refs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	physBefore := c.PhysicalBytes()
+	logical := c.Stats().LogicalBytes
+
+	if _, err := c.AddNode(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Membership(); got.Epoch != 2 || got.Len() != n+1 {
+		t.Fatalf("membership after AddNode = %+v", got)
+	}
+
+	// Re-backup identical content under fresh item IDs.
+	for i, refs := range contents {
+		if err := c.BackupItem(uint64(1000+i), refs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Placement churn: chunks whose routed node changed between the two
+	// generations.
+	var total, moved int
+	for i := range contents {
+		before, ok1 := c.Recipe(uint64(1 + i))
+		after, ok2 := c.Recipe(uint64(1000 + i))
+		if !ok1 || !ok2 || len(before) != len(after) {
+			t.Fatalf("item %d recipes missing or diverged (%v/%v)", i, ok1, ok2)
+		}
+		for j := range before {
+			total++
+			if before[j].Node != after[j].Node {
+				moved++
+			}
+		}
+	}
+	frac := float64(moved) / float64(total)
+	bound := 1.5 / float64(n+1)
+	t.Logf("growth churn: %d/%d chunks moved (%.4f), bound %.4f", moved, total, frac, bound)
+	if frac > bound {
+		t.Fatalf("placement churn %.4f exceeds ~1.5/(N+1) = %.4f", frac, bound)
+	}
+
+	// Dedup stability: the identical re-backup must store almost
+	// nothing new — within 5% of the pre-change dedup behavior (a
+	// pre-change re-backup would store zero).
+	newlyStored := c.PhysicalBytes() - physBefore
+	if float64(newlyStored) > 0.05*float64(logical) {
+		t.Fatalf("re-backup after growth stored %d new bytes of %d logical (> 5%%): dedup ratio collapsed",
+			newlyStored, logical)
+	}
+}
+
+// TestAddNodeReceivesNewData: a joined node is bid into fresh backups
+// via the least-loaded fallback.
+func TestAddNodeReceivesNewData(t *testing.T) {
+	c := elasticCluster(t, 2)
+	defer c.Close()
+	for i := 0; i < 8; i++ {
+		if err := c.BackupItem(uint64(1+i), membershipItem(int64(i), 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := c.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		if err := c.BackupItem(uint64(100+i), membershipItem(int64(500+i), 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if u := c.Usage(id); u == 0 {
+		t.Fatal("fresh node received no data from post-join backups")
+	}
+}
+
+// TestRemoveNodeMigratesAndRestores: RemoveNode drains every placement
+// off the node, all backups restore byte-identically, and deleting
+// everything afterwards leaves zero live bytes — no reference leaked by
+// the migration.
+func TestRemoveNodeMigratesAndRestores(t *testing.T) {
+	const items = 12
+	c := elasticCluster(t, 3)
+	defer c.Close()
+	contents := make([][]core.ChunkRef, items)
+	for i := range contents {
+		contents[i] = membershipItem(int64(9000+i), 24)
+		if err := c.BackupItem(uint64(1+i), contents[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.RemoveNode(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Membership(); got.Len() != 2 || got.Contains(1) {
+		t.Fatalf("membership after RemoveNode = %+v", got)
+	}
+	// Some data lived on node 1 (3 nodes, 12 items); it must have moved.
+	if res.Segments == 0 || res.Bytes == 0 {
+		t.Fatalf("RemoveNode moved nothing: %+v", res)
+	}
+	for i := range contents {
+		entries, ok := c.Recipe(uint64(1 + i))
+		if !ok {
+			t.Fatalf("item %d recipe lost", i)
+		}
+		for _, e := range entries {
+			if e.Node == 1 {
+				t.Fatalf("item %d still placed on removed node 1", i)
+			}
+		}
+		var out bytes.Buffer
+		if err := c.RestoreBackup(context.Background(), uint64(1+i), &out); err != nil {
+			t.Fatalf("restore item %d after RemoveNode: %v", i, err)
+		}
+		var want bytes.Buffer
+		for _, r := range contents[i] {
+			want.Write(r.Data)
+		}
+		if !bytes.Equal(out.Bytes(), want.Bytes()) {
+			t.Fatalf("item %d corrupted by migration", i)
+		}
+	}
+
+	// Zero leaked references: delete everything, compact, nothing live.
+	for i := 0; i < items; i++ {
+		if err := c.DeleteBackup(uint64(1 + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Compact(context.Background(), 0.999); err != nil {
+		t.Fatal(err)
+	}
+	if gc := c.GCStats(); gc.LiveBytes != 0 {
+		t.Fatalf("live bytes = %d after deleting every backup; migration leaked references", gc.LiveBytes)
+	}
+}
+
+// TestRebalanceFillsNewNode: after AddNode, Rebalance moves existing
+// segments onto the empty node and the data still restores.
+func TestRebalanceFillsNewNode(t *testing.T) {
+	const items = 24
+	c := elasticCluster(t, 3)
+	defer c.Close()
+	contents := make([][]core.ChunkRef, items)
+	for i := range contents {
+		contents[i] = membershipItem(int64(7000+i), 24)
+		if err := c.BackupItem(uint64(1+i), contents[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Rebalance(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes == 0 {
+		t.Fatalf("rebalance moved nothing onto the fresh node: %+v", res)
+	}
+	if c.Usage(id) == 0 {
+		t.Fatal("fresh node still empty after rebalance")
+	}
+	if c.PendingMigrations() != 0 {
+		t.Fatalf("%d migrations left pending after a clean rebalance", c.PendingMigrations())
+	}
+	for i := range contents {
+		var out bytes.Buffer
+		if err := c.RestoreBackup(context.Background(), uint64(1+i), &out); err != nil {
+			t.Fatalf("restore item %d after rebalance: %v", i, err)
+		}
+		var want bytes.Buffer
+		for _, r := range contents[i] {
+			want.Write(r.Data)
+		}
+		if !bytes.Equal(out.Bytes(), want.Bytes()) {
+			t.Fatalf("item %d corrupted by rebalance", i)
+		}
+	}
+}
+
+// TestMembershipGuards: baselines and untracked configurations refuse
+// membership changes loudly.
+func TestMembershipGuards(t *testing.T) {
+	c, err := New(Config{N: 2, Scheme: router.Stateless})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.AddNode(); err == nil {
+		t.Fatal("AddNode must require the Sigma scheme")
+	}
+
+	c2, err := New(Config{N: 2, Scheme: router.Sigma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.RemoveNode(context.Background(), 0); err == nil {
+		t.Fatal("RemoveNode without TrackRecipes/payloads must fail")
+	}
+}
+
+// TestMigrationFaultLeavesPendingAndRecovers exercises the crash matrix
+// at engine level: abort a RemoveNode drain at every stage, verify the
+// transaction stays pending, reconcile, and finish the removal — every
+// item restores byte-identically and nothing leaks.
+func TestMigrationFaultLeavesPendingAndRecovers(t *testing.T) {
+	for _, stage := range []migrate.Stage{
+		migrate.StageRead, migrate.StageStored, migrate.StageCommitted,
+		migrate.StageUpdated, migrate.StageDecreffed,
+	} {
+		stage := stage
+		t.Run(string(stage), func(t *testing.T) {
+			const items = 6
+			c := elasticCluster(t, 3)
+			defer c.Close()
+			contents := make([][]core.ChunkRef, items)
+			for i := range contents {
+				contents[i] = membershipItem(int64(3000+i), 24)
+				if err := c.BackupItem(uint64(1+i), contents[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			boom := fmt.Errorf("injected crash at %s", stage)
+			c.SetMigrateFault(func(s migrate.Stage, _ string) error {
+				if s == stage {
+					return boom
+				}
+				return nil
+			})
+			if _, err := c.RemoveNode(context.Background(), 2); err == nil {
+				t.Fatal("fault did not abort the removal")
+			}
+			if c.PendingMigrations() == 0 && stage != migrate.StageDecreffed {
+				// The decreffed stage aborts after the whole protocol ran;
+				// earlier stages must leave the transaction open.
+				t.Fatalf("no pending migration after crash at %s", stage)
+			}
+
+			// Recover and retry without the fault: removal completes.
+			c.SetMigrateFault(nil)
+			if err := c.RecoverMigrations(); err != nil {
+				t.Fatal(err)
+			}
+			if c.PendingMigrations() != 0 {
+				t.Fatal("recovery left transactions pending")
+			}
+			if _, err := c.RemoveNode(context.Background(), 2); err != nil {
+				t.Fatalf("retry after recovery: %v", err)
+			}
+			for i := range contents {
+				var out bytes.Buffer
+				if err := c.RestoreBackup(context.Background(), uint64(1+i), &out); err != nil {
+					t.Fatalf("restore item %d: %v", i, err)
+				}
+				var want bytes.Buffer
+				for _, r := range contents[i] {
+					want.Write(r.Data)
+				}
+				if !bytes.Equal(out.Bytes(), want.Bytes()) {
+					t.Fatalf("item %d corrupted across crash at %s", i, stage)
+				}
+			}
+			for i := 0; i < items; i++ {
+				if err := c.DeleteBackup(uint64(1 + i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := c.Compact(context.Background(), 0.999); err != nil {
+				t.Fatal(err)
+			}
+			if gc := c.GCStats(); gc.LiveBytes != 0 {
+				t.Fatalf("crash at %s leaked %d live bytes", stage, gc.LiveBytes)
+			}
+		})
+	}
+}

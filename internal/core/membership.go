@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sort"
+
+	"sigmadedupe/internal/fingerprint"
+)
+
+// Membership is one epoch of the cluster's live node set. Node IDs are
+// stable for the lifetime of a node but the set is elastic: adding a
+// node appends a fresh ID, removing one leaves a hole. Every membership
+// change bumps Epoch, and routing decisions are made against one pinned
+// Membership value so a backup item never sees a torn member list.
+//
+// Placement over a Membership uses rendezvous (highest-random-weight)
+// hashing rather than the dense mod-N of the fixed-size experiment path:
+// when the cluster grows from N to N+1 nodes, each fingerprint's owner
+// changes with probability 1/(N+1) instead of N/(N+1), which is what
+// keeps similarity routing — and with it the cluster's dedup ratio —
+// stable across membership changes.
+type Membership struct {
+	// Epoch is the membership generation, bumped by every change.
+	Epoch uint64
+	// Nodes holds the live node IDs, ascending.
+	Nodes []int
+}
+
+// NewMembership builds a membership over the given node IDs (copied,
+// sorted ascending).
+func NewMembership(epoch uint64, ids []int) Membership {
+	out := make([]int, len(ids))
+	copy(out, ids)
+	sort.Ints(out)
+	return Membership{Epoch: epoch, Nodes: out}
+}
+
+// DenseMembership is the fixed-cluster membership 0..n-1 at epoch 1.
+func DenseMembership(n int) Membership {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return Membership{Epoch: 1, Nodes: ids}
+}
+
+// Len returns the live node count.
+func (m Membership) Len() int { return len(m.Nodes) }
+
+// Contains reports whether id is live in this epoch.
+func (m Membership) Contains(id int) bool {
+	i := sort.SearchInts(m.Nodes, id)
+	return i < len(m.Nodes) && m.Nodes[i] == id
+}
+
+// Without returns the membership with id removed (same epoch; callers
+// bump the epoch when the change commits).
+func (m Membership) Without(id int) Membership {
+	out := make([]int, 0, len(m.Nodes))
+	for _, n := range m.Nodes {
+		if n != id {
+			out = append(out, n)
+		}
+	}
+	return Membership{Epoch: m.Epoch, Nodes: out}
+}
+
+// rendezvousWeight is the HRW score of (fp, node): a splitmix64 finalizer
+// over the fingerprint's 64-bit prefix mixed with the node ID. Any fixed
+// avalanche mix works; this one is allocation-free and stable across
+// processes, which the on-disk recipe/placement state requires.
+func rendezvousWeight(fp fingerprint.Fingerprint, node int) uint64 {
+	x := fp.Uint64() ^ (uint64(node)+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Owner returns the live node that owns fp under rendezvous hashing: the
+// member with the highest weight for fp. Adding one node to an N-node
+// membership moves any given fingerprint's owner with probability
+// 1/(N+1); removing a node moves only the fingerprints it owned.
+// Returns -1 on an empty membership.
+func (m Membership) Owner(fp fingerprint.Fingerprint) int {
+	first, _ := m.owners2(fp)
+	return first
+}
+
+// owners2 returns the two highest-weight live nodes for fp (second is
+// -1 on a single-node membership).
+func (m Membership) owners2(fp fingerprint.Fingerprint) (int, int) {
+	first, second := -1, -1
+	var firstW, secondW uint64
+	for _, id := range m.Nodes {
+		w := rendezvousWeight(fp, id)
+		switch {
+		case first == -1 || w > firstW || (w == firstW && id < first):
+			second, secondW = first, firstW
+			first, firstW = id, w
+		case second == -1 || w > secondW || (w == secondW && id < second):
+			second, secondW = id, w
+		}
+	}
+	return first, second
+}
+
+// Candidates maps each representative fingerprint of hp to its
+// highest-ranked rendezvous owner(s) among the live nodes (Algorithm 1
+// step 1, epoch-aware): the deduplicated union, at most 2k candidates
+// regardless of cluster size — the message cost stays N-independent.
+//
+// On a cluster whose membership never changed (epoch 1) each
+// fingerprint contributes its single owner — the paper's k-candidate
+// cost, bit for bit. From the first membership change on (epoch ≥ 2)
+// each fingerprint contributes its top TWO owners: one added node can
+// push a previous owner from rank 1 to rank 2 but never out of the
+// candidate set, so a re-backup still bids the node that holds the
+// data — and the bid, not hash churn, decides placement. Only removal
+// of the owner itself forces movement, which is exactly the minimal
+// set; the price of elasticity is at most a doubled (still
+// N-independent) pre-routing message cost.
+//
+// An empty handprint (or membership) falls back to the first live node
+// so a degenerate super-chunk still routes somewhere.
+func (m Membership) Candidates(hp Handprint) []int {
+	if len(m.Nodes) == 0 {
+		return nil
+	}
+	seen := make(map[int]struct{}, 2*len(hp))
+	out := make([]int, 0, 2*len(hp))
+	add := func(id int) {
+		if id < 0 {
+			return
+		}
+		if _, ok := seen[id]; ok {
+			return
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	for _, fp := range hp {
+		first, second := m.owners2(fp)
+		add(first)
+		if m.Epoch > 1 {
+			add(second)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, m.Nodes[0])
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sigmadedupe/internal/fingerprint"
+)
+
+func randFPs(seed int64, n int) []fingerprint.Fingerprint {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]fingerprint.Fingerprint, n)
+	for i := range out {
+		rng.Read(out[i][:])
+	}
+	return out
+}
+
+func TestMembershipBasics(t *testing.T) {
+	m := NewMembership(3, []int{4, 0, 2})
+	if m.Len() != 3 || m.Nodes[0] != 0 || m.Nodes[2] != 4 {
+		t.Fatalf("membership not sorted: %+v", m)
+	}
+	if !m.Contains(2) || m.Contains(3) {
+		t.Fatal("Contains wrong")
+	}
+	w := m.Without(2)
+	if w.Len() != 2 || w.Contains(2) {
+		t.Fatalf("Without broken: %+v", w)
+	}
+	if m.Len() != 3 {
+		t.Fatal("Without mutated the receiver")
+	}
+	d := DenseMembership(4)
+	if d.Epoch != 1 || d.Len() != 4 || d.Nodes[3] != 3 {
+		t.Fatalf("dense membership wrong: %+v", d)
+	}
+}
+
+// TestOwnerStabilityOnGrowth is the rendezvous property the whole
+// elastic design leans on: adding one node to an N-node membership
+// re-owns roughly 1/(N+1) of fingerprints, never a wholesale reshuffle
+// (mod-N would move N/(N+1) of them).
+func TestOwnerStabilityOnGrowth(t *testing.T) {
+	fps := randFPs(1, 20000)
+	for _, n := range []int{3, 8, 15} {
+		before := DenseMembership(n)
+		after := NewMembership(2, append(before.Nodes, n))
+		moved := 0
+		for _, fp := range fps {
+			ob, oa := before.Owner(fp), after.Owner(fp)
+			if ob != oa {
+				if oa != n {
+					t.Fatalf("N=%d: fp moved %d→%d, not to the new node", n, ob, oa)
+				}
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(len(fps))
+		want := 1.0 / float64(n+1)
+		if frac < want*0.8 || frac > want*1.2 {
+			t.Fatalf("N=%d: moved fraction %.4f, want ~%.4f", n, frac, want)
+		}
+	}
+}
+
+// TestOwnerUniformity: rendezvous ownership spreads evenly.
+func TestOwnerUniformity(t *testing.T) {
+	m := DenseMembership(8)
+	counts := make(map[int]int)
+	for _, fp := range randFPs(2, 16000) {
+		counts[m.Owner(fp)]++
+	}
+	for id, c := range counts {
+		if c < 1600 || c > 2400 { // 2000 ± 20%
+			t.Fatalf("node %d owns %d of 16000 fingerprints; distribution skewed", id, c)
+		}
+	}
+}
+
+// TestCandidatesEpochWidth: a never-changed membership bids the paper's
+// k candidates (one owner per representative fingerprint); an elastic
+// one widens to the top two owners so one membership change can never
+// evict the data's home from the candidate set.
+func TestCandidatesEpochWidth(t *testing.T) {
+	hp := Handprint(randFPs(3, 8))
+	fixed := DenseMembership(32)
+	grown := NewMembership(2, fixed.Nodes)
+	cf := fixed.Candidates(hp)
+	cg := grown.Candidates(hp)
+	if len(cf) > len(hp) {
+		t.Fatalf("epoch-1 candidates = %d, want ≤ k=%d", len(cf), len(hp))
+	}
+	if len(cg) <= len(cf) {
+		t.Fatalf("elastic candidates (%d) should widen beyond epoch-1 (%d)", len(cg), len(cf))
+	}
+	// Widening is a superset: the top-1 owners all remain candidates.
+	set := make(map[int]bool)
+	for _, id := range cg {
+		set[id] = true
+	}
+	for _, id := range cf {
+		if !set[id] {
+			t.Fatalf("epoch-1 candidate %d lost by the elastic set", id)
+		}
+	}
+	// Growth by one node keeps every rank-1 owner in the candidate set
+	// (it can fall to rank 2, never out) — the stability guarantee for
+	// wherever the bid placed the data.
+	after := NewMembership(3, append(grown.Nodes, 32))
+	set = make(map[int]bool)
+	for _, id := range after.Candidates(hp) {
+		set[id] = true
+	}
+	for _, fp := range hp {
+		if owner := grown.Owner(fp); !set[owner] {
+			t.Fatalf("rank-1 owner %d evicted by adding one node", owner)
+		}
+	}
+}
+
+func TestCandidatesDegenerate(t *testing.T) {
+	if c := DenseMembership(0).Candidates(nil); c != nil {
+		t.Fatalf("empty membership candidates = %v", c)
+	}
+	m := NewMembership(5, []int{7, 9})
+	if c := m.Candidates(Handprint{}); len(c) != 1 || c[0] != 7 {
+		t.Fatalf("empty handprint should fall back to first member, got %v", c)
+	}
+}

@@ -41,10 +41,15 @@ type ChunkEntry struct {
 	Node int32
 }
 
-// Recipe reconstructs one file: its chunks in stream order.
+// Recipe reconstructs one file: its chunks in stream order. Gen is the
+// recipe's modification generation — bumped by every PutRecipe and
+// ReplaceRecipe — so optimistic rewriters (the migration engine) can
+// detect *any* concurrent change, including another migration's
+// rewrite that preserves the session.
 type Recipe struct {
 	Path    string
 	Session uint64
+	Gen     uint64
 	Chunks  []ChunkEntry
 }
 
@@ -74,6 +79,12 @@ type Director struct {
 	sessions map[uint64]*Session
 	recipes  map[string]*Recipe // latest recipe per path
 	journal  *os.File           // nil for an in-RAM director
+
+	// Cluster membership and migration transactions (see membership.go).
+	members     MembershipInfo
+	nextMig     uint64
+	pendingMigs map[uint64]Migration
+	memJournal  *os.File // nil for an in-RAM director
 }
 
 // Errors returned by recipe and session lookups. Both wrap the
@@ -93,6 +104,7 @@ type recipeRecord struct {
 	T       string      `json:"t"` // "put" or "del"
 	Path    string      `json:"path"`
 	Session uint64      `json:"session,omitempty"`
+	Gen     uint64      `json:"gen,omitempty"`
 	Chunks  []chunkJSON `json:"chunks,omitempty"`
 }
 
@@ -106,9 +118,10 @@ type chunkJSON struct {
 // restart; use OpenAt for a durable one).
 func New() *Director {
 	return &Director{
-		now:      time.Now,
-		sessions: make(map[uint64]*Session),
-		recipes:  make(map[string]*Recipe),
+		now:         time.Now,
+		sessions:    make(map[uint64]*Session),
+		recipes:     make(map[string]*Recipe),
+		pendingMigs: make(map[uint64]Migration),
 	}
 }
 
@@ -150,7 +163,7 @@ func OpenAt(dir string) (*Director, error) {
 				}
 				chunks[j] = ChunkEntry{FP: fp, Size: c.Size, Node: c.Node}
 			}
-			d.recipes[rec.Path] = &Recipe{Path: rec.Path, Session: rec.Session, Chunks: chunks}
+			d.recipes[rec.Path] = &Recipe{Path: rec.Path, Session: rec.Session, Gen: rec.Gen, Chunks: chunks}
 			if rec.Session > d.nextID {
 				d.nextID = rec.Session
 			}
@@ -165,6 +178,10 @@ func OpenAt(dir string) (*Director, error) {
 		return nil, fmt.Errorf("director: open journal: %w", err)
 	}
 	d.journal = f
+	if err := d.openMembers(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return d, nil
 }
 
@@ -187,16 +204,22 @@ func (d *Director) appendJournal(rec recipeRecord) error {
 	return nil
 }
 
-// Close releases the recipe journal (durable directors). Safe on in-RAM
-// directors.
+// Close releases the recipe and membership journals (durable
+// directors). Safe on in-RAM directors.
 func (d *Director) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.journal == nil {
-		return nil
+	var err error
+	if d.journal != nil {
+		err = d.journal.Close()
+		d.journal = nil
 	}
-	err := d.journal.Close()
-	d.journal = nil
+	if d.memJournal != nil {
+		if cerr := d.memJournal.Close(); err == nil {
+			err = cerr
+		}
+		d.memJournal = nil
+	}
 	return err
 }
 
@@ -244,19 +267,23 @@ func (d *Director) PutRecipe(ctx context.Context, session uint64, path string, c
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSession, session)
 	}
+	gen := uint64(1)
+	if prev, ok := d.recipes[path]; ok {
+		gen = prev.Gen + 1
+	}
 	if d.journal != nil {
 		js := make([]chunkJSON, len(chunks))
 		for i, c := range chunks {
 			js[i] = chunkJSON{FP: c.FP.String(), Size: c.Size, Node: c.Node}
 		}
-		if err := d.appendJournal(recipeRecord{T: "put", Path: path, Session: session, Chunks: js}); err != nil {
+		if err := d.appendJournal(recipeRecord{T: "put", Path: path, Session: session, Gen: gen, Chunks: js}); err != nil {
 			return err
 		}
 	}
 	s.Files = append(s.Files, path)
 	cp := make([]ChunkEntry, len(chunks))
 	copy(cp, chunks)
-	d.recipes[path] = &Recipe{Path: path, Session: session, Chunks: cp}
+	d.recipes[path] = &Recipe{Path: path, Session: session, Gen: gen, Chunks: cp}
 	return nil
 }
 

@@ -38,6 +38,13 @@ const (
 	opGet
 	opDelete
 	opFiles
+	opMembers
+	opSetMembers
+	opMigBegin
+	opMigEnd
+	opMigPending
+	opRecipes
+	opReplace
 )
 
 type dirRequest struct {
@@ -46,6 +53,11 @@ type dirRequest struct {
 	Session uint64
 	Path    string
 	Chunks  []ChunkEntry
+	Nodes   []NodeInfo
+	Epoch   uint64
+	Gen     uint64
+	Mig     Migration
+	MigID   uint64
 }
 
 type dirResponse struct {
@@ -53,6 +65,10 @@ type dirResponse struct {
 	Session uint64
 	Recipe  Recipe
 	Files   []string
+	Members MembershipInfo
+	MigID   uint64
+	Migs    []Migration
+	Recipes []Recipe
 }
 
 // Service exposes a Director over TCP with a simple sequential
@@ -161,6 +177,25 @@ func (s *Service) serveConn(conn net.Conn) {
 			}
 		case opFiles:
 			resp.Files = s.dir.Files()
+		case opMembers:
+			m, err := s.dir.Members(context.Background())
+			resp.Members, resp.Err = m, sderr.Encode(err)
+		case opSetMembers:
+			m, err := s.dir.SetMembers(context.Background(), req.Epoch, req.Nodes)
+			resp.Members, resp.Err = m, sderr.Encode(err)
+		case opMigBegin:
+			id, err := s.dir.BeginMigration(context.Background(), req.Mig)
+			resp.MigID, resp.Err = id, sderr.Encode(err)
+		case opMigEnd:
+			resp.Err = sderr.Encode(s.dir.EndMigration(context.Background(), req.MigID))
+		case opMigPending:
+			migs, err := s.dir.PendingMigrations(context.Background())
+			resp.Migs, resp.Err = migs, sderr.Encode(err)
+		case opRecipes:
+			recipes, err := s.dir.Recipes(context.Background())
+			resp.Recipes, resp.Err = recipes, sderr.Encode(err)
+		case opReplace:
+			resp.Err = sderr.Encode(s.dir.ReplaceRecipe(context.Background(), req.Path, req.Session, req.Gen, req.Chunks))
 		default:
 			resp.Err = fmt.Sprintf("director: unknown op %d", int(req.Op))
 		}
@@ -269,6 +304,8 @@ func wireError(msg string) error {
 		return fmt.Errorf("%w: %w", ErrNoRecipe, err)
 	case errors.Is(err, sderr.ErrNoSession):
 		return fmt.Errorf("%w: %w", ErrNoSession, err)
+	case errors.Is(err, sderr.ErrConflict):
+		return fmt.Errorf("%w: %w", ErrRecipeConflict, err)
 	}
 	return err
 }
@@ -320,4 +357,61 @@ func (r *Remote) Files(ctx context.Context) ([]string, error) {
 		return nil, err
 	}
 	return resp.Files, nil
+}
+
+// Members implements ClusterMeta.
+func (r *Remote) Members(ctx context.Context) (MembershipInfo, error) {
+	resp, err := r.call(ctx, dirRequest{Op: opMembers})
+	if err != nil {
+		return MembershipInfo{}, err
+	}
+	return resp.Members, nil
+}
+
+// SetMembers implements ClusterMeta.
+func (r *Remote) SetMembers(ctx context.Context, ifEpoch uint64, nodes []NodeInfo) (MembershipInfo, error) {
+	resp, err := r.call(ctx, dirRequest{Op: opSetMembers, Epoch: ifEpoch, Nodes: nodes})
+	if err != nil {
+		return MembershipInfo{}, err
+	}
+	return resp.Members, nil
+}
+
+// BeginMigration implements ClusterMeta.
+func (r *Remote) BeginMigration(ctx context.Context, m Migration) (uint64, error) {
+	resp, err := r.call(ctx, dirRequest{Op: opMigBegin, Mig: m})
+	if err != nil {
+		return 0, err
+	}
+	return resp.MigID, nil
+}
+
+// EndMigration implements ClusterMeta.
+func (r *Remote) EndMigration(ctx context.Context, id uint64) error {
+	_, err := r.call(ctx, dirRequest{Op: opMigEnd, MigID: id})
+	return err
+}
+
+// PendingMigrations implements ClusterMeta.
+func (r *Remote) PendingMigrations(ctx context.Context) ([]Migration, error) {
+	resp, err := r.call(ctx, dirRequest{Op: opMigPending})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Migs, nil
+}
+
+// Recipes implements ClusterMeta.
+func (r *Remote) Recipes(ctx context.Context) ([]Recipe, error) {
+	resp, err := r.call(ctx, dirRequest{Op: opRecipes})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Recipes, nil
+}
+
+// ReplaceRecipe implements ClusterMeta.
+func (r *Remote) ReplaceRecipe(ctx context.Context, path string, ifSession, ifGen uint64, chunks []ChunkEntry) error {
+	_, err := r.call(ctx, dirRequest{Op: opReplace, Path: path, Session: ifSession, Gen: ifGen, Chunks: chunks})
+	return err
 }

@@ -1,0 +1,194 @@
+// Package migrate holds the deployment-independent pieces of the
+// super-chunk migration engine behind online membership changes: the
+// recipe segmentation that turns a flat recipe into movable super-chunk
+// units, the crash fault-injection stages shared by the simulator and
+// the TCP prototype, and the reference-reconciliation arithmetic that
+// recovery uses to converge a half-done migration to old-or-new
+// placement with zero leaked references.
+//
+// The migration commit protocol (both deployments) per moved segment:
+//
+//	journal mig-begin (fsynced)              — the transaction opens
+//	→ read payloads from the source node
+//	→ store on the target node               — refs + sim-index entries
+//	→ commit target (seal/fsync manifest)    — target durably holds refs
+//	→ rewrite the recipe (fsynced put)       — THE COMMIT POINT
+//	→ decref the source (fsynced)            — old copies become dead
+//	→ journal mig-end (fsynced)              — the transaction closes
+//
+// A crash before the recipe rewrite leaves the backup on its old
+// placement with (at most) surplus references stranded on the target; a
+// crash after it leaves the backup on its new placement with surplus
+// references stranded on the source. Either way, recovery recomputes
+// each involved chunk's expected per-node reference count from the
+// recipe catalog — recipes are the sole source of references, one per
+// stored occurrence — queries the node's actual count, and releases
+// exactly the surplus. That reconciliation is idempotent, so recovery
+// itself may crash and rerun.
+package migrate
+
+import (
+	"sigmadedupe/internal/fingerprint"
+)
+
+// Stage names a point in one segment's migration at which a fault can be
+// injected (tests) — the membership analogue of store.CompactStage.
+type Stage string
+
+// Migration fault-injection points, in commit order.
+const (
+	// StageRead: source payloads are in memory; nothing written yet. A
+	// crash here is a pure no-op.
+	StageRead Stage = "read"
+	// StageStored: the target holds the chunks and their references in
+	// its (possibly unflushed) store; the recipe still points at the
+	// source. A crash here strands at most the target's surplus refs.
+	StageStored Stage = "stored"
+	// StageCommitted: the target's refs are durable (manifest fsynced);
+	// the recipe still points at the source. Same recovery as
+	// StageStored, but the surplus is guaranteed visible after restart.
+	StageCommitted Stage = "committed"
+	// StageUpdated: the recipe points at the target — the migration is
+	// committed; the source still holds the old references. A crash here
+	// strands the source's surplus refs.
+	StageUpdated Stage = "updated"
+	// StageDecreffed: source references are released; only the mig-end
+	// journal record is missing. Recovery finds zero surplus anywhere
+	// and simply closes the transaction.
+	StageDecreffed Stage = "decreffed"
+)
+
+// Fault is a fault-injection hook: invoked at every Stage of every
+// migrated segment, a non-nil return aborts the migration mid-flight,
+// emulating a crash at that point.
+type Fault func(stage Stage, path string) error
+
+// DefaultSegmentChunks bounds one migration segment so a huge backup
+// moves in bounded-memory super-chunk-sized units.
+const DefaultSegmentChunks = 1024
+
+// Result summarizes the super-chunk migration behind one membership
+// change or rebalance pass.
+type Result struct {
+	Backups  int   // distinct backup items whose placement changed
+	Segments int   // super-chunk segments moved
+	Chunks   int64 // chunk occurrences moved
+	Bytes    int64 // payload bytes migrated
+}
+
+// Add folds another result in.
+func (r *Result) Add(o Result) {
+	r.Backups += o.Backups
+	r.Segments += o.Segments
+	r.Chunks += o.Chunks
+	r.Bytes += o.Bytes
+}
+
+// Segment is one movable run of a recipe: Count consecutive chunks
+// starting at Start, all placed on the same node.
+type Segment struct {
+	Start, Count int
+}
+
+// Segments returns the maximal runs of consecutive chunks placed on
+// node within the recipe's per-chunk node attribution, split into runs
+// of at most maxChunks (DefaultSegmentChunks when <= 0). These runs are
+// the original routing's super-chunk granularity — the minimal movable
+// units of a membership change.
+func Segments(nodes []int32, node int32, maxChunks int) []Segment {
+	if maxChunks <= 0 {
+		maxChunks = DefaultSegmentChunks
+	}
+	var out []Segment
+	i := 0
+	for i < len(nodes) {
+		if nodes[i] != node {
+			i++
+			continue
+		}
+		start := i
+		for i < len(nodes) && nodes[i] == node && i-start < maxChunks {
+			i++
+		}
+		out = append(out, Segment{Start: start, Count: i - start})
+	}
+	return out
+}
+
+// Surplus computes, per fingerprint, how many references a node holds
+// beyond what the recipe catalog accounts for: actual[i] - expected[i],
+// clamped at zero (a node can legitimately hold references the caller's
+// expected-count scan has not attributed — never release those).
+// Fingerprints with zero surplus are dropped. The result is exactly what
+// recovery must decref on that node to erase a half-done migration.
+func Surplus(fps []fingerprint.Fingerprint, actual, expected []int64) ([]fingerprint.Fingerprint, []int64) {
+	var outFP []fingerprint.Fingerprint
+	var outN []int64
+	for i, fp := range fps {
+		if d := actual[i] - expected[i]; d > 0 {
+			outFP = append(outFP, fp)
+			outN = append(outN, d)
+		}
+	}
+	return outFP, outN
+}
+
+// Reconcile erases one half-done migration's stranded references on
+// both of its endpoints — the recovery algorithm shared by the
+// simulator and the TCP prototype. migFPs are the transaction's
+// journaled fingerprints; from/to its endpoints. expected recomputes,
+// from the caller's recipe catalog, the per-node reference counts of
+// the given want-set (recipes are the sole source of references on a
+// tracked cluster). probe returns a node's actual counts, with ok =
+// false when the endpoint no longer exists (its references went with
+// it). release decrefs exactly the computed surplus. Idempotent:
+// recovery may itself be interrupted and rerun.
+func Reconcile(migFPs []fingerprint.Fingerprint, from, to int32,
+	expected func(want map[fingerprint.Fingerprint]struct{}) map[int32]map[fingerprint.Fingerprint]int64,
+	probe func(node int32, fps []fingerprint.Fingerprint) ([]int64, bool, error),
+	release func(node int32, fps []fingerprint.Fingerprint, ns []int64) error,
+) error {
+	want := make(map[fingerprint.Fingerprint]struct{}, len(migFPs))
+	uniq := make([]fingerprint.Fingerprint, 0, len(migFPs))
+	for _, fp := range migFPs {
+		if _, ok := want[fp]; !ok {
+			want[fp] = struct{}{}
+			uniq = append(uniq, fp)
+		}
+	}
+	exp := expected(want)
+	for _, id := range []int32{to, from} {
+		actual, ok, err := probe(id, uniq)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		e := make([]int64, len(uniq))
+		for i, fp := range uniq {
+			e[i] = exp[id][fp]
+		}
+		fps, ns := Surplus(uniq, actual, e)
+		if len(fps) == 0 {
+			continue
+		}
+		if err := release(id, fps, ns); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rebalance policy: a segment moves only from a member above the
+// cluster's mean storage usage onto one below it, with a ±5% dead band
+// so one pass cannot thrash around the balance point.
+const rebalanceSlackDivisor = 20
+
+// Overloaded reports whether a rebalance pass may move data off a node
+// with the given usage.
+func Overloaded(usage, mean int64) bool { return usage > mean+mean/rebalanceSlackDivisor }
+
+// Underloaded reports whether a rebalance pass may move data onto a
+// node with the given usage.
+func Underloaded(usage, mean int64) bool { return usage < mean-mean/rebalanceSlackDivisor }

@@ -1,0 +1,56 @@
+package migrate
+
+import (
+	"testing"
+
+	"sigmadedupe/internal/fingerprint"
+)
+
+func fp(b byte) fingerprint.Fingerprint {
+	var f fingerprint.Fingerprint
+	f[0] = b
+	return f
+}
+
+func TestSegments(t *testing.T) {
+	nodes := []int32{1, 1, 2, 1, 1, 1, 2, 2}
+	segs := Segments(nodes, 1, 0)
+	want := []Segment{{Start: 0, Count: 2}, {Start: 3, Count: 3}}
+	if len(segs) != len(want) {
+		t.Fatalf("segments = %+v, want %+v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, segs[i], want[i])
+		}
+	}
+	if s := Segments(nodes, 3, 0); len(s) != 0 {
+		t.Fatalf("segments of absent node = %+v", s)
+	}
+}
+
+func TestSegmentsSplitAtMax(t *testing.T) {
+	nodes := make([]int32, 10)
+	segs := Segments(nodes, 0, 4)
+	if len(segs) != 3 || segs[0].Count != 4 || segs[2].Count != 2 {
+		t.Fatalf("max-chunk split wrong: %+v", segs)
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Count
+	}
+	if total != 10 {
+		t.Fatalf("split covers %d chunks, want 10", total)
+	}
+}
+
+func TestSurplus(t *testing.T) {
+	fps := []fingerprint.Fingerprint{fp(1), fp(2), fp(3)}
+	gotFP, gotN := Surplus(fps, []int64{5, 2, 1}, []int64{3, 2, 4})
+	if len(gotFP) != 1 || gotFP[0] != fp(1) || gotN[0] != 2 {
+		t.Fatalf("surplus = %v/%v, want only fp1:2 (never release a deficit)", gotFP, gotN)
+	}
+	if f, _ := Surplus(fps, []int64{1, 1, 1}, []int64{1, 1, 1}); f != nil {
+		t.Fatal("balanced counts must yield no surplus")
+	}
+}

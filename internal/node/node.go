@@ -210,6 +210,17 @@ func (n *Node) DecRef(fps []fingerprint.Fingerprint, ns []int64) error {
 	return n.eng.DecRef(fps, ns)
 }
 
+// RefCounts reports the current reference count of each chunk — the
+// migration recovery probe: reconciliation compares these against the
+// recipe-derived expected counts and releases exactly the surplus.
+func (n *Node) RefCounts(fps []fingerprint.Fingerprint) []int64 {
+	out := make([]int64, len(fps))
+	for i, fp := range fps {
+		out[i] = n.eng.RefCount(fp)
+	}
+	return out
+}
+
 // Compact runs one compaction scan, rewriting sealed containers whose
 // live ratio fell below minLive (≤0 selects the configured threshold).
 // Safe to run concurrently with backups and restores. Cancellation is
@@ -224,6 +235,11 @@ func (n *Node) GCStats() store.GCStats { return n.eng.GCStats() }
 // Flush seals all open containers (end of a backup session). In durable
 // mode everything stored before a successful Flush is recoverable.
 func (n *Node) Flush() error { return n.eng.Flush() }
+
+// SealStream seals one stream's open container and fsyncs the manifest
+// — the migration commit: durable for that stream without disturbing
+// concurrent backup streams' open containers.
+func (n *Node) SealStream(stream string) error { return n.eng.SealStream(stream) }
 
 // Close flushes the node and releases its durable state so the directory
 // can be re-opened by a future node with Config.Recover.

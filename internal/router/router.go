@@ -73,6 +73,11 @@ func ParseScheme(name string) (Scheme, error) {
 type View interface {
 	// N returns the cluster size.
 	N() int
+	// Membership returns the live node set of the epoch this view is
+	// pinned to. Routers that are elastic-cluster aware (Sigma) derive
+	// candidates from it, so bids only ever consult nodes live in the
+	// pinned epoch; fixed-cluster baselines may keep using N().
+	Membership() core.Membership
 	// BidHandprint returns node's count of already-stored representative
 	// fingerprints from hp (similarity-index lookup, Algorithm 1 step 2).
 	BidHandprint(nodeID int, hp core.Handprint) int
@@ -182,13 +187,22 @@ var _ Router = (*SigmaRouter)(nil)
 // Name implements Router.
 func (r *SigmaRouter) Name() string { return Sigma.String() }
 
-// Route implements Router.
+// Route implements Router. Candidates are the rendezvous owners of the
+// handprint's representative fingerprints within the view's pinned
+// membership epoch, so bids only ever reach nodes live in that epoch —
+// and placement stays stable across membership changes (growing N→N+1
+// re-owns each fingerprint with probability 1/(N+1)).
 func (r *SigmaRouter) Route(sc *core.SuperChunk, v View) Decision {
 	hp := sc.Handprint(r.K)
+	m := v.Membership()
 	if len(hp) == 0 {
-		return all(0)
+		node := 0
+		if m.Len() > 0 {
+			node = m.Nodes[0]
+		}
+		return all(node)
 	}
-	cands := hp.CandidateNodes(v.N())
+	cands := m.Candidates(hp)
 	counts := make([]int, len(cands))
 	usage := make([]int64, len(cands))
 	// The handprint is sent to each candidate.
@@ -207,7 +221,9 @@ func (r *SigmaRouter) Route(sc *core.SuperChunk, v View) Decision {
 
 // StatelessRouter is EMC's super-chunk stateless routing: a pure DHT
 // placement of the whole super-chunk by its representative (minimum)
-// fingerprint. No pre-routing communication.
+// fingerprint. No pre-routing communication. Like the EB and ChunkDHT
+// baselines it is a fixed-cluster scheme (mod-N placement over a dense
+// 0..N-1 node set); only the Sigma scheme supports elastic membership.
 type StatelessRouter struct{}
 
 var _ Router = (*StatelessRouter)(nil)
@@ -254,16 +270,18 @@ func (r *StatefulRouter) Route(sc *core.SuperChunk, v View) Decision {
 	if len(sample) == 0 && len(fps) > 0 {
 		sample = append(sample, sc.MinFingerprint())
 	}
-	n := v.N()
+	// 1-to-all communication: every live node of the epoch receives the
+	// sample.
+	members := v.Membership().Nodes
+	n := len(members)
 	cands := make([]int, n)
 	counts := make([]int, n)
 	usage := make([]int64, n)
-	// 1-to-all communication: every node receives the sample.
 	msgs := int64(len(sample)) * int64(n)
-	eachCandidate(r.Parallel, n, func(node int) {
-		cands[node] = node
-		counts[node] = v.BidChunks(node, sample)
-		usage[node] = v.Usage(node)
+	eachCandidate(r.Parallel, n, func(i int) {
+		cands[i] = members[i]
+		counts[i] = v.BidChunks(members[i], sample)
+		usage[i] = v.Usage(members[i])
 	})
 	sel := core.SelectTarget(cands, counts, usage)
 	d := all(sel.Node)

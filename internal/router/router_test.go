@@ -21,6 +21,8 @@ type fakeView struct {
 
 func (v *fakeView) N() int { return v.n }
 
+func (v *fakeView) Membership() core.Membership { return core.DenseMembership(v.n) }
+
 func (v *fakeView) BidHandprint(nodeID int, hp core.Handprint) int {
 	v.hpCalls = append(v.hpCalls, nodeID)
 	return v.hpBids[nodeID]
@@ -87,7 +89,7 @@ func TestSigmaRouteQueriesOnlyCandidates(t *testing.T) {
 	r := &SigmaRouter{K: 8}
 	d := r.Route(sc, v)
 
-	cands := hp.CandidateNodes(32)
+	cands := core.DenseMembership(32).Candidates(hp)
 	if len(v.hpCalls) != len(cands) {
 		t.Fatalf("queried %d nodes, want %d candidates (not all 32)", len(v.hpCalls), len(cands))
 	}
@@ -111,7 +113,7 @@ func TestSigmaRouteQueriesOnlyCandidates(t *testing.T) {
 
 func TestSigmaPrefersHighBid(t *testing.T) {
 	sc := makeSC(2, 64)
-	cands := sc.Handprint(8).CandidateNodes(16)
+	cands := core.DenseMembership(16).Candidates(sc.Handprint(8))
 	if len(cands) < 2 {
 		t.Skip("degenerate candidate set")
 	}

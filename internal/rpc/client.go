@@ -246,6 +246,62 @@ func (c *Client) DecRef(ctx context.Context, fps []fingerprint.Fingerprint, ns [
 	return err
 }
 
+// MigrateRead fetches a batch of chunk payloads by fingerprint — the
+// source side of a super-chunk migration. The response carries one
+// payload per requested fingerprint, in order.
+func (c *Client) MigrateRead(ctx context.Context, fps []fingerprint.Fingerprint) ([][]byte, error) {
+	chunks := make([]ChunkWire, len(fps))
+	for i, fp := range fps {
+		chunks[i] = ChunkWire{FP: fp}
+	}
+	resp, err := c.Call(ctx, Request{Op: OpMigrateRead, Chunks: chunks})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Chunks) != len(fps) {
+		return nil, fmt.Errorf("rpc: migrate read: got %d payloads, want %d", len(resp.Chunks), len(fps))
+	}
+	out := make([][]byte, len(resp.Chunks))
+	for i, ch := range resp.Chunks {
+		out[i] = ch.Data
+	}
+	return out, nil
+}
+
+// MigrateWrite delivers one migrated super-chunk (payloads included) to
+// the target node, which stores it through the normal dedup path —
+// references taken, similarity-index entries registered.
+func (c *Client) MigrateWrite(ctx context.Context, stream string, sc *core.SuperChunk) error {
+	_, err := c.Call(ctx, Request{Op: OpMigrateWrite, Stream: stream, Chunks: superChunkToWire(sc, true)})
+	return err
+}
+
+// MigrateCommit makes the migration stream's writes durable on the
+// node (its container sealed, manifest fsynced): the target-side
+// commit that must land before the recipe repoints at the node.
+// Concurrent backup streams' open containers are left undisturbed.
+func (c *Client) MigrateCommit(ctx context.Context, stream string) error {
+	_, err := c.Call(ctx, Request{Op: OpMigrateCommit, Stream: stream})
+	return err
+}
+
+// RefCounts fetches the node's current reference count for each chunk
+// fingerprint (migration recovery's reconciliation probe).
+func (c *Client) RefCounts(ctx context.Context, fps []fingerprint.Fingerprint) ([]int64, error) {
+	chunks := make([]ChunkWire, len(fps))
+	for i, fp := range fps {
+		chunks[i] = ChunkWire{FP: fp}
+	}
+	resp, err := c.Call(ctx, Request{Op: OpRefCounts, Chunks: chunks})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Counts) != len(fps) {
+		return nil, fmt.Errorf("rpc: ref counts: got %d counts, want %d", len(resp.Counts), len(fps))
+	}
+	return resp.Counts, nil
+}
+
 // Compact runs one compaction scan on the server (≤0 threshold selects
 // the server's configured live-ratio floor).
 func (c *Client) Compact(ctx context.Context, threshold float64) (store.CompactResult, error) {

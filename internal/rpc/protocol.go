@@ -43,6 +43,21 @@ const (
 	OpCompact
 	// OpGCStats fetches the node's deletion/compaction counters.
 	OpGCStats
+	// OpMigrateRead streams a batch of chunk payloads off a migration
+	// source node (container contents, fingerprint-addressed).
+	OpMigrateRead
+	// OpMigrateWrite delivers a migrated super-chunk to its target node:
+	// the chunks are stored through the normal dedup path, taking one
+	// reference per occurrence and registering the segment's
+	// representative fingerprints in the target's similarity index.
+	OpMigrateWrite
+	// OpMigrateCommit makes everything a migration wrote to the node
+	// durable (containers sealed, manifest fsynced) — the target-side
+	// commit that must land before the recipe may be repointed.
+	OpMigrateCommit
+	// OpRefCounts fetches the node's current reference count per chunk
+	// fingerprint (migration recovery's reconciliation probe).
+	OpRefCounts
 )
 
 // ChunkWire is one chunk on the wire: fingerprint, size and (for store
@@ -91,6 +106,9 @@ type Response struct {
 	Dup []bool
 	// Chunks returns payloads for OpReadChunk.
 	Chunks []ChunkWire
+	// Counts carries per-fingerprint reference counts for OpRefCounts
+	// (parallel to the request's Chunks).
+	Counts []int64
 	// Stats is populated for OpStats.
 	Stats node.Stats
 	// GC is populated for OpGCStats.

@@ -212,7 +212,7 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 			resp.Err = sderr.Encode(err)
 		}
 
-	case OpReadChunk:
+	case OpReadChunk, OpMigrateRead:
 		for _, ch := range req.Chunks {
 			data, err := s.node.ReadChunk(ch.FP)
 			if err != nil {
@@ -222,10 +222,28 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 			resp.Chunks = append(resp.Chunks, ChunkWire{FP: ch.FP, Size: int32(len(data)), Data: data})
 		}
 
+	case OpMigrateWrite:
+		sc := wireToSuperChunk(req.Chunks)
+		if _, err := s.node.StoreSuperChunk(req.Stream, sc); err != nil {
+			resp.Err = sderr.Encode(err)
+		}
+
 	case OpFlush:
 		if err := s.node.Flush(); err != nil {
 			resp.Err = sderr.Encode(err)
 		}
+
+	case OpMigrateCommit:
+		if err := s.node.SealStream(req.Stream); err != nil {
+			resp.Err = sderr.Encode(err)
+		}
+
+	case OpRefCounts:
+		fps := make([]fingerprint.Fingerprint, len(req.Chunks))
+		for i, ch := range req.Chunks {
+			fps[i] = ch.FP
+		}
+		resp.Counts = s.node.RefCounts(fps)
 
 	case OpStats:
 		resp.Stats = s.node.Stats()

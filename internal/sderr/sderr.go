@@ -35,6 +35,12 @@ var (
 	ErrChunkVanished = errors.New("chunk vanished between query and store")
 	// ErrNoSession reports an operation against an unknown backup session.
 	ErrNoSession = errors.New("unknown session")
+	// ErrConflict reports an optimistic update losing its race: the
+	// object changed (or disappeared) between read and write — e.g. a
+	// migration's conditional recipe rewrite finding the backup
+	// superseded by a newer generation. The loser gives way; nothing is
+	// corrupted.
+	ErrConflict = errors.New("concurrent modification conflict")
 )
 
 // BackupError is a failure of one backup operation, carrying the backup
@@ -80,6 +86,7 @@ var wireCodes = []struct {
 	{"corrupt", ErrCorrupt},
 	{"vanished", ErrChunkVanished},
 	{"nosession", ErrNoSession},
+	{"conflict", ErrConflict},
 	{"canceled", context.Canceled},
 	{"deadline", context.DeadlineExceeded},
 }

@@ -713,6 +713,21 @@ func (e *Engine) Flush() error {
 	return nil
 }
 
+// SealStream seals one stream's open container (a no-op when the
+// stream has nothing open) and fsyncs the manifest — the targeted
+// durability commit of a migration: everything the stream stored,
+// including its journaled chunk references, survives a restart, while
+// other streams' open containers keep filling undisturbed.
+func (e *Engine) SealStream(stream string) error {
+	if err := e.containers.Seal(stream); err != nil {
+		return err
+	}
+	if e.man != nil {
+		return e.man.sync()
+	}
+	return nil
+}
+
 // Close stops the background compactor, flushes the engine and releases
 // the manifest. A closed durable engine can be reopened with Open.
 func (e *Engine) Close() error {

@@ -2,14 +2,18 @@ package sigmadedupe
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 
 	"sigmadedupe/internal/client"
+	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/director"
 	"sigmadedupe/internal/metrics"
+	"sigmadedupe/internal/migrate"
 	"sigmadedupe/internal/pipeline"
+	"sigmadedupe/internal/rpc"
 )
 
 // RemoteConfig parameterizes a Remote backend: a director (in-process or
@@ -52,21 +56,64 @@ type RemoteConfig struct {
 // stream and are therefore single-goroutine, like any backup stream;
 // open explicit Sessions for concurrent streams.
 type Remote struct {
-	cfg        RemoteConfig
-	meta       director.Metadata
-	localMeta  *Director
-	remoteMeta *director.Remote
+	cfg         RemoteConfig
+	meta        director.Metadata
+	clusterMeta director.ClusterMeta
+	localMeta   *Director
+	remoteMeta  *director.Remote
 
-	mu  sync.Mutex
-	def *client.Client // lazy default-stream client
+	// reg is the epoch-consistent node registry: the live node set of
+	// the current membership epoch plus one lazily dialed control
+	// connection per node (stats, compaction, migration). Readers take a
+	// snapshot under the read lock; membership changes hold the write
+	// lock, so Stats/GCStats can never race a topology change.
+	reg registry
+
+	// memberOp serializes membership operations (AddNode, RemoveNode,
+	// Rebalance, RecoverMigrations) against each other without blocking
+	// registry readers: the registry's own lock is only ever held for
+	// in-memory work, never across a dial or a director round trip.
+	memberOp sync.Mutex
+
+	mu       sync.Mutex
+	def      *client.Client // lazy default-stream client
+	defEpoch uint64         // epoch def was dialed against
+
+	migrateFault migrate.Fault
+}
+
+// registry is the Remote's live node set.
+type registry struct {
+	sync.RWMutex
+	epoch uint64
+	nodes []*registryNode // ascending by ID
+}
+
+// registryNode is one live node: stable ID, dial address, and the
+// shared control connection (nil until first use).
+type registryNode struct {
+	id   int
+	addr string
+	conn *rpc.Client
+}
+
+// snapshot returns the epoch and the node list (the slice is a copy;
+// the *registryNode entries are shared).
+func (r *registry) snapshot() (uint64, []*registryNode) {
+	r.RLock()
+	defer r.RUnlock()
+	out := make([]*registryNode, len(r.nodes))
+	copy(out, r.nodes)
+	return r.epoch, out
 }
 
 // NewRemote connects a Remote backend. ctx bounds the director dial;
-// node connections are dialed lazily per session.
+// node connections are dialed lazily per session. The director is the
+// source of truth for cluster membership: a director that already holds
+// a membership epoch (a durable director surviving a restart, or a
+// cluster another client has grown) supplies the node set; otherwise
+// cfg.Nodes registers epoch 1.
 func NewRemote(ctx context.Context, cfg RemoteConfig) (*Remote, error) {
-	if len(cfg.Nodes) == 0 {
-		return nil, fmt.Errorf("sigmadedupe: remote backend needs at least one node address")
-	}
 	if cfg.Name == "" {
 		cfg.Name = "client"
 	}
@@ -75,21 +122,102 @@ func NewRemote(ctx context.Context, cfg RemoteConfig) (*Remote, error) {
 	case cfg.Director != nil && cfg.DirectorAddr != "":
 		return nil, fmt.Errorf("sigmadedupe: set either Director or DirectorAddr, not both")
 	case cfg.Director != nil:
-		r.meta, r.localMeta = cfg.Director, cfg.Director
+		r.meta, r.localMeta, r.clusterMeta = cfg.Director, cfg.Director, cfg.Director
 	case cfg.DirectorAddr != "":
 		rem, err := director.DialRemoteContext(ctx, cfg.DirectorAddr)
 		if err != nil {
 			return nil, err
 		}
-		r.meta, r.remoteMeta = rem, rem
+		r.meta, r.remoteMeta, r.clusterMeta = rem, rem, rem
 	default:
 		return nil, fmt.Errorf("sigmadedupe: remote backend needs a Director or DirectorAddr")
+	}
+	members, err := r.clusterMeta.Members(ctx)
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	switch {
+	case members.Epoch == 0:
+		// First contact: register the configured node set as epoch 1.
+		if len(cfg.Nodes) == 0 {
+			r.Close()
+			return nil, fmt.Errorf("sigmadedupe: remote backend needs at least one node address")
+		}
+		infos := make([]director.NodeInfo, len(cfg.Nodes))
+		for i, addr := range cfg.Nodes {
+			infos[i] = director.NodeInfo{ID: i, Addr: addr}
+		}
+		members, err = r.clusterMeta.SetMembers(ctx, 0, infos)
+		if errors.Is(err, ErrConflict) {
+			// Another client registered first; adopt its epoch.
+			members, err = r.clusterMeta.Members(ctx)
+		}
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+	case len(cfg.Nodes) == 0:
+		// Membership is director-managed; use its node set as-is.
+	case len(cfg.Nodes) == len(members.Nodes):
+		// cfg.Nodes supplies the members' current dial addresses in
+		// ascending-ID order — servers restart on new ports, the member
+		// identity does not change. A re-addressing commits a new epoch.
+		infos := make([]director.NodeInfo, len(members.Nodes))
+		changed := false
+		for i, n := range members.Nodes {
+			infos[i] = director.NodeInfo{ID: n.ID, Addr: cfg.Nodes[i]}
+			changed = changed || cfg.Nodes[i] != n.Addr
+		}
+		if changed {
+			if members, err = r.clusterMeta.SetMembers(ctx, members.Epoch, infos); err != nil {
+				r.Close()
+				return nil, err
+			}
+		}
+	default:
+		r.Close()
+		return nil, fmt.Errorf(
+			"sigmadedupe: the director tracks %d member nodes (epoch %d) but RemoteConfig.Nodes lists %d; pass every member's current address, or none to use the director's",
+			len(members.Nodes), members.Epoch, len(cfg.Nodes))
+	}
+	r.reg.epoch = members.Epoch
+	for _, n := range members.Nodes {
+		r.reg.nodes = append(r.reg.nodes, &registryNode{id: n.ID, addr: n.Addr})
 	}
 	if err := ctx.Err(); err != nil {
 		r.Close()
 		return nil, err
 	}
 	return r, nil
+}
+
+// nodeConn returns (dialing lazily) the control connection of one
+// registry node. The dial happens outside the registry lock — an
+// unreachable node must not stall every Stats/Backup behind a blocked
+// mutex — and the loser of a concurrent dial race closes its spare.
+func (r *Remote) nodeConn(ctx context.Context, n *registryNode) (*rpc.Client, error) {
+	r.reg.RLock()
+	conn := n.conn
+	r.reg.RUnlock()
+	if conn != nil {
+		return conn, nil
+	}
+	c, err := rpc.DialContext(ctx, n.addr)
+	if err != nil {
+		return nil, fmt.Errorf("sigmadedupe: node %d: %w", n.id, err)
+	}
+	r.reg.Lock()
+	if n.conn == nil {
+		n.conn = c
+		c = nil
+	}
+	conn = n.conn
+	r.reg.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	return conn, nil
 }
 
 // sessionDefaults derives the backend's default session configuration.
@@ -103,9 +231,16 @@ func (r *Remote) sessionDefaults() sessionConfig {
 	}
 }
 
-// newClient dials one backup-stream client.
-func (r *Remote) newClient(ctx context.Context, cfg sessionConfig) (*client.Client, error) {
-	return client.New(ctx, client.Config{
+// newClient dials one backup-stream client against the current
+// membership epoch. The client pins that epoch for its whole life —
+// sessions opened before a membership change keep their node set.
+func (r *Remote) newClient(ctx context.Context, cfg sessionConfig) (*client.Client, uint64, error) {
+	epoch, nodes := r.reg.snapshot()
+	addrs := make([]client.NodeAddr, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = client.NodeAddr{ID: n.id, Addr: n.addr}
+	}
+	c, err := client.New(ctx, client.Config{
 		Name:                cfg.name,
 		ChunkMethod:         cfg.chunk.Method.internal(),
 		ChunkSize:           cfg.chunk.Size,
@@ -113,27 +248,43 @@ func (r *Remote) newClient(ctx context.Context, cfg sessionConfig) (*client.Clie
 		HandprintK:          cfg.handprintK,
 		Pipeline:            pipeline.Config{Workers: cfg.workers},
 		InflightSuperChunks: cfg.inflight,
-	}, r.meta, r.cfg.Nodes)
+		Epoch:               epoch,
+	}, r.meta, addrs)
+	return c, epoch, err
 }
 
 // defaultClient returns (dialing lazily) the client behind the one-shot
-// verbs.
+// verbs. A default client pinned to a superseded epoch is retired first
+// — flushed, closed, and re-dialed against the current member set — so
+// one-shot verbs always see the membership the last change committed.
 func (r *Remote) defaultClient(ctx context.Context) (*client.Client, error) {
+	epoch, _ := r.reg.snapshot()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.def != nil {
+	if r.def != nil && r.defEpoch == epoch {
 		return r.def, nil
+	}
+	if r.def != nil {
+		// Epoch moved: settle the old stream (its tail may still be in
+		// flight) before retiring its connections.
+		if err := r.def.Flush(ctx); err != nil {
+			return nil, err
+		}
+		if err := r.def.Close(); err != nil {
+			return nil, err
+		}
+		r.def = nil
 	}
 	cfg, err := resolveSessionConfig(r.sessionDefaults(), nil)
 	if err != nil {
 		return nil, err
 	}
 	cfg.name = r.cfg.Name
-	c, err := r.newClient(ctx, cfg)
+	c, cEpoch, err := r.newClient(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	r.def = c
+	r.def, r.defEpoch = c, cEpoch
 	return c, nil
 }
 
@@ -147,7 +298,7 @@ func (r *Remote) NewSession(ctx context.Context, opts ...SessionOption) (*Sessio
 	if cfg.name == "" {
 		cfg.name = fmt.Sprintf("%s-session", r.cfg.Name)
 	}
-	c, err := r.newClient(ctx, cfg)
+	c, _, err := r.newClient(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -203,48 +354,77 @@ func (r *Remote) Delete(ctx context.Context, name string) error {
 	return c.DeleteBackup(ctx, name)
 }
 
-// Compact asks every node to run one compaction scan (≤0 threshold
-// selects each node's configured live-ratio floor).
+// Compact asks every live node to run one compaction scan (≤0
+// threshold selects each node's configured live-ratio floor). The node
+// set is one epoch-consistent registry snapshot.
 func (r *Remote) Compact(ctx context.Context, threshold float64) (GCResult, error) {
-	c, err := r.defaultClient(ctx)
-	if err != nil {
-		return GCResult{}, err
+	var total GCResult
+	_, nodes := r.reg.snapshot()
+	for _, n := range nodes {
+		conn, err := r.nodeConn(ctx, n)
+		if err != nil {
+			return total, err
+		}
+		res, err := conn.Compact(ctx, threshold)
+		if err != nil {
+			return total, fmt.Errorf("sigmadedupe: compact node %d: %w", n.id, err)
+		}
+		total.ContainersScanned += res.Scanned
+		total.ContainersRetired += res.Retired
+		total.CopiedBytes += res.CopiedBytes
+		total.ReclaimedBytes += res.ReclaimedBytes
 	}
-	res, err := c.Compact(ctx, threshold)
-	return toGCResult(res), err
+	return total, nil
 }
 
-// GCStats sums the garbage-collection counters of every node.
+// GCStats sums the garbage-collection counters of every live node over
+// one epoch-consistent registry snapshot: a concurrent topology change
+// commits before or after the snapshot, never in the middle of it.
 func (r *Remote) GCStats(ctx context.Context) (GCStats, error) {
-	c, err := r.defaultClient(ctx)
-	if err != nil {
-		return GCStats{}, err
+	var total GCStats
+	_, nodes := r.reg.snapshot()
+	for _, n := range nodes {
+		conn, err := r.nodeConn(ctx, n)
+		if err != nil {
+			return total, err
+		}
+		gc, _, err := conn.GCStats(ctx)
+		if err != nil {
+			return total, fmt.Errorf("sigmadedupe: gc stats node %d: %w", n.id, err)
+		}
+		total.StoredBytes += gc.StoredBytes
+		total.DeadBytes += gc.DeadBytes
+		total.LiveBytes += gc.LiveBytes
+		total.Containers += gc.Containers
+		total.RetiredContainers += gc.RetiredContainers
+		total.ReclaimedBytes += gc.ReclaimedBytes
 	}
-	gc, err := c.GCStats(ctx)
-	return toGCStats(gc), err
+	return total, nil
 }
 
 // Stats implements Backend: cluster-wide counters aggregated over the
-// wire, plus the director's retained-backup count.
+// wire from one epoch-consistent registry snapshot, plus the director's
+// retained-backup count.
 func (r *Remote) Stats(ctx context.Context) (BackendStats, error) {
-	c, err := r.defaultClient(ctx)
-	if err != nil {
-		return BackendStats{}, err
-	}
 	var st BackendStats
-	st.Nodes = c.Nodes()
-	usage := make([]int64, st.Nodes)
-	for i := 0; i < st.Nodes; i++ {
-		logical, _, u, err := c.NodeUsage(ctx, i)
+	_, nodes := r.reg.snapshot()
+	st.Nodes = len(nodes)
+	usage := make([]int64, 0, len(nodes))
+	for _, n := range nodes {
+		conn, err := r.nodeConn(ctx, n)
 		if err != nil {
 			return st, err
 		}
-		st.LogicalBytes += logical
+		nst, u, err := conn.Stats(ctx)
+		if err != nil {
+			return st, fmt.Errorf("sigmadedupe: stats node %d: %w", n.id, err)
+		}
+		st.LogicalBytes += nst.LogicalBytes
 		// Live storage usage, not the cumulative stored-bytes counter:
 		// usage shrinks when compaction reclaims space, matching the
 		// simulator's PhysicalBytes semantics.
 		st.PhysicalBytes += u
-		usage[i] = u
+		usage = append(usage, u)
 	}
 	st.DedupRatio = metrics.DedupRatio(st.LogicalBytes, st.PhysicalBytes)
 	st.StorageSkew = metrics.Skew(usage)
@@ -260,6 +440,196 @@ func (r *Remote) Stats(ctx context.Context) (BackendStats, error) {
 	}
 	return st, nil
 }
+
+// AddNode implements Backend: the already-running deduplication server
+// at addr joins the cluster. The director journals the new membership
+// epoch (fsynced on a durable director) before the registry applies it;
+// sessions opened after AddNode returns bid the node in, sessions
+// already open keep their pinned epoch.
+func (r *Remote) AddNode(ctx context.Context, addr string) (int, error) {
+	if addr == "" {
+		return 0, fmt.Errorf("sigmadedupe: AddNode needs the new server's address")
+	}
+	r.memberOp.Lock()
+	defer r.memberOp.Unlock()
+	epoch, nodes := r.reg.snapshot()
+	id := 0
+	infos := make([]director.NodeInfo, 0, len(nodes)+1)
+	for _, n := range nodes {
+		if n.id >= id {
+			id = n.id + 1
+		}
+		infos = append(infos, director.NodeInfo{ID: n.id, Addr: n.addr})
+	}
+	infos = append(infos, director.NodeInfo{ID: id, Addr: addr})
+	// The CAS on the registry's epoch: if another client changed the
+	// membership since this backend last saw it, fail loudly instead of
+	// overwriting that change (or double-allocating the node ID). The
+	// director round trip runs outside the registry lock; memberOp keeps
+	// local membership ops from interleaving.
+	members, err := r.clusterMeta.SetMembers(ctx, epoch, infos)
+	if err != nil {
+		return 0, err
+	}
+	r.reg.Lock()
+	r.reg.epoch = members.Epoch
+	r.reg.nodes = append(r.reg.nodes, &registryNode{id: id, addr: addr})
+	r.reg.Unlock()
+	return id, nil
+}
+
+// migrator builds the migration engine over one consistent registry
+// snapshot: the returned membership covers exactly the node IDs the
+// migrator holds connections for, so a topology change landing between
+// two registry reads cannot hand the engine a member it cannot dial.
+func (r *Remote) migrator(ctx context.Context) (*client.Migrator, core.Membership, error) {
+	epoch, nodes := r.reg.snapshot()
+	conns := make(map[int]*rpc.Client, len(nodes))
+	ids := make([]int, 0, len(nodes))
+	for _, n := range nodes {
+		conn, err := r.nodeConn(ctx, n)
+		if err != nil {
+			return nil, core.Membership{}, err
+		}
+		conns[n.id] = conn
+		ids = append(ids, n.id)
+	}
+	m := &client.Migrator{
+		Meta:       r.clusterMeta,
+		Conns:      conns,
+		HandprintK: r.cfg.HandprintSize,
+		Fault:      r.migrateFault,
+	}
+	return m, core.NewMembership(epoch, ids), nil
+}
+
+// guardNoPendingMigrations refuses a new membership operation while
+// crash-leftover migration transactions are open: their reconciliation
+// (RecoverMigrations) assumes quiesced backups — references of an
+// in-flight, not-yet-committed backup would read as surplus and be
+// released — so the operator must quiesce and recover explicitly
+// rather than have a routine Rebalance do it under live traffic.
+func (r *Remote) guardNoPendingMigrations(ctx context.Context) error {
+	pending, err := r.clusterMeta.PendingMigrations(ctx)
+	if err != nil {
+		return err
+	}
+	if len(pending) > 0 {
+		return fmt.Errorf(
+			"sigmadedupe: %d migration transactions left pending by a crash; quiesce backups and run RecoverMigrations first",
+			len(pending))
+	}
+	return nil
+}
+
+// RemoveNode implements Backend: every super-chunk on the node migrates
+// to a surviving member under the journaled commit protocol (recipes
+// repointed, references released), then the shrunken membership epoch
+// commits and the node's connection closes. Quiesce backup sessions
+// first — an actively written node fails the drain.
+func (r *Remote) RemoveNode(ctx context.Context, id int) (MigrationResult, error) {
+	var res MigrationResult
+	r.memberOp.Lock()
+	defer r.memberOp.Unlock()
+	if err := r.guardNoPendingMigrations(ctx); err != nil {
+		return res, err
+	}
+	// Settle the default stream's buffered tail before planning: an
+	// unflushed one-shot backup could otherwise route its final
+	// super-chunk to the node after the drain scanned it.
+	if err := r.Flush(ctx); err != nil {
+		return res, err
+	}
+	m, members, err := r.migrator(ctx)
+	if err != nil {
+		return res, err
+	}
+	if m.Conns[id] == nil {
+		return res, fmt.Errorf("sigmadedupe: no node %d in the current epoch", id)
+	}
+	if len(m.Conns) == 1 {
+		return res, fmt.Errorf("sigmadedupe: cannot remove the last node")
+	}
+	// Drain, then commit. The epoch commits only after the node is
+	// empty, so a crash mid-drain leaves the node in the membership —
+	// its address stays discoverable and a rerun finishes the job.
+	moved, err := m.DrainNode(ctx, id, members.Without(id))
+	res = toMigrationResult(moved)
+	if err != nil {
+		return res, err
+	}
+	// Commit the shrunken epoch: the director round trip runs outside
+	// the registry lock (memberOp serializes local membership ops, the
+	// director's epoch CAS catches remote ones), then the registry
+	// applies the committed epoch.
+	epoch, nodes := r.reg.snapshot()
+	infos := make([]director.NodeInfo, 0, len(nodes)-1)
+	for _, n := range nodes {
+		if n.id != id {
+			infos = append(infos, director.NodeInfo{ID: n.id, Addr: n.addr})
+		}
+	}
+	committed, err := r.clusterMeta.SetMembers(ctx, epoch, infos)
+	if err != nil {
+		return res, err
+	}
+	r.reg.Lock()
+	keep := make([]*registryNode, 0, len(r.reg.nodes)-1)
+	var removed *registryNode
+	for _, n := range r.reg.nodes {
+		if n.id == id {
+			removed = n
+			continue
+		}
+		keep = append(keep, n)
+	}
+	r.reg.epoch = committed.Epoch
+	r.reg.nodes = keep
+	r.reg.Unlock()
+	if removed != nil && removed.conn != nil {
+		removed.conn.Close()
+	}
+	return res, nil
+}
+
+// Rebalance implements Backend: super-chunk segments migrate from
+// members above the cluster's mean storage usage onto underloaded
+// rendezvous owners — the follow-up that spreads existing data onto a
+// node AddNode just joined. Safe to run while backup sessions proceed:
+// migration commits per segment, and a backup superseding a recipe
+// mid-move wins (the migration rolls that segment back).
+func (r *Remote) Rebalance(ctx context.Context) (MigrationResult, error) {
+	var res MigrationResult
+	r.memberOp.Lock()
+	defer r.memberOp.Unlock()
+	if err := r.guardNoPendingMigrations(ctx); err != nil {
+		return res, err
+	}
+	m, members, err := r.migrator(ctx)
+	if err != nil {
+		return res, err
+	}
+	moved, err := m.Rebalance(ctx, members)
+	return toMigrationResult(moved), err
+}
+
+// RecoverMigrations settles migration transactions left pending in the
+// director's MEMBERS journal by a crash: per-node reference counts
+// reconcile against the recipe catalog, converging every backup to
+// old-or-new placement with zero leaked references. Quiesce backups
+// first.
+func (r *Remote) RecoverMigrations(ctx context.Context) error {
+	r.memberOp.Lock()
+	defer r.memberOp.Unlock()
+	m, _, err := r.migrator(ctx)
+	if err != nil {
+		return err
+	}
+	return m.Recover(ctx)
+}
+
+// setMigrateFault installs the migration crash-injection hook (tests).
+func (r *Remote) setMigrateFault(fn migrate.Fault) { r.migrateFault = fn }
 
 // BackupStats returns the default backup stream's session counters
 // (zero before the first one-shot Backup).
@@ -285,8 +655,9 @@ func (r *Remote) RPCMessages() int64 {
 	return c.RPCMessages()
 }
 
-// Close releases the default stream's connections and the director
-// connection (when dialed), propagating the first failure.
+// Close releases the default stream's connections, the registry's
+// control connections and the director connection (when dialed),
+// propagating the first failure.
 func (r *Remote) Close() error {
 	r.mu.Lock()
 	c := r.def
@@ -296,6 +667,16 @@ func (r *Remote) Close() error {
 	if c != nil {
 		first = c.Close()
 	}
+	r.reg.Lock()
+	for _, n := range r.reg.nodes {
+		if n.conn != nil {
+			if err := n.conn.Close(); first == nil {
+				first = err
+			}
+			n.conn = nil
+		}
+	}
+	r.reg.Unlock()
 	if r.remoteMeta != nil {
 		if err := r.remoteMeta.Close(); first == nil {
 			first = err

@@ -39,6 +39,7 @@ import (
 	"sigmadedupe/internal/director"
 	"sigmadedupe/internal/experiments"
 	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/migrate"
 	"sigmadedupe/internal/node"
 	"sigmadedupe/internal/router"
 	"sigmadedupe/internal/rpc"
@@ -455,6 +456,58 @@ func (c *Cluster) Flush(ctx context.Context) error {
 // cluster directory can be re-opened later.
 func (c *Cluster) Close() error { return c.inner.Close() }
 
+// AddNode implements Backend: a fresh in-process node joins the next
+// membership epoch and its ID is returned. addr must be empty on the
+// simulator. Requires the Sigma scheme (the baselines are fixed-cluster
+// experiment modes).
+func (c *Cluster) AddNode(ctx context.Context, addr string) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if addr != "" {
+		return 0, fmt.Errorf("sigmadedupe: the simulator creates nodes in process; addr must be empty")
+	}
+	return c.inner.AddNode()
+}
+
+// RemoveNode implements Backend: every super-chunk on the node migrates
+// to a surviving member under the journaled commit protocol, the
+// membership epoch advances without the node, and the emptied node is
+// closed. Pre-existing backups restore byte-identically afterwards.
+// Quiesce backup sessions first.
+func (c *Cluster) RemoveNode(ctx context.Context, id int) (MigrationResult, error) {
+	res, err := c.inner.RemoveNode(ctx, id)
+	return toMigrationResult(res), err
+}
+
+// Rebalance implements Backend: super-chunk segments move from members
+// above the cluster's mean usage onto underloaded rendezvous owners —
+// typically a node AddNode just joined.
+func (c *Cluster) Rebalance(ctx context.Context) (MigrationResult, error) {
+	res, err := c.inner.Rebalance(ctx)
+	return toMigrationResult(res), err
+}
+
+// RecoverMigrations settles migration transactions left pending by a
+// crash mid-migration: reference counts reconcile against the recipe
+// catalog, converging every backup to old-or-new placement with zero
+// leaked references. Quiesce backups first.
+func (c *Cluster) RecoverMigrations() error { return c.inner.RecoverMigrations() }
+
+// setMigrateFault installs the migration crash-injection hook (tests).
+func (c *Cluster) setMigrateFault(fn migrate.Fault) { c.inner.SetMigrateFault(fn) }
+
+// toMigrationResult converts the engine's migration summary to the
+// public shape (shared by both backends).
+func toMigrationResult(res migrate.Result) MigrationResult {
+	return MigrationResult{
+		Backups:     res.Backups,
+		SuperChunks: res.Segments,
+		Chunks:      res.Chunks,
+		Bytes:       res.Bytes,
+	}
+}
+
 // RestartNode stops node i and re-opens it from its durable directory
 // (requires ClusterConfig.Dir). Quiesce backups first.
 func (c *Cluster) RestartNode(i int) error { return c.inner.RestartNode(i) }
@@ -476,7 +529,7 @@ func (c *Cluster) Stats(ctx context.Context) (BackendStats, error) {
 		PhysicalBytes: c.inner.PhysicalBytes(),
 		DedupRatio:    c.inner.DedupRatio(),
 		Backups:       backups,
-		Nodes:         c.cfg.Nodes,
+		Nodes:         c.inner.N(),
 		StorageSkew:   c.inner.Skew(),
 	}, nil
 }
