@@ -284,7 +284,7 @@ func TestTTTDConfigValidate(t *testing.T) {
 
 func TestNewDispatch(t *testing.T) {
 	data := randomBytes(11, 1<<16)
-	for _, m := range []Method{Fixed, Rabin, TTTD} {
+	for _, m := range []Method{Fixed, Rabin, TTTD, FastCDC} {
 		c, err := New(m, bytes.NewReader(data), 4096)
 		if err != nil {
 			t.Fatalf("New(%v): %v", m, err)
@@ -313,7 +313,7 @@ func TestMethodString(t *testing.T) {
 func TestPropertyReassemblyAllMethods(t *testing.T) {
 	f := func(seed int64, kb uint8) bool {
 		data := randomBytes(seed, int(kb)*512)
-		for _, m := range []Method{Fixed, Rabin, TTTD} {
+		for _, m := range []Method{Fixed, Rabin, TTTD, FastCDC} {
 			c, err := New(m, bytes.NewReader(data), 1024)
 			if err != nil {
 				return false

@@ -14,6 +14,13 @@ func fuzzTTTD() TTTDConfig {
 	return TTTDConfig{Min: 64, MinorMean: 128, MajorMean: 256, Max: 512}
 }
 
+// fuzzFastCDC is the matching scaled-down FastCDC configuration: small
+// inputs hit the stricter-mask, looser-mask and hard-cut regions of
+// Algorithm 2 rather than always terminating early.
+func fuzzFastCDC() FastCDCConfig {
+	return FastCDCConfig{Min: 64, Avg: 128, Max: 512, Normalization: 2}
+}
+
 // splitBoth runs a fresh chunker twice over the same input and checks
 // determinism, then returns the chunks of the first run.
 func splitBoth(t *testing.T, mk func() (Chunker, error)) []Chunk {
@@ -121,6 +128,12 @@ func FuzzChunkers(f *testing.F) {
 		tttd := splitBoth(t, func() (Chunker, error) { return NewTTTD(bytes.NewReader(data), cfg) })
 		checkReassembly(t, data, tttd)
 		checkBounds(t, tttd, cfg.Min, cfg.Max)
+
+		// FastCDC with fuzz-scaled bounds.
+		fcfg := fuzzFastCDC()
+		fc := splitBoth(t, func() (Chunker, error) { return NewFastCDC(bytes.NewReader(data), fcfg) })
+		checkReassembly(t, data, fc)
+		checkBounds(t, fc, fcfg.Min, fcfg.Max)
 	})
 }
 
@@ -148,6 +161,11 @@ func TestChunkerPropertiesOnRandomInputs(t *testing.T) {
 			tttd := splitBoth(t, func() (Chunker, error) { return NewTTTD(bytes.NewReader(data), cfg) })
 			checkReassembly(t, data, tttd)
 			checkBounds(t, tttd, cfg.Min, cfg.Max)
+
+			fcfg := fuzzFastCDC()
+			fc := splitBoth(t, func() (Chunker, error) { return NewFastCDC(bytes.NewReader(data), fcfg) })
+			checkReassembly(t, data, fc)
+			checkBounds(t, fc, fcfg.Min, fcfg.Max)
 		}
 	}
 }
@@ -171,9 +189,10 @@ func TestTTTDDefaultConfigBounds(t *testing.T) {
 func TestChunkersDrainAfterEOF(t *testing.T) {
 	data := bytes.Repeat([]byte("x"), 300)
 	mks := map[string]func() (Chunker, error){
-		"fixed": func() (Chunker, error) { return NewFixed(bytes.NewReader(data), 128) },
-		"rabin": func() (Chunker, error) { return NewRabin(bytes.NewReader(data), 0, 64, 0) },
-		"tttd":  func() (Chunker, error) { return NewTTTD(bytes.NewReader(data), fuzzTTTD()) },
+		"fixed":   func() (Chunker, error) { return NewFixed(bytes.NewReader(data), 128) },
+		"rabin":   func() (Chunker, error) { return NewRabin(bytes.NewReader(data), 0, 64, 0) },
+		"tttd":    func() (Chunker, error) { return NewTTTD(bytes.NewReader(data), fuzzTTTD()) },
+		"fastcdc": func() (Chunker, error) { return NewFastCDC(bytes.NewReader(data), fuzzFastCDC()) },
 	}
 	for name, mk := range mks {
 		c, err := mk()

@@ -87,6 +87,7 @@ type RabinChunker struct {
 	offset     int64
 	exhausted  bool
 	windowSize int
+	alloc      Allocator
 }
 
 var _ Chunker = (*RabinChunker)(nil)
@@ -94,7 +95,7 @@ var _ Chunker = (*RabinChunker)(nil)
 // NewRabin returns a CDC chunker with the given minimum, average and
 // maximum chunk sizes. avg must be a power of two; min defaults to avg/4
 // and max to avg*4 when non-positive.
-func NewRabin(r io.Reader, min, avg, max int) (*RabinChunker, error) {
+func NewRabin(r io.Reader, min, avg, max int, opts ...Option) (*RabinChunker, error) {
 	if avg <= 0 || avg&(avg-1) != 0 {
 		return nil, fmt.Errorf("%w: CDC average %d must be a positive power of two", ErrInvalidConfig, avg)
 	}
@@ -108,10 +109,11 @@ func NewRabin(r io.Reader, min, avg, max int) (*RabinChunker, error) {
 		return nil, fmt.Errorf("%w: CDC bounds min=%d avg=%d max=%d", ErrInvalidConfig, min, avg, max)
 	}
 	return &RabinChunker{
-		r:    bufio.NewReaderSize(r, 1<<16),
-		min:  min,
-		max:  max,
-		mask: uint64(avg - 1),
+		r:     bufio.NewReaderSize(r, 1<<16),
+		min:   min,
+		max:   max,
+		mask:  uint64(avg - 1),
+		alloc: applyOptions(opts).alloc,
 	}, nil
 }
 
@@ -120,7 +122,7 @@ func (rc *RabinChunker) Next() (Chunk, error) {
 	if rc.exhausted {
 		return Chunk{}, io.EOF
 	}
-	buf := make([]byte, 0, rc.max)
+	buf := rc.alloc(rc.max)[:0]
 	var h uint64
 	rc.windowSize = 0
 	for {

@@ -48,16 +48,18 @@ type TTTDChunker struct {
 	window    [rabinWindow]byte
 	offset    int64
 	exhausted bool
+	alloc     Allocator
 }
 
 var _ Chunker = (*TTTDChunker)(nil)
 
 // NewTTTD returns a TTTD chunker with the given thresholds.
-func NewTTTD(r io.Reader, cfg TTTDConfig) (*TTTDChunker, error) {
+func NewTTTD(r io.Reader, cfg TTTDConfig, opts ...Option) (*TTTDChunker, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &TTTDChunker{r: bufio.NewReaderSize(r, 1<<16), cfg: cfg}, nil
+	return &TTTDChunker{r: bufio.NewReaderSize(r, 1<<16), cfg: cfg,
+		alloc: applyOptions(opts).alloc}, nil
 }
 
 // Next implements Chunker.
@@ -67,7 +69,7 @@ func (tc *TTTDChunker) Next() (Chunk, error) {
 	}
 	var (
 		h          uint64
-		buf        = make([]byte, 0, tc.cfg.Max)
+		buf        = tc.alloc(tc.cfg.Max)[:0]
 		backupCut  = -1
 		windowFill = 0
 		mainDiv    = uint64(tc.cfg.MajorMean)
@@ -126,7 +128,10 @@ func (tc *TTTDChunker) emit(buf []byte, n int) Chunk {
 		// the next call; reset window state.
 		tc.window = [rabinWindow]byte{}
 	}
-	ch := Chunk{Data: buf[:n:n], Offset: tc.offset}
+	// The tail past n was already copied for pushback, so handing out the
+	// full-capacity slice is safe — and keeps the capacity visible to
+	// pool-backed allocators that recycle by capacity.
+	ch := Chunk{Data: buf[:n], Offset: tc.offset}
 	tc.offset += int64(n)
 	return ch
 }

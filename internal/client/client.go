@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -71,6 +72,10 @@ type Config struct {
 	// in-flight-session guarantee of elastic membership: node adds and
 	// removals become visible to new clients, never to this one.
 	Epoch uint64
+	// DisableChunkPool turns off chunk payload buffer recycling, making
+	// every chunk a fresh heap allocation — the pre-pooling behavior,
+	// kept as an A/B switch for allocation benchmarking.
+	DisableChunkPool bool
 
 	// workersDefaulted records whether Pipeline.Workers was left zero by
 	// the caller: a defaulted pool may be widened for network-bound
@@ -137,6 +142,12 @@ type Stats struct {
 	// super-chunk window pinned at once — the session's peak buffered
 	// memory, bounded by the window configuration, never by stream size.
 	PeakBufferedBytes int64
+	// ChunkBufAllocs counts chunk payload buffers newly allocated from
+	// the heap; with pooling on it plateaus at roughly the in-flight
+	// window's chunk count — the allocation-cliff proof — while
+	// ChunkBufReuses grows with the stream.
+	ChunkBufAllocs int64
+	ChunkBufReuses int64
 }
 
 // BandwidthSaving returns the fraction of payload bytes the source dedup
@@ -195,6 +206,10 @@ type Client struct {
 	// backups run in O(window), not O(stream).
 	buffered     atomic.Int64
 	peakBuffered atomic.Int64
+
+	// bufs recycles chunk payload buffers from apply back to the
+	// chunker, keeping live allocation bounded by the window.
+	bufs *bufPool
 }
 
 // routeResult is the outcome of the concurrent route/query/store stage
@@ -246,6 +261,8 @@ func New(ctx context.Context, cfg Config, dir director.Metadata, nodes []NodeAdd
 		session: dir.BeginSession(ctx, cfg.Name),
 		part:    part,
 		routes:  pipeline.NewWindow(cfg.InflightSuperChunks),
+		bufs: newBufPool(chunker.MaxChunkSize(cfg.ChunkMethod, cfg.ChunkSize),
+			cfg.DisableChunkPool),
 	}, nil
 }
 
@@ -298,7 +315,8 @@ func (c *Client) BackupFile(ctx context.Context, path string, r io.Reader) error
 	if c.err != nil {
 		return c.err
 	}
-	ck, err := chunker.New(c.cfg.ChunkMethod, r, c.cfg.ChunkSize)
+	ck, err := chunker.New(c.cfg.ChunkMethod, r, c.cfg.ChunkSize,
+		chunker.WithAllocator(c.bufs.alloc))
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
@@ -329,8 +347,14 @@ func (c *Client) BackupFile(ctx context.Context, path string, r io.Reader) error
 	// A fully serial configuration (1 worker, 1 in-flight super-chunk)
 	// runs the direct pre-pipeline loop: no goroutines, no channels. This
 	// is both the honest benchmark baseline and the cheapest path when
-	// concurrency is deliberately disabled.
-	if c.cfg.Pipeline.Workers == 1 && c.cfg.InflightSuperChunks <= 1 {
+	// concurrency is deliberately disabled. With a single worker on a
+	// single-P runtime the same inline loop wins for ANY in-flight window:
+	// a separate fingerprint goroutine cannot overlap with chunking on one
+	// processor, so its per-chunk channel hops are pure overhead, while
+	// routing concurrency is preserved — consume hands completed
+	// super-chunks to the bounded async window either way.
+	if c.cfg.Pipeline.Workers == 1 &&
+		(c.cfg.InflightSuperChunks <= 1 || runtime.GOMAXPROCS(0) == 1) {
 		for {
 			if err := ctx.Err(); err != nil {
 				return c.fail(chunkErr(err))
@@ -525,6 +549,8 @@ func (c *Client) Close() error {
 func (c *Client) Stats() Stats {
 	st := c.stats
 	st.PeakBufferedBytes = c.peakBuffered.Load()
+	st.ChunkBufAllocs = c.bufs.allocs.Load()
+	st.ChunkBufReuses = c.bufs.reuses.Load()
 	return st
 }
 
@@ -609,7 +635,11 @@ func (c *Client) routeSuperChunk(ctx context.Context, sc *core.SuperChunk) route
 	if err != nil {
 		return routeErr("query", target, err)
 	}
-	send := &core.SuperChunk{FileID: sc.FileID, FileMinFP: sc.FileMinFP}
+	send := &core.SuperChunk{
+		FileID:    sc.FileID,
+		FileMinFP: sc.FileMinFP,
+		Chunks:    make([]core.ChunkRef, 0, len(sc.Chunks)),
+	}
 	for i, ch := range sc.Chunks {
 		ref := core.ChunkRef{FP: ch.FP, Size: ch.Size}
 		if i >= len(dup) || !dup[i] {
@@ -629,8 +659,17 @@ func (c *Client) routeSuperChunk(ctx context.Context, sc *core.SuperChunk) route
 func (c *Client) apply(res routeResult) error {
 	if res.sc != nil {
 		// The super-chunk left the window (success or failure): its
-		// payloads are no longer pinned by the pipeline.
+		// payloads are no longer pinned by the pipeline. The RPC layer
+		// finished with them too (Store completed before the result was
+		// delivered), so the buffers go back to the chunker's pool here
+		// — this is the release point of the pooling ownership chain.
 		c.buffered.Add(-res.sc.Size())
+		for i := range res.sc.Chunks {
+			if d := res.sc.Chunks[i].Data; d != nil {
+				res.sc.Chunks[i].Data = nil
+				c.bufs.release(d)
+			}
+		}
 	}
 	if res.err != nil {
 		return res.err

@@ -16,22 +16,30 @@ type Handprint []fingerprint.Fingerprint
 // Duplicate fingerprints within the super-chunk are collapsed first, as
 // the Jaccard resemblance in Eq. (1) is defined over fingerprint sets.
 // If fewer than k distinct fingerprints exist, all are returned.
+//
+// The selection is a bounded insertion over a k-element window rather
+// than a full sort: handprinting runs once per super-chunk on the ingest
+// hot path, and with k (8) far below the chunk count (hundreds) almost
+// every fingerprint is rejected with the single comparison against the
+// current k-th smallest.
 func NewHandprint(fps []fingerprint.Fingerprint, k int) Handprint {
 	if k <= 0 || len(fps) == 0 {
 		return Handprint{}
 	}
-	sorted := make([]fingerprint.Fingerprint, len(fps))
-	copy(sorted, fps)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
 	out := make(Handprint, 0, k)
-	for _, fp := range sorted {
-		if len(out) > 0 && out[len(out)-1] == fp {
+	for _, fp := range fps {
+		if len(out) == k && !fp.Less(out[k-1]) {
 			continue
 		}
-		out = append(out, fp)
-		if len(out) == k {
-			break
+		i := sort.Search(len(out), func(j int) bool { return !out[j].Less(fp) })
+		if i < len(out) && out[i] == fp {
+			continue
 		}
+		if len(out) < k {
+			out = append(out, fingerprint.Fingerprint{})
+		}
+		copy(out[i+1:], out[i:])
+		out[i] = fp
 	}
 	return out
 }

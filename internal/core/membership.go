@@ -128,23 +128,26 @@ func (m Membership) Candidates(hp Handprint) []int {
 	if len(m.Nodes) == 0 {
 		return nil
 	}
-	seen := make(map[int]struct{}, 2*len(hp))
+	// The candidate set is tiny (≤ 2·len(hp), typically ≤ 8), so dedup
+	// is a linear scan over the output — no map, no closure; this runs
+	// once per super-chunk on the routing hot path.
 	out := make([]int, 0, 2*len(hp))
-	add := func(id int) {
+	add := func(out []int, id int) []int {
 		if id < 0 {
-			return
+			return out
 		}
-		if _, ok := seen[id]; ok {
-			return
+		for _, have := range out {
+			if have == id {
+				return out
+			}
 		}
-		seen[id] = struct{}{}
-		out = append(out, id)
+		return append(out, id)
 	}
 	for _, fp := range hp {
 		first, second := m.owners2(fp)
-		add(first)
+		out = add(out, first)
 		if m.Epoch > 1 {
-			add(second)
+			out = add(out, second)
 		}
 	}
 	if len(out) == 0 {

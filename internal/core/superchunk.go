@@ -205,6 +205,12 @@ func (p *Partitioner) flush() *SuperChunk {
 	sc := p.pending
 	out := &SuperChunk{Chunks: sc.Chunks, FileID: sc.FileID}
 	p.pending = SuperChunk{FileID: sc.FileID}
+	// Pre-size the next membership list to the one just emitted: at a
+	// steady chunk size this turns the per-super-chunk append growth
+	// series into a single allocation.
+	if n := len(sc.Chunks); n > 0 {
+		p.pending.Chunks = make([]ChunkRef, 0, n)
+	}
 	p.size = 0
 	return out
 }

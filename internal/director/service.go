@@ -1,16 +1,16 @@
 package director
 
 import (
+	"bufio"
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
 
 	"sigmadedupe/internal/sderr"
+	"sigmadedupe/internal/wire"
 )
 
 // Metadata is the director API surface used by backup clients. Both the
@@ -72,7 +72,8 @@ type dirResponse struct {
 }
 
 // Service exposes a Director over TCP with a simple sequential
-// gob-encoded request/response protocol per connection.
+// request/response protocol per connection, using the shared
+// length-prefixed binary framing (internal/wire, ProtoDirector).
 type Service struct {
 	dir *Director
 	ln  net.Listener
@@ -143,14 +144,23 @@ func (s *Service) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	if _, err := wire.ReadHandshake(br, wire.ProtoDirector); err != nil {
+		return
+	}
+	if err := wire.WriteHandshake(conn, wire.ProtoDirector); err != nil {
+		return
+	}
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var scratch []byte
 	for {
-		var req dirRequest
-		if err := dec.Decode(&req); err != nil {
-			if !errors.Is(err, io.EOF) {
-				return
-			}
+		body, err := wire.ReadFrame(br, maxDirFrame)
+		if err != nil {
+			return
+		}
+		req, err := decodeDirRequest(body)
+		wire.PutBuf(body)
+		if err != nil {
 			return
 		}
 		var resp dirResponse
@@ -199,7 +209,11 @@ func (s *Service) serveConn(conn net.Conn) {
 		default:
 			resp.Err = fmt.Sprintf("director: unknown op %d", int(req.Op))
 		}
-		if err := enc.Encode(resp); err != nil {
+		scratch = appendDirResponse(scratch[:0], &resp)
+		if err := wire.WriteFrame(bw, scratch); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
@@ -208,10 +222,10 @@ func (s *Service) serveConn(conn net.Conn) {
 // Remote is a TCP client for a director Service. Safe for concurrent use
 // (calls are serialized on the single connection).
 type Remote struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	scratch []byte
 	// err marks the connection permanently failed. The protocol has no
 	// request IDs, so once a call is abandoned mid-round-trip (canceled,
 	// timed out, transport error) a later call could otherwise decode
@@ -233,7 +247,20 @@ func DialRemoteContext(ctx context.Context, addr string) (*Remote, error) {
 	if err != nil {
 		return nil, fmt.Errorf("director: dial %s: %w", addr, err)
 	}
-	return &Remote{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+	if err := wire.WriteHandshake(conn, wire.ProtoDirector); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("director: handshake %s: %w", addr, err)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	if _, err := wire.ReadHandshake(br, wire.ProtoDirector); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("director: handshake %s: %w", addr, err)
+	}
+	conn.SetDeadline(time.Time{})
+	return &Remote{conn: conn, br: br}, nil
 }
 
 // Close releases the connection.
@@ -265,10 +292,16 @@ func (r *Remote) call(ctx context.Context, req dirRequest) (dirResponse, error) 
 	if dl, ok := ctx.Deadline(); ok {
 		r.conn.SetDeadline(dl)
 	}
-	err := r.enc.Encode(req)
+	r.scratch = appendDirRequest(r.scratch[:0], &req)
+	err := wire.WriteFrame(r.conn, r.scratch)
 	var resp dirResponse
 	if err == nil {
-		err = r.dec.Decode(&resp)
+		var body []byte
+		body, err = wire.ReadFrame(r.br, maxDirFrame)
+		if err == nil {
+			resp, err = decodeDirResponse(body)
+			wire.PutBuf(body)
+		}
 	}
 	close(watchStop)
 	<-watchDone // joined: no stale deadline can land after the reset

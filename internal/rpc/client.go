@@ -1,8 +1,9 @@
 package rpc
 
 import (
+	"bufio"
 	"context"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"sigmadedupe/internal/node"
 	"sigmadedupe/internal/sderr"
 	"sigmadedupe/internal/store"
+	"sigmadedupe/internal/wire"
 )
 
 // Client is a pipelined connection to one deduplication server. Multiple
@@ -27,15 +29,46 @@ import (
 // discarded by the read loop.
 type Client struct {
 	conn  net.Conn
-	enc   *gob.Encoder
+	bw    *bufio.Writer
 	calls atomic.Int64
 
-	wmu    sync.Mutex // serializes encoder access
-	mu     sync.Mutex // guards pending/nextID/err
+	// Vectored-send scratch, guarded by wmu. The net.Buffers header must
+	// live on the Client: WriteTo takes its address, and a stack-declared
+	// header escapes — one heap allocation per call. vecback keeps the
+	// backing array across calls (WriteTo consumes the header by
+	// reslicing it forward).
+	vecs    net.Buffers
+	vecback [][]byte
+
+	wmu    sync.Mutex // serializes frame writes
+	mu     sync.Mutex // guards pending/nextID/err/chfree
 	nextID uint64
 	pend   map[uint64]chan Response
+	chfree []chan Response // recycled response channels (empty, never closed)
 	err    error
 	done   chan struct{}
+}
+
+// getChanLocked pops a recycled response channel (or makes one). Caller
+// holds c.mu.
+func (c *Client) getChanLocked() chan Response {
+	if last := len(c.chfree) - 1; last >= 0 {
+		ch := c.chfree[last]
+		c.chfree[last] = nil
+		c.chfree = c.chfree[:last]
+		return ch
+	}
+	return make(chan Response, 1)
+}
+
+// putChanLocked recycles a response channel. Only channels proven empty
+// and unclosed may come back: either the call received its response, or
+// the pending entry was still registered (so no sender existed). Caller
+// holds c.mu.
+func (c *Client) putChanLocked(ch chan Response) {
+	if len(c.chfree) < 64 {
+		c.chfree = append(c.chfree, ch)
+	}
 }
 
 // Calls returns how many requests this connection has issued — the RPC
@@ -51,14 +84,30 @@ func Dial(addr string) (*Client, error) {
 // DialContext connects to a deduplication server, honoring ctx for the
 // dial itself (deadline and cancellation).
 func DialContext(ctx context.Context, addr string) (*Client, error) {
+	network, address := splitAddr(addr)
 	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	conn, err := d.DialContext(ctx, network, address)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
+	tuneConn(conn)
+	// Exchange the version/protocol handshake before any frame, bounded
+	// by the dial context's deadline.
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+	if err := wire.WriteHandshake(conn, wire.ProtoNode); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: handshake %s: %w", addr, err)
+	}
+	if _, err := wire.ReadHandshake(conn, wire.ProtoNode); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: handshake %s: %w", addr, err)
+	}
+	conn.SetDeadline(time.Time{})
 	c := &Client{
 		conn: conn,
-		enc:  gob.NewEncoder(conn),
+		bw:   bufio.NewWriterSize(conn, 256<<10),
 		pend: make(map[uint64]chan Response),
 		done: make(chan struct{}),
 	}
@@ -75,10 +124,13 @@ func (c *Client) Close() error {
 
 func (c *Client) readLoop() {
 	defer close(c.done)
-	dec := gob.NewDecoder(c.conn)
+	br := bufio.NewReaderSize(c.conn, 256<<10)
 	for {
-		var resp Response
-		if err := dec.Decode(&resp); err != nil {
+		body, err := wire.ReadFrame(br, maxFrame)
+		if err == nil {
+			err = c.dispatchFrame(body)
+		}
+		if err != nil {
 			c.mu.Lock()
 			c.err = fmt.Errorf("rpc: connection lost: %w", err)
 			for id, ch := range c.pend {
@@ -88,15 +140,54 @@ func (c *Client) readLoop() {
 			c.mu.Unlock()
 			return
 		}
-		c.mu.Lock()
-		ch, ok := c.pend[resp.ID]
-		if ok {
-			delete(c.pend, resp.ID)
+	}
+}
+
+// dispatchFrame decodes one inbound frame and delivers it to the waiting
+// call(s). The pooled frame is released here; response chunk payloads
+// are copied out first because callers (ReadChunk, MigrateRead) retain
+// them past the call.
+func (c *Client) dispatchFrame(body []byte) error {
+	defer wire.PutBuf(body)
+	if len(body) == 0 {
+		return fmt.Errorf("%w: empty frame", wire.ErrMalformed)
+	}
+	switch body[0] {
+	case frameResponse:
+		resp, err := decodeResponse(body)
+		if err != nil {
+			return err
 		}
-		c.mu.Unlock()
-		if ok {
-			ch <- resp
+		for i := range resp.Chunks {
+			if resp.Chunks[i].Data != nil {
+				resp.Chunks[i].Data = append([]byte(nil), resp.Chunks[i].Data...)
+			}
 		}
+		c.deliver(resp)
+		return nil
+	case frameAcks:
+		ids, err := decodeAcks(body)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			c.deliver(Response{ID: id})
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown frame kind %d", wire.ErrMalformed, body[0])
+	}
+}
+
+func (c *Client) deliver(resp Response) {
+	c.mu.Lock()
+	ch, ok := c.pend[resp.ID]
+	if ok {
+		delete(c.pend, resp.ID)
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- resp
 	}
 }
 
@@ -115,23 +206,41 @@ func (c *Client) Call(ctx context.Context, req Request) (Response, error) {
 		}
 		req.TimeoutMS = ms
 	}
-	ch := make(chan Response, 1)
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
 		return Response{}, err
 	}
+	ch := c.getChanLocked()
 	c.nextID++
 	req.ID = c.nextID
 	c.pend[req.ID] = ch
 	c.mu.Unlock()
 
+	// Encode outside the write lock into a pooled scratch buffer, then
+	// write the frame under wmu and release the buffer. Payload-heavy
+	// frames (super-chunk stores) are sent vectored: the length prefix
+	// and metadata go into one small scratch buffer and the chunk
+	// payloads are handed to writev in place, so the bulk bytes cross
+	// user space exactly once (into the kernel) instead of twice.
+	payload := requestPayloadSize(&req)
+	var body []byte
+	vectored := payload >= vectoredMin
+	if vectored {
+		body = wire.GetBuf(4 + requestSize(&req) - payload)[:0]
+		body = append(body, 0, 0, 0, 0)
+		body = appendRequestMeta(body, &req)
+		binary.LittleEndian.PutUint32(body[:4], uint32(len(body)-4+payload))
+	} else {
+		body = appendRequest(wire.GetBuf(requestSize(&req))[:0], &req)
+	}
+
 	c.wmu.Lock()
-	// The gob encode writes straight to the socket and can block when the
+	// The frame write goes straight to the socket and can block when the
 	// peer stops reading (send buffer full). A watcher turns ctx
-	// cancellation into a write deadline so the encode unblocks; a
-	// partially written request corrupts the gob framing, so the failed
+	// cancellation into a write deadline so the write unblocks; a
+	// partially written frame corrupts the stream framing, so the failed
 	// connection is simply surfaced as a send error (cancel-mid-write
 	// cannot preserve the stream).
 	var watchStop, watchDone chan struct{}
@@ -146,17 +255,39 @@ func (c *Client) Call(ctx context.Context, req Request) (Response, error) {
 			}
 		}()
 	}
-	err := c.enc.Encode(req)
+	var err error
+	if vectored {
+		// Assemble the iovec list under wmu in the reusable scratch.
+		// c.bw is always flushed between frames, so the vectored frame
+		// can go straight to the socket without reordering.
+		vb := append(c.vecback[:0], body)
+		for i := range req.Chunks {
+			if len(req.Chunks[i].Data) > 0 {
+				vb = append(vb, req.Chunks[i].Data)
+			}
+		}
+		c.vecback = vb
+		c.vecs = net.Buffers(vb)
+		_, err = c.vecs.WriteTo(c.conn)
+		c.vecs = nil
+		for i := range vb {
+			vb[i] = nil // drop payload references until the next send
+		}
+	} else {
+		err = wire.WriteFrame(c.bw, body)
+		if err == nil {
+			err = c.bw.Flush()
+		}
+	}
 	if watchStop != nil {
 		close(watchStop)
 		<-watchDone // joined: no stale deadline can land after the reset
 		c.conn.SetWriteDeadline(time.Time{})
 	}
 	c.wmu.Unlock()
+	wire.PutBuf(body)
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pend, req.ID)
-		c.mu.Unlock()
+		c.abandon(req.ID, ch)
 		if cerr := ctx.Err(); cerr != nil {
 			return Response{}, fmt.Errorf("rpc: send canceled: %w", cerr)
 		}
@@ -173,6 +304,11 @@ func (c *Client) Call(ctx context.Context, req Request) (Response, error) {
 			c.mu.Unlock()
 			return Response{}, err
 		}
+		// The read loop sent exactly one value and the entry left pend
+		// before the send, so ch is empty and unclosed: recyclable.
+		c.mu.Lock()
+		c.putChanLocked(ch)
+		c.mu.Unlock()
 		if resp.Err != "" {
 			return resp, fmt.Errorf("rpc: remote: %w", sderr.Decode(resp.Err))
 		}
@@ -180,11 +316,24 @@ func (c *Client) Call(ctx context.Context, req Request) (Response, error) {
 	case <-ctx.Done():
 		// Abandon the call: deregister so a late response is dropped by
 		// the read loop instead of leaking the slot.
-		c.mu.Lock()
-		delete(c.pend, req.ID)
-		c.mu.Unlock()
+		c.abandon(req.ID, ch)
 		return Response{}, ctx.Err()
 	}
+}
+
+// abandon deregisters a call that will never be waited on. The channel
+// is recycled only if the pending entry was still present — proof the
+// read loop had not claimed it, so nothing was or will be sent on it.
+// If the entry is gone, the read loop owns the channel (a response may
+// be in flight into its buffer, or it was closed by connection failure)
+// and it is simply dropped.
+func (c *Client) abandon(id uint64, ch chan Response) {
+	c.mu.Lock()
+	if _, ok := c.pend[id]; ok {
+		delete(c.pend, id)
+		c.putChanLocked(ch)
+	}
+	c.mu.Unlock()
 }
 
 // Bid sends a handprint and returns the node's similarity match count and

@@ -1,0 +1,335 @@
+package rpc
+
+import (
+	"fmt"
+
+	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/node"
+	"sigmadedupe/internal/store"
+	"sigmadedupe/internal/wire"
+)
+
+// Frame kinds on the node protocol. A batched-ack frame carries only
+// request IDs: it acknowledges ack-eligible verbs (stores, decrefs,
+// flushes) whose response would otherwise be an empty Response, letting
+// the server coalesce the whole in-flight super-chunk window into one
+// frame and one flush.
+const (
+	frameRequest  byte = 1
+	frameResponse byte = 2
+	frameAcks     byte = 3
+)
+
+// maxFrame bounds any single message on the node protocol.
+const maxFrame = wire.DefaultMaxFrame
+
+// vectoredMin is the total-payload threshold above which the client
+// sends a request frame with writev instead of copying payloads into the
+// encode scratch. Below it the copy is cheaper than the extra iovec
+// bookkeeping.
+const vectoredMin = 64 << 10
+
+// ackEligible reports whether op's successful response carries no data
+// beyond the ID, making it safe to acknowledge via a batched-ack frame.
+func ackEligible(op Op) bool {
+	switch op {
+	case OpStore, OpStoreRefs, OpDecRef, OpFlush, OpMigrateWrite, OpMigrateCommit:
+		return true
+	}
+	return false
+}
+
+// requestSize returns a capacity hint for encoding req.
+func requestSize(req *Request) int {
+	n := 1 + 8 + 1 + 8 + 8 + // kind, ID, Op, TimeoutMS, Threshold
+		4 + len(req.Stream) +
+		4 + len(req.Handprint)*fingerprint.Size +
+		4 + len(req.Counts)*8 +
+		4 + len(req.Chunks)*(fingerprint.Size+8)
+	for i := range req.Chunks {
+		n += len(req.Chunks[i].Data)
+	}
+	return n
+}
+
+// requestPayloadSize returns the total chunk payload bytes of req — the
+// frame suffix that the vectored send path hands to writev in place.
+func requestPayloadSize(req *Request) int {
+	n := 0
+	for i := range req.Chunks {
+		n += len(req.Chunks[i].Data)
+	}
+	return n
+}
+
+// appendRequest encodes req (kind byte included) onto b.
+func appendRequest(b []byte, req *Request) []byte {
+	b = appendRequestMeta(b, req)
+	for i := range req.Chunks {
+		b = append(b, req.Chunks[i].Data...)
+	}
+	return b
+}
+
+// appendRequestMeta encodes everything of req except the chunk payload
+// bytes. Because the chunk-list layout puts all payloads at the frame
+// tail, appendRequestMeta(b, req) followed by the concatenated payloads
+// is byte-identical to appendRequest(b, req) — the invariant the
+// client's vectored send relies on.
+func appendRequestMeta(b []byte, req *Request) []byte {
+	b = wire.AppendU8(b, frameRequest)
+	b = wire.AppendU64(b, req.ID)
+	b = wire.AppendU8(b, byte(req.Op))
+	b = wire.AppendI64(b, req.TimeoutMS)
+	b = wire.AppendF64(b, req.Threshold)
+	b = wire.AppendString(b, req.Stream)
+	b = wire.AppendU32(b, uint32(len(req.Handprint)))
+	for i := range req.Handprint {
+		b = append(b, req.Handprint[i][:]...)
+	}
+	b = appendCounts(b, req.Counts)
+	b = appendChunksMeta(b, req.Chunks)
+	return b
+}
+
+// decodeRequest decodes a request frame body. Chunk payloads ALIAS body:
+// the caller owns body until it is done with the request (the server
+// returns the frame to the pool only after the handler completes).
+func decodeRequest(body []byte) (Request, error) {
+	r := wire.NewReader(body)
+	if k := r.U8(); k != frameRequest {
+		return Request{}, fmt.Errorf("%w: request frame kind %d", wire.ErrMalformed, k)
+	}
+	var req Request
+	req.ID = r.U64()
+	req.Op = Op(r.U8())
+	req.TimeoutMS = r.I64()
+	req.Threshold = r.F64()
+	req.Stream = r.String()
+	if n := r.Count(fingerprint.Size); n > 0 {
+		req.Handprint = make([]fingerprint.Fingerprint, n)
+		for i := 0; i < n; i++ {
+			copy(req.Handprint[i][:], r.Raw(fingerprint.Size))
+		}
+	}
+	req.Counts = decodeCounts(r)
+	req.Chunks = decodeChunks(r)
+	if err := r.Done(); err != nil {
+		return Request{}, fmt.Errorf("rpc: decode request: %w", err)
+	}
+	return req, nil
+}
+
+// responseSize returns a capacity hint for encoding resp.
+func responseSize(resp *Response) int {
+	n := 1 + 8 + // kind, ID
+		4 + len(resp.Err) +
+		8 + 8 + // Count, Usage
+		4 + len(resp.Dup) +
+		4 + len(resp.Counts)*8 +
+		4 + len(resp.Chunks)*(fingerprint.Size+8) +
+		8*8 + 8*8 + 6*8 // Stats, GC, Compacted
+	for i := range resp.Chunks {
+		n += len(resp.Chunks[i].Data)
+	}
+	return n
+}
+
+// appendResponse encodes resp (kind byte included) onto b.
+func appendResponse(b []byte, resp *Response) []byte {
+	b = wire.AppendU8(b, frameResponse)
+	b = wire.AppendU64(b, resp.ID)
+	b = wire.AppendString(b, resp.Err)
+	b = wire.AppendI64(b, int64(resp.Count))
+	b = wire.AppendI64(b, resp.Usage)
+	b = wire.AppendU32(b, uint32(len(resp.Dup)))
+	for _, d := range resp.Dup {
+		b = wire.AppendBool(b, d)
+	}
+	b = appendCounts(b, resp.Counts)
+	b = appendChunks(b, resp.Chunks)
+	b = wire.AppendI64(b, resp.Stats.LogicalBytes)
+	b = wire.AppendI64(b, resp.Stats.PhysicalBytes)
+	b = wire.AppendI64(b, resp.Stats.LogicalChunks)
+	b = wire.AppendI64(b, resp.Stats.UniqueChunks)
+	b = wire.AppendI64(b, resp.Stats.SuperChunks)
+	b = wire.AppendU64(b, resp.Stats.CacheHits)
+	b = wire.AppendU64(b, resp.Stats.DiskIndexHits)
+	b = wire.AppendU64(b, resp.Stats.Prefetches)
+	b = wire.AppendI64(b, resp.GC.StoredBytes)
+	b = wire.AppendI64(b, resp.GC.DeadBytes)
+	b = wire.AppendI64(b, resp.GC.LiveBytes)
+	b = wire.AppendI64(b, int64(resp.GC.Containers))
+	b = wire.AppendI64(b, resp.GC.RetiredContainers)
+	b = wire.AppendI64(b, resp.GC.ReclaimedBytes)
+	b = wire.AppendI64(b, resp.GC.CopiedBytes)
+	b = wire.AppendI64(b, resp.GC.CompactRuns)
+	b = wire.AppendI64(b, int64(resp.Compacted.Scanned))
+	b = wire.AppendI64(b, int64(resp.Compacted.Rewritten))
+	b = wire.AppendI64(b, int64(resp.Compacted.Retired))
+	b = wire.AppendI64(b, resp.Compacted.CopiedBytes)
+	b = wire.AppendI64(b, resp.Compacted.ReclaimedBytes)
+	b = wire.AppendI64(b, int64(resp.Compacted.SkippedNoPayload))
+	return b
+}
+
+// decodeResponse decodes a response frame body. Chunk payloads ALIAS
+// body; the client copies them before releasing the frame.
+func decodeResponse(body []byte) (Response, error) {
+	r := wire.NewReader(body)
+	if k := r.U8(); k != frameResponse {
+		return Response{}, fmt.Errorf("%w: response frame kind %d", wire.ErrMalformed, k)
+	}
+	var resp Response
+	resp.ID = r.U64()
+	resp.Err = r.String()
+	resp.Count = int(r.I64())
+	resp.Usage = r.I64()
+	if n := r.Count(1); n > 0 {
+		resp.Dup = make([]bool, n)
+		for i := 0; i < n; i++ {
+			resp.Dup[i] = r.Bool()
+		}
+	}
+	resp.Counts = decodeCounts(r)
+	resp.Chunks = decodeChunks(r)
+	resp.Stats = node.Stats{
+		LogicalBytes:  r.I64(),
+		PhysicalBytes: r.I64(),
+		LogicalChunks: r.I64(),
+		UniqueChunks:  r.I64(),
+		SuperChunks:   r.I64(),
+		CacheHits:     r.U64(),
+		DiskIndexHits: r.U64(),
+		Prefetches:    r.U64(),
+	}
+	resp.GC = store.GCStats{
+		StoredBytes:       r.I64(),
+		DeadBytes:         r.I64(),
+		LiveBytes:         r.I64(),
+		Containers:        int(r.I64()),
+		RetiredContainers: r.I64(),
+		ReclaimedBytes:    r.I64(),
+		CopiedBytes:       r.I64(),
+		CompactRuns:       r.I64(),
+	}
+	resp.Compacted = store.CompactResult{
+		Scanned:          int(r.I64()),
+		Rewritten:        int(r.I64()),
+		Retired:          int(r.I64()),
+		CopiedBytes:      r.I64(),
+		ReclaimedBytes:   r.I64(),
+		SkippedNoPayload: int(r.I64()),
+	}
+	if err := r.Done(); err != nil {
+		return Response{}, fmt.Errorf("rpc: decode response: %w", err)
+	}
+	return resp, nil
+}
+
+// appendAcks encodes a batched-ack frame for the given request IDs.
+func appendAcks(b []byte, ids []uint64) []byte {
+	b = wire.AppendU8(b, frameAcks)
+	b = wire.AppendU32(b, uint32(len(ids)))
+	for _, id := range ids {
+		b = wire.AppendU64(b, id)
+	}
+	return b
+}
+
+// decodeAcks decodes a batched-ack frame body into request IDs.
+func decodeAcks(body []byte) ([]uint64, error) {
+	r := wire.NewReader(body)
+	if k := r.U8(); k != frameAcks {
+		return nil, fmt.Errorf("%w: ack frame kind %d", wire.ErrMalformed, k)
+	}
+	n := r.Count(8)
+	var ids []uint64
+	if n > 0 {
+		ids = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			ids[i] = r.U64()
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("rpc: decode acks: %w", err)
+	}
+	return ids, nil
+}
+
+// appendCounts encodes a u32-prefixed []int64.
+func appendCounts(b []byte, counts []int64) []byte {
+	b = wire.AppendU32(b, uint32(len(counts)))
+	for _, c := range counts {
+		b = wire.AppendI64(b, c)
+	}
+	return b
+}
+
+// decodeCounts decodes a u32-prefixed []int64 (nil when empty).
+func decodeCounts(r *wire.Reader) []int64 {
+	n := r.Count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.I64()
+	}
+	return out
+}
+
+// Chunk list layout: u32 count, then per-chunk fixed headers
+// (fingerprint, size, payload length), then all payloads concatenated.
+// Headers-before-payloads lets the decoder alias every payload as a
+// sub-slice of the frame with no per-chunk framing overhead. A payload
+// length of zero means Data == nil (fingerprint-only chunk).
+func appendChunks(b []byte, chunks []ChunkWire) []byte {
+	b = appendChunksMeta(b, chunks)
+	for i := range chunks {
+		b = append(b, chunks[i].Data...)
+	}
+	return b
+}
+
+// appendChunksMeta encodes the chunk count and fixed headers only; the
+// payload concatenation that completes the layout is appended by the
+// caller (inline by appendChunks, via writev by the vectored sender).
+func appendChunksMeta(b []byte, chunks []ChunkWire) []byte {
+	b = wire.AppendU32(b, uint32(len(chunks)))
+	for i := range chunks {
+		b = append(b, chunks[i].FP[:]...)
+		b = wire.AppendU32(b, uint32(chunks[i].Size))
+		b = wire.AppendU32(b, uint32(len(chunks[i].Data)))
+	}
+	return b
+}
+
+// decodeChunks decodes a chunk list; Data slices alias the frame body.
+func decodeChunks(r *wire.Reader) []ChunkWire {
+	n := r.Count(fingerprint.Size + 8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]ChunkWire, n)
+	// Payload lengths are needed across the two passes; a stack buffer
+	// covers any realistic super-chunk without a second heap allocation.
+	var stack [512]uint32
+	dlens := stack[:0]
+	if n > len(stack) {
+		dlens = make([]uint32, 0, n)
+	}
+	dlens = dlens[:n]
+	for i := 0; i < n; i++ {
+		copy(out[i].FP[:], r.Raw(fingerprint.Size))
+		out[i].Size = int32(r.U32())
+		dlens[i] = r.U32()
+	}
+	for i := 0; i < n; i++ {
+		if dlens[i] == 0 {
+			continue
+		}
+		out[i].Data = r.Raw(int(dlens[i]))
+	}
+	return out
+}

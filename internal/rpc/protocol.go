@@ -4,9 +4,13 @@
 // via message passing over TCP streams; all RPC requests are batched in
 // order to minimize the round-trip overheads", §4.1).
 //
-// Messages are gob-encoded. Every request carries a client-chosen ID;
-// responses may arrive out of order, so a client can keep many requests
-// in flight (pipelining) and match responses by ID.
+// Messages are length-prefixed binary frames (see internal/wire): fixed
+// little-endian field layouts, chunk payloads carried as raw ranges the
+// server hands to the store without re-copying, and empty-success
+// responses for store-class verbs coalesced into batched ack frames.
+// Every request carries a client-chosen ID; responses may arrive out of
+// order, so a client can keep many requests in flight (pipelining) and
+// match responses by ID.
 package rpc
 
 import (

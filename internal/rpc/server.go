@@ -1,12 +1,11 @@
 package rpc
 
 import (
+	"bufio"
 	"context"
-	"encoding/gob"
-	"errors"
 	"fmt"
-	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -14,7 +13,35 @@ import (
 	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/node"
 	"sigmadedupe/internal/sderr"
+	"sigmadedupe/internal/wire"
 )
+
+// tuneConn sizes the kernel socket buffers for bulk frames: a whole
+// super-chunk store frame (default 1MB of payload) should fit in the
+// send buffer, so one frame costs one write syscall instead of several
+// partial writes interleaved with readiness waits.
+func tuneConn(conn net.Conn) {
+	type bufferedConn interface {
+		SetReadBuffer(int) error
+		SetWriteBuffer(int) error
+	}
+	if bc, ok := conn.(bufferedConn); ok {
+		bc.SetReadBuffer(2 << 20)
+		bc.SetWriteBuffer(2 << 20)
+	}
+}
+
+// splitAddr maps an rpc address to a net network/address pair. Addresses
+// are TCP ("host:port") unless prefixed with "unix:", which selects a
+// Unix domain socket — the cheaper transport for co-located node
+// deployments, where loopback TCP's protocol processing is pure
+// overhead on the bulk store path.
+func splitAddr(addr string) (network, address string) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return "unix", path
+	}
+	return "tcp", addr
+}
 
 // Server exposes one deduplication node over TCP. Each accepted
 // connection gets a reader goroutine; requests on a connection are served
@@ -64,7 +91,8 @@ func WithSeverAfter(n int) ServerOption {
 // NewServer wraps a deduplication node and listens on addr
 // (e.g. "127.0.0.1:0"). The returned server is already accepting.
 func NewServer(n *node.Node, addr string, opts ...ServerOption) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
+	network, address := splitAddr(addr)
+	ln, err := net.Listen(network, address)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: listen %s: %w", addr, err)
 	}
@@ -79,8 +107,15 @@ func NewServer(n *node.Node, addr string, opts ...ServerOption) (*Server, error)
 	return s, nil
 }
 
-// Addr returns the server's bound address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+// Addr returns the server's bound address, in the form Dial accepts
+// ("host:port", or "unix:/path" for a Unix domain socket listener).
+func (s *Server) Addr() string {
+	a := s.ln.Addr()
+	if a.Network() == "unix" {
+		return "unix:" + a.String()
+	}
+	return a.String()
+}
 
 // Node returns the wrapped deduplication node (for stats inspection).
 func (s *Server) Node() *node.Node { return s.node }
@@ -119,6 +154,7 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		tuneConn(conn)
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -138,47 +174,161 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	var wmu sync.Mutex
-	var responses int
+	// 64KB read buffer: small frames (queries, acks) coalesce, while the
+	// payload body of a big store frame exceeds the buffer and bufio
+	// passes the read straight through into the frame buffer — one copy
+	// of the bulk path instead of two.
+	br := bufio.NewReaderSize(conn, 64<<10)
+	if _, err := wire.ReadHandshake(br, wire.ProtoNode); err != nil {
+		return
+	}
+	if err := wire.WriteHandshake(conn, wire.ProtoNode); err != nil {
+		return
+	}
+	// Batched acks coalesce empty-success responses for the in-flight
+	// window into one frame, but the severAfter fault hook counts exact
+	// responses — with it armed, every call is answered individually so
+	// "die after the n-th response" stays precise.
+	w := &respWriter{
+		bw:         bufio.NewWriterSize(conn, 256<<10),
+		conn:       conn,
+		severAfter: s.severAfter,
+	}
+	// A fixed worker pool handles requests instead of one goroutine per
+	// request: the per-request spawn (goroutine + closure) was a top
+	// allocator on the ingest path. Pool depth comfortably exceeds any
+	// client's in-flight window, so request overlap is preserved; a full
+	// queue simply backpressures the read loop, which the window already
+	// bounds.
+	work := make(chan connWork, 2*connWorkers)
 	var handlers sync.WaitGroup
+	handlers.Add(connWorkers)
 	defer handlers.Wait()
-	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				// Connection-level decode error: drop the connection.
-				return
+	defer close(work)
+	for i := 0; i < connWorkers; i++ {
+		go func() {
+			defer handlers.Done()
+			for cw := range work {
+				s.handleRequest(connCtx, w, cw.req, cw.frame)
 			}
+		}()
+	}
+	for {
+		body, err := wire.ReadFrame(br, maxFrame)
+		if err != nil {
+			// Clean close, peer death, or a connection-level decode
+			// error: drop the connection either way.
 			return
 		}
-		handlers.Add(1)
-		go func(req Request) {
-			defer handlers.Done()
-			ctx := connCtx
-			if req.TimeoutMS > 0 {
-				var cancel context.CancelFunc
-				ctx, cancel = context.WithTimeout(connCtx, time.Duration(req.TimeoutMS)*time.Millisecond)
-				defer cancel()
-			}
-			resp := s.handle(ctx, req)
-			if connCtx.Err() != nil {
-				// The connection is gone; nobody can read this response.
-				return
-			}
-			wmu.Lock()
-			// Encoding errors mean the peer is gone; the read loop will
-			// notice and tear the connection down.
-			_ = enc.Encode(resp)
-			responses++
-			if s.severAfter > 0 && responses == s.severAfter {
-				// Fault injection: die mid-conversation, stranding every
-				// other in-flight call on this connection.
-				conn.Close()
-			}
-			wmu.Unlock()
-		}(req)
+		req, err := decodeRequest(body)
+		if err != nil {
+			wire.PutBuf(body)
+			return
+		}
+		work <- connWork{req: req, frame: body}
+	}
+}
+
+// connWorkers is the per-connection handler concurrency.
+const connWorkers = 8
+
+// connWork is one decoded request plus the pooled frame its chunk
+// payloads alias.
+type connWork struct {
+	req   Request
+	frame []byte
+}
+
+func (s *Server) handleRequest(connCtx context.Context, w *respWriter, req Request, frame []byte) {
+	// The request's chunk payloads alias the frame; it goes back
+	// to the pool only after the handler is fully done with it.
+	defer wire.PutBuf(frame)
+	ctx := connCtx
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(connCtx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	resp := s.handle(ctx, req)
+	if connCtx.Err() != nil {
+		// The connection is gone; nobody can read this response.
+		return
+	}
+	if w.severAfter == 0 && resp.Err == "" && ackEligible(req.Op) {
+		w.sendAck(resp.ID)
+	} else {
+		w.sendResponse(&resp)
+	}
+}
+
+// respWriter serializes response frames on one connection and coalesces
+// eligible acknowledgements: a handler appends its ID under a small lock,
+// and whichever handler wins the write lock drains everything that
+// accumulated into a single ack frame — one frame and one flush for a
+// whole in-flight window under load.
+type respWriter struct {
+	mu      sync.Mutex // serializes frame writes and flushes
+	bw      *bufio.Writer
+	conn    net.Conn
+	scratch []byte
+
+	amu  sync.Mutex // guards the pending ack batch
+	acks []uint64
+
+	severAfter int
+	responses  int // answered calls, counted under mu
+}
+
+func (w *respWriter) sendAck(id uint64) {
+	w.amu.Lock()
+	w.acks = append(w.acks, id)
+	w.amu.Unlock()
+	w.mu.Lock()
+	w.drainAcksLocked()
+	w.mu.Unlock()
+}
+
+// drainAcksLocked writes and flushes whatever acks have accumulated; a
+// concurrent sendAck whose ID was already drained finds the batch empty
+// and writes nothing. Write errors are ignored: the peer is gone and the
+// read loop will notice.
+func (w *respWriter) drainAcksLocked() {
+	w.amu.Lock()
+	ids := w.acks
+	w.acks = w.acks[len(w.acks):]
+	w.amu.Unlock()
+	if len(ids) == 0 {
+		return
+	}
+	w.scratch = appendAcks(w.scratch[:0], ids)
+	if wire.WriteFrame(w.bw, w.scratch) == nil {
+		_ = w.bw.Flush()
+	}
+	w.countLocked(len(ids))
+}
+
+func (w *respWriter) sendResponse(resp *Response) {
+	w.mu.Lock()
+	w.drainAcksLocked()
+	w.scratch = appendResponse(w.scratch[:0], resp)
+	if wire.WriteFrame(w.bw, w.scratch) == nil {
+		_ = w.bw.Flush()
+	}
+	w.countLocked(1)
+	w.mu.Unlock()
+}
+
+// countLocked advances the answered-call counter and fires the
+// severAfter fault hook: die mid-conversation right after the n-th
+// response, stranding every other in-flight call on this connection.
+func (w *respWriter) countLocked(n int) {
+	if w.severAfter <= 0 {
+		return
+	}
+	before := w.responses
+	w.responses += n
+	if before < w.severAfter && w.responses >= w.severAfter {
+		w.conn.Close()
 	}
 }
 

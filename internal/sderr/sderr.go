@@ -1,7 +1,7 @@
 // Package sderr is the shared error taxonomy of the Σ-Dedupe system:
 // the sentinel errors every layer dispatches on, the structured
 // BackupError carrying backup provenance, and the wire codec that lets
-// typed errors survive the string-only error field of the gob RPC
+// typed errors survive the string-only error field of the binary RPC
 // protocols (node RPC and director service alike).
 //
 // Internal packages wrap these sentinels (container.ErrNotFound wraps

@@ -412,8 +412,8 @@ func (e *Engine) StoreSuperChunk(stream string, sc *core.SuperChunk) (Result, er
 
 	// Index the handprint for future routing bids and prefetches, and
 	// journal the entries so recovery can rebuild the similarity index.
-	var fps []fingerprint.Fingerprint
-	var cids []uint64
+	fps := make([]fingerprint.Fingerprint, 0, len(hp))
+	cids := make([]uint64, 0, len(hp))
 	for _, rfp := range hp {
 		if cid, ok := rfpCID[rfp]; ok {
 			e.sim.Insert(rfp, cid)

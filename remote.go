@@ -46,6 +46,10 @@ type RemoteConfig struct {
 	// serial store path). Together with SuperChunkSize this caps a
 	// stream's peak buffered payload.
 	InflightSuperChunks int
+	// Fingerprint selects the chunk fingerprint hash (default
+	// FingerprintSHA1; FingerprintSHA256 is faster on CPUs with SHA
+	// extensions). All of a backend's clients must agree on it.
+	Fingerprint FingerprintAlgorithm
 }
 
 // Remote is the TCP-prototype Backend: source inline deduplication
@@ -248,6 +252,7 @@ func (r *Remote) newClient(ctx context.Context, cfg sessionConfig) (*client.Clie
 		HandprintK:          cfg.handprintK,
 		Pipeline:            pipeline.Config{Workers: cfg.workers},
 		InflightSuperChunks: cfg.inflight,
+		Algorithm:           r.cfg.Fingerprint.internal(),
 		Epoch:               epoch,
 	}, r.meta, addrs)
 	return c, epoch, err
@@ -708,6 +713,8 @@ func sessionStatsOf(c *client.Client) SessionStats {
 		SuperChunks:       st.SuperChunks,
 		Files:             st.Files,
 		PeakBufferedBytes: st.PeakBufferedBytes,
+		ChunkBufAllocs:    st.ChunkBufAllocs,
+		ChunkBufReuses:    st.ChunkBufReuses,
 	}
 }
 

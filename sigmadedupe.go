@@ -113,6 +113,10 @@ type ClusterConfig struct {
 	// CompactThreshold is the live-ratio floor below which a container is
 	// rewritten (default 0.5).
 	CompactThreshold float64
+	// Fingerprint selects the chunk fingerprint hash (default
+	// FingerprintSHA1; FingerprintSHA256 is faster on CPUs with SHA
+	// extensions).
+	Fingerprint FingerprintAlgorithm
 }
 
 // ClusterStats reports the simulator-specific effectiveness metrics of
@@ -180,7 +184,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg:       cfg,
 		inner:     inner,
 		exact:     cluster.NewExactTracker(),
-		algorithm: fingerprint.SHA1,
+		algorithm: cfg.Fingerprint.internal(),
 		fileIDs:   make(map[string]uint64),
 	}, nil
 }
@@ -569,6 +573,41 @@ type clusterSession struct {
 	// sessions take its mutex once per few thousand chunks instead of
 	// once per chunk.
 	exactBatch []core.ChunkRef
+	// bufs recycles chunk payload buffers on the metadata-only path
+	// (payloads are dead the moment they are fingerprinted); sessions
+	// run single-goroutine, so a plain free list suffices.
+	bufs simBufPool
+}
+
+// simBufPool is the simulator session's chunk buffer free list, with the
+// same alloc/reuse counters the prototype client reports.
+type simBufPool struct {
+	free   [][]byte
+	bufCap int
+	allocs int64
+	reuses int64
+}
+
+func (p *simBufPool) alloc(n int) []byte {
+	if n <= p.bufCap {
+		if k := len(p.free); k > 0 {
+			b := p.free[k-1]
+			p.free = p.free[:k-1]
+			p.reuses++
+			return b[:n]
+		}
+	}
+	p.allocs++
+	if n > p.bufCap {
+		return make([]byte, n)
+	}
+	return make([]byte, n, p.bufCap)
+}
+
+func (p *simBufPool) release(b []byte) {
+	if cap(b) >= p.bufCap && len(p.free) < 64 {
+		p.free = append(p.free, b[:0])
+	}
 }
 
 // exactBatchMax bounds the deferred exact-tracker batch (~4K refs,
@@ -583,7 +622,11 @@ func (s *clusterSession) flushExact() {
 }
 
 func (s *clusterSession) backup(ctx context.Context, name string, r io.Reader) error {
-	ck, err := chunker.New(s.cfg.chunk.Method.internal(), r, s.cfg.chunk.Size)
+	if s.bufs.bufCap == 0 {
+		s.bufs.bufCap = chunker.MaxChunkSize(s.cfg.chunk.Method.internal(), s.cfg.chunk.Size)
+	}
+	ck, err := chunker.New(s.cfg.chunk.Method.internal(), r, s.cfg.chunk.Size,
+		chunker.WithAllocator(s.bufs.alloc))
 	if err != nil {
 		return err
 	}
@@ -601,7 +644,12 @@ func (s *clusterSession) backup(ctx context.Context, name string, r io.Reader) e
 		}
 		ref := core.ChunkRef{FP: s.c.algorithm.Sum(chunk.Data), Size: chunk.Len()}
 		if keep {
+			// The stream retains the payload until its super-chunk is
+			// routed; the buffer cannot be recycled here.
 			ref.Data = chunk.Data
+		} else {
+			// Metadata-only simulation: the payload is dead once hashed.
+			s.bufs.release(chunk.Data)
 		}
 		s.exactBatch = append(s.exactBatch, core.ChunkRef{FP: ref.FP, Size: ref.Size})
 		if len(s.exactBatch) >= exactBatchMax {
@@ -664,14 +712,20 @@ func (s *clusterSession) flush(ctx context.Context) error {
 	return nil
 }
 
-func (s *clusterSession) stats() SessionStats { return s.st }
+func (s *clusterSession) stats() SessionStats {
+	st := s.st
+	st.ChunkBufAllocs = s.bufs.allocs
+	st.ChunkBufReuses = s.bufs.reuses
+	return st
+}
 
 func (s *clusterSession) close() error {
 	s.stream.Close()
 	return nil
 }
 
-// Server is a TCP deduplication server node.
+// Server is a socket-served deduplication server node (TCP, or a Unix
+// domain socket via ServerConfig.Addr's "unix:" scheme).
 type Server struct {
 	inner *rpc.Server
 }
@@ -680,7 +734,9 @@ type Server struct {
 type ServerConfig struct {
 	// ID is the node's cluster identity.
 	ID int
-	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	// Addr is the listen address: TCP ("127.0.0.1:0") by default, or a
+	// Unix domain socket when prefixed with "unix:" ("unix:/tmp/n0.sock")
+	// — the cheaper transport for co-located deployments.
 	Addr string
 	// Dir, when set, spills sealed containers to this directory and
 	// journals a recovery manifest; otherwise chunk payloads are kept in
