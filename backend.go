@@ -248,8 +248,18 @@ type SessionStats struct {
 	// allocation is O(InflightSuperChunks), not O(stream).
 	ChunkBufAllocs int64
 	// ChunkBufReuses counts chunk buffers recycled through the pool; it
-	// grows with the stream while ChunkBufAllocs stays flat.
+	// grows with the stream while ChunkBufAllocs stays flat. Restore
+	// contributes too: the prototype's batched restore writes chunks
+	// straight out of recycled RPC receive frames (one reuse per chunk),
+	// while the per-chunk path copies each payload (one alloc per chunk).
 	ChunkBufReuses int64
+	// RestoredBytes is payload bytes streamed back by Restore calls on
+	// this session's stream, and RestoreRPCs the read RPCs issued to
+	// serve them — one per chunk on the per-chunk path, one per node
+	// touched per window on the batched path. (Prototype only: the
+	// simulator restores in process.)
+	RestoredBytes int64
+	RestoreRPCs   int64
 }
 
 // BandwidthSaving returns the fraction of payload bytes source dedup

@@ -20,6 +20,7 @@
 //	sigma-bench [-json] [-mb 64] [-streams 4] recovery
 //	sigma-bench [-json] [-mb 32] [-streams 8] gc
 //	sigma-bench [-json] [-mb 32] [-nodes 3] -mode rebalance
+//	sigma-bench [-json] [-mb 32] [-nodes 4] [-generations 100] -mode age
 //
 // With -json every result is emitted as one JSON object per line
 // (machine-readable; suitable for tracking BENCH_*.json trajectories).
@@ -84,6 +85,7 @@ func run(args []string) error {
 	chunkSpec := fs.String("chunk", "", "stream: chunking as method:avgbytes (fixed|rabin|tttd|fastcdc; default fixed:4096)")
 	disk := fs.Bool("disk", false, "ingest: give every server a durable spill directory (containers + manifest on disk)")
 	streamsFlag := fs.Int("streams", 8, "nodeconc/recovery: maximum concurrent backup streams")
+	generations := fs.Int("generations", 100, "age: generational backups of the churning image")
 	mode := fs.String("mode", "", "run one experiment by name (alias for the positional argument, e.g. -mode stream)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,7 +95,7 @@ func run(args []string) error {
 		names = append(names, *mode)
 	}
 	if len(names) == 0 {
-		fmt.Printf("available experiments: %s, ingest, nodeconc, recovery, gc, stream, wire, rebalance, all\n", strings.Join(experiments.Names(), ", "))
+		fmt.Printf("available experiments: %s, ingest, nodeconc, recovery, gc, stream, wire, rebalance, age, all\n", strings.Join(experiments.Names(), ", "))
 		return nil
 	}
 	// The wire bench's headline number is defined at 64MB (the figure the
@@ -227,6 +229,20 @@ func run(args []string) error {
 			rep, err := runRebalance(*mb, *nodes)
 			if err != nil {
 				return fmt.Errorf("rebalance: %w", err)
+			}
+			if err := emit(rep); err != nil {
+				return err
+			}
+			continue
+		case "age":
+			rep, err := runAge(ageConfig{
+				Nodes:       *nodes,
+				ImageMB:     *mb,
+				Generations: *generations,
+				Seed:        *seed,
+			})
+			if err != nil {
+				return fmt.Errorf("age: %w", err)
 			}
 			if err := emit(rep); err != nil {
 				return err

@@ -44,6 +44,10 @@ import (
 // flight per backup stream.
 const DefaultInflightSuperChunks = 4
 
+// DefaultRestoreWindowBytes is the default payload budget of one restore
+// window — the unit of batched read scheduling (Config.RestoreWindowBytes).
+const DefaultRestoreWindowBytes = 8 << 20
+
 // Config parameterizes a backup client.
 type Config struct {
 	// Name identifies the client in backup sessions.
@@ -76,6 +80,16 @@ type Config struct {
 	// every chunk a fresh heap allocation — the pre-pooling behavior,
 	// kept as an A/B switch for allocation benchmarking.
 	DisableChunkPool bool
+	// PerChunkRestore selects the one-RPC-per-chunk restore path instead
+	// of the default windowed batch scheduler — the pre-batching
+	// behavior, kept as an A/B switch for restore benchmarking.
+	PerChunkRestore bool
+	// RestoreWindowBytes bounds the payload bytes of one restore window,
+	// the unit of batched read scheduling: each window becomes one
+	// OpReadBatch RPC per node it touches, and up to InflightSuperChunks
+	// windows are read ahead of the writer (default
+	// DefaultRestoreWindowBytes).
+	RestoreWindowBytes int64
 
 	// workersDefaulted records whether Pipeline.Workers was left zero by
 	// the caller: a defaulted pool may be widened for network-bound
@@ -106,6 +120,9 @@ func (c Config) withDefaults() Config {
 	c.Pipeline = c.Pipeline.WithDefaults()
 	if c.InflightSuperChunks <= 0 {
 		c.InflightSuperChunks = DefaultInflightSuperChunks
+	}
+	if c.RestoreWindowBytes <= 0 {
+		c.RestoreWindowBytes = DefaultRestoreWindowBytes
 	}
 	if c.Epoch == 0 {
 		c.Epoch = 1
@@ -145,9 +162,18 @@ type Stats struct {
 	// ChunkBufAllocs counts chunk payload buffers newly allocated from
 	// the heap; with pooling on it plateaus at roughly the in-flight
 	// window's chunk count — the allocation-cliff proof — while
-	// ChunkBufReuses grows with the stream.
+	// ChunkBufReuses grows with the stream. Restore contributes too: the
+	// per-chunk path copies every payload out of its response frame (one
+	// alloc per chunk), while the batched path writes straight from the
+	// pooled receive frames (one reuse per chunk).
 	ChunkBufAllocs int64
 	ChunkBufReuses int64
+	// RestoredBytes and RestoreRPCs instrument the restore path: payload
+	// bytes written back, and read RPCs issued to serve them (one per
+	// chunk on the per-chunk path; one per node touched per window on the
+	// batched path).
+	RestoredBytes int64
+	RestoreRPCs   int64
 }
 
 // BandwidthSaving returns the fraction of payload bytes the source dedup
@@ -549,8 +575,10 @@ func (c *Client) Close() error {
 func (c *Client) Stats() Stats {
 	st := c.stats
 	st.PeakBufferedBytes = c.peakBuffered.Load()
-	st.ChunkBufAllocs = c.bufs.allocs.Load()
-	st.ChunkBufReuses = c.bufs.reuses.Load()
+	// The pool counts the ingest side; restore's contributions accumulate
+	// directly in c.stats, so the two simply add.
+	st.ChunkBufAllocs += c.bufs.allocs.Load()
+	st.ChunkBufReuses += c.bufs.reuses.Load()
 	return st
 }
 
@@ -861,30 +889,43 @@ func (c *Client) restoreWorkers() int {
 	return w
 }
 
-// Restore streams a backed-up file to w, prefetching chunks from the
-// nodes recorded in its recipe with a bounded worker pool while writing
-// strictly in stream order. Canceling ctx aborts the prefetch pool and
-// every chunk read in flight.
+// Restore streams a backed-up file to w, reading ahead of the writer
+// while writing strictly in stream order. The default scheduler
+// partitions the recipe into byte-bounded windows (RestoreWindowBytes)
+// and fetches each window with one OpReadBatch RPC per node it touches —
+// the node reads every container once, sequentially — keeping up to
+// InflightSuperChunks windows in flight. Config.PerChunkRestore selects
+// the one-RPC-per-chunk path instead. Canceling ctx aborts the
+// read-ahead and every RPC in flight.
 func (c *Client) Restore(ctx context.Context, path string, w io.Writer) error {
 	recipe, err := c.dir.GetRecipe(ctx, path)
 	if err != nil {
 		return err
 	}
+	if c.cfg.PerChunkRestore {
+		return c.restorePerChunk(ctx, path, recipe.Chunks, w)
+	}
+	return c.restoreBatched(ctx, path, recipe.Chunks, w)
+}
+
+// restorePerChunk is the pre-batching restore scheduler: one OpReadChunk
+// RPC per recipe entry, prefetched by a bounded worker pool.
+func (c *Client) restorePerChunk(ctx context.Context, path string, entries []director.ChunkEntry, w io.Writer) error {
 	type job struct {
 		idx   int
 		entry director.ChunkEntry
 	}
 	g := pipeline.NewGroupCtx(ctx)
 	workers := c.restoreWorkers()
-	entries := pipeline.Produce(g, workers, func(yield func(job) bool) error {
-		for i, entry := range recipe.Chunks {
+	jobs := pipeline.Produce(g, workers, func(yield func(job) bool) error {
+		for i, entry := range entries {
 			if !yield(job{idx: i, entry: entry}) {
 				return nil
 			}
 		}
 		return nil
 	})
-	datas := pipeline.Map(g, entries, workers, 2*workers, func(j job) ([]byte, error) {
+	datas := pipeline.Map(g, jobs, workers, 2*workers, func(j job) ([]byte, error) {
 		conn, err := c.connByID(int(j.entry.Node))
 		if err != nil {
 			return nil, fmt.Errorf("client: restore %s: %w", path, err)
@@ -898,6 +939,165 @@ func (c *Client) Restore(ctx context.Context, path string, w io.Writer) error {
 	for data := range datas {
 		if _, err := w.Write(data); err != nil {
 			g.Fail(fmt.Errorf("client: restore %s: %w", path, err))
+			break
+		}
+		c.stats.RestoredBytes += int64(len(data))
+		c.stats.RestoreRPCs++
+		// ReadChunk hands back a fresh heap copy of the payload.
+		c.stats.ChunkBufAllocs++
+	}
+	return g.Wait()
+}
+
+// restoreWindow is one contiguous run of recipe entries scheduled as a
+// single round of per-node batched reads.
+type restoreWindow struct {
+	first   int // stream index of entries[0], for error attribution
+	entries []director.ChunkEntry
+}
+
+// windowResult is one fetched restore window: datas[i] is the payload of
+// entries[i], aliasing the pooled receive frames owned by batches. The
+// writer releases the batches after the last alias is written.
+type windowResult struct {
+	datas   [][]byte
+	batches []*rpc.ChunkBatch
+	bytes   int64
+	rpcs    int64
+}
+
+// fetchWindow issues one window's batched reads, one concurrent
+// OpReadBatch per node, deduplicating repeated fingerprints so a chunk
+// that recurs within the window crosses the wire once, and reassembles
+// the payloads in stream order.
+func (c *Client) fetchWindow(ctx context.Context, path string, win restoreWindow) (windowResult, error) {
+	type nodeReq struct {
+		conn *rpc.Client
+		fps  []fingerprint.Fingerprint
+		idx  map[fingerprint.Fingerprint]int
+	}
+	reqs := make(map[int32]*nodeReq)
+	for _, e := range win.entries {
+		nr := reqs[e.Node]
+		if nr == nil {
+			conn, err := c.connByID(int(e.Node))
+			if err != nil {
+				return windowResult{}, fmt.Errorf("client: restore %s: %w", path, err)
+			}
+			nr = &nodeReq{conn: conn, idx: make(map[fingerprint.Fingerprint]int)}
+			reqs[e.Node] = nr
+		}
+		if _, ok := nr.idx[e.FP]; !ok {
+			nr.idx[e.FP] = len(nr.fps)
+			nr.fps = append(nr.fps, e.FP)
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		batches = make(map[int32]*rpc.ChunkBatch, len(reqs))
+		firstNd int32
+		first   error
+	)
+	for nd, nr := range reqs {
+		wg.Add(1)
+		go func(nd int32, nr *nodeReq) {
+			defer wg.Done()
+			b, err := nr.conn.ReadBatch(ctx, nr.fps)
+			mu.Lock()
+			if err != nil {
+				if first == nil {
+					firstNd, first = nd, err
+				}
+			} else {
+				batches[nd] = b
+			}
+			mu.Unlock()
+		}(nd, nr)
+	}
+	wg.Wait()
+	if first != nil {
+		for _, b := range batches {
+			b.Release()
+		}
+		return windowResult{}, fmt.Errorf("client: restore %s chunks %d..%d: node %d: %w",
+			path, win.first, win.first+len(win.entries)-1, firstNd, first)
+	}
+
+	res := windowResult{
+		datas:   make([][]byte, len(win.entries)),
+		batches: make([]*rpc.ChunkBatch, 0, len(batches)),
+		rpcs:    int64(len(reqs)),
+	}
+	for _, b := range batches {
+		res.batches = append(res.batches, b)
+	}
+	for i, e := range win.entries {
+		nr := reqs[e.Node]
+		d := batches[e.Node].Data[nr.idx[e.FP]]
+		res.datas[i] = d
+		res.bytes += int64(len(d))
+	}
+	return res, nil
+}
+
+// restoreBatched is the windowed batch scheduler: the recipe is cut into
+// byte-bounded windows, up to InflightSuperChunks windows are fetched
+// ahead of the writer (fetchWindow), and payloads are written strictly
+// in stream order straight out of the pooled receive frames — no
+// per-chunk copy on the client.
+func (c *Client) restoreBatched(ctx context.Context, path string, entries []director.ChunkEntry, w io.Writer) error {
+	g := pipeline.NewGroupCtx(ctx)
+	workers := c.restoreWorkers()
+	if workers > c.cfg.InflightSuperChunks {
+		workers = c.cfg.InflightSuperChunks
+	}
+	budget := c.cfg.RestoreWindowBytes
+	wins := pipeline.Produce(g, workers, func(yield func(restoreWindow) bool) error {
+		start, size := 0, int64(0)
+		for i, e := range entries {
+			if i > start && size+int64(e.Size) > budget {
+				if !yield(restoreWindow{first: start, entries: entries[start:i]}) {
+					return nil
+				}
+				start, size = i, 0
+			}
+			size += int64(e.Size)
+		}
+		if start < len(entries) {
+			yield(restoreWindow{first: start, entries: entries[start:]})
+		}
+		return nil
+	})
+	results := pipeline.Map(g, wins, workers, workers, func(win restoreWindow) (windowResult, error) {
+		return c.fetchWindow(ctx, path, win)
+	})
+	for res := range results {
+		// The window's payloads are pinned (pooled frames) until written;
+		// account them like the backup window so PeakBufferedBytes keeps
+		// meaning "bytes the pipeline holds live at once".
+		c.addBuffered(res.bytes)
+		var werr error
+		for _, d := range res.datas {
+			if _, err := w.Write(d); err != nil {
+				werr = fmt.Errorf("client: restore %s: %w", path, err)
+				break
+			}
+		}
+		if werr == nil {
+			c.stats.RestoredBytes += res.bytes
+			c.stats.RestoreRPCs += res.rpcs
+			// Batched payloads are written straight out of the recycled
+			// receive frames: one buffer reuse per chunk delivered.
+			c.stats.ChunkBufReuses += int64(len(res.datas))
+		}
+		for _, b := range res.batches {
+			b.Release()
+		}
+		c.buffered.Add(-res.bytes)
+		if werr != nil {
+			g.Fail(werr)
 			break
 		}
 	}

@@ -96,34 +96,3 @@ func BenchmarkIngestRemoteLatency(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { benchIngest(b, addrs, 1, 1, 4<<20) })
 	b.Run("pipelined", func(b *testing.B) { benchIngest(b, addrs, 0, 0, 4<<20) })
 }
-
-// BenchmarkRestore measures the prefetching restore path.
-func BenchmarkRestore(b *testing.B) {
-	addrs := benchServers(b, 4, 0)
-	dir := director.New()
-	c, err := New(context.Background(), Config{Name: "bench", SuperChunkSize: 128 << 10}, dir, DenseNodes(addrs))
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer c.Close()
-	size := 8 << 20
-	content := randBytes(42, size)
-	if err := c.BackupFile(context.Background(), "/bench/restore", bytes.NewReader(content)); err != nil {
-		b.Fatal(err)
-	}
-	if err := c.Flush(context.Background()); err != nil {
-		b.Fatal(err)
-	}
-	b.SetBytes(int64(size))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var out bytes.Buffer
-		out.Grow(size)
-		if err := c.Restore(context.Background(), "/bench/restore", &out); err != nil {
-			b.Fatal(err)
-		}
-		if out.Len() != size {
-			b.Fatalf("restored %d bytes, want %d", out.Len(), size)
-		}
-	}
-}

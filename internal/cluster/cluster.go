@@ -785,28 +785,79 @@ func (c *Cluster) DeleteBackup(fileID uint64) error {
 	return nil
 }
 
-// RestoreBackup streams a tracked backup item to w, reading each chunk
-// of its recipe from the owning node in stream order. Requires
-// Config.TrackRecipes and nodes that retain payloads (KeepPayloads or a
-// durable Dir). A canceled ctx stops between chunks.
+// restoreWindowBytes is the payload budget of one simulator restore
+// window — the batch granularity of RestoreBackup's node reads.
+const restoreWindowBytes = 4 << 20
+
+// RestoreBackup streams a tracked backup item to w in stream order,
+// batching the recipe into byte-bounded windows and fetching each
+// window's chunks with one ReadChunkBatch per node — the node groups
+// them by container and reads each container once, sequentially.
+// Requires Config.TrackRecipes and nodes that retain payloads
+// (KeepPayloads or a durable Dir). A canceled ctx stops between windows.
 func (c *Cluster) RestoreBackup(ctx context.Context, fileID uint64, w io.Writer) error {
 	entries, ok := c.Recipe(fileID)
 	if !ok {
 		return fmt.Errorf("cluster: no tracked backup %d: %w", fileID, sderr.ErrNotFound)
 	}
-	for i, e := range entries {
+	for start := 0; start < len(entries); {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		nd, err := c.nodeByID(e.Node)
-		if err != nil {
-			return fmt.Errorf("cluster: restore backup %d chunk %d: %w", fileID, i, err)
+		end, size := start, int64(0)
+		for end < len(entries) && (end == start || size+int64(entries[end].Size) <= restoreWindowBytes) {
+			size += int64(entries[end].Size)
+			end++
 		}
-		data, err := nd.ReadChunk(e.FP)
-		if err != nil {
-			return fmt.Errorf("cluster: restore backup %d chunk %d: %w", fileID, i, err)
+		if err := c.restoreWindow(fileID, entries[start:end], start, w); err != nil {
+			return err
 		}
-		if _, err := w.Write(data); err != nil {
+		start = end
+	}
+	return nil
+}
+
+// restoreWindow fetches one window of recipe entries, one batched read
+// per node with repeated fingerprints deduplicated, and writes the
+// payloads in stream order.
+func (c *Cluster) restoreWindow(fileID uint64, entries []RecipeEntry, first int, w io.Writer) error {
+	type nodeReq struct {
+		fps  []fingerprint.Fingerprint
+		idx  map[fingerprint.Fingerprint]int
+		data [][]byte
+	}
+	reqs := make(map[int]*nodeReq)
+	for _, e := range entries {
+		nr := reqs[e.Node]
+		if nr == nil {
+			nr = &nodeReq{idx: make(map[fingerprint.Fingerprint]int)}
+			reqs[e.Node] = nr
+		}
+		if _, ok := nr.idx[e.FP]; !ok {
+			nr.idx[e.FP] = len(nr.fps)
+			nr.fps = append(nr.fps, e.FP)
+		}
+	}
+	for id, nr := range reqs {
+		nd, err := c.nodeByID(id)
+		if err != nil {
+			return fmt.Errorf("cluster: restore backup %d chunks %d..%d: %w",
+				fileID, first, first+len(entries)-1, err)
+		}
+		out, idx, err := nd.ReadChunkBatch(nr.fps)
+		if err != nil {
+			return fmt.Errorf("cluster: restore backup %d chunks %d..%d: %w",
+				fileID, first, first+len(entries)-1, err)
+		}
+		// Scatter the container-read-order results back to request order.
+		nr.data = make([][]byte, len(nr.fps))
+		for i, d := range out {
+			nr.data[idx[i]] = d
+		}
+	}
+	for _, e := range entries {
+		nr := reqs[e.Node]
+		if _, err := w.Write(nr.data[nr.idx[e.FP]]); err != nil {
 			return fmt.Errorf("cluster: restore backup %d: %w", fileID, err)
 		}
 	}

@@ -11,8 +11,10 @@
 // is opened when the stream's fills, and all disk accesses happen at
 // container granularity. Sealed containers are immutable. When a spill
 // directory is configured, sealed containers are persisted in the SDC1
-// format (CRC32-protected, see Encode) and an LRU of recently loaded
-// containers keeps restore from re-reading a container file per chunk.
+// format (CRC32-protected, see Encode) and a byte-budgeted region cache
+// retains the container ranges restore actually touched, so a batched
+// restore reads each container file once, sequentially, instead of once
+// per chunk.
 package container
 
 import (
@@ -35,10 +37,22 @@ import (
 // conventional container size in DDFS-style systems.
 const DefaultCapacity = 4 << 20
 
-// DefaultLoadedContainers is the default capacity (in containers) of the
-// loaded-container LRU that retains spilled containers read back from
-// disk. 16 containers × 4MB bounds it at 64MB of payload RAM.
-const DefaultLoadedContainers = 16
+// DefaultReadCacheBytes is the default byte budget of the read-region
+// cache that retains container ranges read back from disk (64MB, the
+// same bound the old 16-container loaded-container LRU gave).
+const DefaultReadCacheBytes = 64 << 20
+
+// readAheadBytes is how far past a single missed chunk ReadChunk extends
+// its disk read, admitting the following region on the theory that a
+// restore walking a recipe will want the neighbouring chunks of the same
+// container next (locality-preserved layout, paper §3.3).
+const readAheadBytes = 1 << 20
+
+// readGapMax is the largest hole between two wanted chunks that a
+// batched read will bridge with one sequential disk read rather than
+// splitting into two. Reading 256KB of dead bytes is cheaper than a
+// second seek, and the dead bytes are not admitted twice.
+const readGapMax = 256 << 10
 
 // ChunkMeta is one entry of a container's metadata section.
 type ChunkMeta struct {
@@ -108,11 +122,11 @@ type openStream struct {
 // methods are safe for concurrent use; appends on distinct streams
 // proceed in parallel.
 type Manager struct {
-	capacity int
-	keepData bool
-	dir      string // when non-empty, sealed containers are spilled here
-	lruCap   int
-	onSeal   func(SealRecord) error
+	capacity    int
+	keepData    bool
+	dir         string // when non-empty, sealed containers are spilled here
+	cacheBudget int64
+	onSeal      func(SealRecord) error
 
 	nextID atomic.Uint64
 
@@ -124,16 +138,31 @@ type Manager struct {
 	sealed    map[uint64]*Container  // metadata always resident
 	onDisk    map[uint64]bool
 
-	// lru retains recently loaded spilled containers (payloads) so restore
-	// and repeated Gets do not re-read the container file per call.
-	lruMu sync.Mutex
-	lruLL *list.List // of *Container; front = most recently used
-	lruIx map[uint64]*list.Element
+	// The read-region cache: a byte-budgeted LRU of container payload
+	// ranges read back from disk. Only the ranges a restore actually
+	// touched are admitted, so a few hot containers cannot be evicted by
+	// one cold scan the way whole-container retention allowed. Region
+	// buffers are immutable once inserted; ReadChunk and ReadChunks hand
+	// out sub-slices of them without copying.
+	rcMu     sync.Mutex
+	rcLL     *list.List // of *region; front = most recently used
+	rcIx     map[uint64][]*list.Element
+	rcUsed   int64
+	rcHits   atomic.Uint64
+	rcMisses atomic.Uint64
+	rcEvicts atomic.Uint64
 
 	readIOs   atomic.Uint64
 	writeIOs  atomic.Uint64
 	diskLoads atomic.Uint64
 	bytes     atomic.Int64
+}
+
+// region is one cached payload range [off, end) of a spilled container.
+type region struct {
+	cid      uint64
+	off, end int
+	data     []byte
 }
 
 // Option configures a Manager.
@@ -155,9 +184,10 @@ func WithDir(dir string) Option {
 	}
 }
 
-// WithLoadedLRU sets how many loaded spilled containers are retained in
-// RAM (0 disables retention; default DefaultLoadedContainers).
-func WithLoadedLRU(n int) Option { return func(m *Manager) { m.lruCap = n } }
+// WithReadCache sets the byte budget of the read-region cache that
+// retains container ranges read back from disk (0 disables retention;
+// default DefaultReadCacheBytes).
+func WithReadCache(n int64) Option { return func(m *Manager) { m.cacheBudget = n } }
 
 // WithSealHook registers fn to be invoked after every successful seal,
 // with the seal already durable (file written) but before the sealing
@@ -169,14 +199,14 @@ func WithSealHook(fn func(SealRecord) error) Option {
 // NewManager creates a container manager.
 func NewManager(opts ...Option) (*Manager, error) {
 	m := &Manager{
-		capacity:  DefaultCapacity,
-		lruCap:    DefaultLoadedContainers,
-		open:      make(map[string]*openStream),
-		openByCID: make(map[uint64]*openStream),
-		sealed:    make(map[uint64]*Container),
-		onDisk:    make(map[uint64]bool),
-		lruLL:     list.New(),
-		lruIx:     make(map[uint64]*list.Element),
+		capacity:    DefaultCapacity,
+		cacheBudget: DefaultReadCacheBytes,
+		open:        make(map[string]*openStream),
+		openByCID:   make(map[uint64]*openStream),
+		sealed:      make(map[uint64]*Container),
+		onDisk:      make(map[uint64]bool),
+		rcLL:        list.New(),
+		rcIx:        make(map[uint64][]*list.Element),
 	}
 	for _, o := range opts {
 		o(m)
@@ -331,8 +361,11 @@ func (m *Manager) sealStream(s *openStream) error {
 
 // Get returns a sealed container. Each call counts one container read I/O,
 // the unit of disk access in the locality-preserved caching design.
-// Spilled containers are served from the loaded-container LRU when
-// resident; otherwise the file is read back (one disk load) and retained.
+// Spilled containers are read back in full (one disk load, CRC-verified)
+// on every call and NOT retained: this is the non-caching read path used
+// by background scans — chiefly the compactor — so a cold full-container
+// sweep cannot evict restore's region-cache working set. Restore goes
+// through ReadChunk/ReadChunks, which do cache.
 func (m *Manager) Get(cid uint64) (*Container, error) {
 	m.mu.RLock()
 	c, ok := m.sealed[cid]
@@ -345,50 +378,102 @@ func (m *Manager) Get(cid uint64) (*Container, error) {
 	if !disk || c.Data != nil {
 		return c, nil
 	}
-	if lc := m.lruGet(cid); lc != nil {
-		return lc, nil
-	}
-	loaded, err := m.load(cid)
-	if err != nil {
-		return nil, err
-	}
-	m.lruPut(loaded)
-	return loaded, nil
+	return m.load(cid)
 }
 
-// lruGet returns the retained loaded copy of cid, refreshing its LRU
-// position, or nil.
-func (m *Manager) lruGet(cid uint64) *Container {
-	m.lruMu.Lock()
-	defer m.lruMu.Unlock()
-	el, ok := m.lruIx[cid]
-	if !ok {
-		return nil
+// cacheGet returns a cached slice covering [off, end) of cid's payload,
+// refreshing the covering region's LRU position.
+func (m *Manager) cacheGet(cid uint64, off, end int) ([]byte, bool) {
+	if m.cacheBudget <= 0 {
+		return nil, false
 	}
-	m.lruLL.MoveToFront(el)
-	return el.Value.(*Container)
+	m.rcMu.Lock()
+	defer m.rcMu.Unlock()
+	for _, el := range m.rcIx[cid] {
+		r := el.Value.(*region)
+		if r.off <= off && end <= r.end {
+			m.rcLL.MoveToFront(el)
+			return r.data[off-r.off : end-r.off], true
+		}
+	}
+	return nil, false
 }
 
-// lruPut retains a loaded container, evicting the least recently used one
-// beyond capacity. A concurrent load of the same cid wins idempotently.
-func (m *Manager) lruPut(c *Container) {
-	if m.lruCap <= 0 {
+// cacheAdmit retains data as the payload range [off, off+len(data)) of
+// cid, evicting least-recently-used regions past the byte budget. The
+// buffer must be freshly allocated and is owned by the cache (and by any
+// aliases already handed out) from here on.
+func (m *Manager) cacheAdmit(cid uint64, off int, data []byte) {
+	n := int64(len(data))
+	if m.cacheBudget <= 0 || n == 0 || n > m.cacheBudget {
 		return
 	}
-	m.lruMu.Lock()
-	defer m.lruMu.Unlock()
-	if _, ok := m.lruIx[c.ID]; ok {
-		return
-	}
-	for m.lruLL.Len() >= m.lruCap {
-		back := m.lruLL.Back()
+	m.rcMu.Lock()
+	defer m.rcMu.Unlock()
+	for m.rcUsed+n > m.cacheBudget {
+		back := m.rcLL.Back()
 		if back == nil {
 			break
 		}
-		m.lruLL.Remove(back)
-		delete(m.lruIx, back.Value.(*Container).ID)
+		m.evictLocked(back)
 	}
-	m.lruIx[c.ID] = m.lruLL.PushFront(c)
+	r := &region{cid: cid, off: off, end: off + len(data), data: data}
+	m.rcIx[cid] = append(m.rcIx[cid], m.rcLL.PushFront(r))
+	m.rcUsed += n
+}
+
+// evictLocked removes one region (rcMu held).
+func (m *Manager) evictLocked(el *list.Element) {
+	r := m.rcLL.Remove(el).(*region)
+	m.rcUsed -= int64(len(r.data))
+	m.rcEvicts.Add(1)
+	els := m.rcIx[r.cid]
+	for i, e := range els {
+		if e == el {
+			els[i] = els[len(els)-1]
+			els = els[:len(els)-1]
+			break
+		}
+	}
+	if len(els) == 0 {
+		delete(m.rcIx, r.cid)
+	} else {
+		m.rcIx[r.cid] = els
+	}
+}
+
+// cacheDrop discards every cached region of cid (container retired).
+func (m *Manager) cacheDrop(cid uint64) {
+	m.rcMu.Lock()
+	defer m.rcMu.Unlock()
+	for _, el := range m.rcIx[cid] {
+		r := m.rcLL.Remove(el).(*region)
+		m.rcUsed -= int64(len(r.data))
+	}
+	delete(m.rcIx, cid)
+}
+
+// CacheStats reports the read-region cache counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	UsedBytes int64
+	Budget    int64
+}
+
+// ReadCacheStats snapshots the read-region cache counters.
+func (m *Manager) ReadCacheStats() CacheStats {
+	m.rcMu.Lock()
+	used := m.rcUsed
+	m.rcMu.Unlock()
+	return CacheStats{
+		Hits:      m.rcHits.Load(),
+		Misses:    m.rcMisses.Load(),
+		Evictions: m.rcEvicts.Load(),
+		UsedBytes: used,
+		Budget:    m.cacheBudget,
+	}
 }
 
 // Metadata returns only the metadata section of a container. For sealed
@@ -434,23 +519,158 @@ func copyMeta(meta []ChunkMeta) []ChunkMeta {
 	return out
 }
 
+// sealedFor resolves loc's sealed container, reporting whether its
+// payload lives on disk.
+func (m *Manager) sealedFor(cid uint64) (*Container, bool, error) {
+	m.mu.RLock()
+	c, ok := m.sealed[cid]
+	disk := m.onDisk[cid]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, false, fmt.Errorf("%w: container %d", ErrNotFound, cid)
+	}
+	return c, disk, nil
+}
+
+// dataStart returns the file offset of c's payload section in its SDC1
+// spill file (fixed header plus the metadata table, which is always
+// resident, so spilled chunk ranges can be read with one positioned read
+// and no decode).
+func dataStart(c *Container) int64 { return int64(20 + len(c.Meta)*28) }
+
+// readRange reads [off, end) of c's spilled payload with one positioned
+// read. Range reads skip the whole-file CRC check — integrity-critical
+// paths (recovery, compaction) still go through Get/load, which verify.
+func (m *Manager) readRange(c *Container, off, end int) ([]byte, error) {
+	f, err := os.Open(m.path(c.ID))
+	if err != nil {
+		return nil, fmt.Errorf("container: read %d: %w", c.ID, err)
+	}
+	defer f.Close()
+	buf := make([]byte, end-off)
+	if _, err := f.ReadAt(buf, dataStart(c)+int64(off)); err != nil {
+		return nil, fmt.Errorf("container: read %d [%d:%d): %w", c.ID, off, end, err)
+	}
+	m.diskLoads.Add(1)
+	return buf, nil
+}
+
 // ReadChunk fetches one chunk payload by location. Only valid when
-// payloads are retained (in memory or on disk).
+// payloads are retained (in memory or on disk). The returned slice
+// aliases manager-owned memory (the resident payload or a cached region)
+// and must not be modified; callers that need ownership copy it.
 func (m *Manager) ReadChunk(loc Loc) ([]byte, error) {
-	c, err := m.Get(loc.CID)
+	c, disk, err := m.sealedFor(loc.CID)
 	if err != nil {
 		return nil, err
 	}
-	if c.Data == nil {
-		return nil, fmt.Errorf("container %d: payloads not retained", loc.CID)
+	m.readIOs.Add(1)
+	off, end := int(loc.Offset), int(loc.Offset)+int(loc.Length)
+	if !disk || c.Data != nil {
+		if c.Data == nil {
+			return nil, fmt.Errorf("container %d: payloads not retained", loc.CID)
+		}
+		if end > len(c.Data) {
+			return nil, fmt.Errorf("%w: chunk at %d+%d in container %d (%d bytes)",
+				ErrNotFound, loc.Offset, loc.Length, loc.CID, len(c.Data))
+		}
+		return c.Data[off:end], nil
 	}
-	end := int(loc.Offset) + int(loc.Length)
-	if end > len(c.Data) {
+	if end > c.bytes {
 		return nil, fmt.Errorf("%w: chunk at %d+%d in container %d (%d bytes)",
-			ErrNotFound, loc.Offset, loc.Length, loc.CID, len(c.Data))
+			ErrNotFound, loc.Offset, loc.Length, loc.CID, c.bytes)
 	}
-	out := make([]byte, loc.Length)
-	copy(out, c.Data[loc.Offset:end])
+	if b, ok := m.cacheGet(loc.CID, off, end); ok {
+		m.rcHits.Add(1)
+		return b, nil
+	}
+	m.rcMisses.Add(1)
+	// Miss: read ahead past the chunk so the neighbouring region of this
+	// container is resident for the next recipe entries.
+	aEnd := end
+	if m.cacheBudget > 0 {
+		if aEnd = off + readAheadBytes; aEnd < end {
+			aEnd = end
+		}
+		if aEnd > c.bytes {
+			aEnd = c.bytes
+		}
+	}
+	data, err := m.readRange(c, off, aEnd)
+	if err != nil {
+		return nil, err
+	}
+	m.cacheAdmit(loc.CID, off, data)
+	return data[:end-off], nil
+}
+
+// ReadChunks fetches a batch of chunk payloads from one container, in
+// the given order. Locations must be sorted by offset; adjacent wants
+// separated by at most readGapMax are coalesced into a single sequential
+// disk read, so a restore batch costs one positioned read per fragmented
+// run instead of one per chunk. Returned slices alias manager-owned
+// memory exactly like ReadChunk's.
+func (m *Manager) ReadChunks(cid uint64, locs []Loc) ([][]byte, error) {
+	if len(locs) == 0 {
+		return nil, nil
+	}
+	c, disk, err := m.sealedFor(cid)
+	if err != nil {
+		return nil, err
+	}
+	m.readIOs.Add(1)
+	out := make([][]byte, len(locs))
+	if !disk || c.Data != nil {
+		if c.Data == nil {
+			return nil, fmt.Errorf("container %d: payloads not retained", cid)
+		}
+		for i, loc := range locs {
+			end := int(loc.Offset) + int(loc.Length)
+			if end > len(c.Data) {
+				return nil, fmt.Errorf("%w: chunk at %d+%d in container %d (%d bytes)",
+					ErrNotFound, loc.Offset, loc.Length, cid, len(c.Data))
+			}
+			out[i] = c.Data[loc.Offset:end]
+		}
+		return out, nil
+	}
+	for i, loc := range locs {
+		if i > 0 && loc.Offset < locs[i-1].Offset {
+			return nil, fmt.Errorf("container %d: batch locations not sorted", cid)
+		}
+		if int(loc.Offset)+int(loc.Length) > c.bytes {
+			return nil, fmt.Errorf("%w: chunk at %d+%d in container %d (%d bytes)",
+				ErrNotFound, loc.Offset, loc.Length, cid, c.bytes)
+		}
+	}
+	// Coalesce the sorted wants into sequential runs and serve each run
+	// through the region cache with one disk read on miss.
+	for s := 0; s < len(locs); {
+		t := s
+		runEnd := int(locs[s].Offset) + int(locs[s].Length)
+		for t+1 < len(locs) && int(locs[t+1].Offset)-runEnd <= readGapMax {
+			t++
+			if e := int(locs[t].Offset) + int(locs[t].Length); e > runEnd {
+				runEnd = e
+			}
+		}
+		runOff := int(locs[s].Offset)
+		data, ok := m.cacheGet(cid, runOff, runEnd)
+		if ok {
+			m.rcHits.Add(1)
+		} else {
+			m.rcMisses.Add(1)
+			if data, err = m.readRange(c, runOff, runEnd); err != nil {
+				return nil, err
+			}
+			m.cacheAdmit(cid, runOff, data)
+		}
+		for k := s; k <= t; k++ {
+			off := int(locs[k].Offset) - runOff
+			out[k] = data[off : off+int(locs[k].Length)]
+		}
+		s = t + 1
+	}
 	return out, nil
 }
 
@@ -500,12 +720,7 @@ func (m *Manager) Retire(cid uint64) error {
 	delete(m.onDisk, cid)
 	m.mu.Unlock()
 
-	m.lruMu.Lock()
-	if el, ok := m.lruIx[cid]; ok {
-		m.lruLL.Remove(el)
-		delete(m.lruIx, cid)
-	}
-	m.lruMu.Unlock()
+	m.cacheDrop(cid)
 
 	m.bytes.Add(-int64(c.bytes))
 	if disk {
@@ -543,9 +758,9 @@ func (m *Manager) Stats() (readIOs, writeIOs uint64, storedBytes int64) {
 	return m.readIOs.Load(), m.writeIOs.Load(), m.bytes.Load()
 }
 
-// DiskLoads reports how many container files were actually read back from
-// disk (readIOs counts container-granularity accesses; this counts the
-// subset that missed the loaded-container LRU).
+// DiskLoads reports how many disk reads of container payloads actually
+// happened (readIOs counts container-granularity accesses; this counts
+// the subset that went to disk — full loads plus region-cache misses).
 func (m *Manager) DiskLoads() uint64 { return m.diskLoads.Load() }
 
 // IsSealed reports whether cid refers to a sealed container. An unknown

@@ -304,50 +304,157 @@ func TestMetadataOnlySpillRoundTrip(t *testing.T) {
 	}
 }
 
-// TestLoadedContainerLRU verifies Get stops re-reading a spilled
-// container file on every call: repeated Gets of the same container hit
-// the loaded-container LRU, and an LRU of capacity 1 evicts on rotation.
-func TestLoadedContainerLRU(t *testing.T) {
-	m, err := NewManager(WithCapacity(4096), WithDir(t.TempDir()), WithLoadedLRU(1))
+// TestReadRegionCache verifies ReadChunk stops re-reading a spilled
+// container file on every call: a miss admits the read-ahead region, a
+// repeat serves from cache, and the byte budget evicts LRU regions.
+func TestReadRegionCache(t *testing.T) {
+	// Budget holds exactly two 4KB containers' worth of regions.
+	m, err := NewManager(WithCapacity(4096), WithDir(t.TempDir()), WithReadCache(8192))
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(13))
-	var cids []uint64
-	for i := 0; i < 2; i++ {
+	var locs []Loc
+	var datas [][]byte
+	for i := 0; i < 3; i++ {
 		data, fp := chunk(rng, 4096)
 		loc, err := m.Append("s", fp, data, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cids = append(cids, loc.CID)
+		locs = append(locs, loc)
+		datas = append(datas, data)
 	}
 	if err := m.SealAll(); err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 5; i++ {
-		if _, err := m.Get(cids[0]); err != nil {
+	read := func(i int) {
+		t.Helper()
+		got, err := m.ReadChunk(locs[i])
+		if err != nil {
 			t.Fatal(err)
 		}
+		if !bytes.Equal(got, datas[i]) {
+			t.Fatalf("chunk %d differs after region-cache read", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		read(0)
 	}
 	if got := m.DiskLoads(); got != 1 {
-		t.Fatalf("DiskLoads after 5 Gets of one container = %d, want 1 (LRU retention)", got)
+		t.Fatalf("DiskLoads after 5 reads of one chunk = %d, want 1 (region retained)", got)
 	}
-	// Alternate between the two containers: capacity 1 forces a reload
-	// per switch.
-	if _, err := m.Get(cids[1]); err != nil {
+	st := m.ReadCacheStats()
+	if st.Hits != 4 || st.Misses != 1 {
+		t.Fatalf("cache hits/misses = %d/%d, want 4/1", st.Hits, st.Misses)
+	}
+	// Fill the budget with the second container, then overflow it with
+	// the third: the least recently used region (container 0) evicts and
+	// re-reading it misses again.
+	read(1)
+	read(2)
+	read(0)
+	st = m.ReadCacheStats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions after exceeding the byte budget: %+v", st)
+	}
+	if got := m.DiskLoads(); got != 4 {
+		t.Fatalf("DiskLoads after eviction churn = %d, want 4", got)
+	}
+	if st.UsedBytes > st.Budget {
+		t.Fatalf("cache used %d bytes over budget %d", st.UsedBytes, st.Budget)
+	}
+}
+
+// TestReadChunksCoalesce: a batched read of many chunks from one spilled
+// container coalesces into a single sequential disk read, and a repeat
+// batch is served entirely from the region cache.
+func TestReadChunksCoalesce(t *testing.T) {
+	m, err := NewManager(WithCapacity(1<<16), WithDir(t.TempDir()))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Get(cids[0]); err != nil {
+	rng := rand.New(rand.NewSource(21))
+	var locs []Loc
+	var datas [][]byte
+	for i := 0; i < 8; i++ {
+		data, fp := chunk(rng, 3000)
+		loc, err := m.Append("s", fp, data, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		locs = append(locs, loc)
+		datas = append(datas, data)
+	}
+	if err := m.SealAll(); err != nil {
 		t.Fatal(err)
 	}
-	if got := m.DiskLoads(); got != 3 {
-		t.Fatalf("DiskLoads after eviction churn = %d, want 3", got)
+	// Want every other chunk: the 3000-byte holes are far below readGapMax,
+	// so the batch must still coalesce into one disk read.
+	want := []Loc{locs[0], locs[2], locs[4], locs[6]}
+	got, err := m.ReadChunks(want[0].CID, want)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// readIOs still counts every container-granularity access.
-	reads, _, _ := m.Stats()
-	if reads != 7 {
-		t.Fatalf("readIOs = %d, want 7", reads)
+	for i, j := range []int{0, 2, 4, 6} {
+		if !bytes.Equal(got[i], datas[j]) {
+			t.Fatalf("batched chunk %d differs", j)
+		}
+	}
+	if dl := m.DiskLoads(); dl != 1 {
+		t.Fatalf("DiskLoads after one batch = %d, want 1 (coalesced run)", dl)
+	}
+	// The admitted run covers the holes too, so the in-between chunks are
+	// cache hits — no further disk reads. (Chunk 7 lies past the first
+	// run's end and would miss, so it is not part of this batch.)
+	rest := []Loc{locs[1], locs[3], locs[5]}
+	got, err = m.ReadChunks(rest[0].CID, rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range []int{1, 3, 5} {
+		if !bytes.Equal(got[i], datas[j]) {
+			t.Fatalf("batched chunk %d differs", j)
+		}
+	}
+	if dl := m.DiskLoads(); dl != 1 {
+		t.Fatalf("DiskLoads after cached batch = %d, want 1", dl)
+	}
+	if _, err := m.ReadChunks(locs[0].CID, []Loc{locs[2], locs[0]}); err == nil {
+		t.Fatal("unsorted batch locations should fail")
+	}
+}
+
+// TestGetUncached: Get is the compactor's non-caching read path — full
+// loads never populate the region cache and re-read the file every time.
+func TestGetUncached(t *testing.T) {
+	m, err := NewManager(WithCapacity(4096), WithDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	data, fp := chunk(rng, 4096)
+	loc, err := m.Append("s", fp, data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SealAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c, err := m.Get(loc.CID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c.Data, data) {
+			t.Fatal("Get payload differs")
+		}
+	}
+	if dl := m.DiskLoads(); dl != 3 {
+		t.Fatalf("DiskLoads after 3 Gets = %d, want 3 (uncached)", dl)
+	}
+	if st := m.ReadCacheStats(); st.UsedBytes != 0 {
+		t.Fatalf("Get populated the region cache: %+v", st)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"sigmadedupe/internal/container"
 	"sigmadedupe/internal/core"
 	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/store"
@@ -54,9 +55,10 @@ type Config struct {
 	// (default store.DefaultShards; 1 restores the single-store-lock
 	// behavior for A/B benchmarking).
 	StoreShards int
-	// LoadedContainers bounds the LRU of spilled containers loaded back
-	// into RAM during restore and prefetch.
-	LoadedContainers int
+	// ReadCacheBytes is the byte budget of the container read-region
+	// cache that serves restore reads of spilled containers. Zero selects
+	// the default (store/container defaults table).
+	ReadCacheBytes int64
 	// Recover re-opens the engine from Dir, replaying the manifest to
 	// restore the node's pre-shutdown state. Requires Dir.
 	Recover bool
@@ -82,7 +84,7 @@ func (c Config) storeConfig() store.Config {
 		KeepPayloads:      c.KeepPayloads,
 		Dir:               c.Dir,
 		Shards:            c.StoreShards,
-		LoadedContainers:  c.LoadedContainers,
+		ReadCacheBytes:    c.ReadCacheBytes,
 		CompactEvery:      c.CompactEvery,
 		CompactThreshold:  c.CompactThreshold,
 	}
@@ -144,7 +146,7 @@ func New(cfg Config) (*Node, error) {
 	cfg.ContainerCapacity = eff.ContainerCapacity
 	cfg.ExpectedChunks = eff.ExpectedChunks
 	cfg.StoreShards = eff.Shards
-	cfg.LoadedContainers = eff.LoadedContainers
+	cfg.ReadCacheBytes = eff.ReadCacheBytes
 	cfg.CompactThreshold = eff.CompactThreshold
 	return &Node{cfg: cfg, eng: eng}, nil
 }
@@ -201,6 +203,20 @@ func (n *Node) QuerySuperChunk(sc *core.SuperChunk) []bool {
 // KeepPayloads or Dir.
 func (n *Node) ReadChunk(fp fingerprint.Fingerprint) ([]byte, error) {
 	return n.eng.ReadChunk(fp)
+}
+
+// ReadChunkBatch fetches many chunk payloads in one call, grouped by
+// container and sorted by offset so each container is read once,
+// sequentially. Results come back in container read order; idx[i] is the
+// position in fps that out[i] answers. See store.Engine.ReadChunkBatch.
+func (n *Node) ReadChunkBatch(fps []fingerprint.Fingerprint) (out [][]byte, idx []int, err error) {
+	return n.eng.ReadChunkBatch(fps)
+}
+
+// ReadCacheStats snapshots the container read-region cache counters
+// (restore instrumentation).
+func (n *Node) ReadCacheStats() container.CacheStats {
+	return n.eng.ReadCacheStats()
 }
 
 // DecRef releases backup references on chunks: fps[i] loses ns[i]

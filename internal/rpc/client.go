@@ -144,28 +144,43 @@ func (c *Client) readLoop() {
 }
 
 // dispatchFrame decodes one inbound frame and delivers it to the waiting
-// call(s). The pooled frame is released here; response chunk payloads
-// are copied out first because callers (ReadChunk, MigrateRead) retain
-// them past the call.
+// call(s). Payload-free frames release the pooled buffer here; a
+// payload-carrying response instead transfers frame ownership to the
+// waiting call (Response.frame), so restore payloads are consumed as
+// zero-copy aliases of the receive buffer and the buffer returns to the
+// pool only after the caller is done with them (ReleaseFrame).
 func (c *Client) dispatchFrame(body []byte) error {
-	defer wire.PutBuf(body)
 	if len(body) == 0 {
+		wire.PutBuf(body)
 		return fmt.Errorf("%w: empty frame", wire.ErrMalformed)
 	}
 	switch body[0] {
 	case frameResponse:
 		resp, err := decodeResponse(body)
 		if err != nil {
+			wire.PutBuf(body)
 			return err
 		}
+		carries := false
 		for i := range resp.Chunks {
 			if resp.Chunks[i].Data != nil {
-				resp.Chunks[i].Data = append([]byte(nil), resp.Chunks[i].Data...)
+				carries = true
+				break
 			}
 		}
-		c.deliver(resp)
+		if carries {
+			resp.frame = body
+			if !c.deliver(resp) {
+				// Abandoned call: nobody will ever release the frame.
+				wire.PutBuf(body)
+			}
+		} else {
+			wire.PutBuf(body)
+			c.deliver(resp)
+		}
 		return nil
 	case frameAcks:
+		defer wire.PutBuf(body)
 		ids, err := decodeAcks(body)
 		if err != nil {
 			return err
@@ -175,11 +190,14 @@ func (c *Client) dispatchFrame(body []byte) error {
 		}
 		return nil
 	default:
+		wire.PutBuf(body)
 		return fmt.Errorf("%w: unknown frame kind %d", wire.ErrMalformed, body[0])
 	}
 }
 
-func (c *Client) deliver(resp Response) {
+// deliver hands resp to its waiting call, reporting whether a call was
+// still registered to receive it.
+func (c *Client) deliver(resp Response) bool {
 	c.mu.Lock()
 	ch, ok := c.pend[resp.ID]
 	if ok {
@@ -189,6 +207,7 @@ func (c *Client) deliver(resp Response) {
 	if ok {
 		ch <- resp
 	}
+	return ok
 }
 
 // Call issues one request and waits for its response. A context deadline
@@ -366,16 +385,76 @@ func (c *Client) Store(ctx context.Context, stream string, sc *core.SuperChunk, 
 	return err
 }
 
-// ReadChunk fetches one chunk payload by fingerprint (restore path).
+// ReadChunk fetches one chunk payload by fingerprint (restore path). The
+// returned slice is owned by the caller (copied out of the receive
+// frame); batched restores use ReadBatch, which avoids the copy.
 func (c *Client) ReadChunk(ctx context.Context, fp fingerprint.Fingerprint) ([]byte, error) {
 	resp, err := c.Call(ctx, Request{Op: OpReadChunk, Chunks: []ChunkWire{{FP: fp}}})
+	defer resp.ReleaseFrame()
 	if err != nil {
 		return nil, err
 	}
 	if len(resp.Chunks) != 1 {
 		return nil, fmt.Errorf("rpc: read chunk: got %d payloads", len(resp.Chunks))
 	}
-	return resp.Chunks[0].Data, nil
+	return append([]byte(nil), resp.Chunks[0].Data...), nil
+}
+
+// ChunkBatch is the result of one ReadBatch call: Data[i] is the payload
+// of the i-th requested fingerprint. The payloads alias the pooled
+// receive frame — the caller must invoke Release exactly once, after the
+// data has been written out, to recycle the buffer.
+type ChunkBatch struct {
+	Data  [][]byte
+	Bytes int64 // total payload bytes
+	frame []byte
+}
+
+// Release returns the batch's receive frame to the buffer pool. The
+// Data slices are invalid afterwards. Safe to call more than once.
+func (b *ChunkBatch) Release() {
+	if b.frame != nil {
+		wire.PutBuf(b.frame)
+		b.frame = nil
+		b.Data = nil
+	}
+}
+
+// ReadBatch fetches a batch of chunk payloads in one round trip — the
+// client side of the batched restore path. The server reads each
+// involved container once, sequentially; the response's read-order
+// payloads are scattered back into request order here via Response.Idx.
+// The caller bounds total batch bytes well below the frame limit (the
+// restore scheduler windows by recipe sizes).
+func (c *Client) ReadBatch(ctx context.Context, fps []fingerprint.Fingerprint) (*ChunkBatch, error) {
+	chunks := make([]ChunkWire, len(fps))
+	for i, fp := range fps {
+		chunks[i] = ChunkWire{FP: fp}
+	}
+	resp, err := c.Call(ctx, Request{Op: OpReadBatch, Chunks: chunks})
+	if err != nil {
+		resp.ReleaseFrame()
+		return nil, err
+	}
+	if len(resp.Chunks) != len(fps) || len(resp.Idx) != len(resp.Chunks) {
+		resp.ReleaseFrame()
+		return nil, fmt.Errorf("rpc: read batch: got %d payloads, %d tags, want %d",
+			len(resp.Chunks), len(resp.Idx), len(fps))
+	}
+	out := make([][]byte, len(fps))
+	var total int64
+	for i := range resp.Chunks {
+		j := int(resp.Idx[i])
+		if j >= len(out) || out[j] != nil {
+			resp.ReleaseFrame()
+			return nil, fmt.Errorf("rpc: read batch: bad request-index tag %d", j)
+		}
+		out[j] = resp.Chunks[i].Data
+		total += int64(len(resp.Chunks[i].Data))
+	}
+	b := &ChunkBatch{Data: out, Bytes: total, frame: resp.frame}
+	resp.frame = nil // ownership moved to the batch
+	return b, nil
 }
 
 // Flush seals the server's open containers.
@@ -404,6 +483,7 @@ func (c *Client) MigrateRead(ctx context.Context, fps []fingerprint.Fingerprint)
 		chunks[i] = ChunkWire{FP: fp}
 	}
 	resp, err := c.Call(ctx, Request{Op: OpMigrateRead, Chunks: chunks})
+	defer resp.ReleaseFrame()
 	if err != nil {
 		return nil, err
 	}
@@ -412,7 +492,7 @@ func (c *Client) MigrateRead(ctx context.Context, fps []fingerprint.Fingerprint)
 	}
 	out := make([][]byte, len(resp.Chunks))
 	for i, ch := range resp.Chunks {
-		out[i] = ch.Data
+		out[i] = append([]byte(nil), ch.Data...)
 	}
 	return out, nil
 }

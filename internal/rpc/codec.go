@@ -128,7 +128,8 @@ func responseSize(resp *Response) int {
 		4 + len(resp.Dup) +
 		4 + len(resp.Counts)*8 +
 		4 + len(resp.Chunks)*(fingerprint.Size+8) +
-		8*8 + 8*8 + 6*8 // Stats, GC, Compacted
+		8*8 + 8*8 + 6*8 + // Stats, GC, Compacted
+		4 + len(resp.Idx)*4
 	for i := range resp.Chunks {
 		n += len(resp.Chunks[i].Data)
 	}
@@ -170,6 +171,10 @@ func appendResponse(b []byte, resp *Response) []byte {
 	b = wire.AppendI64(b, resp.Compacted.CopiedBytes)
 	b = wire.AppendI64(b, resp.Compacted.ReclaimedBytes)
 	b = wire.AppendI64(b, int64(resp.Compacted.SkippedNoPayload))
+	b = wire.AppendU32(b, uint32(len(resp.Idx)))
+	for _, ix := range resp.Idx {
+		b = wire.AppendU32(b, ix)
+	}
 	return b
 }
 
@@ -221,10 +226,28 @@ func decodeResponse(body []byte) (Response, error) {
 		ReclaimedBytes:   r.I64(),
 		SkippedNoPayload: int(r.I64()),
 	}
+	if n := r.Count(4); n > 0 {
+		resp.Idx = make([]uint32, n)
+		for i := 0; i < n; i++ {
+			resp.Idx[i] = r.U32()
+		}
+	}
 	if err := r.Done(); err != nil {
 		return Response{}, fmt.Errorf("rpc: decode response: %w", err)
 	}
 	return resp, nil
+}
+
+// ReleaseFrame returns the pooled receive frame this response took
+// ownership of (payload-carrying responses on the client side) — callers
+// that alias Chunks' Data must invoke it exactly once, after the data has
+// been consumed or copied. A no-op on responses without a frame.
+func (r *Response) ReleaseFrame() {
+	if r.frame != nil {
+		wire.PutBuf(r.frame)
+		r.frame = nil
+		r.Chunks = nil // aliases are invalid once the frame is pooled
+	}
 }
 
 // appendAcks encodes a batched-ack frame for the given request IDs.

@@ -62,6 +62,13 @@ const (
 	// OpRefCounts fetches the node's current reference count per chunk
 	// fingerprint (migration recovery's reconciliation probe).
 	OpRefCounts
+	// OpReadBatch fetches a batch of chunk payloads in one round trip
+	// (batched restore). The node groups the requested fingerprints by
+	// container via its chunk index and reads each container once,
+	// sequentially; the response returns payloads in that read order,
+	// with Response.Idx tagging each one with the index of the request
+	// chunk it answers.
+	OpReadBatch
 )
 
 // ChunkWire is one chunk on the wire: fingerprint, size and (for store
@@ -119,4 +126,13 @@ type Response struct {
 	GC store.GCStats
 	// Compacted is populated for OpCompact.
 	Compacted store.CompactResult
+	// Idx tags each entry of Chunks with the index of the request chunk
+	// it answers. Populated for OpReadBatch, whose payloads come back in
+	// container read order rather than request order.
+	Idx []uint32
+
+	// frame, when non-nil, is the pooled receive buffer that Chunks'
+	// payloads alias (client side only; never encoded). Whoever consumes
+	// the response must call ReleaseFrame exactly once.
+	frame []byte
 }

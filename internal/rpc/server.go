@@ -372,6 +372,28 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 			resp.Chunks = append(resp.Chunks, ChunkWire{FP: ch.FP, Size: int32(len(data)), Data: data})
 		}
 
+	case OpReadBatch:
+		// Batched restore: one container-aware sweep instead of a read per
+		// fingerprint. Payloads come back in the node's container read
+		// order; Idx tags each with its request position. The payload
+		// slices alias node-owned cache memory — safe, because the
+		// response writer copies them into its encode scratch.
+		fps := make([]fingerprint.Fingerprint, len(req.Chunks))
+		for i, ch := range req.Chunks {
+			fps[i] = ch.FP
+		}
+		datas, idxs, err := s.node.ReadChunkBatch(fps)
+		if err != nil {
+			resp.Err = sderr.Encode(err)
+			break
+		}
+		resp.Chunks = make([]ChunkWire, len(datas))
+		resp.Idx = make([]uint32, len(datas))
+		for i, data := range datas {
+			resp.Chunks[i] = ChunkWire{FP: fps[idxs[i]], Size: int32(len(data)), Data: data}
+			resp.Idx[i] = uint32(idxs[i])
+		}
+
 	case OpMigrateWrite:
 		sc := wireToSuperChunk(req.Chunks)
 		if _, err := s.node.StoreSuperChunk(req.Stream, sc); err != nil {

@@ -37,6 +37,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"sigmadedupe/internal/container"
@@ -177,28 +178,20 @@ func (e *Engine) compactContainer(cid uint64) (copied int64, err error) {
 		totalBytes += int64(cm.Length)
 	}
 
-	// Phase 1: take each chunk's verdict under its shard lock — the same
-	// lock the store path's lookup-or-append holds — and act on it while
-	// still holding it. Survivors are copied (the chunk index keeps
-	// pointing at the old container, so reads are undisturbed until the
-	// repoint). Dead chunks have their index entry dropped *now*: were the
-	// entry left behind, a store arriving after this verdict but before
-	// the retire would resurrect a copy whose container is about to be
-	// deleted — a live chunk pointing at a dead file. With the entry gone,
-	// such a store appends the chunk fresh instead.
-	//
-	// The container payload is loaded lazily on the first survivor, so a
-	// fully-dead container retires without a disk read — and a
-	// metadata-only container (trace-driven durable mode, whose survivors
-	// cannot be moved) is skipped without repeatedly re-reading its file
-	// and churning the loaded-container LRU on every scan.
-	type move struct {
+	// Phase 1a: take each chunk's verdict under its shard lock — the same
+	// lock the store path's lookup-or-append holds. Survivors are
+	// collected together with their last-touch sequence number; dead
+	// chunks have their index entry dropped *now*: were the entry left
+	// behind, a store arriving after this verdict but before the retire
+	// would resurrect a copy whose container is about to be deleted — a
+	// live chunk pointing at a dead file. With the entry gone, such a
+	// store appends the chunk fresh instead.
+	type survivor struct {
 		fp     fingerprint.Fingerprint
 		oldLoc container.Loc
-		newLoc container.Loc
+		seq    uint64 // last time a stored backup took a reference
 	}
-	var moves []move
-	var old *container.Container
+	var survivors []survivor
 	for _, cm := range meta {
 		oldLoc := container.Loc{CID: cid, Offset: cm.Offset, Length: cm.Length}
 		sh := e.shardFor(cm.FP)
@@ -216,28 +209,73 @@ func (e *Engine) compactContainer(cid uint64) (copied int64, err error) {
 			sh.mu.Unlock()
 			continue
 		}
-		if old == nil {
-			if e.cfg.Dir != "" && !e.cfg.KeepPayloads {
-				// Known metadata-only spill: nothing to load.
-				sh.mu.Unlock()
-				return copied, fmt.Errorf("store node %d: compact container %d: %w", e.cfg.NodeID, cid, errNoPayload)
-			}
-			if old, err = e.containers.Get(cid); err != nil {
-				sh.mu.Unlock()
-				return copied, fmt.Errorf("store node %d: compact container %d: %w", e.cfg.NodeID, cid, err)
-			}
-		}
-		if old.Data == nil {
-			sh.mu.Unlock()
+		seq := sh.touch[cm.FP]
+		sh.mu.Unlock()
+		survivors = append(survivors, survivor{fp: cm.FP, oldLoc: oldLoc, seq: seq})
+	}
+
+	// A fully-dead container retires without a disk read; a metadata-only
+	// container (trace-driven durable mode, whose survivors cannot be
+	// moved) is skipped before touching its file.
+	var old *container.Container
+	if len(survivors) > 0 {
+		if e.cfg.Dir != "" && !e.cfg.KeepPayloads {
 			return copied, fmt.Errorf("store node %d: compact container %d: %w", e.cfg.NodeID, cid, errNoPayload)
 		}
+		// One full, CRC-verified load through the non-caching read path
+		// (container.Manager.Get): a background rewrite must not evict
+		// restore's region-cache working set.
+		if old, err = e.containers.Get(cid); err != nil {
+			return copied, fmt.Errorf("store node %d: compact container %d: %w", e.cfg.NodeID, cid, err)
+		}
+		if old.Data == nil {
+			return copied, fmt.Errorf("store node %d: compact container %d: %w", e.cfg.NodeID, cid, errNoPayload)
+		}
+	}
+
+	// Capping (restore-aware compaction): copy survivors in last-touch
+	// order rather than old container order. Chunks the most recent
+	// backup generations referenced last — in recipe order, since the
+	// store path touches a stream's chunks sequentially — end up
+	// co-located and sequential in the new container, so an aged restore
+	// of a recent backup re-sequentializes instead of inheriting years of
+	// accumulated fragmentation. Untouched survivors (recovered state,
+	// seq 0) keep their original container order via the stable sort.
+	sort.SliceStable(survivors, func(a, b int) bool { return survivors[a].seq < survivors[b].seq })
+
+	// Phase 1b: copy each survivor, re-taking its verdict under the shard
+	// lock so the copy stays atomic with respect to concurrent stores and
+	// decrefs (the verdict and the append happen under one critical
+	// section, exactly like the store path's lookup-or-append).
+	type move struct {
+		fp     fingerprint.Fingerprint
+		oldLoc container.Loc
+		newLoc container.Loc
+	}
+	var moves []move
+	for _, sv := range survivors {
+		sh := e.shardFor(sv.fp)
+		sh.mu.Lock()
+		curLoc, ok := e.cidx.Peek(sv.fp)
+		if !ok || curLoc != sv.oldLoc {
+			sh.mu.Unlock()
+			continue
+		}
+		if sh.refs[sv.fp] <= 0 {
+			// Died between the verdict and the copy: same treatment as in
+			// phase 1a — drop the entry, the payload dies with the container.
+			e.cidx.Delete(sv.fp)
+			sh.mu.Unlock()
+			continue
+		}
+		cm := sv.oldLoc
 		data := old.Data[int(cm.Offset) : int(cm.Offset)+int(cm.Length)]
-		newLoc, aerr := e.containers.Append(compactStream, cm.FP, data, int(cm.Length))
+		newLoc, aerr := e.containers.Append(compactStream, sv.fp, data, int(cm.Length))
 		sh.mu.Unlock()
 		if aerr != nil {
 			return copied, fmt.Errorf("store node %d: compact container %d: %w", e.cfg.NodeID, cid, aerr)
 		}
-		moves = append(moves, move{fp: cm.FP, oldLoc: oldLoc, newLoc: newLoc})
+		moves = append(moves, move{fp: sv.fp, oldLoc: sv.oldLoc, newLoc: newLoc})
 		copied += int64(cm.Length)
 	}
 	if err := e.faultAt(StageCopied, cid); err != nil {

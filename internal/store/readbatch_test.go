@@ -1,0 +1,152 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/fingerprint"
+)
+
+// TestReadChunkBatchAcrossContainers stores chunks spread over several
+// sealed containers and reads them back in one batch with the request
+// order shuffled and one fingerprint repeated. The batch may come back
+// in container read order, but the (out, idx) pairing must map every
+// payload to the request position it answers.
+func TestReadChunkBatchAcrossContainers(t *testing.T) {
+	e, err := New(Config{Dir: t.TempDir(), KeepPayloads: true, ContainerCapacity: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(50))
+	// 16KB containers and 4KB chunks: 12 chunks force at least 3 containers.
+	sc := makeSC(rng, 12, true)
+	if _, err := e.StoreSuperChunk("s", sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Manager().NumSealed(); got < 3 {
+		t.Fatalf("%d sealed containers, want >= 3", got)
+	}
+
+	fps := make([]fingerprint.Fingerprint, len(sc.Chunks))
+	for i, ch := range sc.Chunks {
+		fps[i] = ch.FP
+	}
+	rng.Shuffle(len(fps), func(i, j int) { fps[i], fps[j] = fps[j], fps[i] })
+	fps = append(fps, fps[0]) // duplicate request positions are legal
+
+	byFP := make(map[fingerprint.Fingerprint][]byte, len(sc.Chunks))
+	for _, ch := range sc.Chunks {
+		byFP[ch.FP] = ch.Data
+	}
+
+	out, idx, err := e.ReadChunkBatch(fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(fps) || len(idx) != len(fps) {
+		t.Fatalf("batch returned %d payloads / %d indices, want %d", len(out), len(idx), len(fps))
+	}
+	answered := make([]bool, len(fps))
+	for k, data := range out {
+		i := idx[k]
+		if i < 0 || i >= len(fps) || answered[i] {
+			t.Fatalf("idx[%d] = %d: out of range or answered twice", k, i)
+		}
+		answered[i] = true
+		if !bytes.Equal(data, byFP[fps[i]]) {
+			t.Fatalf("payload %d does not match fps[%d]", k, i)
+		}
+	}
+
+	// One unknown fingerprint fails the whole batch.
+	bad := append(append([]fingerprint.Fingerprint(nil), fps[:2]...), fingerprint.Sum([]byte("ghost")))
+	if _, _, err := e.ReadChunkBatch(bad); err == nil {
+		t.Fatal("batch with a missing fingerprint should fail")
+	}
+}
+
+// TestCompactOrdersSurvivorsByRecency is the capping contract: a
+// rewritten container lays its survivors out in last-touch order, so the
+// chunks the most recent backups still reference — the ones the next
+// restore will read together — end up physically adjacent.
+func TestCompactOrdersSurvivorsByRecency(t *testing.T) {
+	e, err := New(Config{Dir: t.TempDir(), KeepPayloads: true, ContainerCapacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(51))
+	sc := makeSC(rng, 8, true)
+	if _, err := e.StoreSuperChunk("s", sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	oldCID, ok := e.cidx.Lookup(sc.Chunks[0].FP)
+	if !ok {
+		t.Fatal("stored chunk missing from the chunk index")
+	}
+
+	// A newer backup re-references chunks 5, 2, 7 in that order,
+	// advancing their last-touch sequence past the untouched survivors.
+	touched := &core.SuperChunk{}
+	for _, i := range []int{5, 2, 7} {
+		touched.Chunks = append(touched.Chunks, sc.Chunks[i])
+	}
+	if _, err := e.StoreSuperChunk("s2", touched); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill chunks 0 and 4 so the container drops below full liveness and
+	// compaction rewrites it.
+	dead := []fingerprint.Fingerprint{sc.Chunks[0].FP, sc.Chunks[4].FP}
+	if err := e.DecRef(dead, []int64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Compact(context.Background(), 1.0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected physical order: untouched survivors in their original
+	// store order (1, 3, 6), then the re-touched ones in touch order
+	// (5, 2, 7).
+	wantOrder := []int{1, 3, 6, 5, 2, 7}
+	var lastOffset int64 = -1
+	var newCID uint64
+	for n, i := range wantOrder {
+		loc, ok := e.cidx.Lookup(sc.Chunks[i].FP)
+		if !ok {
+			t.Fatalf("survivor %d lost from the chunk index", i)
+		}
+		if loc.CID == oldCID.CID {
+			t.Fatalf("survivor %d still lives in the retired container", i)
+		}
+		if n == 0 {
+			newCID = loc.CID
+		} else if loc.CID != newCID {
+			t.Fatalf("survivors split across containers %d and %d", newCID, loc.CID)
+		}
+		if int64(loc.Offset) <= lastOffset {
+			t.Fatalf("survivor %d at offset %d breaks last-touch order (prev %d)", i, loc.Offset, lastOffset)
+		}
+		lastOffset = int64(loc.Offset)
+		data, err := e.ReadChunk(sc.Chunks[i].FP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, sc.Chunks[i].Data) {
+			t.Fatalf("survivor %d corrupted by compaction", i)
+		}
+	}
+	for _, fp := range dead {
+		if _, err := e.ReadChunk(fp); err == nil {
+			t.Fatal("dead chunk still readable after compaction")
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,9 +89,10 @@ type Config struct {
 	// rounded up to a power of two. 1 degenerates to a single store lock
 	// (the pre-engine behavior, kept for A/B benchmarking).
 	Shards int
-	// LoadedContainers bounds the LRU of spilled containers loaded back
-	// into RAM during restore and prefetch.
-	LoadedContainers int
+	// ReadCacheBytes is the byte budget of the read-region cache that
+	// serves restore reads of spilled containers (replaces the old
+	// whole-container LRU). Zero selects the default.
+	ReadCacheBytes int64
 	// CompactEvery, when positive, runs a background compactor that
 	// periodically rewrites sealed containers whose live-chunk ratio has
 	// dropped below CompactThreshold. Zero leaves compaction manual
@@ -120,8 +122,8 @@ func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = DefaultShards
 	}
-	if c.LoadedContainers <= 0 {
-		c.LoadedContainers = container.DefaultLoadedContainers
+	if c.ReadCacheBytes <= 0 {
+		c.ReadCacheBytes = container.DefaultReadCacheBytes
 	}
 	if c.CompactThreshold <= 0 || c.CompactThreshold >= 1 {
 		c.CompactThreshold = DefaultCompactThreshold
@@ -159,7 +161,13 @@ type Result struct {
 type shard struct {
 	mu   sync.Mutex
 	refs map[fingerprint.Fingerprint]int64
-	_    [48]byte
+	// touch records the engine-wide sequence number of the last time a
+	// stored super-chunk took a reference on each chunk. Compaction sorts
+	// a container's survivors by it (capping): chunks the most recent
+	// backup generations touched last are co-located in recipe order, so
+	// an aged restore reads them back sequentially.
+	touch map[fingerprint.Fingerprint]uint64
+	_     [48]byte
 }
 
 // Engine is a per-node storage engine. All methods are safe for
@@ -174,6 +182,9 @@ type Engine struct {
 
 	shards    []shard
 	shardMask uint64
+
+	// touchSeq is the engine-wide recency clock behind shard.touch.
+	touchSeq atomic.Uint64
 
 	superChunks   atomic.Int64
 	logicalBytes  atomic.Int64
@@ -245,6 +256,7 @@ func newEngine(cfg Config) (*Engine, error) {
 	}
 	for i := range e.shards {
 		e.shards[i].refs = make(map[fingerprint.Fingerprint]int64)
+		e.shards[i].touch = make(map[fingerprint.Fingerprint]uint64)
 	}
 	return e, nil
 }
@@ -258,7 +270,7 @@ func (e *Engine) gcEnabled() bool { return e.cidx != nil }
 func (e *Engine) managerOpts() []container.Option {
 	opts := []container.Option{
 		container.WithCapacity(e.cfg.ContainerCapacity),
-		container.WithLoadedLRU(e.cfg.LoadedContainers),
+		container.WithReadCache(e.cfg.ReadCacheBytes),
 	}
 	if e.cfg.KeepPayloads {
 		opts = append(opts, container.WithPayloads())
@@ -463,6 +475,7 @@ func (e *Engine) lookupOrAppend(stream string, ch core.ChunkRef, local map[finge
 		if gc {
 			sh.mu.Lock()
 			sh.refs[ch.FP]++
+			sh.touch[ch.FP] = e.touchSeq.Add(1)
 			sh.mu.Unlock()
 		}
 		return cid, true, nil
@@ -476,6 +489,7 @@ func (e *Engine) lookupOrAppend(stream string, ch core.ChunkRef, local map[finge
 		e.cacheHits.Add(1)
 		if gc {
 			sh.refs[ch.FP]++
+			sh.touch[ch.FP] = e.touchSeq.Add(1)
 		}
 		return cid, true, nil
 	}
@@ -499,6 +513,7 @@ func (e *Engine) lookupOrAppend(stream string, ch core.ChunkRef, local map[finge
 					e.gcMu.Unlock()
 				}
 				sh.refs[ch.FP]++
+				sh.touch[ch.FP] = e.touchSeq.Add(1)
 			}
 			return loc.CID, true, nil
 		}
@@ -521,6 +536,7 @@ func (e *Engine) lookupOrAppend(stream string, ch core.ChunkRef, local map[finge
 	}
 	if gc {
 		sh.refs[ch.FP]++
+		sh.touch[ch.FP] = e.touchSeq.Add(1)
 	}
 	local[ch.FP] = loc.CID
 	return loc.CID, false, nil
@@ -638,6 +654,81 @@ func (e *Engine) ReadChunk(fp fingerprint.Fingerprint) ([]byte, error) {
 		}
 	}
 	return nil, fmt.Errorf("store node %d: %w", e.cfg.NodeID, lastErr)
+}
+
+// ReadChunkBatch fetches many chunk payloads in one call — the node side
+// of the batched restore path. The fingerprints are looked up in the
+// chunk index, grouped by container and sorted by offset, so each
+// container is read once, sequentially, no matter how the recipe
+// scattered its chunks. Results come back in container read order:
+// idx[i] is the position in fps that out[i] answers. A container moved
+// by a concurrent compaction mid-batch degrades those chunks to the
+// per-chunk retry of ReadChunk rather than failing the batch.
+func (e *Engine) ReadChunkBatch(fps []fingerprint.Fingerprint) (out [][]byte, idx []int, err error) {
+	if e.cidx == nil {
+		return nil, nil, fmt.Errorf("store node %d: restore requires the chunk index", e.cfg.NodeID)
+	}
+	type want struct {
+		loc container.Loc
+		i   int
+	}
+	wants := make([]want, len(fps))
+	for i, fp := range fps {
+		loc, ok := e.cidx.Lookup(fp)
+		if !ok {
+			return nil, nil, fmt.Errorf("store node %d: chunk %s: %w", e.cfg.NodeID, fp.Short(), container.ErrNotFound)
+		}
+		wants[i] = want{loc, i}
+	}
+	sort.Slice(wants, func(a, b int) bool {
+		if wants[a].loc.CID != wants[b].loc.CID {
+			return wants[a].loc.CID < wants[b].loc.CID
+		}
+		return wants[a].loc.Offset < wants[b].loc.Offset
+	})
+	out = make([][]byte, 0, len(wants))
+	idx = make([]int, 0, len(wants))
+	for s := 0; s < len(wants); {
+		cid := wants[s].loc.CID
+		t := s
+		for t < len(wants) && wants[t].loc.CID == cid {
+			t++
+		}
+		locs := make([]container.Loc, t-s)
+		for k := s; k < t; k++ {
+			locs[k-s] = wants[k].loc
+		}
+		datas, rerr := e.containers.ReadChunks(cid, locs)
+		if rerr != nil {
+			if !errors.Is(rerr, container.ErrNotFound) && !errors.Is(rerr, os.ErrNotExist) {
+				return nil, nil, fmt.Errorf("store node %d: %w", e.cfg.NodeID, rerr)
+			}
+			// The container vanished under us (compaction retired it):
+			// fall back to per-chunk reads, which re-resolve through the
+			// chunk index.
+			for k := s; k < t; k++ {
+				data, cerr := e.ReadChunk(fps[wants[k].i])
+				if cerr != nil {
+					return nil, nil, cerr
+				}
+				out = append(out, data)
+				idx = append(idx, wants[k].i)
+			}
+			s = t
+			continue
+		}
+		for k, data := range datas {
+			out = append(out, data)
+			idx = append(idx, wants[s+k].i)
+		}
+		s = t
+	}
+	return out, idx, nil
+}
+
+// ReadCacheStats snapshots the container read-region cache counters.
+func (e *Engine) ReadCacheStats() container.CacheStats {
+	return e.containers.ReadCacheStats()
 }
 
 // CountHandprintMatches reports how many representative fingerprints of
@@ -789,6 +880,7 @@ func (e *Engine) DecRef(fps []fingerprint.Fingerprint, ns []int64) error {
 		sh.refs[fp] -= ns[i]
 		if sh.refs[fp] <= 0 {
 			delete(sh.refs, fp)
+			delete(sh.touch, fp)
 			if loc, ok := e.cidx.Peek(fp); ok {
 				e.gcMu.Lock()
 				e.dead[loc.CID] += int64(loc.Length)

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAgingDeterministicChurn(t *testing.T) {
+	cfg := AgingConfig{Seed: 7, Blocks: 256, ChurnPercent: 0.05}
+	a, b := NewAging(cfg), NewAging(cfg)
+	var prev Item
+	for gen := 0; gen < 10; gen++ {
+		ia, ib := a.Next(), b.Next()
+		if ia.Name != ib.Name || !bytes.Equal(Materialize(ia), Materialize(ib)) {
+			t.Fatalf("gen %d: two streams with the same config diverged", gen)
+		}
+		if len(ia.Blocks) != cfg.Blocks {
+			t.Fatalf("gen %d: image size changed: %d blocks", gen, len(ia.Blocks))
+		}
+		if gen > 0 {
+			changed := 0
+			for i := range ia.Blocks {
+				if ia.Blocks[i] != prev.Blocks[i] {
+					changed++
+				}
+			}
+			want := int(cfg.ChurnPercent * float64(cfg.Blocks))
+			if changed == 0 || changed > want {
+				t.Fatalf("gen %d: %d blocks changed, want 1..%d", gen, changed, want)
+			}
+		}
+		prev = ia
+	}
+	if a.Generation() != 10 {
+		t.Fatalf("Generation() = %d, want 10", a.Generation())
+	}
+	if got := prev.Name; got != "gen0009" {
+		t.Fatalf("last generation name = %q, want gen0009", got)
+	}
+}
+
+func TestAgingFreshBlocksAreNew(t *testing.T) {
+	a := NewAging(AgingConfig{Seed: 3, Blocks: 64, ChurnPercent: 0.1})
+	seen := make(map[uint64]bool)
+	for _, s := range a.Next().Blocks {
+		seen[s] = true
+	}
+	first := len(seen)
+	if first != 64 {
+		t.Fatalf("generation 0 has %d unique blocks, want 64", first)
+	}
+	it := a.Next()
+	fresh := 0
+	for _, s := range it.Blocks {
+		if !seen[s] {
+			fresh++
+			seen[s] = true
+		}
+	}
+	if fresh == 0 {
+		t.Fatal("generation 1 rewrote no positions with fresh blocks")
+	}
+}

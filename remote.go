@@ -50,6 +50,16 @@ type RemoteConfig struct {
 	// FingerprintSHA1; FingerprintSHA256 is faster on CPUs with SHA
 	// extensions). All of a backend's clients must agree on it.
 	Fingerprint FingerprintAlgorithm
+	// PerChunkRestore selects the one-RPC-per-chunk restore path instead
+	// of the default windowed batch scheduler — the pre-batching
+	// behavior, kept as an A/B switch for restore benchmarking.
+	PerChunkRestore bool
+	// RestoreWindowBytes bounds the payload bytes of one restore window,
+	// the unit of batched read scheduling: each window becomes one
+	// batched read RPC per node it touches, and up to
+	// InflightSuperChunks windows are read ahead of the writer
+	// (default 8MB).
+	RestoreWindowBytes int64
 }
 
 // Remote is the TCP-prototype Backend: source inline deduplication
@@ -254,6 +264,8 @@ func (r *Remote) newClient(ctx context.Context, cfg sessionConfig) (*client.Clie
 		InflightSuperChunks: cfg.inflight,
 		Algorithm:           r.cfg.Fingerprint.internal(),
 		Epoch:               epoch,
+		PerChunkRestore:     r.cfg.PerChunkRestore,
+		RestoreWindowBytes:  r.cfg.RestoreWindowBytes,
 	}, r.meta, addrs)
 	return c, epoch, err
 }
@@ -715,6 +727,8 @@ func sessionStatsOf(c *client.Client) SessionStats {
 		PeakBufferedBytes: st.PeakBufferedBytes,
 		ChunkBufAllocs:    st.ChunkBufAllocs,
 		ChunkBufReuses:    st.ChunkBufReuses,
+		RestoredBytes:     st.RestoredBytes,
+		RestoreRPCs:       st.RestoreRPCs,
 	}
 }
 

@@ -756,6 +756,10 @@ type ServerConfig struct {
 	// CompactThreshold is the live-ratio floor below which a container is
 	// rewritten (default 0.5).
 	CompactThreshold float64
+	// ReadCacheBytes is the byte budget of the node's container
+	// read-region cache, which serves restore reads of spilled containers
+	// (default 64MB). Only meaningful with Dir set.
+	ReadCacheBytes int64
 }
 
 // StartServer launches a deduplication server node.
@@ -768,6 +772,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		Recover:          cfg.Recover,
 		CompactEvery:     cfg.CompactEvery,
 		CompactThreshold: cfg.CompactThreshold,
+		ReadCacheBytes:   cfg.ReadCacheBytes,
 	}
 	n, err := node.New(ncfg)
 	if err != nil {
@@ -815,6 +820,30 @@ func (s *Server) Compact(ctx context.Context, threshold float64) (GCResult, erro
 
 // GCStats returns the node's garbage-collection counters.
 func (s *Server) GCStats() GCStats { return toGCStats(s.inner.Node().GCStats()) }
+
+// ReadCacheStats reports a node's container read-region cache counters:
+// restore reads served from cached container ranges (Hits) versus disk
+// (Misses), ranges evicted under the byte budget, and current occupancy.
+type ReadCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	UsedBytes int64
+	Budget    int64
+}
+
+// ReadCacheStats snapshots the server node's read-region cache counters
+// (restore instrumentation; see ServerConfig.ReadCacheBytes).
+func (s *Server) ReadCacheStats() ReadCacheStats {
+	cs := s.inner.Node().ReadCacheStats()
+	return ReadCacheStats{
+		Hits:      cs.Hits,
+		Misses:    cs.Misses,
+		Evictions: cs.Evictions,
+		UsedBytes: cs.UsedBytes,
+		Budget:    cs.Budget,
+	}
+}
 
 // Director is the metadata service: backup sessions and file recipes.
 type Director = director.Director
