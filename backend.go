@@ -64,6 +64,20 @@ type Backend interface {
 	// the follow-up that spreads existing data onto a freshly added
 	// node. Safe to run while backups proceed.
 	Rebalance(ctx context.Context) (MigrationResult, error)
+	// KillNode removes a crashed (or to-be-crashed) node from the
+	// membership without draining it — the hard-failure counterpart of
+	// RemoveNode. Nothing moves: the node's data is simply gone from the
+	// cluster's point of view. With replication enabled (Replicas ≥ 2)
+	// every backup keeps restoring byte-identically through failover
+	// reads; run Repair afterwards to restore R=2 and release strays.
+	KillNode(ctx context.Context, id int) error
+	// Repair is the anti-entropy pass after a crash: it settles pending
+	// migration/replication transactions, promotes replicas of dead
+	// primaries, re-replicates every under-replicated super-chunk run,
+	// and reconciles per-node reference counts against the recipe
+	// catalog, releasing exactly the surplus. Idempotent; quiesce
+	// backups, deletes and membership changes first.
+	Repair(ctx context.Context) (RepairResult, error)
 	// Close releases the backend, propagating the first close failure.
 	Close() error
 }
@@ -79,6 +93,20 @@ type MigrationResult struct {
 	Chunks int64
 	// Bytes is the payload volume migrated node to node.
 	Bytes int64
+}
+
+// RepairResult summarizes one anti-entropy Repair pass.
+type RepairResult struct {
+	// PromotedChunks is chunk occurrences whose replica became the
+	// primary because the primary's node left the membership.
+	PromotedChunks int64
+	// RereplicatedChunks is chunk occurrences given a fresh second copy.
+	RereplicatedChunks int64
+	// Bytes is the payload volume streamed while re-replicating.
+	Bytes int64
+	// ReleasedRefs is stray chunk references released by reconciliation
+	// (replication or migration leftovers no recipe accounts for).
+	ReleasedRefs int64
 }
 
 // Interface conformance of both deployments.
@@ -260,6 +288,9 @@ type SessionStats struct {
 	// simulator restores in process.)
 	RestoredBytes int64
 	RestoreRPCs   int64
+	// FailoverReads counts restore reads served by a chunk's replica
+	// after its primary failed (Replicas ≥ 2 deployments only).
+	FailoverReads int64
 }
 
 // BandwidthSaving returns the fraction of payload bytes source dedup

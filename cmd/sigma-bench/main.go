@@ -20,6 +20,7 @@
 //	sigma-bench [-json] [-mb 64] [-streams 4] recovery
 //	sigma-bench [-json] [-mb 32] [-streams 8] gc
 //	sigma-bench [-json] [-mb 32] [-nodes 3] -mode rebalance
+//	sigma-bench [-json] [-mb 32] [-nodes 3] -mode kill
 //	sigma-bench [-json] [-mb 32] [-nodes 4] [-generations 100] -mode age
 //
 // With -json every result is emitted as one JSON object per line
@@ -95,7 +96,7 @@ func run(args []string) error {
 		names = append(names, *mode)
 	}
 	if len(names) == 0 {
-		fmt.Printf("available experiments: %s, ingest, nodeconc, recovery, gc, stream, wire, rebalance, age, all\n", strings.Join(experiments.Names(), ", "))
+		fmt.Printf("available experiments: %s, ingest, nodeconc, recovery, gc, stream, wire, rebalance, kill, age, all\n", strings.Join(experiments.Names(), ", "))
 		return nil
 	}
 	// The wire bench's headline number is defined at 64MB (the figure the
@@ -229,6 +230,15 @@ func run(args []string) error {
 			rep, err := runRebalance(*mb, *nodes)
 			if err != nil {
 				return fmt.Errorf("rebalance: %w", err)
+			}
+			if err := emit(rep); err != nil {
+				return err
+			}
+			continue
+		case "kill":
+			rep, err := runKill(*mb, *nodes)
+			if err != nil {
+				return fmt.Errorf("kill: %w", err)
 			}
 			if err := emit(rep); err != nil {
 				return err
@@ -1270,6 +1280,151 @@ func runRebalance(mb, nNodes int) (*rebalanceReport, error) {
 	}
 	if idleMBps > 0 {
 		rep.IngestRatio = migratingMBps / idleMBps
+	}
+	return rep, nil
+}
+
+// killReport records one kill-a-node cycle on a replicated cluster:
+// restore throughput healthy, with one node hard-dead (every read of its
+// primaries failing over to replicas), and again after anti-entropy
+// repair; plus the repair pass itself (promotions, re-replication
+// volume, stray references released).
+type killReport struct {
+	Experiment string `json:"experiment"`
+	Nodes      int    `json:"nodes"`
+	DataMB     int    `json:"data_mb"`
+	// Restore throughput across the three cluster states.
+	RestoreMBpsHealthy  float64 `json:"restore_mb_s_healthy"`
+	RestoreMBpsDegraded float64 `json:"restore_mb_s_degraded"`
+	RestoreMBpsRepaired float64 `json:"restore_mb_s_repaired"`
+	DegradedRatio       float64 `json:"restore_ratio_degraded_vs_healthy"`
+	// FailoverReads is replica-served chunk reads during the degraded
+	// pass.
+	FailoverReads int64 `json:"failover_reads"`
+	// The repair pass: wall clock, volume re-replicated, and outcome.
+	RepairSeconds      float64 `json:"repair_seconds"`
+	RepairMBps         float64 `json:"repair_mb_s"`
+	PromotedChunks     int64   `json:"promoted_chunks"`
+	RereplicatedChunks int64   `json:"rereplicated_chunks"`
+	RepairBytes        int64   `json:"repair_bytes"`
+	ReleasedRefs       int64   `json:"released_refs"`
+}
+
+func (r *killReport) print(w *os.File) {
+	fmt.Fprintf(w, "== kill: %d nodes (R=2), %d MB, one node hard-killed\n", r.Nodes, r.DataMB)
+	fmt.Fprintf(w, "  restore: %.1f MB/s healthy, %.1f MB/s with one node dead (ratio %.2f, %d failover reads), %.1f MB/s after repair\n",
+		r.RestoreMBpsHealthy, r.RestoreMBpsDegraded, r.DegradedRatio, r.FailoverReads, r.RestoreMBpsRepaired)
+	fmt.Fprintf(w, "  repair: promoted %d chunks, re-replicated %d (%.1f MB) in %.3fs (%.1f MB/s), released %d stray refs\n\n",
+		r.PromotedChunks, r.RereplicatedChunks, float64(r.RepairBytes)/(1<<20),
+		r.RepairSeconds, r.RepairMBps, r.ReleasedRefs)
+}
+
+// runKill measures node-crash survival end to end on the TCP prototype:
+// `nNodes` loopback servers ingest one generation with R=2 replication,
+// one server is hard-killed (its process closes, then KillNode drops it
+// from the membership with no drain), every backup restores through
+// replica failover, and Repair re-establishes R=2.
+func runKill(mb, nNodes int) (*killReport, error) {
+	if mb <= 0 {
+		mb = 32
+	}
+	if nNodes <= 0 {
+		nNodes = 3
+	}
+	if nNodes < 2 {
+		return nil, fmt.Errorf("kill needs at least 2 nodes for R=2")
+	}
+	ctx := context.Background()
+	srvs := make([]*sigmadedupe.Server, nNodes)
+	addrs := make([]string, nNodes)
+	const victim = 1
+	for i := range addrs {
+		srv, err := sigmadedupe.StartServer(sigmadedupe.ServerConfig{ID: i})
+		if err != nil {
+			return nil, err
+		}
+		if i != victim {
+			defer srv.Close()
+		}
+		srvs[i] = srv
+		addrs[i] = srv.Addr()
+	}
+	be, err := sigmadedupe.NewRemote(ctx, sigmadedupe.RemoteConfig{
+		Name:           "kill-bench",
+		Director:       sigmadedupe.NewDirector(),
+		Nodes:          addrs,
+		SuperChunkSize: 256 << 10,
+		Replicas:       2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer be.Close()
+
+	const files = 4
+	perFile := mb << 20 / files
+	names := make([]string, files)
+	for f := 0; f < files; f++ {
+		names[f] = fmt.Sprintf("/kill/file%d", f)
+		src := &streamSource{rng: rand.New(rand.NewSource(int64(900 + f))), left: perFile}
+		if err := be.Backup(ctx, names[f], src); err != nil {
+			return nil, err
+		}
+	}
+	if err := be.Flush(ctx); err != nil {
+		return nil, err
+	}
+
+	restorePass := func() (float64, error) {
+		start := time.Now()
+		for _, name := range names {
+			if err := be.Restore(ctx, name, io.Discard); err != nil {
+				return 0, fmt.Errorf("restore %s: %w", name, err)
+			}
+		}
+		return float64(files*perFile) / (1 << 20) / time.Since(start).Seconds(), nil
+	}
+
+	rep := &killReport{Experiment: "kill", Nodes: nNodes, DataMB: mb}
+	if rep.RestoreMBpsHealthy, err = restorePass(); err != nil {
+		return nil, err
+	}
+
+	// The crash: the victim's server dies, then the membership drops it.
+	if err := srvs[victim].Close(); err != nil {
+		return nil, err
+	}
+	if err := be.KillNode(ctx, victim); err != nil {
+		return nil, err
+	}
+
+	if rep.RestoreMBpsDegraded, err = restorePass(); err != nil {
+		return nil, fmt.Errorf("degraded restore: %w", err)
+	}
+	rep.FailoverReads = be.BackupStats().FailoverReads
+	if rep.FailoverReads == 0 {
+		return nil, fmt.Errorf("degraded restore hit no replicas; the victim held nothing")
+	}
+	if rep.RestoreMBpsHealthy > 0 {
+		rep.DegradedRatio = rep.RestoreMBpsDegraded / rep.RestoreMBpsHealthy
+	}
+
+	start := time.Now()
+	res, err := be.Repair(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
+	rep.RepairSeconds = time.Since(start).Seconds()
+	rep.PromotedChunks = res.PromotedChunks
+	rep.RereplicatedChunks = res.RereplicatedChunks
+	rep.RepairBytes = res.Bytes
+	rep.ReleasedRefs = res.ReleasedRefs
+	if rep.RepairSeconds > 0 {
+		rep.RepairMBps = float64(res.Bytes) / (1 << 20) / rep.RepairSeconds
+	}
+
+	if rep.RestoreMBpsRepaired, err = restorePass(); err != nil {
+		return nil, fmt.Errorf("post-repair restore: %w", err)
 	}
 	return rep, nil
 }

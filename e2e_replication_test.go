@@ -1,0 +1,269 @@
+package sigmadedupe
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// runKillScenario is the kill-a-node e2e, run unmodified against both
+// backends: backup two generations with R=2 replication on, hard-kill
+// one node (no drain — its data is gone), restore every backup
+// byte-identically through replica failover, repair back to R=2, and
+// prove zero leaked references by deleting everything and compacting to
+// zero live bytes. kill makes the victim actually dead before the
+// membership drops it (closing the TCP server on the prototype; nothing
+// on the simulator, where removal from the registry is death);
+// failoverReads reads the backend's failover counter.
+func runKillScenario(t *testing.T, be Backend, victim int, kill func(), failoverReads func() int64) {
+	t.Helper()
+	ctx := context.Background()
+	content := make(map[string][]byte)
+	for i := 0; i < 6; i++ {
+		rng := rand.New(rand.NewSource(int64(90 + i)))
+		data := make([]byte, 96<<10+i*5000)
+		rng.Read(data)
+		name := fmt.Sprintf("/kill/file%d", i)
+		content[name] = data
+		if err := be.Backup(ctx, name, bytes.NewReader(data)); err != nil {
+			t.Fatalf("backup %s: %v", name, err)
+		}
+	}
+	if err := be.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	restoreAll := func(when string) {
+		t.Helper()
+		for name, data := range content {
+			var out bytes.Buffer
+			if err := be.Restore(ctx, name, &out); err != nil {
+				t.Fatalf("restore %s %s: %v", name, when, err)
+			}
+			if !bytes.Equal(out.Bytes(), data) {
+				t.Fatalf("%s corrupted %s: got %d bytes, want %d", name, when, out.Len(), len(data))
+			}
+		}
+	}
+	restoreAll("before the crash")
+
+	// The crash: the node dies hard, then the membership drops it.
+	kill()
+	if err := be.KillNode(ctx, victim); err != nil {
+		t.Fatal(err)
+	}
+	st, err := be.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes != 2 {
+		t.Fatalf("Nodes after KillNode = %d, want 2", st.Nodes)
+	}
+
+	// Every backup restores byte-identically with a member permanently
+	// dead — the reads of its primaries served by their replicas.
+	restoreAll("with one node dead")
+	if n := failoverReads(); n == 0 {
+		t.Fatal("no failover reads despite a dead primary; restores did not exercise the replicas")
+	}
+
+	// Anti-entropy repair: promote the dead node's replicas to primary,
+	// re-replicate everything back to R=2, release any strays.
+	rep, err := be.Repair(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PromotedChunks == 0 {
+		t.Fatalf("Repair promoted nothing: %+v (the victim held primaries)", rep)
+	}
+	if rep.RereplicatedChunks == 0 {
+		t.Fatalf("Repair re-replicated nothing: %+v (promoted chunks lost their replica)", rep)
+	}
+	// Idempotence: a second pass finds a fully replicated, fully
+	// reconciled cluster and changes nothing.
+	rep2, err := be.Repair(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.PromotedChunks != 0 || rep2.RereplicatedChunks != 0 || rep2.ReleasedRefs != 0 {
+		t.Fatalf("second Repair was not a no-op: %+v", rep2)
+	}
+
+	// After repair every primary is live again: restores stop failing
+	// over.
+	before := failoverReads()
+	restoreAll("after repair")
+	if n := failoverReads(); n != before {
+		t.Fatalf("%d restores still failed over after repair; promotion incomplete", n-before)
+	}
+
+	// Zero leaked references: deleting every backup releases primary and
+	// replica refs alike, and compaction drives live bytes to zero.
+	for name := range content {
+		if err := be.Delete(ctx, name); err != nil {
+			t.Fatalf("delete %s: %v", name, err)
+		}
+	}
+	if _, err := be.Compact(ctx, 0.999); err != nil {
+		t.Fatal(err)
+	}
+	gc, err := gcStatsOf(ctx, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.LiveBytes != 0 {
+		t.Fatalf("live bytes = %d after deleting every backup; the crash leaked references", gc.LiveBytes)
+	}
+}
+
+// TestKillNodeScenarioSimulator runs the kill-a-node e2e on the
+// in-process simulator with R=2 replication.
+func TestKillNodeScenarioSimulator(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{
+		Nodes: 3, KeepPayloads: true, SuperChunkSize: 32 << 10, Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	runKillScenario(t, c, 1, func() {}, c.FailoverReads)
+}
+
+// TestKillNodeScenarioRemote runs the identical scenario on the TCP
+// prototype: the victim's server process closes first (its address is
+// unreachable, exactly a crashed machine), then the membership drops it
+// and restores fail over over the wire.
+func TestKillNodeScenarioRemote(t *testing.T) {
+	const victim = 1
+	srvs := make([]*Server, 3)
+	addrs := make([]string, 3)
+	for i := range srvs {
+		srv, err := StartServer(ServerConfig{ID: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i] = srv
+		addrs[i] = srv.Addr()
+		if i != victim {
+			t.Cleanup(func() { srv.Close() })
+		}
+	}
+	be, err := NewRemote(context.Background(), RemoteConfig{
+		Name:           "kill",
+		Director:       NewDirector(),
+		Nodes:          addrs,
+		SuperChunkSize: 32 << 10,
+		Replicas:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	runKillScenario(t, be, victim,
+		func() {
+			if err := srvs[victim].Close(); err != nil {
+				t.Fatalf("killing server %d: %v", victim, err)
+			}
+		},
+		func() int64 { return be.BackupStats().FailoverReads })
+}
+
+// TestKillNodeDuringIngest hammers ingest on explicit sessions while a
+// node dies mid-stream (run under -race). In-flight backups racing the
+// death may fail — a session pinned to the pre-crash epoch can route to
+// the dead node — but nothing may data-race, every backup that reported
+// success must restore byte-identically through failover, and repair
+// must still converge.
+func TestKillNodeDuringIngest(t *testing.T) {
+	ctx := context.Background()
+	c, err := NewCluster(ClusterConfig{
+		Nodes: 3, KeepPayloads: true, SuperChunkSize: 32 << 10, Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A completed pre-crash generation that must survive no matter what.
+	seedData := make([]byte, 128<<10)
+	rand.New(rand.NewSource(7)).Read(seedData)
+	if err := c.Backup(ctx, "/ingest/seed", bytes.NewReader(seedData)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu        sync.Mutex
+		completed = make(map[string][]byte)
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess, err := c.NewSession(ctx, WithSessionName(fmt.Sprintf("ingest%d", g)), WithSuperChunkSize(32<<10))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sess.Close()
+			<-start
+			for i := 0; i < 8; i++ {
+				rng := rand.New(rand.NewSource(int64(g*100 + i)))
+				data := make([]byte, 64<<10)
+				rng.Read(data)
+				name := fmt.Sprintf("/ingest/g%d-f%d", g, i)
+				// A backup racing the node death may fail; that is the
+				// crash semantics, not a bug. Only successes are held to
+				// the restore contract.
+				if err := sess.Backup(ctx, name, bytes.NewReader(data)); err != nil {
+					continue
+				}
+				if err := sess.Flush(ctx); err != nil {
+					continue
+				}
+				mu.Lock()
+				completed[name] = data
+				mu.Unlock()
+			}
+		}(g)
+	}
+	close(start)
+	if err := c.KillNode(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// Seal the survivors' open containers so restores can read them (the
+	// per-session flush routes super-chunks; it does not seal nodes).
+	if err := c.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	completed["/ingest/seed"] = seedData
+	for name, data := range completed {
+		var out bytes.Buffer
+		if err := c.Restore(ctx, name, &out); err != nil {
+			t.Fatalf("restore %s after mid-ingest kill: %v", name, err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("%s corrupted across mid-ingest kill", name)
+		}
+	}
+	if _, err := c.Repair(ctx); err != nil {
+		t.Fatalf("repair after mid-ingest kill: %v", err)
+	}
+	for name, data := range completed {
+		var out bytes.Buffer
+		if err := c.Restore(ctx, name, &out); err != nil {
+			t.Fatalf("restore %s after repair: %v", name, err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("%s corrupted by repair", name)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -90,6 +91,14 @@ type Config struct {
 	// windows are read ahead of the writer (default
 	// DefaultRestoreWindowBytes).
 	RestoreWindowBytes int64
+	// Replicas >= 2 enables R=2 replica placement: after a session's
+	// containers seal, every recipe written this session is mirrored onto
+	// the rendezvous replica owners of its super-chunk runs (piggybacked
+	// on the migration RPC verbs), and restores fail over to the replica
+	// when the primary is unreachable. Requires a director that exposes
+	// membership metadata (director.ClusterMeta). The default (0) keeps
+	// the single-copy behavior.
+	Replicas int
 
 	// workersDefaulted records whether Pipeline.Workers was left zero by
 	// the caller: a defaulted pool may be widened for network-bound
@@ -174,6 +183,9 @@ type Stats struct {
 	// batched path).
 	RestoredBytes int64
 	RestoreRPCs   int64
+	// FailoverReads counts restore chunk reads served by a replica after
+	// the primary failed (R=2 deployments).
+	FailoverReads int64
 }
 
 // BandwidthSaving returns the fraction of payload bytes the source dedup
@@ -236,6 +248,14 @@ type Client struct {
 	// bufs recycles chunk payload buffers from apply back to the
 	// chunker, keeping live allocation bounded by the window.
 	bufs *bufPool
+
+	// wrotePaths tracks recipes finalized this session and not yet
+	// replicated — the work list of the Flush-time replication pass
+	// (Config.Replicas >= 2).
+	wrotePaths map[string]struct{}
+	// failoverReads counts restore reads served by a replica after the
+	// primary failed. Atomic: restore prefetch closures run concurrently.
+	failoverReads atomic.Int64
 }
 
 // routeResult is the outcome of the concurrent route/query/store stage
@@ -289,6 +309,7 @@ func New(ctx context.Context, cfg Config, dir director.Metadata, nodes []NodeAdd
 		routes:  pipeline.NewWindow(cfg.InflightSuperChunks),
 		bufs: newBufPool(chunker.MaxChunkSize(cfg.ChunkMethod, cfg.ChunkSize),
 			cfg.DisableChunkPool),
+		wrotePaths: make(map[string]struct{}),
 	}, nil
 }
 
@@ -551,7 +572,47 @@ func (c *Client) Flush(ctx context.Context) error {
 			return c.fail(err)
 		}
 	}
+	// R=2: mirror this session's recipes onto their replica owners now
+	// that the primaries' containers are sealed — the replica of a chunk
+	// never becomes durable before the chunk itself.
+	if c.cfg.Replicas >= 2 && len(c.wrotePaths) > 0 {
+		if err := c.replicateSession(ctx); err != nil {
+			return c.fail(err)
+		}
+	}
 	return c.fail(c.dir.EndSession(ctx, c.session))
+}
+
+// replicateSession runs the Flush-time replication pass: every recipe
+// finalized this session is mirrored onto the rendezvous replica owners
+// of its super-chunk runs, one journaled transaction per run (see
+// Migrator.ReplicateRecipe).
+func (c *Client) replicateSession(ctx context.Context) error {
+	cm, ok := c.dir.(director.ClusterMeta)
+	if !ok {
+		return fmt.Errorf("client: Config.Replicas >= 2 requires a director exposing membership metadata")
+	}
+	m := &Migrator{Meta: cm, Conns: c.byID, HandprintK: c.cfg.HandprintK}
+	paths := make([]string, 0, len(c.wrotePaths))
+	for p := range c.wrotePaths {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		r, err := c.dir.GetRecipe(ctx, p)
+		if err != nil {
+			if errors.Is(err, director.ErrNoRecipe) {
+				delete(c.wrotePaths, p) // deleted since; nothing to replicate
+				continue
+			}
+			return fmt.Errorf("client: replicate %s: %w", p, err)
+		}
+		if _, err := m.ReplicateRecipe(ctx, r, c.members); err != nil {
+			return fmt.Errorf("client: replicate %s: %w", p, err)
+		}
+		delete(c.wrotePaths, p)
+	}
+	return nil
 }
 
 // Close releases connections, returning the first close failure. Call
@@ -575,6 +636,7 @@ func (c *Client) Close() error {
 func (c *Client) Stats() Stats {
 	st := c.stats
 	st.PeakBufferedBytes = c.peakBuffered.Load()
+	st.FailoverReads = c.failoverReads.Load()
 	// The pool counts the ingest side; restore's contributions accumulate
 	// directly in c.stats, so the two simply add.
 	st.ChunkBufAllocs += c.bufs.allocs.Load()
@@ -606,11 +668,9 @@ func (c *Client) routeSuperChunk(ctx context.Context, sc *core.SuperChunk) route
 	hp := sc.Handprint(c.cfg.HandprintK)
 	// Candidates are the rendezvous owners of the handprint within the
 	// session's pinned membership epoch: only nodes live in that epoch
-	// are ever bid.
-	cands := c.members.Candidates(hp)
-	if len(cands) == 0 {
-		cands = []int{c.members.Nodes[0]}
-	}
+	// are ever bid. A degenerate (empty-handprint) super-chunk routes by
+	// its stable seed so such super-chunks spread across the epoch.
+	cands := c.members.Candidates(hp, sc.Seed())
 	counts := make([]int, len(cands))
 	usage := make([]int64, len(cands))
 	errs := make([]error, len(cands))
@@ -719,9 +779,10 @@ func (c *Client) apply(res routeResult) error {
 			break
 		}
 		pf.entries = append(pf.entries, director.ChunkEntry{
-			FP:   ch.FP,
-			Size: int32(ch.Size),
-			Node: int32(res.target),
+			FP:      ch.FP,
+			Size:    int32(ch.Size),
+			Node:    int32(res.target),
+			Replica: -1,
 		})
 	}
 	return nil
@@ -760,6 +821,7 @@ func (c *Client) finalizeRecipes(ctx context.Context) error {
 			if err := c.dir.PutRecipe(ctx, c.session, pf.path, pf.entries); err != nil {
 				return &sderr.BackupError{Name: pf.path, Stage: "finalize", Err: err}
 			}
+			c.wrotePaths[pf.path] = struct{}{}
 			if prevErr == nil {
 				if err := c.decRefRecipe(ctx, pf.path, prev.Chunks); err != nil {
 					return err
@@ -795,16 +857,26 @@ func (c *Client) DeleteBackup(ctx context.Context, path string) error {
 	return c.decRefRecipe(ctx, path, recipe.Chunks)
 }
 
-// decRefRecipe releases one recipe's chunk references on the owning
-// nodes, one batch per node, counts grouped per fingerprint.
+// decRefRecipe releases one recipe's chunk references — primary and
+// replica attributions alike — on the owning nodes, one batch per node,
+// counts grouped per fingerprint. On an R=2 deployment a node missing
+// from the session's epoch is skipped rather than failed: a crashed
+// node took its references with it, and making its absence fatal would
+// make every delete impossible after a kill.
 func (c *Client) decRefRecipe(ctx context.Context, path string, entries []director.ChunkEntry) error {
 	byNode := make(map[int32][]fingerprint.Fingerprint)
 	for _, e := range entries {
 		byNode[e.Node] = append(byNode[e.Node], e.FP)
+		if e.Replica >= 0 {
+			byNode[e.Replica] = append(byNode[e.Replica], e.FP)
+		}
 	}
 	for nd, fps := range byNode {
 		conn, err := c.connByID(int(nd))
 		if err != nil {
+			if c.cfg.Replicas >= 2 {
+				continue
+			}
 			return fmt.Errorf("client: delete %s: %w", path, err)
 		}
 		order, ns := core.AggregateRefs(fps)
@@ -852,6 +924,10 @@ func (c *Client) GCStats(ctx context.Context) (store.GCStats, error) {
 		total.ReclaimedBytes += gc.ReclaimedBytes
 		total.CopiedBytes += gc.CopiedBytes
 		total.CompactRuns += gc.CompactRuns
+		total.CompactErrors += gc.CompactErrors
+		if gc.LastCompactErr != "" {
+			total.LastCompactErr = fmt.Sprintf("node %d: %s", i, gc.LastCompactErr)
+		}
 	}
 	return total, nil
 }
@@ -926,11 +1002,7 @@ func (c *Client) restorePerChunk(ctx context.Context, path string, entries []dir
 		return nil
 	})
 	datas := pipeline.Map(g, jobs, workers, 2*workers, func(j job) ([]byte, error) {
-		conn, err := c.connByID(int(j.entry.Node))
-		if err != nil {
-			return nil, fmt.Errorf("client: restore %s: %w", path, err)
-		}
-		data, err := conn.ReadChunk(ctx, j.entry.FP)
+		data, err := c.readChunkFailover(ctx, j.entry)
 		if err != nil {
 			return nil, fmt.Errorf("client: restore %s chunk %d: %w", path, j.idx, err)
 		}
@@ -947,6 +1019,34 @@ func (c *Client) restorePerChunk(ctx context.Context, path string, entries []dir
 		c.stats.ChunkBufAllocs++
 	}
 	return g.Wait()
+}
+
+// readChunkFailover reads one chunk from its primary node, failing over
+// to the entry's replica when the primary is out of the epoch (killed),
+// unreachable, or answers with an error — the chunk vanished with a
+// crashed disk, say. Both errors surface together when the replica
+// cannot serve either.
+func (c *Client) readChunkFailover(ctx context.Context, e director.ChunkEntry) ([]byte, error) {
+	conn, err := c.connByID(int(e.Node))
+	if err == nil {
+		var data []byte
+		if data, err = conn.ReadChunk(ctx, e.FP); err == nil {
+			return data, nil
+		}
+	}
+	if e.Replica < 0 {
+		return nil, err
+	}
+	rconn, rerr := c.connByID(int(e.Replica))
+	if rerr != nil {
+		return nil, fmt.Errorf("%w (failover: %v)", err, rerr)
+	}
+	data, rerr := rconn.ReadChunk(ctx, e.FP)
+	if rerr != nil {
+		return nil, fmt.Errorf("%w (failover: %v)", err, rerr)
+	}
+	c.failoverReads.Add(1)
+	return data, nil
 }
 
 // restoreWindow is one contiguous run of recipe entries scheduled as a
@@ -969,7 +1069,9 @@ type windowResult struct {
 // fetchWindow issues one window's batched reads, one concurrent
 // OpReadBatch per node, deduplicating repeated fingerprints so a chunk
 // that recurs within the window crosses the wire once, and reassembles
-// the payloads in stream order.
+// the payloads in stream order. A node that fails — out of the epoch,
+// unreachable, or erroring mid-batch — has its whole share of the
+// window failed over to the entries' replica owners.
 func (c *Client) fetchWindow(ctx context.Context, path string, win restoreWindow) (windowResult, error) {
 	type nodeReq struct {
 		conn *rpc.Client
@@ -977,14 +1079,16 @@ func (c *Client) fetchWindow(ctx context.Context, path string, win restoreWindow
 		idx  map[fingerprint.Fingerprint]int
 	}
 	reqs := make(map[int32]*nodeReq)
+	failed := make(map[int32]error)
 	for _, e := range win.entries {
 		nr := reqs[e.Node]
 		if nr == nil {
-			conn, err := c.connByID(int(e.Node))
-			if err != nil {
-				return windowResult{}, fmt.Errorf("client: restore %s: %w", path, err)
+			nr = &nodeReq{idx: make(map[fingerprint.Fingerprint]int)}
+			if conn, err := c.connByID(int(e.Node)); err != nil {
+				failed[e.Node] = err // killed node: fail over below
+			} else {
+				nr.conn = conn
 			}
-			nr = &nodeReq{conn: conn, idx: make(map[fingerprint.Fingerprint]int)}
 			reqs[e.Node] = nr
 		}
 		if _, ok := nr.idx[e.FP]; !ok {
@@ -997,19 +1101,18 @@ func (c *Client) fetchWindow(ctx context.Context, path string, win restoreWindow
 		mu      sync.Mutex
 		wg      sync.WaitGroup
 		batches = make(map[int32]*rpc.ChunkBatch, len(reqs))
-		firstNd int32
-		first   error
 	)
 	for nd, nr := range reqs {
+		if nr.conn == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(nd int32, nr *nodeReq) {
 			defer wg.Done()
 			b, err := nr.conn.ReadBatch(ctx, nr.fps)
 			mu.Lock()
 			if err != nil {
-				if first == nil {
-					firstNd, first = nd, err
-				}
+				failed[nd] = err
 			} else {
 				batches[nd] = b
 			}
@@ -1017,29 +1120,104 @@ func (c *Client) fetchWindow(ctx context.Context, path string, win restoreWindow
 		}(nd, nr)
 	}
 	wg.Wait()
-	if first != nil {
+
+	res := windowResult{
+		datas: make([][]byte, len(win.entries)),
+		rpcs:  int64(len(reqs) - len(failed)),
+	}
+	release := func() {
 		for _, b := range batches {
 			b.Release()
 		}
-		return windowResult{}, fmt.Errorf("client: restore %s chunks %d..%d: node %d: %w",
-			path, win.first, win.first+len(win.entries)-1, firstNd, first)
+		for _, b := range res.batches {
+			b.Release()
+		}
 	}
 
-	res := windowResult{
-		datas:   make([][]byte, len(win.entries)),
-		batches: make([]*rpc.ChunkBatch, 0, len(batches)),
-		rpcs:    int64(len(reqs)),
+	// Failover: each failed node's share is regrouped by the entries'
+	// replica owners and refetched. fodata carries the rescued payloads.
+	var fodata map[fingerprint.Fingerprint][]byte
+	for nd, ferr := range failed {
+		out, fb, rpcs, err := c.failoverFetch(ctx, win.entries, nd)
+		if err != nil {
+			release()
+			return windowResult{}, fmt.Errorf("client: restore %s chunks %d..%d: node %d: %w (failover: %v)",
+				path, win.first, win.first+len(win.entries)-1, nd, ferr, err)
+		}
+		if fodata == nil {
+			fodata = out
+		} else {
+			for fp, d := range out {
+				fodata[fp] = d
+			}
+		}
+		res.batches = append(res.batches, fb...)
+		res.rpcs += rpcs
 	}
+
 	for _, b := range batches {
 		res.batches = append(res.batches, b)
 	}
 	for i, e := range win.entries {
-		nr := reqs[e.Node]
-		d := batches[e.Node].Data[nr.idx[e.FP]]
+		var d []byte
+		if b, ok := batches[e.Node]; ok {
+			d = b.Data[reqs[e.Node].idx[e.FP]]
+		} else {
+			d = fodata[e.FP]
+		}
 		res.datas[i] = d
 		res.bytes += int64(len(d))
 	}
 	return res, nil
+}
+
+// failoverFetch serves one failed node's share of a restore window from
+// the entries' replica owners: each of the failed node's fingerprints
+// maps to the replica its recipe entry recorded, the share re-batches
+// per replica node, and the rescued payloads come back keyed by
+// fingerprint together with their pooled receive frames.
+func (c *Client) failoverFetch(ctx context.Context, entries []director.ChunkEntry, failed int32) (map[fingerprint.Fingerprint][]byte, []*rpc.ChunkBatch, int64, error) {
+	groups := make(map[int32][]fingerprint.Fingerprint)
+	seen := make(map[fingerprint.Fingerprint]struct{})
+	for _, e := range entries {
+		if e.Node != failed {
+			continue
+		}
+		if _, ok := seen[e.FP]; ok {
+			continue
+		}
+		seen[e.FP] = struct{}{}
+		if e.Replica < 0 {
+			return nil, nil, 0, fmt.Errorf("chunk %s has no replica: %w", e.FP.Short(), sderr.ErrNotFound)
+		}
+		groups[e.Replica] = append(groups[e.Replica], e.FP)
+	}
+	out := make(map[fingerprint.Fingerprint][]byte, len(seen))
+	var batches []*rpc.ChunkBatch
+	var rpcs int64
+	fail := func(err error) (map[fingerprint.Fingerprint][]byte, []*rpc.ChunkBatch, int64, error) {
+		for _, b := range batches {
+			b.Release()
+		}
+		return nil, nil, 0, err
+	}
+	for rep, fps := range groups {
+		conn, err := c.connByID(int(rep))
+		if err != nil {
+			return fail(err)
+		}
+		b, err := conn.ReadBatch(ctx, fps)
+		if err != nil {
+			return fail(fmt.Errorf("replica node %d: %w", rep, err))
+		}
+		batches = append(batches, b)
+		rpcs++
+		for i, fp := range fps {
+			out[fp] = b.Data[i]
+		}
+		c.failoverReads.Add(int64(len(fps)))
+	}
+	return out, batches, rpcs, nil
 }
 
 // restoreBatched is the windowed batch scheduler: the recipe is cut into

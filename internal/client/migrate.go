@@ -72,6 +72,13 @@ func (m *Migrator) conn(id int) (*rpc.Client, error) {
 // recipe references. members must already exclude the node.
 func (m *Migrator) DrainNode(ctx context.Context, id int, members core.Membership) (migrate.Result, error) {
 	var res migrate.Result
+	// Clear replica attributions off the departing node before the drain
+	// (clear-then-decref: a crash in between strands surplus references
+	// that anti-entropy repair releases, never dangling attributions).
+	// Repair restores R=2 for the affected runs on the survivors.
+	if err := m.stripReplicas(ctx, id); err != nil {
+		return res, err
+	}
 	// Each backup counts once no matter how many passes move pieces of
 	// it.
 	touched := make(map[string]struct{})
@@ -233,7 +240,11 @@ func (m *Migrator) pickTarget(ctx context.Context, entries []director.ChunkEntry
 		fps[i] = e.FP
 	}
 	hp := core.NewHandprint(fps, m.k())
-	cands := members.Without(from).Candidates(hp)
+	var seed uint64
+	if len(fps) > 0 {
+		seed = fps[0].Uint64()
+	}
+	cands := members.Without(from).Candidates(hp, seed)
 	if len(cands) == 0 {
 		cands = members.Without(from).Nodes
 	}
@@ -320,8 +331,16 @@ func (m *Migrator) migrateSegment(ctx context.Context, r director.Recipe, seg mi
 	updated := director.Recipe{Path: r.Path, Session: r.Session, Gen: r.Gen + 1,
 		Chunks: make([]director.ChunkEntry, len(r.Chunks))}
 	copy(updated.Chunks, r.Chunks)
+	var dupFPs []fingerprint.Fingerprint
 	for i := seg.Start; i < seg.Start+seg.Count; i++ {
 		updated.Chunks[i].Node = int32(to)
+		// A segment migrating onto the node that already holds its replica
+		// collapses to one attribution: clear the replica (repair restores
+		// R=2 elsewhere) and remember the now-duplicate reference.
+		if updated.Chunks[i].Replica == int32(to) {
+			updated.Chunks[i].Replica = -1
+			dupFPs = append(dupFPs, updated.Chunks[i].FP)
+		}
 	}
 	if err := m.Meta.ReplaceRecipe(ctx, r.Path, r.Session, r.Gen, updated.Chunks); err != nil {
 		if errors.Is(err, sderr.ErrConflict) {
@@ -346,6 +365,15 @@ func (m *Migrator) migrateSegment(ctx context.Context, r director.Recipe, seg mi
 	order, ns := core.AggregateRefs(fps)
 	if err := fromConn.DecRef(ctx, order, ns); err != nil {
 		return r, 0, 0, fmt.Errorf("client: migrate %s: decref node %d: %w", r.Path, from, err)
+	}
+	// Release the target's now-duplicate replica references (cleared in
+	// the rewrite above; a crash in between strands them as surplus for
+	// recovery).
+	if len(dupFPs) > 0 {
+		order, ns := core.AggregateRefs(dupFPs)
+		if err := toConn.DecRef(ctx, order, ns); err != nil {
+			return r, 0, 0, fmt.Errorf("client: migrate %s: decref duplicate replicas on node %d: %w", r.Path, to, err)
+		}
 	}
 	if err := m.faultAt(migrate.StageDecreffed, r.Path); err != nil {
 		return r, 0, 0, err
@@ -393,8 +421,17 @@ func (m *Migrator) reconcile(ctx context.Context, mig director.Migration) error 
 			expected := map[int32]map[fingerprint.Fingerprint]int64{mig.From: {}, mig.To: {}}
 			for _, r := range recipes {
 				for _, e := range r.Chunks {
+					if _, wanted := want[e.FP]; !wanted {
+						continue
+					}
 					if exp, ok := expected[e.Node]; ok {
-						if _, wanted := want[e.FP]; wanted {
+						exp[e.FP]++
+					}
+					// Replica attributions hold references too: a crashed
+					// replication either set the attribution (the reference
+					// counts) or didn't (it reads as surplus and is released).
+					if e.Replica >= 0 {
+						if exp, ok := expected[e.Replica]; ok {
 							exp[e.FP]++
 						}
 					}

@@ -22,6 +22,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -70,6 +71,13 @@ type Config struct {
 	// retention). Incompatible with the Extreme Binning scheme, whose
 	// bin-scoped stores bypass the refcounted chunk index.
 	TrackRecipes bool
+	// Replicas >= 2 enables R=2 replica placement: every routed
+	// super-chunk is also stored on the rendezvous replica owner of its
+	// first fingerprint, restores fail over to the replica when the
+	// primary is gone, and Repair re-converges placement after a node
+	// crash. Requires TrackRecipes and payload-carrying nodes. The
+	// default (0) keeps the single-copy behavior.
+	Replicas int
 	// Node is the per-node configuration template; ID is overridden.
 	Node node.Config
 }
@@ -157,16 +165,24 @@ type Cluster struct {
 	recMu   sync.Mutex
 	recipes map[uint64][]RecipeEntry
 
+	// failoverReads counts restore reads served by a replica after the
+	// primary failed — the simulator mirror of client Stats.FailoverReads.
+	failoverReads atomic.Int64
+
 	// def is the default stream backing the single-stream BackupItem API.
 	def *Stream
 }
 
 // RecipeEntry is one tracked chunk reference of a backup item: the chunk
-// fingerprint, its size and the node it was routed to.
+// fingerprint, its size, the node it was routed to, and the replica node
+// holding its second copy (-1 when the entry has none — node 0 is a
+// valid replica site, so the zero value must never be used to mean
+// "no replica").
 type RecipeEntry struct {
-	FP   fingerprint.Fingerprint
-	Size int
-	Node int
+	FP      fingerprint.Fingerprint
+	Size    int
+	Node    int
+	Replica int
 }
 
 var _ router.View = (*Cluster)(nil)
@@ -646,11 +662,20 @@ func (s *Stream) routeAndStore(sc *core.SuperChunk) (int64, error) {
 		if c.cfg.TrackRecipes && sc.FileID != 0 {
 			entries := make([]RecipeEntry, len(target.Chunks))
 			for i, ch := range target.Chunks {
-				entries[i] = RecipeEntry{FP: ch.FP, Size: ch.Size, Node: a.Node}
+				entries[i] = RecipeEntry{FP: ch.FP, Size: ch.Size, Node: a.Node, Replica: -1}
 			}
 			c.recMu.Lock()
+			start := len(c.recipes[sc.FileID])
 			c.recipes[sc.FileID] = append(c.recipes[sc.FileID], entries...)
 			c.recMu.Unlock()
+			// R=2: mirror the super-chunk onto its rendezvous replica owner
+			// while the payloads are still in hand (replication is migration
+			// that doesn't decref the source; see replication.go).
+			if c.cfg.Replicas >= 2 && len(target.Chunks) > 0 && target.Chunks[0].Data != nil {
+				if err := s.replicate(sc.FileID, target, a.Node, start, len(entries)); err != nil {
+					return stored, err
+				}
+			}
 		}
 	}
 	return stored, nil
@@ -771,10 +796,18 @@ func (c *Cluster) DeleteBackup(fileID uint64) error {
 	byNode := make(map[int][]fingerprint.Fingerprint)
 	for _, e := range entries {
 		byNode[e.Node] = append(byNode[e.Node], e.FP)
+		if e.Replica >= 0 {
+			byNode[e.Replica] = append(byNode[e.Replica], e.FP)
+		}
 	}
 	for id, fps := range byNode {
 		nd, err := c.nodeByID(id)
 		if err != nil {
+			if errors.Is(err, sderr.ErrNotFound) {
+				// A crashed node took its references with it; nothing to
+				// release there.
+				continue
+			}
 			return fmt.Errorf("cluster: delete backup %d: %w", fileID, err)
 		}
 		order, ns := core.AggregateRefs(fps)
@@ -821,16 +854,11 @@ func (c *Cluster) RestoreBackup(ctx context.Context, fileID uint64, w io.Writer)
 // per node with repeated fingerprints deduplicated, and writes the
 // payloads in stream order.
 func (c *Cluster) restoreWindow(fileID uint64, entries []RecipeEntry, first int, w io.Writer) error {
-	type nodeReq struct {
-		fps  []fingerprint.Fingerprint
-		idx  map[fingerprint.Fingerprint]int
-		data [][]byte
-	}
-	reqs := make(map[int]*nodeReq)
+	reqs := make(map[int]*restoreReq)
 	for _, e := range entries {
 		nr := reqs[e.Node]
 		if nr == nil {
-			nr = &nodeReq{idx: make(map[fingerprint.Fingerprint]int)}
+			nr = &restoreReq{idx: make(map[fingerprint.Fingerprint]int)}
 			reqs[e.Node] = nr
 		}
 		if _, ok := nr.idx[e.FP]; !ok {
@@ -839,15 +867,20 @@ func (c *Cluster) restoreWindow(fileID uint64, entries []RecipeEntry, first int,
 		}
 	}
 	for id, nr := range reqs {
+		var out [][]byte
+		var idx []int
 		nd, err := c.nodeByID(id)
-		if err != nil {
-			return fmt.Errorf("cluster: restore backup %d chunks %d..%d: %w",
-				fileID, first, first+len(entries)-1, err)
+		if err == nil {
+			out, idx, err = nd.ReadChunkBatch(nr.fps)
 		}
-		out, idx, err := nd.ReadChunkBatch(nr.fps)
 		if err != nil {
-			return fmt.Errorf("cluster: restore backup %d chunks %d..%d: %w",
-				fileID, first, first+len(entries)-1, err)
+			// Primary failed (crashed node, or its chunks are gone): fail
+			// the whole node group over to the entries' replica owners.
+			if ferr := c.failoverGroup(id, nr, entries); ferr != nil {
+				return fmt.Errorf("cluster: restore backup %d chunks %d..%d: node %d: %w (failover: %v)",
+					fileID, first, first+len(entries)-1, id, err, ferr)
+			}
+			continue
 		}
 		// Scatter the container-read-order results back to request order.
 		nr.data = make([][]byte, len(nr.fps))
@@ -897,9 +930,17 @@ func (c *Cluster) GCStats() store.GCStats {
 		total.ReclaimedBytes += gc.ReclaimedBytes
 		total.CopiedBytes += gc.CopiedBytes
 		total.CompactRuns += gc.CompactRuns
+		total.CompactErrors += gc.CompactErrors
+		if gc.LastCompactErr != "" {
+			total.LastCompactErr = gc.LastCompactErr
+		}
 	}
 	return total
 }
+
+// FailoverReads reports how many restore reads were served by a replica
+// after their primary failed.
+func (c *Cluster) FailoverReads() int64 { return c.failoverReads.Load() }
 
 // RestartNode stops node i — sealing its open containers and closing its
 // manifest — and re-opens it from its durable directory, replaying the

@@ -140,6 +140,14 @@ func (c *Cluster) RemoveNode(ctx context.Context, id int) (MigrationResult, erro
 		return res, err
 	}
 
+	// Clear replica attributions off the departing node before the drain
+	// (clear-then-decref: a crash in between strands surplus references
+	// that anti-entropy repair releases, never dangling attributions).
+	// Repair restores R=2 for the affected runs on the survivors.
+	if err := c.stripReplicas(id); err != nil {
+		return res, err
+	}
+
 	// Drain passes: migrate every segment placed on the node. In-flight
 	// items pinned to the old epoch may still land chunks on it for one
 	// item's duration; rescan until clean. touched counts each backup
@@ -168,6 +176,37 @@ func (c *Cluster) RemoveNode(ctx context.Context, id int) (MigrationResult, erro
 		return res, fmt.Errorf("cluster: close removed node %d: %w", id, err)
 	}
 	return res, nil
+}
+
+// stripReplicas clears every replica attribution pointing at node id
+// and releases the corresponding references there. Attribution clears
+// before the decref so no recipe ever points at references that are
+// gone — the failure mode is a leak, and leaks are what repair's
+// reconciliation exists to erase.
+func (c *Cluster) stripReplicas(id int) error {
+	c.recMu.Lock()
+	var fps []fingerprint.Fingerprint
+	for _, entries := range c.recipes {
+		for i := range entries {
+			if entries[i].Replica == id {
+				fps = append(fps, entries[i].FP)
+				entries[i].Replica = -1
+			}
+		}
+	}
+	c.recMu.Unlock()
+	if len(fps) == 0 {
+		return nil
+	}
+	nd, err := c.nodeByID(id)
+	if err != nil {
+		return err
+	}
+	order, ns := core.AggregateRefs(fps)
+	if err := nd.DecRef(order, ns); err != nil {
+		return fmt.Errorf("cluster: strip replicas off node %d: %w", id, err)
+	}
+	return nil
 }
 
 // drainPass migrates every recipe segment currently placed on node id,
@@ -257,7 +296,11 @@ func (c *Cluster) pickTarget(refs []RecipeEntry, from int, members core.Membersh
 		fps[i] = r.FP
 	}
 	hp := core.NewHandprint(fps, c.cfg.HandprintK)
-	cands := members.Without(from).Candidates(hp)
+	var seed uint64
+	if len(fps) > 0 {
+		seed = fps[0].Uint64()
+	}
+	cands := members.Without(from).Candidates(hp, seed)
 	if len(cands) == 0 {
 		cands = members.Without(from).Nodes
 	}
@@ -356,8 +399,16 @@ func (c *Cluster) migrateSegment(fileID uint64, seg migrate.Segment, from, to in
 		c.recMu.Unlock()
 		return 0, 0, nil
 	}
+	var dupFPs []fingerprint.Fingerprint
 	for i := seg.Start; i < seg.Start+seg.Count; i++ {
 		entries[i].Node = to
+		// A segment migrating onto the node that already holds its replica
+		// collapses to one attribution: clear the replica (repair restores
+		// R=2 elsewhere) and remember the now-duplicate reference.
+		if entries[i].Replica == to {
+			entries[i].Replica = -1
+			dupFPs = append(dupFPs, entries[i].FP)
+		}
 	}
 	c.recMu.Unlock()
 	if err := c.faultAt(migrate.StageUpdated, fileID); err != nil {
@@ -369,6 +420,14 @@ func (c *Cluster) migrateSegment(fileID uint64, seg migrate.Segment, from, to in
 	order, ns := aggregateEntryRefs(refs)
 	if err := src.DecRef(order, ns); err != nil {
 		return 0, 0, fmt.Errorf("cluster: migrate item %d: decref node %d: %w", fileID, from, err)
+	}
+	// Release the target's now-duplicate replica references (cleared
+	// above; a crash in between strands them as surplus for recovery).
+	if len(dupFPs) > 0 {
+		order, ns := core.AggregateRefs(dupFPs)
+		if err := dst.DecRef(order, ns); err != nil {
+			return 0, 0, fmt.Errorf("cluster: migrate item %d: decref duplicate replicas on node %d: %w", fileID, to, err)
+		}
 	}
 	if err := c.faultAt(migrate.StageDecreffed, fileID); err != nil {
 		return 0, 0, err
@@ -544,8 +603,17 @@ func (c *Cluster) reconcileMigration(m simMigration) error {
 			c.recMu.Lock()
 			for _, entries := range c.recipes {
 				for _, e := range entries {
+					if _, wanted := want[e.FP]; !wanted {
+						continue
+					}
 					if exp, ok := expected[int32(e.Node)]; ok {
-						if _, wanted := want[e.FP]; wanted {
+						exp[e.FP]++
+					}
+					// Replica attributions hold references too: a crashed
+					// replication either set the attribution (the reference
+					// counts) or didn't (it reads as surplus and is released).
+					if e.Replica >= 0 {
+						if exp, ok := expected[int32(e.Replica)]; ok {
 							exp[e.FP]++
 						}
 					}

@@ -1,0 +1,418 @@
+// R=2 replica placement, failover reads and anti-entropy repair for the
+// simulated cluster — the in-process mirror of the prototype's
+// replication engine (see internal/client/migrate.go).
+//
+// Replication is migration that doesn't decref the source: a routed
+// super-chunk's payloads are stored a second time on the rendezvous
+// replica owner of its first fingerprint through the same migration
+// stream, under the same journaled transaction protocol, and the recipe
+// entry records the replica attribution next to the primary one. A
+// crash at any stage leaves a pending transaction whose reference
+// reconciliation (shared with migration recovery) releases exactly the
+// surplus — the replica either counts or it doesn't, never half.
+//
+// Repair converges a cluster back to R=2 after a node crash in four
+// idempotent phases: settle crash-leftover transactions, promote
+// replicas of dead primaries, re-replicate under-replicated runs, and
+// reconcile every live node's reference counts against the recipe
+// catalog. Like migration recovery, it assumes quiesced traffic and a
+// fully tracked catalog (every backup stored with a non-zero fileID):
+// recipes are the sole source of references it reconciles against.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"sigmadedupe/internal/core"
+	"sigmadedupe/internal/fingerprint"
+	"sigmadedupe/internal/migrate"
+	"sigmadedupe/internal/sderr"
+)
+
+// restoreReq is one node's share of a restore window: the deduplicated
+// fingerprints to fetch, their first-occurrence index, and the payloads
+// scattered back into request order.
+type restoreReq struct {
+	fps  []fingerprint.Fingerprint
+	idx  map[fingerprint.Fingerprint]int
+	data [][]byte
+}
+
+// replicate mirrors one just-routed super-chunk onto the rendezvous
+// replica owner of its first fingerprint, while the payloads are still
+// in hand. The recipe entries [start, start+n) of fileID were appended
+// by the caller with Replica == -1; on success they carry the replica
+// attribution. Journaled like a migration: a crash after the store but
+// before the attribution leaves the replica's references surplus, and
+// recovery releases them.
+func (s *Stream) replicate(fileID uint64, target *core.SuperChunk, primary, start, n int) error {
+	c := s.c
+	replica := s.pin.ReplicaTarget(target.Chunks[0].FP, primary)
+	if replica < 0 {
+		return nil // single-member epoch: no second site exists
+	}
+	dst, err := c.nodeByID(replica)
+	if err != nil {
+		return err
+	}
+	fps := make([]fingerprint.Fingerprint, len(target.Chunks))
+	for i, ch := range target.Chunks {
+		fps[i] = ch.FP
+	}
+
+	// Open the transaction.
+	c.recMu.Lock()
+	c.nextMig++
+	mig := simMigration{id: c.nextMig, fileID: fileID, from: primary, to: replica,
+		start: start, count: n, fps: fps}
+	c.pendingMigs[mig.id] = mig
+	c.recMu.Unlock()
+
+	if _, err := dst.StoreSuperChunk(migrateStream, target); err != nil {
+		return fmt.Errorf("cluster: replicate item %d to node %d: %w", fileID, replica, err)
+	}
+	if err := c.faultAt(migrate.StageStored, fileID); err != nil {
+		return err
+	}
+
+	// Attribute the replica and close the transaction — the commit point.
+	c.recMu.Lock()
+	entries := c.recipes[fileID]
+	for i := start; i < start+n && i < len(entries); i++ {
+		entries[i].Replica = replica
+	}
+	delete(c.pendingMigs, mig.id)
+	c.recMu.Unlock()
+	return nil
+}
+
+// failoverGroup serves one failed node's share of a restore window from
+// the entries' replica owners: each fingerprint maps to the replica its
+// recipe entry recorded, the group re-batches per replica node, and the
+// payloads scatter into the request's slots as if the primary had
+// answered.
+func (c *Cluster) failoverGroup(failed int, nr *restoreReq, entries []RecipeEntry) error {
+	replicaOf := make(map[fingerprint.Fingerprint]int, len(nr.fps))
+	for _, e := range entries {
+		if e.Node == failed && e.Replica >= 0 {
+			replicaOf[e.FP] = e.Replica
+		}
+	}
+	groups := make(map[int][]fingerprint.Fingerprint)
+	for _, fp := range nr.fps {
+		rep, ok := replicaOf[fp]
+		if !ok {
+			return fmt.Errorf("cluster: chunk %s on failed node %d has no replica: %w",
+				fp.Short(), failed, sderr.ErrNotFound)
+		}
+		groups[rep] = append(groups[rep], fp)
+	}
+	nr.data = make([][]byte, len(nr.fps))
+	for rep, fps := range groups {
+		nd, err := c.nodeByID(rep)
+		if err != nil {
+			return fmt.Errorf("cluster: failover to replica node %d: %w", rep, err)
+		}
+		out, idx, err := nd.ReadChunkBatch(fps)
+		if err != nil {
+			return fmt.Errorf("cluster: failover read on replica node %d: %w", rep, err)
+		}
+		for i, d := range out {
+			nr.data[nr.idx[fps[idx[i]]]] = d
+		}
+		c.failoverReads.Add(int64(len(fps)))
+	}
+	return nil
+}
+
+// KillNode hard-kills node id: it leaves the membership immediately —
+// no drain, no migration, its chunks are unreachable from the cluster's
+// perspective and only replicas keep its backups restorable. In-process
+// resources are released best-effort (a kill models loss of
+// reachability, not an orderly shutdown, so close errors are moot).
+// Refuses to kill the last member.
+func (c *Cluster) KillNode(id int) error {
+	c.memberMu.Lock()
+	n := c.nodes[id]
+	if n == nil {
+		c.memberMu.Unlock()
+		return fmt.Errorf("cluster: no node %d", id)
+	}
+	if c.members.Contains(id) {
+		if c.members.Len() == 1 {
+			c.memberMu.Unlock()
+			return fmt.Errorf("cluster: cannot kill the last node")
+		}
+		c.members = core.NewMembership(c.members.Epoch+1, c.members.Without(id).Nodes)
+	}
+	delete(c.nodes, id)
+	c.memberMu.Unlock()
+	_ = n.Close()
+	return nil
+}
+
+// Repair is the anti-entropy pass that re-converges the cluster after a
+// node crash (or any interrupted replication/migration): it settles
+// crash-leftover transactions, promotes replicas whose primaries died,
+// gives every under-replicated run a fresh second copy, and releases
+// every reference the recipe catalog does not account for. Idempotent —
+// repair may itself be interrupted and rerun. Callers must quiesce
+// backups, deletes and membership changes first. Fails if any chunk
+// lost both of its copies.
+func (c *Cluster) Repair(ctx context.Context) (migrate.RepairResult, error) {
+	var res migrate.RepairResult
+	if err := c.elasticGuard(true); err != nil {
+		return res, err
+	}
+
+	// Phase 0: settle pending transactions so surplus from half-done
+	// replication or migration is gone before counts are compared.
+	if err := c.RecoverMigrations(); err != nil {
+		return res, err
+	}
+
+	members := c.Membership()
+
+	// Phase 1: promotion. A dead primary's entries swing to their live
+	// replica; a dead replica's attribution clears so phase 2 re-covers
+	// it. Both copies gone means the backup is unrecoverable — report it
+	// rather than restore garbage.
+	c.recMu.Lock()
+	for fid, entries := range c.recipes {
+		for i := range entries {
+			e := &entries[i]
+			if !members.Contains(e.Node) {
+				if e.Replica < 0 || !members.Contains(e.Replica) {
+					fp := e.FP
+					c.recMu.Unlock()
+					return res, fmt.Errorf("cluster: repair: backup %d chunk %s lost primary and replica: %w",
+						fid, fp.Short(), sderr.ErrNotFound)
+				}
+				e.Node, e.Replica = e.Replica, -1
+				res.Promoted++
+			} else if e.Replica >= 0 && !members.Contains(e.Replica) {
+				e.Replica = -1
+			}
+		}
+	}
+	c.recMu.Unlock()
+
+	// Phase 2: re-replication of every run still missing its second copy.
+	if c.cfg.Replicas >= 2 && members.Len() >= 2 {
+		if err := c.rereplicate(ctx, members, &res); err != nil {
+			return res, err
+		}
+	}
+
+	// Phase 3: global reconciliation — release what no recipe accounts
+	// for (strands of clear-then-decref orderings, promoted-away
+	// primaries, interrupted repairs).
+	released, err := c.reconcileAll(ctx, members)
+	res.ReleasedRefs = released
+	return res, err
+}
+
+// rereplicate walks the catalog and gives every maximal
+// same-primary run of replica-less entries a second copy, one
+// journaled segment at a time.
+func (c *Cluster) rereplicate(ctx context.Context, members core.Membership, res *migrate.RepairResult) error {
+	c.recMu.Lock()
+	ids := make([]uint64, 0, len(c.recipes))
+	for fid := range c.recipes {
+		ids = append(ids, fid)
+	}
+	c.recMu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, fid := range ids {
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			// Runs shift as earlier ones gain replicas; re-derive from the
+			// live recipe each round.
+			c.recMu.Lock()
+			entries := c.recipes[fid]
+			start, primary := -1, 0
+			for i, e := range entries {
+				if e.Replica < 0 {
+					start, primary = i, e.Node
+					break
+				}
+			}
+			if start < 0 {
+				c.recMu.Unlock()
+				break
+			}
+			end := start
+			for end < len(entries) && entries[end].Replica < 0 && entries[end].Node == primary &&
+				end-start < migrate.DefaultSegmentChunks {
+				end++
+			}
+			seg := migrate.Segment{Start: start, Count: end - start}
+			refs := segmentRefs(entries, seg)
+			c.recMu.Unlock()
+
+			n, bytes, err := c.replicateRun(fid, seg, refs, primary, members)
+			if err != nil {
+				return err
+			}
+			res.Rereplicated += int64(n)
+			res.Bytes += bytes
+			if n == 0 {
+				break // no viable target or the run changed under us; give way
+			}
+		}
+	}
+	return nil
+}
+
+// replicateRun re-replicates one recipe run from its primary under the
+// journaled transaction protocol, sealing the replica's migration
+// stream so the new copy is durable before it is attributed.
+func (c *Cluster) replicateRun(fileID uint64, seg migrate.Segment, refs []RecipeEntry, primary int, members core.Membership) (int, int64, error) {
+	replica := members.ReplicaTarget(refs[0].FP, primary)
+	if replica < 0 {
+		return 0, 0, nil
+	}
+	src, err := c.nodeByID(primary)
+	if err != nil {
+		return 0, 0, err
+	}
+	dst, err := c.nodeByID(replica)
+	if err != nil {
+		return 0, 0, err
+	}
+	fps := make([]fingerprint.Fingerprint, len(refs))
+	for i, r := range refs {
+		fps[i] = r.FP
+	}
+
+	// Open the transaction.
+	c.recMu.Lock()
+	c.nextMig++
+	mig := simMigration{id: c.nextMig, fileID: fileID, from: primary, to: replica,
+		start: seg.Start, count: seg.Count, fps: fps}
+	c.pendingMigs[mig.id] = mig
+	c.recMu.Unlock()
+
+	// Read the payloads off the primary.
+	sc := &core.SuperChunk{}
+	var bytes int64
+	for _, r := range refs {
+		data, err := src.ReadChunk(r.FP)
+		if err != nil {
+			return 0, 0, fmt.Errorf("cluster: re-replicate item %d: read chunk %s from node %d: %w",
+				fileID, r.FP.Short(), primary, err)
+		}
+		sc.Chunks = append(sc.Chunks, core.ChunkRef{FP: r.FP, Size: r.Size, Data: data})
+		bytes += int64(r.Size)
+	}
+	if err := c.faultAt(migrate.StageRead, fileID); err != nil {
+		return 0, 0, err
+	}
+
+	if _, err := dst.StoreSuperChunk(migrateStream, sc); err != nil {
+		return 0, 0, fmt.Errorf("cluster: re-replicate item %d to node %d: %w", fileID, replica, err)
+	}
+	if err := c.faultAt(migrate.StageStored, fileID); err != nil {
+		return 0, 0, err
+	}
+	if err := dst.SealStream(migrateStream); err != nil {
+		return 0, 0, fmt.Errorf("cluster: re-replicate item %d: commit node %d: %w", fileID, replica, err)
+	}
+	if err := c.faultAt(migrate.StageCommitted, fileID); err != nil {
+		return 0, 0, err
+	}
+
+	// Attribute — the commit point. A run that changed under us
+	// (concurrent delete or re-backup) wins; roll our replica refs back.
+	c.recMu.Lock()
+	entries := c.recipes[fileID]
+	ok := seg.Start+seg.Count <= len(entries)
+	for i := seg.Start; ok && i < seg.Start+seg.Count; i++ {
+		if entries[i].Node != primary || entries[i].Replica >= 0 {
+			ok = false
+		}
+	}
+	if !ok {
+		c.recMu.Unlock()
+		order, ns := aggregateEntryRefs(refs)
+		if err := dst.DecRef(order, ns); err != nil {
+			return 0, 0, fmt.Errorf("cluster: re-replicate item %d: roll back node %d: %w", fileID, replica, err)
+		}
+		c.recMu.Lock()
+		delete(c.pendingMigs, mig.id)
+		c.recMu.Unlock()
+		return 0, 0, nil
+	}
+	for i := seg.Start; i < seg.Start+seg.Count; i++ {
+		entries[i].Replica = replica
+	}
+	delete(c.pendingMigs, mig.id)
+	c.recMu.Unlock()
+	return len(refs), bytes, nil
+}
+
+// reconcileAll compares every live node's reference counts over the
+// full catalog fingerprint universe against what primary + replica
+// attributions account for, and releases exactly the surplus. The
+// global form of the per-transaction migrate.Reconcile, for strands no
+// journal record points at (a killed node's promoted-away primaries,
+// clear-then-decref orderings interrupted mid-way).
+func (c *Cluster) reconcileAll(ctx context.Context, members core.Membership) (int64, error) {
+	c.recMu.Lock()
+	expected := make(map[int]map[fingerprint.Fingerprint]int64, members.Len())
+	seen := make(map[fingerprint.Fingerprint]struct{})
+	var uniq []fingerprint.Fingerprint
+	add := func(node int, fp fingerprint.Fingerprint) {
+		m := expected[node]
+		if m == nil {
+			m = make(map[fingerprint.Fingerprint]int64)
+			expected[node] = m
+		}
+		m[fp]++
+	}
+	for _, entries := range c.recipes {
+		for _, e := range entries {
+			if _, ok := seen[e.FP]; !ok {
+				seen[e.FP] = struct{}{}
+				uniq = append(uniq, e.FP)
+			}
+			add(e.Node, e.FP)
+			if e.Replica >= 0 {
+				add(e.Replica, e.FP)
+			}
+		}
+	}
+	c.recMu.Unlock()
+
+	var released int64
+	for _, id := range members.Nodes {
+		if err := ctx.Err(); err != nil {
+			return released, err
+		}
+		nd, err := c.nodeByID(id)
+		if err != nil {
+			continue // left the cluster since the snapshot; nothing to release
+		}
+		actual := nd.RefCounts(uniq)
+		exp := make([]int64, len(uniq))
+		for i, fp := range uniq {
+			exp[i] = expected[id][fp]
+		}
+		fps, ns := migrate.Surplus(uniq, actual, exp)
+		if len(fps) == 0 {
+			continue
+		}
+		if err := nd.DecRef(fps, ns); err != nil {
+			return released, fmt.Errorf("cluster: repair reconcile node %d: %w", id, err)
+		}
+		for _, n := range ns {
+			released += n
+		}
+	}
+	return released, nil
+}

@@ -88,6 +88,53 @@ func (m Membership) Owner(fp fingerprint.Fingerprint) int {
 	return first
 }
 
+// ReplicaTarget returns the replica owner for fp given its primary: the
+// highest-weight live node other than primary. This generalizes owners2
+// — when primary is the rank-1 owner the replica is the rank-2 owner,
+// and when a bid placed the data off its rank-1 owner the replica is the
+// rank-1 owner itself — so primary and replica never coincide. Returns
+// -1 when the membership has no second node.
+func (m Membership) ReplicaTarget(fp fingerprint.Fingerprint, primary int) int {
+	best := -1
+	var bestW uint64
+	for _, id := range m.Nodes {
+		if id == primary {
+			continue
+		}
+		w := rendezvousWeight(fp, id)
+		if best == -1 || w > bestW || (w == bestW && id < best) {
+			best, bestW = id, w
+		}
+	}
+	return best
+}
+
+// SeedOwner returns the rendezvous owner of a synthetic fingerprint
+// derived from seed — the stable route of a degenerate (empty-handprint)
+// super-chunk. Distinct seeds spread across the membership like any
+// other fingerprints; a fixed fallback node would concentrate every
+// degenerate super-chunk on it. Returns -1 on an empty membership.
+func (m Membership) SeedOwner(seed uint64) int {
+	return m.Owner(seedFingerprint(seed))
+}
+
+// seedFingerprint builds the synthetic fingerprint SeedOwner routes by:
+// the seed in the 8-byte big-endian prefix (all Fingerprint.Uint64
+// reads), avalanche-mixed so sequential seeds don't correlate.
+func seedFingerprint(seed uint64) fingerprint.Fingerprint {
+	x := seed
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	var fp fingerprint.Fingerprint
+	for i := 0; i < 8; i++ {
+		fp[i] = byte(x >> (56 - 8*i))
+	}
+	return fp
+}
+
 // owners2 returns the two highest-weight live nodes for fp (second is
 // -1 on a single-node membership).
 func (m Membership) owners2(fp fingerprint.Fingerprint) (int, int) {
@@ -122,9 +169,12 @@ func (m Membership) owners2(fp fingerprint.Fingerprint) (int, int) {
 // set; the price of elasticity is at most a doubled (still
 // N-independent) pre-routing message cost.
 //
-// An empty handprint (or membership) falls back to the first live node
-// so a degenerate super-chunk still routes somewhere.
-func (m Membership) Candidates(hp Handprint) []int {
+// An empty handprint still routes somewhere: the fallback is the
+// rendezvous owner of a synthetic fingerprint derived from seed
+// (SeedOwner), so degenerate super-chunks with distinct seeds spread
+// across the membership instead of all landing on the first live node.
+// Callers pass a stable per-super-chunk seed (SuperChunk.Seed).
+func (m Membership) Candidates(hp Handprint, seed uint64) []int {
 	if len(m.Nodes) == 0 {
 		return nil
 	}
@@ -151,7 +201,7 @@ func (m Membership) Candidates(hp Handprint) []int {
 		}
 	}
 	if len(out) == 0 {
-		out = append(out, m.Nodes[0])
+		out = append(out, m.SeedOwner(seed))
 	}
 	return out
 }

@@ -86,8 +86,8 @@ func TestCandidatesEpochWidth(t *testing.T) {
 	hp := Handprint(randFPs(3, 8))
 	fixed := DenseMembership(32)
 	grown := NewMembership(2, fixed.Nodes)
-	cf := fixed.Candidates(hp)
-	cg := grown.Candidates(hp)
+	cf := fixed.Candidates(hp, 0)
+	cg := grown.Candidates(hp, 0)
 	if len(cf) > len(hp) {
 		t.Fatalf("epoch-1 candidates = %d, want ≤ k=%d", len(cf), len(hp))
 	}
@@ -109,7 +109,7 @@ func TestCandidatesEpochWidth(t *testing.T) {
 	// wherever the bid placed the data.
 	after := NewMembership(3, append(grown.Nodes, 32))
 	set = make(map[int]bool)
-	for _, id := range after.Candidates(hp) {
+	for _, id := range after.Candidates(hp, 0) {
 		set[id] = true
 	}
 	for _, fp := range hp {
@@ -120,11 +120,61 @@ func TestCandidatesEpochWidth(t *testing.T) {
 }
 
 func TestCandidatesDegenerate(t *testing.T) {
-	if c := DenseMembership(0).Candidates(nil); c != nil {
+	if c := DenseMembership(0).Candidates(nil, 1); c != nil {
 		t.Fatalf("empty membership candidates = %v", c)
 	}
 	m := NewMembership(5, []int{7, 9})
-	if c := m.Candidates(Handprint{}); len(c) != 1 || c[0] != 7 {
-		t.Fatalf("empty handprint should fall back to first member, got %v", c)
+	c := m.Candidates(Handprint{}, 12345)
+	if len(c) != 1 || !m.Contains(c[0]) {
+		t.Fatalf("empty handprint should fall back to one live member, got %v", c)
+	}
+	if c[0] != m.SeedOwner(12345) {
+		t.Fatalf("fallback %d != seed owner %d", c[0], m.SeedOwner(12345))
+	}
+	if again := m.Candidates(Handprint{}, 12345); again[0] != c[0] {
+		t.Fatal("seeded fallback must be deterministic")
+	}
+}
+
+// TestCandidatesSeedSpread is the regression test for the old fallback
+// bug: every degenerate (empty-handprint) super-chunk used to land on
+// m.Nodes[0], concentrating all such traffic on the first live node. The
+// seeded fallback must spread distinct super-chunks roughly uniformly.
+func TestCandidatesSeedSpread(t *testing.T) {
+	m := DenseMembership(8)
+	const total = 16000
+	counts := make(map[int]int)
+	for seed := uint64(0); seed < total; seed++ {
+		c := m.Candidates(Handprint{}, seed)
+		if len(c) != 1 {
+			t.Fatalf("seed %d: candidates = %v, want exactly one fallback", seed, c)
+		}
+		counts[c[0]]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("degenerate super-chunks reached only %d of 8 nodes: %v", len(counts), counts)
+	}
+	for id, c := range counts {
+		if c < 1600 || c > 2400 { // 2000 ± 20%
+			t.Fatalf("node %d got %d of %d degenerate routes; fallback skewed", id, c, total)
+		}
+	}
+	// ReplicaTarget never returns the primary and spreads too.
+	fps := randFPs(4, 4000)
+	rcounts := make(map[int]int)
+	for _, fp := range fps {
+		p := m.Owner(fp)
+		r := m.ReplicaTarget(fp, p)
+		if r == p || r < 0 {
+			t.Fatalf("replica target %d for primary %d", r, p)
+		}
+		rcounts[r]++
+	}
+	if len(rcounts) != 8 {
+		t.Fatalf("replica targets reached only %d of 8 nodes", len(rcounts))
+	}
+	// Single-node membership has no replica site.
+	if r := DenseMembership(1).ReplicaTarget(fps[0], 0); r != -1 {
+		t.Fatalf("single-node replica target = %d, want -1", r)
 	}
 }

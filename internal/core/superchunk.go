@@ -82,6 +82,23 @@ func (s *SuperChunk) Handprint(k int) Handprint {
 	return hp
 }
 
+// Seed returns a stable per-super-chunk routing seed: the first chunk's
+// fingerprint prefix mixed with the file identity. It exists for the
+// degenerate case — a super-chunk whose handprint is empty (no chunks,
+// or handprinting disabled) still needs a route, and the seed makes
+// Membership.Candidates spread such super-chunks across the cluster
+// instead of stacking them on one node. Stable across processes (it
+// feeds durable placement decisions).
+func (s *SuperChunk) Seed() uint64 {
+	seed := s.FileID
+	if len(s.Chunks) > 0 {
+		seed ^= s.Chunks[0].FP.Uint64()
+	} else if !s.FileMinFP.IsZero() {
+		seed ^= s.FileMinFP.Uint64()
+	}
+	return seed
+}
+
 // MinFingerprint returns the single smallest fingerprint, the
 // "representative fingerprint" used by stateless routing and by Extreme
 // Binning's file-level similarity detection.

@@ -125,19 +125,20 @@ func decodeDirResponse(body []byte) (dirResponse, error) {
 	return resp, nil
 }
 
-// ChunkEntry: fingerprint, size, node — 28 bytes each.
+// ChunkEntry: fingerprint, size, node, replica — 32 bytes each.
 func appendChunkEntries(b []byte, entries []ChunkEntry) []byte {
 	b = wire.AppendU32(b, uint32(len(entries)))
 	for i := range entries {
 		b = append(b, entries[i].FP[:]...)
 		b = wire.AppendU32(b, uint32(entries[i].Size))
 		b = wire.AppendU32(b, uint32(entries[i].Node))
+		b = wire.AppendU32(b, uint32(entries[i].Replica))
 	}
 	return b
 }
 
 func decodeChunkEntries(r *wire.Reader) []ChunkEntry {
-	n := r.Count(fingerprint.Size + 8)
+	n := r.Count(fingerprint.Size + 12)
 	if n == 0 {
 		return nil
 	}
@@ -146,6 +147,7 @@ func decodeChunkEntries(r *wire.Reader) []ChunkEntry {
 		copy(out[i].FP[:], r.Raw(fingerprint.Size))
 		out[i].Size = int32(r.U32())
 		out[i].Node = int32(r.U32())
+		out[i].Replica = int32(r.U32())
 	}
 	return out
 }

@@ -33,12 +33,15 @@ import (
 	"sigmadedupe/internal/sderr"
 )
 
-// ChunkEntry is one recipe element: a chunk fingerprint, its size, and
-// the deduplication node holding it.
+// ChunkEntry is one recipe element: a chunk fingerprint, its size, the
+// deduplication node holding it, and the node holding its replica under
+// R=2 placement (-1 when the entry has none — node 0 is a valid replica
+// site, so the zero value must never be used to mean "no replica").
 type ChunkEntry struct {
-	FP   fingerprint.Fingerprint
-	Size int32
-	Node int32
+	FP      fingerprint.Fingerprint
+	Size    int32
+	Node    int32
+	Replica int32
 }
 
 // Recipe reconstructs one file: its chunks in stream order. Gen is the
@@ -112,6 +115,10 @@ type chunkJSON struct {
 	FP   string `json:"fp"`
 	Size int32  `json:"size"`
 	Node int32  `json:"node"`
+	// R journals the replica attribution shifted by one (R = Replica+1)
+	// so a journal written before replication existed — no "r" field,
+	// decodes as 0 — replays as Replica -1, never as "replica on node 0".
+	R int32 `json:"r,omitempty"`
 }
 
 // New creates an empty in-RAM director (recipes do not survive a
@@ -161,7 +168,7 @@ func OpenAt(dir string) (*Director, error) {
 				if err != nil {
 					return nil, fmt.Errorf("director: journal line %d: %w", i+1, err)
 				}
-				chunks[j] = ChunkEntry{FP: fp, Size: c.Size, Node: c.Node}
+				chunks[j] = ChunkEntry{FP: fp, Size: c.Size, Node: c.Node, Replica: c.R - 1}
 			}
 			d.recipes[rec.Path] = &Recipe{Path: rec.Path, Session: rec.Session, Gen: rec.Gen, Chunks: chunks}
 			if rec.Session > d.nextID {
@@ -274,7 +281,7 @@ func (d *Director) PutRecipe(ctx context.Context, session uint64, path string, c
 	if d.journal != nil {
 		js := make([]chunkJSON, len(chunks))
 		for i, c := range chunks {
-			js[i] = chunkJSON{FP: c.FP.String(), Size: c.Size, Node: c.Node}
+			js[i] = chunkJSON{FP: c.FP.String(), Size: c.Size, Node: c.Node, R: c.Replica + 1}
 		}
 		if err := d.appendJournal(recipeRecord{T: "put", Path: path, Session: session, Gen: gen, Chunks: js}); err != nil {
 			return err

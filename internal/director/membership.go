@@ -364,7 +364,7 @@ func (d *Director) ReplaceRecipe(ctx context.Context, path string, ifSession, if
 	if d.journal != nil {
 		js := make([]chunkJSON, len(chunks))
 		for i, c := range chunks {
-			js[i] = chunkJSON{FP: c.FP.String(), Size: c.Size, Node: c.Node}
+			js[i] = chunkJSON{FP: c.FP.String(), Size: c.Size, Node: c.Node, R: c.Replica + 1}
 		}
 		if err := d.appendJournal(recipeRecord{T: "put", Path: path, Session: r.Session, Gen: gen, Chunks: js}); err != nil {
 			return err

@@ -84,6 +84,24 @@ func (r *Result) Add(o Result) {
 	r.Bytes += o.Bytes
 }
 
+// RepairResult summarizes one anti-entropy repair pass: recovered
+// transactions, replica promotions after a node loss, re-replication of
+// under-replicated chunks, and surplus references released.
+type RepairResult struct {
+	Promoted     int64 // recipe entries whose replica became the primary
+	Rereplicated int64 // chunk occurrences given a fresh second copy
+	Bytes        int64 // payload bytes written during re-replication
+	ReleasedRefs int64 // surplus references released by reconciliation
+}
+
+// Add folds another repair result in.
+func (r *RepairResult) Add(o RepairResult) {
+	r.Promoted += o.Promoted
+	r.Rereplicated += o.Rereplicated
+	r.Bytes += o.Bytes
+	r.ReleasedRefs += o.ReleasedRefs
+}
+
 // Segment is one movable run of a recipe: Count consecutive chunks
 // starting at Start, all placed on the same node.
 type Segment struct {

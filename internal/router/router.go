@@ -196,13 +196,16 @@ func (r *SigmaRouter) Route(sc *core.SuperChunk, v View) Decision {
 	hp := sc.Handprint(r.K)
 	m := v.Membership()
 	if len(hp) == 0 {
-		node := 0
-		if m.Len() > 0 {
-			node = m.Nodes[0]
+		// Degenerate super-chunk: no handprint to bid with. Route by the
+		// stable per-super-chunk seed so these spread across the
+		// membership instead of all piling onto one node.
+		node := m.SeedOwner(sc.Seed())
+		if node < 0 {
+			node = 0
 		}
 		return all(node)
 	}
-	cands := m.Candidates(hp)
+	cands := m.Candidates(hp, sc.Seed())
 	counts := make([]int, len(cands))
 	usage := make([]int64, len(cands))
 	// The handprint is sent to each candidate.

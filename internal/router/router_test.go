@@ -89,7 +89,7 @@ func TestSigmaRouteQueriesOnlyCandidates(t *testing.T) {
 	r := &SigmaRouter{K: 8}
 	d := r.Route(sc, v)
 
-	cands := core.DenseMembership(32).Candidates(hp)
+	cands := core.DenseMembership(32).Candidates(hp, sc.Seed())
 	if len(v.hpCalls) != len(cands) {
 		t.Fatalf("queried %d nodes, want %d candidates (not all 32)", len(v.hpCalls), len(cands))
 	}
@@ -113,7 +113,7 @@ func TestSigmaRouteQueriesOnlyCandidates(t *testing.T) {
 
 func TestSigmaPrefersHighBid(t *testing.T) {
 	sc := makeSC(2, 64)
-	cands := core.DenseMembership(16).Candidates(sc.Handprint(8))
+	cands := core.DenseMembership(16).Candidates(sc.Handprint(8), sc.Seed())
 	if len(cands) < 2 {
 		t.Skip("degenerate candidate set")
 	}
@@ -128,9 +128,20 @@ func TestSigmaPrefersHighBid(t *testing.T) {
 func TestSigmaEmptySuperChunk(t *testing.T) {
 	v := &fakeView{n: 4, hpBids: map[int]int{}, usage: map[int]int64{}}
 	r := &SigmaRouter{K: 8}
-	d := r.Route(&core.SuperChunk{}, v)
-	if d.Assignments[0].Node != 0 || d.PreRoutingMsgs != 0 {
-		t.Fatalf("empty super-chunk should fall back to node 0 for free, got %+v", d)
+	sc := &core.SuperChunk{FileID: 42}
+	d := r.Route(sc, v)
+	if d.PreRoutingMsgs != 0 {
+		t.Fatalf("empty super-chunk must route for free, got %+v", d)
+	}
+	node := d.Assignments[0].Node
+	if node < 0 || node >= 4 {
+		t.Fatalf("empty super-chunk routed outside the membership: %d", node)
+	}
+	if want := core.DenseMembership(4).SeedOwner(sc.Seed()); node != want {
+		t.Fatalf("empty super-chunk routed to %d, want seed owner %d", node, want)
+	}
+	if again := r.Route(&core.SuperChunk{FileID: 42}, v); again.Assignments[0].Node != node {
+		t.Fatal("empty super-chunk placement must be deterministic")
 	}
 }
 

@@ -128,7 +128,7 @@ func responseSize(resp *Response) int {
 		4 + len(resp.Dup) +
 		4 + len(resp.Counts)*8 +
 		4 + len(resp.Chunks)*(fingerprint.Size+8) +
-		8*8 + 8*8 + 6*8 + // Stats, GC, Compacted
+		8*8 + 9*8 + 4 + len(resp.GC.LastCompactErr) + 6*8 + // Stats, GC, Compacted
 		4 + len(resp.Idx)*4
 	for i := range resp.Chunks {
 		n += len(resp.Chunks[i].Data)
@@ -165,6 +165,8 @@ func appendResponse(b []byte, resp *Response) []byte {
 	b = wire.AppendI64(b, resp.GC.ReclaimedBytes)
 	b = wire.AppendI64(b, resp.GC.CopiedBytes)
 	b = wire.AppendI64(b, resp.GC.CompactRuns)
+	b = wire.AppendI64(b, resp.GC.CompactErrors)
+	b = wire.AppendString(b, resp.GC.LastCompactErr)
 	b = wire.AppendI64(b, int64(resp.Compacted.Scanned))
 	b = wire.AppendI64(b, int64(resp.Compacted.Rewritten))
 	b = wire.AppendI64(b, int64(resp.Compacted.Retired))
@@ -217,6 +219,8 @@ func decodeResponse(body []byte) (Response, error) {
 		ReclaimedBytes:    r.I64(),
 		CopiedBytes:       r.I64(),
 		CompactRuns:       r.I64(),
+		CompactErrors:     r.I64(),
+		LastCompactErr:    r.String(),
 	}
 	resp.Compacted = store.CompactResult{
 		Scanned:          int(r.I64()),

@@ -360,10 +360,23 @@ func (e *Engine) startCompactor() {
 				// Background compaction is best-effort; an error (e.g. a
 				// fault hook in tests) stops this pass, the next tick
 				// rescans from durable state.
-				_, _ = e.Compact(ctx, e.cfg.CompactThreshold)
+				e.backgroundCompactOnce(ctx)
 			}
 		}
 	}()
+}
+
+// backgroundCompactOnce runs one background compaction pass, recording a
+// failure in the GCStats error counters instead of dropping it — the
+// ticker loop has no caller, so this is the only place a persistently
+// failing compactor becomes visible.
+func (e *Engine) backgroundCompactOnce(ctx context.Context) {
+	if _, err := e.Compact(ctx, e.cfg.CompactThreshold); err != nil {
+		e.compactErrMu.Lock()
+		e.compactErrors++
+		e.lastCompactErr = err.Error()
+		e.compactErrMu.Unlock()
+	}
 }
 
 // stopCompactor stops the background loop — canceling any in-flight

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -107,6 +108,67 @@ func TestDecRefValidation(t *testing.T) {
 	}
 	if got := e.RefCount(sc.Chunks[0].FP); got != 1 {
 		t.Fatalf("RefCount after refused batch = %d, want 1 (no partial application)", got)
+	}
+}
+
+// TestBackgroundCompactRecordsErrors is the silent-swallow bugfix: a
+// failing background compaction pass has no caller to return its error
+// to, so it must land in the GCStats counters — CompactErrors ticks and
+// LastCompactErr carries the message — instead of vanishing. A later
+// successful pass leaves the history visible (the counter is cumulative,
+// the message sticky: "it failed N times, most recently like this").
+func TestBackgroundCompactRecordsErrors(t *testing.T) {
+	e, err := New(Config{Dir: t.TempDir(), KeepPayloads: true, ContainerCapacity: 32 << 10, CompactThreshold: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(43))
+	doomed := makeSC(rng, 8, true)
+	keep := makeSC(rng, 8, true)
+	if _, err := e.StoreSuperChunk("doomed", doomed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.StoreSuperChunk("keep", keep); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fps, ns := refsOf(doomed)
+	if err := e.DecRef(fps, ns); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk full")
+	e.SetCompactFault(func(stage CompactStage, cid uint64) error {
+		if stage == StageCopied {
+			return boom
+		}
+		return nil
+	})
+	e.backgroundCompactOnce(context.Background())
+	e.backgroundCompactOnce(context.Background())
+	gc := e.GCStats()
+	if gc.CompactErrors != 2 {
+		t.Fatalf("CompactErrors = %d, want 2 (one per failed pass)", gc.CompactErrors)
+	}
+	if !strings.Contains(gc.LastCompactErr, "disk full") {
+		t.Fatalf("LastCompactErr = %q, want the injected failure message", gc.LastCompactErr)
+	}
+
+	// The fault clears; the next pass succeeds and reclaims, but the
+	// failure history stays readable.
+	e.SetCompactFault(nil)
+	e.backgroundCompactOnce(context.Background())
+	gc = e.GCStats()
+	if gc.CompactErrors != 2 {
+		t.Fatalf("CompactErrors after recovery = %d, want 2 (cumulative)", gc.CompactErrors)
+	}
+	if gc.LastCompactErr == "" {
+		t.Fatal("LastCompactErr cleared by a later success; the history must stay visible")
+	}
+	if gc.DeadBytes != 0 {
+		t.Fatalf("DeadBytes after the recovered pass = %d, want 0", gc.DeadBytes)
 	}
 }
 

@@ -71,6 +71,111 @@ func TestReadChunkBatchAcrossContainers(t *testing.T) {
 	}
 }
 
+// TestReadChunkSurvivesDoubleRetire is the double-retire race: a restore
+// looks a chunk up, and before the read lands the compactor retires the
+// container — and then retires the rewrite too, because the next pass
+// found it under-live as well. The read must follow the chunk index
+// through both relocations instead of giving up after a fixed attempt
+// count. The readRaceHook makes the race deterministic: after every
+// index lookup, one more compaction pass retires the container the
+// lookup just returned.
+func TestReadChunkSurvivesDoubleRetire(t *testing.T) {
+	e, err := New(Config{Dir: t.TempDir(), KeepPayloads: true, ContainerCapacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(52))
+	// One container: the target chunk plus two fillers whose deaths make
+	// the container (and then its rewrite) eligible for retirement.
+	sc := makeSC(rng, 3, true)
+	if _, err := e.StoreSuperChunk("s", sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	target := sc.Chunks[0]
+	fillers := []fingerprint.Fingerprint{sc.Chunks[1].FP, sc.Chunks[2].FP}
+
+	retires := 0
+	e.readRaceHook = func() {
+		if retires >= len(fillers) {
+			return // no filler left to kill; the container stays live
+		}
+		// Kill one filler and compact at threshold 1.0: the container the
+		// lookup just resolved is rewritten and retired under the read.
+		if err := e.DecRef([]fingerprint.Fingerprint{fillers[retires]}, []int64{1}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Compact(context.Background(), 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Retired == 0 {
+			t.Fatal("compaction pass retired nothing; race not exercised")
+		}
+		retires++
+	}
+
+	data, err := e.ReadChunk(target.FP)
+	if err != nil {
+		t.Fatalf("read lost the double-retire race: %v", err)
+	}
+	if !bytes.Equal(data, target.Data) {
+		t.Fatal("payload corrupted across two relocations")
+	}
+	if retires != 2 {
+		t.Fatalf("%d retire rounds fired, want 2 (double retire)", retires)
+	}
+}
+
+// TestReadChunkBatchSurvivesDoubleRetire drives the same race through
+// the batched path: the batch resolves its locations, the container
+// retires under it (hook round 1), the batch degrades to per-chunk reads
+// — whose own lookups lose a second round to the compactor (hook round
+// 2) and must keep following the index.
+func TestReadChunkBatchSurvivesDoubleRetire(t *testing.T) {
+	e, err := New(Config{Dir: t.TempDir(), KeepPayloads: true, ContainerCapacity: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(53))
+	sc := makeSC(rng, 3, true)
+	if _, err := e.StoreSuperChunk("s", sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	target := sc.Chunks[0]
+	fillers := []fingerprint.Fingerprint{sc.Chunks[1].FP, sc.Chunks[2].FP}
+
+	retires := 0
+	e.readRaceHook = func() {
+		if retires >= len(fillers) {
+			return
+		}
+		if err := e.DecRef([]fingerprint.Fingerprint{fillers[retires]}, []int64{1}); err != nil {
+			t.Fatal(err)
+		}
+		if res, err := e.Compact(context.Background(), 1.0); err != nil || res.Retired == 0 {
+			t.Fatalf("compaction pass: retired %d, err %v", res.Retired, err)
+		}
+		retires++
+	}
+
+	out, idx, err := e.ReadChunkBatch([]fingerprint.Fingerprint{target.FP})
+	if err != nil {
+		t.Fatalf("batch read lost the double-retire race: %v", err)
+	}
+	if len(out) != 1 || idx[0] != 0 || !bytes.Equal(out[0], target.Data) {
+		t.Fatal("batch returned the wrong payload after two relocations")
+	}
+	if retires != 2 {
+		t.Fatalf("%d retire rounds fired, want 2 (double retire)", retires)
+	}
+}
+
 // TestCompactOrdersSurvivorsByRecency is the capping contract: a
 // rewritten container lays its survivors out in last-touch order, so the
 // chunks the most recent backups still reference — the ones the next

@@ -210,6 +210,12 @@ type Engine struct {
 	reclaimedBytes    atomic.Int64
 	copiedBytes       atomic.Int64
 	compactRuns       atomic.Int64
+	// compactErrors / lastCompactErr record background compaction
+	// failures, which would otherwise vanish silently: the ticker loop
+	// has no caller to return to. Guarded by compactErrMu.
+	compactErrMu   sync.Mutex
+	compactErrors  int64
+	lastCompactErr string
 	// compactFault, when set (tests), is invoked at each named stage of a
 	// container's compaction; an error aborts mid-flight, emulating a
 	// crash at that point.
@@ -217,6 +223,12 @@ type Engine struct {
 	compactStop   chan struct{}
 	compactCancel context.CancelFunc
 	compactWG     sync.WaitGroup
+
+	// readRaceHook, when set (tests), runs after each chunk-index lookup
+	// on the restore read path — the point where a concurrent compaction
+	// can retire the looked-up container before the read reaches it. It
+	// makes the lookup→read race window deterministic.
+	readRaceHook func()
 
 	// bins holds Extreme Binning per-representative chunk-fingerprint
 	// sets, used only when the node serves the EB baseline.
@@ -630,30 +642,56 @@ func (e *Engine) QuerySuperChunk(sc *core.SuperChunk) []bool {
 	return out
 }
 
+// maxStaleLocReads bounds consecutive read attempts at one chunk-index
+// location that keeps failing without the index repointing — the genuine
+// "chunk is gone" verdict, as opposed to the transient "compaction moved
+// it" one.
+const maxStaleLocReads = 2
+
 // ReadChunk fetches a stored chunk payload (restore path). Requires
-// KeepPayloads or Dir. A restore racing the compactor can look a chunk up
-// just before its container is rewritten; the read retries through the
-// chunk index once, picking up the chunk's new location.
+// KeepPayloads or Dir. A restore racing the compactor can look a chunk
+// up just before its container is rewritten; the read re-resolves
+// through the chunk index and follows the relocation — repeatedly, since
+// the rewritten container can itself be retired by the next pass before
+// this read gets to it (the double-retire race). Only a location the
+// index refuses to change after repeated failures is a real error;
+// following a changed location is always progress, so the loop
+// terminates with the compactor's last rewrite.
 func (e *Engine) ReadChunk(fp fingerprint.Fingerprint) ([]byte, error) {
 	if e.cidx == nil {
 		return nil, fmt.Errorf("store node %d: restore requires the chunk index", e.cfg.NodeID)
 	}
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
+	var lastLoc container.Loc
+	stale := 0
+	for {
 		loc, ok := e.cidx.Lookup(fp)
 		if !ok {
 			return nil, fmt.Errorf("store node %d: chunk %s: %w", e.cfg.NodeID, fp.Short(), container.ErrNotFound)
+		}
+		if lastErr != nil {
+			if loc == lastLoc {
+				stale++
+				if stale >= maxStaleLocReads {
+					return nil, fmt.Errorf("store node %d: %w", e.cfg.NodeID, lastErr)
+				}
+			} else {
+				stale = 0
+			}
+		}
+		lastLoc = loc
+		if e.readRaceHook != nil {
+			e.readRaceHook()
 		}
 		data, err := e.containers.ReadChunk(loc)
 		if err == nil {
 			return data, nil
 		}
-		lastErr = err
 		if !errors.Is(err, container.ErrNotFound) && !errors.Is(err, os.ErrNotExist) {
-			break
+			return nil, fmt.Errorf("store node %d: %w", e.cfg.NodeID, err)
 		}
+		lastErr = err
 	}
-	return nil, fmt.Errorf("store node %d: %w", e.cfg.NodeID, lastErr)
 }
 
 // ReadChunkBatch fetches many chunk payloads in one call — the node side
@@ -679,6 +717,9 @@ func (e *Engine) ReadChunkBatch(fps []fingerprint.Fingerprint) (out [][]byte, id
 			return nil, nil, fmt.Errorf("store node %d: chunk %s: %w", e.cfg.NodeID, fp.Short(), container.ErrNotFound)
 		}
 		wants[i] = want{loc, i}
+	}
+	if e.readRaceHook != nil {
+		e.readRaceHook()
 	}
 	sort.Slice(wants, func(a, b int) bool {
 		if wants[a].loc.CID != wants[b].loc.CID {
@@ -902,6 +943,12 @@ type GCStats struct {
 	ReclaimedBytes    int64 // payload bytes freed by compaction, ever
 	CopiedBytes       int64 // surviving bytes rewritten by compaction, ever
 	CompactRuns       int64 // compaction scans completed
+	// CompactErrors counts failed background compaction passes;
+	// LastCompactErr is the most recent failure's message (empty when
+	// none). A persistently failing compactor is invisible otherwise —
+	// the background ticker has no caller to report to.
+	CompactErrors  int64
+	LastCompactErr string
 }
 
 // GCStats returns the engine's garbage-collection counters.
@@ -913,6 +960,9 @@ func (e *Engine) GCStats() GCStats {
 	}
 	e.gcMu.Unlock()
 	stored := e.containers.StoredBytes()
+	e.compactErrMu.Lock()
+	cerrs, lastErr := e.compactErrors, e.lastCompactErr
+	e.compactErrMu.Unlock()
 	return GCStats{
 		StoredBytes:       stored,
 		DeadBytes:         dead,
@@ -922,6 +972,8 @@ func (e *Engine) GCStats() GCStats {
 		ReclaimedBytes:    e.reclaimedBytes.Load(),
 		CopiedBytes:       e.copiedBytes.Load(),
 		CompactRuns:       e.compactRuns.Load(),
+		CompactErrors:     cerrs,
+		LastCompactErr:    lastErr,
 	}
 }
 

@@ -54,6 +54,14 @@ type RemoteConfig struct {
 	// of the default windowed batch scheduler — the pre-batching
 	// behavior, kept as an A/B switch for restore benchmarking.
 	PerChunkRestore bool
+	// Replicas ≥ 2 keeps a second copy of every super-chunk run on the
+	// rendezvous replica owner: after each Flush the session's recipes
+	// are walked and every replica-less run is streamed to its replica
+	// under the journaled migration commit protocol. Restores fail over
+	// to the replica when the primary is unreachable; KillNode + Repair
+	// survive a node crash without losing a byte. 0 or 1 keeps the
+	// single-copy behavior. Values above 2 are capped at 2.
+	Replicas int
 	// RestoreWindowBytes bounds the payload bytes of one restore window,
 	// the unit of batched read scheduling: each window becomes one
 	// batched read RPC per node it touches, and up to
@@ -266,6 +274,7 @@ func (r *Remote) newClient(ctx context.Context, cfg sessionConfig) (*client.Clie
 		Epoch:               epoch,
 		PerChunkRestore:     r.cfg.PerChunkRestore,
 		RestoreWindowBytes:  r.cfg.RestoreWindowBytes,
+		Replicas:            r.cfg.Replicas,
 	}, r.meta, addrs)
 	return c, epoch, err
 }
@@ -415,6 +424,10 @@ func (r *Remote) GCStats(ctx context.Context) (GCStats, error) {
 		total.Containers += gc.Containers
 		total.RetiredContainers += gc.RetiredContainers
 		total.ReclaimedBytes += gc.ReclaimedBytes
+		total.CompactErrors += gc.CompactErrors
+		if gc.LastCompactErr != "" {
+			total.LastCompactErr = fmt.Sprintf("node %d: %s", n.id, gc.LastCompactErr)
+		}
 	}
 	return total, nil
 }
@@ -630,6 +643,81 @@ func (r *Remote) Rebalance(ctx context.Context) (MigrationResult, error) {
 	return toMigrationResult(moved), err
 }
 
+// KillNode implements Backend: the node leaves the membership without a
+// drain — the hard-crash path, taken when the node's server is already
+// gone (or about to be). The shrunken epoch commits on the director,
+// the registry drops the node and its connections close; nothing
+// migrates. The default backup stream is retired without a flush —
+// flushing through a dead node cannot succeed, and kill semantics mean
+// its unflushed tail is lost. With RemoteConfig.Replicas ≥ 2 every
+// completed backup keeps restoring through failover reads; run Repair
+// to restore R=2 and release strays.
+func (r *Remote) KillNode(ctx context.Context, id int) error {
+	r.memberOp.Lock()
+	defer r.memberOp.Unlock()
+	epoch, nodes := r.reg.snapshot()
+	if len(nodes) <= 1 {
+		return fmt.Errorf("sigmadedupe: cannot kill the last node")
+	}
+	infos := make([]director.NodeInfo, 0, len(nodes)-1)
+	found := false
+	for _, n := range nodes {
+		if n.id == id {
+			found = true
+			continue
+		}
+		infos = append(infos, director.NodeInfo{ID: n.id, Addr: n.addr})
+	}
+	if !found {
+		return fmt.Errorf("sigmadedupe: no node %d in the current epoch: %w", id, ErrNotFound)
+	}
+	committed, err := r.clusterMeta.SetMembers(ctx, epoch, infos)
+	if err != nil {
+		return err
+	}
+	r.reg.Lock()
+	keep := make([]*registryNode, 0, len(r.reg.nodes)-1)
+	var removed *registryNode
+	for _, n := range r.reg.nodes {
+		if n.id == id {
+			removed = n
+			continue
+		}
+		keep = append(keep, n)
+	}
+	r.reg.epoch = committed.Epoch
+	r.reg.nodes = keep
+	r.reg.Unlock()
+	if removed != nil && removed.conn != nil {
+		_ = removed.conn.Close() // best effort: its peer may already be gone
+	}
+	// Retire the default stream (it may hold connections to the dead
+	// node); the next one-shot verb re-dials against the new epoch.
+	r.mu.Lock()
+	if r.def != nil {
+		_ = r.def.Close()
+		r.def = nil
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// Repair implements Backend: the anti-entropy pass after a crash —
+// settle pending transactions, promote replicas of dead primaries,
+// re-replicate under-replicated runs, reconcile per-node reference
+// counts against the recipe catalog. Quiesce backups, deletes and
+// membership changes first.
+func (r *Remote) Repair(ctx context.Context) (RepairResult, error) {
+	r.memberOp.Lock()
+	defer r.memberOp.Unlock()
+	m, members, err := r.migrator(ctx)
+	if err != nil {
+		return RepairResult{}, err
+	}
+	res, err := m.Repair(ctx, members)
+	return toRepairResult(res), err
+}
+
 // RecoverMigrations settles migration transactions left pending in the
 // director's MEMBERS journal by a crash: per-node reference counts
 // reconcile against the recipe catalog, converging every backup to
@@ -729,6 +817,7 @@ func sessionStatsOf(c *client.Client) SessionStats {
 		ChunkBufReuses:    st.ChunkBufReuses,
 		RestoredBytes:     st.RestoredBytes,
 		RestoreRPCs:       st.RestoreRPCs,
+		FailoverReads:     st.FailoverReads,
 	}
 }
 

@@ -117,6 +117,13 @@ type ClusterConfig struct {
 	// FingerprintSHA1; FingerprintSHA256 is faster on CPUs with SHA
 	// extensions).
 	Fingerprint FingerprintAlgorithm
+	// Replicas ≥ 2 keeps a second copy of every super-chunk on the
+	// rendezvous replica owner (the second-highest similarity bid), so
+	// one node can crash without losing a byte: restores fail over to
+	// the replica and Repair re-establishes R=2. Requires SchemeSigma,
+	// KeepPayloads (or Dir) and at least two nodes; 0 or 1 keeps the
+	// single-copy behavior. Values above 2 are capped at 2.
+	Replicas int
 }
 
 // ClusterStats reports the simulator-specific effectiveness metrics of
@@ -170,6 +177,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		HandprintK:     cfg.HandprintSize,
 		SuperChunkSize: cfg.SuperChunkSize,
 		TrackRecipes:   cfg.Scheme != SchemeExtremeBinning,
+		Replicas:       cfg.Replicas,
 		Node: node.Config{
 			Dir:              cfg.Dir,
 			KeepPayloads:     cfg.KeepPayloads,
@@ -431,6 +439,8 @@ func toGCStats(gc store.GCStats) GCStats {
 		Containers:        gc.Containers,
 		RetiredContainers: gc.RetiredContainers,
 		ReclaimedBytes:    gc.ReclaimedBytes,
+		CompactErrors:     gc.CompactErrors,
+		LastCompactErr:    gc.LastCompactErr,
 	}
 }
 
@@ -442,6 +452,12 @@ type GCStats struct {
 	Containers        int   // sealed containers
 	RetiredContainers int64 // containers removed by compaction, ever
 	ReclaimedBytes    int64 // payload bytes freed by compaction, ever
+	// CompactErrors counts failed background-compaction passes across
+	// the cluster, and LastCompactErr is the most recent failure's
+	// message — a persistently failing compactor (disk full, permission
+	// change) is visible here instead of silently leaving dead space.
+	CompactErrors  int64
+	LastCompactErr string
 }
 
 // GCStats returns the cluster's garbage-collection counters.
@@ -490,6 +506,41 @@ func (c *Cluster) RemoveNode(ctx context.Context, id int) (MigrationResult, erro
 func (c *Cluster) Rebalance(ctx context.Context) (MigrationResult, error) {
 	res, err := c.inner.Rebalance(ctx)
 	return toMigrationResult(res), err
+}
+
+// KillNode implements Backend: the node leaves the membership without a
+// drain — the hard-crash path. Its data is gone; with
+// ClusterConfig.Replicas ≥ 2 every backup keeps restoring through
+// failover reads, and Repair restores R=2.
+func (c *Cluster) KillNode(ctx context.Context, id int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.inner.KillNode(id)
+}
+
+// Repair implements Backend: the simulator's anti-entropy pass —
+// promote replicas of dead primaries, re-replicate under-replicated
+// runs, reconcile reference counts against the recipe catalog. Quiesce
+// backups first.
+func (c *Cluster) Repair(ctx context.Context) (RepairResult, error) {
+	res, err := c.inner.Repair(ctx)
+	return toRepairResult(res), err
+}
+
+// FailoverReads counts restore reads served by a replica after the
+// primary's node was killed.
+func (c *Cluster) FailoverReads() int64 { return c.inner.FailoverReads() }
+
+// toRepairResult converts the repair engine's summary to the public
+// shape (shared by both backends).
+func toRepairResult(res migrate.RepairResult) RepairResult {
+	return RepairResult{
+		PromotedChunks:     res.Promoted,
+		RereplicatedChunks: res.Rereplicated,
+		Bytes:              res.Bytes,
+		ReleasedRefs:       res.ReleasedRefs,
+	}
 }
 
 // RecoverMigrations settles migration transactions left pending by a
