@@ -82,6 +82,86 @@ type Backend interface {
 	Close() error
 }
 
+// TenantDomain selects a tenant's deduplication domain at creation.
+type TenantDomain string
+
+// Deduplication domains.
+const (
+	// TenantShared puts the tenant in the cluster-wide similarity and
+	// chunk indexes: its data deduplicates against every other shared
+	// tenant's (maximum space efficiency).
+	TenantShared TenantDomain = "shared"
+	// TenantIsolated salts the tenant's fingerprints with a
+	// tenant-specific value before they leave the client, so its chunks
+	// and handprints never collide with — and never dedup against —
+	// another tenant's (cryptographic namespace isolation, at the cost
+	// of cross-tenant dedup).
+	TenantIsolated TenantDomain = "isolated"
+)
+
+// TenantConfig is the durable configuration of one tenant.
+type TenantConfig struct {
+	// Name identifies the tenant: 1-64 letters, digits, '-', '_', '.'.
+	Name string
+	// Domain is the dedup domain, fixed at creation (default
+	// TenantShared).
+	Domain TenantDomain
+	// QuotaBytes caps the tenant's live logical bytes; 0 = unlimited.
+	QuotaBytes int64
+	// Weight is the tenant's fair-share bandwidth weight (default 1).
+	Weight int
+}
+
+// TenantUsage is one tenant's byte accounting.
+type TenantUsage struct {
+	// LiveBytes is the logical size of the tenant's current backups —
+	// what the quota is enforced against.
+	LiveBytes int64
+	// LogicalBytes is cumulative bytes ever backed up.
+	LogicalBytes int64
+	// StoredBytes is cumulative post-dedup bytes the tenant's sessions
+	// transferred to nodes.
+	StoredBytes int64
+	// RestoredBytes is cumulative bytes restored.
+	RestoredBytes int64
+	// Backups is the tenant's current backup count.
+	Backups int64
+	// DedupRatio is cumulative logical/stored (1 when nothing stored).
+	DedupRatio float64
+}
+
+// TenantStatus pairs a tenant's configuration with its current usage.
+type TenantStatus struct {
+	TenantConfig
+	Usage TenantUsage
+}
+
+// TenantAdmin is the multi-tenant control-plane surface. Both the
+// in-process simulator (Cluster) and the TCP prototype (Remote)
+// implement it; ServeMetrics exposes the same operations over HTTP.
+type TenantAdmin interface {
+	// CreateTenant registers a tenant (idempotent; re-creating with the
+	// same domain updates quota and weight). The "default" tenant always
+	// exists: shared domain, unlimited, weight 1.
+	CreateTenant(ctx context.Context, cfg TenantConfig) error
+	// Tenants lists every tenant with its usage, sorted by name.
+	Tenants(ctx context.Context) ([]TenantStatus, error)
+	// SetTenantQuota updates a tenant's byte quota (0 = unlimited).
+	SetTenantQuota(ctx context.Context, tenant string, quota int64) error
+	// SetTenantWeight updates a tenant's fair-share weight (≥ 1).
+	SetTenantWeight(ctx context.Context, tenant string, weight int) error
+	// RestoreTenant streams one of the tenant's backups to w.
+	RestoreTenant(ctx context.Context, tenant, name string, w io.Writer) error
+	// DeleteTenant removes one of the tenant's backups.
+	DeleteTenant(ctx context.Context, tenant, name string) error
+}
+
+// Interface conformance of both deployments.
+var (
+	_ TenantAdmin = (*Cluster)(nil)
+	_ TenantAdmin = (*Remote)(nil)
+)
+
 // MigrationResult summarizes the super-chunk migration behind one
 // membership change or rebalance pass.
 type MigrationResult struct {
@@ -214,6 +294,8 @@ type ChunkSpec struct {
 // sessionConfig is the resolved option set of one session.
 type sessionConfig struct {
 	name           string
+	tenant         string
+	admin          bool // control-plane session: skip quota admission
 	chunk          ChunkSpec
 	superChunkSize int64
 	handprintK     int
@@ -228,6 +310,16 @@ type SessionOption func(*sessionConfig)
 // attribution on the nodes; defaults to a backend-chosen name).
 func WithSessionName(name string) SessionOption {
 	return func(c *sessionConfig) { c.name = name }
+}
+
+// WithTenant scopes the session to a tenant: its backups live in the
+// tenant's namespace, count against the tenant's quota (admission is
+// checked when the session opens — a tenant at quota fails with
+// ErrQuotaExceeded), share bandwidth by the tenant's weight, and — for
+// an isolated-domain tenant — never dedup against other tenants' data.
+// The default is the always-existing "default" tenant.
+func WithTenant(name string) SessionOption {
+	return func(c *sessionConfig) { c.tenant = name }
 }
 
 // WithChunkSpec selects the stream's chunking algorithm and size.

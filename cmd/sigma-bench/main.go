@@ -101,15 +101,24 @@ func run(args []string) error {
 	}
 	// The wire bench's headline number is defined at 64MB (the figure the
 	// codec work is tracked against); honor -mb only when explicitly set.
-	mbExplicit := false
+	mbExplicit, streamsExplicit := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "mb" {
+		switch f.Name {
+		case "mb":
 			mbExplicit = true
+		case "streams":
+			streamsExplicit = true
 		}
 	})
 	wireMB := *mb
 	if !mbExplicit {
 		wireMB = 64
+	}
+	// The tenants bench is about contention: default to hundreds of
+	// concurrent sessions unless -streams was given explicitly.
+	tenantSessions := *streamsFlag
+	if !streamsExplicit {
+		tenantSessions = 240
 	}
 	if len(names) == 1 && names[0] == "all" {
 		names = experiments.Names()
@@ -239,6 +248,19 @@ func run(args []string) error {
 			rep, err := runKill(*mb, *nodes)
 			if err != nil {
 				return fmt.Errorf("kill: %w", err)
+			}
+			if err := emit(rep); err != nil {
+				return err
+			}
+			continue
+		case "tenants":
+			rep, err := runTenants(tenantsConfig{
+				Nodes:    *nodes,
+				Sessions: tenantSessions,
+				Seed:     *seed,
+			})
+			if err != nil {
+				return fmt.Errorf("tenants: %w", err)
 			}
 			if err := emit(rep); err != nil {
 				return err

@@ -13,6 +13,16 @@
 //	sigma-client -director 127.0.0.1:7700 -nodes "" rebalance
 //	sigma-client -director 127.0.0.1:7700 -nodes "" remove-node 1
 //
+// Multi-tenant operation: -tenant scopes backup/restore/delete to a
+// tenant's namespace, and the tenant-* verbs manage tenants. As with
+// every flag, -domain/-quota/-weight go before the verb:
+//
+//	sigma-client ... -domain isolated -quota 1073741824 -weight 2 tenant-create acme
+//	sigma-client ... tenant-list
+//	sigma-client ... tenant-set-quota acme 2147483648
+//	sigma-client ... tenant-set-weight acme 4
+//	sigma-client ... -tenant acme backup FILE...
+//
 // Membership is director-managed: once the cluster has grown or shrunk,
 // pass -nodes "" so the director's journaled member list is used (or
 // list every current member's address).
@@ -45,6 +55,10 @@ func run() error {
 	out := flag.String("out", "", "output file for restore")
 	scSize := flag.Int64("superchunk", 1<<20, "super-chunk size in bytes")
 	cdc := flag.Bool("cdc", false, "content-defined chunking instead of fixed 4KB chunks")
+	tenantName := flag.String("tenant", "", "tenant namespace for backup/restore/delete (default tenant when empty)")
+	domain := flag.String("domain", "shared", "tenant-create: dedup domain (shared|isolated)")
+	quota := flag.Int64("quota", 0, "tenant-create: byte quota (0 = unlimited)")
+	weight := flag.Int("weight", 1, "tenant-create: fair-share weight")
 	flag.Parse()
 
 	// Interrupts cancel the whole operation tree: client pipeline,
@@ -83,21 +97,30 @@ func run() error {
 		if len(args) < 2 {
 			return fmt.Errorf("backup: need at least one file")
 		}
+		sess, err := be.NewSession(ctx,
+			sigmadedupe.WithSessionName(*name),
+			sigmadedupe.WithTenant(*tenantName),
+			sigmadedupe.WithChunkSpec(chunk),
+			sigmadedupe.WithSuperChunkSize(*scSize))
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
 		for _, path := range args[1:] {
 			f, err := os.Open(path)
 			if err != nil {
 				return err
 			}
-			err = be.Backup(ctx, filepath.Clean(path), f)
+			err = sess.Backup(ctx, filepath.Clean(path), f)
 			f.Close()
 			if err != nil {
 				return err
 			}
 		}
-		if err := be.Flush(ctx); err != nil {
+		if err := sess.Flush(ctx); err != nil {
 			return err
 		}
-		st := be.BackupStats()
+		st := sess.Stats()
 		fmt.Printf("backed up %d files, %d bytes logical, %d bytes transferred (%.1f%% bandwidth saved)\n",
 			st.Files, st.LogicalBytes, st.TransferredBytes, 100*st.BandwidthSaving())
 		return nil
@@ -111,7 +134,7 @@ func run() error {
 			return err
 		}
 		defer f.Close()
-		if err := be.Restore(ctx, filepath.Clean(args[1]), f); err != nil {
+		if err := be.RestoreTenant(ctx, *tenantName, filepath.Clean(args[1]), f); err != nil {
 			return err
 		}
 		fmt.Printf("restored %s to %s\n", args[1], *out)
@@ -121,10 +144,68 @@ func run() error {
 		if len(args) != 2 {
 			return fmt.Errorf("delete: need PATH")
 		}
-		if err := be.Delete(ctx, filepath.Clean(args[1])); err != nil {
+		if err := be.DeleteTenant(ctx, *tenantName, filepath.Clean(args[1])); err != nil {
 			return err
 		}
 		fmt.Printf("deleted %s\n", args[1])
+		return nil
+
+	case "tenant-create":
+		if len(args) != 2 {
+			return fmt.Errorf("tenant-create: need NAME (plus -domain/-quota/-weight flags)")
+		}
+		err := be.CreateTenant(ctx, sigmadedupe.TenantConfig{
+			Name:       args[1],
+			Domain:     sigmadedupe.TenantDomain(*domain),
+			QuotaBytes: *quota,
+			Weight:     *weight,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tenant %s created (domain %s, quota %d, weight %d)\n", args[1], *domain, *quota, *weight)
+		return nil
+
+	case "tenant-list":
+		sts, err := be.Tenants(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %-9s %12s %6s %14s %14s %8s %6s\n",
+			"TENANT", "DOMAIN", "QUOTA", "WEIGHT", "LIVE", "STORED", "BACKUPS", "DR")
+		for _, st := range sts {
+			fmt.Printf("%-20s %-9s %12d %6d %14d %14d %8d %6.2f\n",
+				st.Name, st.Domain, st.QuotaBytes, st.Weight,
+				st.Usage.LiveBytes, st.Usage.StoredBytes, st.Usage.Backups, st.Usage.DedupRatio)
+		}
+		return nil
+
+	case "tenant-set-quota":
+		if len(args) != 3 {
+			return fmt.Errorf("tenant-set-quota: need NAME BYTES")
+		}
+		var q int64
+		if _, err := fmt.Sscanf(args[2], "%d", &q); err != nil {
+			return fmt.Errorf("tenant-set-quota: bad byte count %q", args[2])
+		}
+		if err := be.SetTenantQuota(ctx, args[1], q); err != nil {
+			return err
+		}
+		fmt.Printf("tenant %s quota set to %d bytes\n", args[1], q)
+		return nil
+
+	case "tenant-set-weight":
+		if len(args) != 3 {
+			return fmt.Errorf("tenant-set-weight: need NAME WEIGHT")
+		}
+		var wgt int
+		if _, err := fmt.Sscanf(args[2], "%d", &wgt); err != nil {
+			return fmt.Errorf("tenant-set-weight: bad weight %q", args[2])
+		}
+		if err := be.SetTenantWeight(ctx, args[1], wgt); err != nil {
+			return err
+		}
+		fmt.Printf("tenant %s weight set to %d\n", args[1], wgt)
 		return nil
 
 	case "add-node":

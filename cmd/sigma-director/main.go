@@ -1,9 +1,10 @@
-// Command sigma-director runs the Σ-Dedupe director: backup-session and
-// file-recipe management for backup clients.
+// Command sigma-director runs the Σ-Dedupe director: backup-session,
+// file-recipe and tenant management for backup clients, optionally
+// exposing the metrics/admin HTTP endpoint.
 //
 // Usage:
 //
-//	sigma-director -addr 127.0.0.1:7700
+//	sigma-director -addr 127.0.0.1:7700 [-metrics 127.0.0.1:7780]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"sigmadedupe"
 	"sigmadedupe/internal/director"
 )
 
@@ -25,6 +27,7 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:7700", "TCP listen address")
+	metricsAddr := flag.String("metrics", "", "metrics/admin HTTP listen address (empty = disabled)")
 	flag.Parse()
 
 	d := director.New()
@@ -33,6 +36,15 @@ func run() error {
 		return err
 	}
 	fmt.Printf("sigma-director: listening on %s\n", svc.Addr())
+	if *metricsAddr != "" {
+		ms, err := sigmadedupe.ServeDirectorMetrics(*metricsAddr, d)
+		if err != nil {
+			svc.Close()
+			return err
+		}
+		defer ms.Close()
+		fmt.Printf("sigma-director: metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

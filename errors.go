@@ -22,6 +22,12 @@ var (
 	// super-chunk migration finding its backup superseded by a newer
 	// generation mid-move. The loser gives way; nothing is corrupted.
 	ErrConflict = sderr.ErrConflict
+	// ErrQuotaExceeded reports a tenant over its configured byte quota:
+	// session admission refused, or a backup stream cut off once its
+	// bytes would push the tenant past the limit. Typed across both wire
+	// protocols: errors.Is holds against a remote TCP cluster exactly
+	// like in process.
+	ErrQuotaExceeded = sderr.ErrQuotaExceeded
 )
 
 // BackupError is a failed backup operation, carrying the backup name and

@@ -39,6 +39,7 @@ import (
 	"sigmadedupe/internal/rpc"
 	"sigmadedupe/internal/sderr"
 	"sigmadedupe/internal/store"
+	"sigmadedupe/internal/tenant"
 )
 
 // DefaultInflightSuperChunks is the default window of Store RPCs kept in
@@ -99,6 +100,22 @@ type Config struct {
 	// membership metadata (director.ClusterMeta). The default (0) keeps
 	// the single-copy behavior.
 	Replicas int
+	// Tenant scopes the session: recipe keys are composed as
+	// tenant.Key(Tenant, name), quota admission and accounting run
+	// against this tenant, and an isolated-domain tenant gets its
+	// fingerprints salted (default tenant.Default).
+	Tenant string
+	// Scheduler, when set, is the backend-wide weighted-fair scheduler:
+	// every super-chunk acquires its size in bytes before entering the
+	// route/query/store stage and releases on completion, so concurrent
+	// sessions split node bandwidth by tenant weight.
+	Scheduler *tenant.Scheduler
+	// AdminSession opens the session without quota admission: the director
+	// session is begun under the default tenant while recipe keys stay
+	// scoped to Tenant. The control plane's restore/delete verbs use it —
+	// a tenant already over quota must still be able to restore and
+	// delete (deleting is how it gets back under).
+	AdminSession bool
 
 	// workersDefaulted records whether Pipeline.Workers was left zero by
 	// the caller: a defaulted pool may be widened for network-bound
@@ -135,6 +152,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Epoch == 0 {
 		c.Epoch = 1
+	}
+	if c.Tenant == "" {
+		c.Tenant = tenant.Default
 	}
 	return c
 }
@@ -253,6 +273,21 @@ type Client struct {
 	// replicated — the work list of the Flush-time replication pass
 	// (Config.Replicas >= 2).
 	wrotePaths map[string]struct{}
+
+	// Tenant state, resolved once at session admission. salt is XORed
+	// into every fingerprint when the tenant's dedup domain is isolated
+	// (salted), making its chunk index, similarity index and handprints
+	// disjoint from every other tenant's. headroom is the live bytes the
+	// tenant may still add before quota (-1 = unlimited) — the soft
+	// mid-stream check fails the stream once session logical bytes
+	// exceed it, long before the director's hard check at PutRecipe.
+	salt     [32]byte
+	salted   bool
+	headroom int64
+	// reportedStored/reportedRestored track transfer bytes already
+	// accounted to the director, so repeated Flushes report deltas.
+	reportedStored   int64
+	reportedRestored int64
 	// failoverReads counts restore reads served by a replica after the
 	// primary failed. Atomic: restore prefetch closures run concurrently.
 	failoverReads atomic.Int64
@@ -298,20 +333,72 @@ func New(ctx context.Context, cfg Config, dir director.Metadata, nodes []NodeAdd
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
+	closeAll := func() {
+		for _, conn := range conns {
+			conn.Close()
+		}
+	}
+	// Session admission: the director's hard quota check runs here, and
+	// the tenant's domain and headroom come back for the client's salt
+	// and soft mid-stream check. Admin sessions admit as the default
+	// tenant (never quota-limited) but keep Tenant-scoped keys.
+	admitAs := cfg.Tenant
+	if cfg.AdminSession {
+		admitAs = tenant.Default
+	}
+	session, err := dir.BeginSession(ctx, cfg.Name, admitAs)
+	if err != nil {
+		closeAll()
+		return nil, fmt.Errorf("client: begin session: %w", err)
+	}
+	st, err := dir.TenantStatus(ctx, cfg.Tenant)
+	if err != nil {
+		closeAll()
+		return nil, fmt.Errorf("client: tenant %s: %w", cfg.Tenant, err)
+	}
+	headroom := int64(-1)
+	if st.Info.QuotaBytes > 0 && !cfg.AdminSession {
+		headroom = st.Info.QuotaBytes - st.Usage.LiveBytes
+		if headroom < 0 {
+			headroom = 0
+		}
+	}
+	c := &Client{
 		cfg:     cfg,
 		conns:   conns,
 		byID:    byID,
 		members: core.NewMembership(cfg.Epoch, ids),
 		dir:     dir,
-		session: dir.BeginSession(ctx, cfg.Name),
+		session: session,
 		part:    part,
 		routes:  pipeline.NewWindow(cfg.InflightSuperChunks),
 		bufs: newBufPool(chunker.MaxChunkSize(cfg.ChunkMethod, cfg.ChunkSize),
 			cfg.DisableChunkPool),
 		wrotePaths: make(map[string]struct{}),
-	}, nil
+		headroom:   headroom,
+	}
+	if st.Info.Domain == tenant.DomainIsolated {
+		c.salt = tenant.Salt(cfg.Tenant)
+		c.salted = true
+	}
+	return c, nil
 }
+
+// saltFP folds the tenant's domain salt into a fingerprint (no-op for
+// shared-domain tenants). Applied once, right after hashing, so every
+// downstream consumer — similarity index, chunk index, handprints,
+// recipes, restores — sees only the salted value.
+func (c *Client) saltFP(fp fingerprint.Fingerprint) fingerprint.Fingerprint {
+	if c.salted {
+		for i := 0; i < len(fp); i++ {
+			fp[i] ^= c.salt[i%len(c.salt)]
+		}
+	}
+	return fp
+}
+
+// key composes the tenant-scoped recipe key of a backup name.
+func (c *Client) key(path string) string { return tenant.Key(c.cfg.Tenant, path) }
 
 // connByID resolves a node's stable cluster ID to its connection.
 func (c *Client) connByID(id int) (*rpc.Client, error) {
@@ -362,12 +449,15 @@ func (c *Client) BackupFile(ctx context.Context, path string, r io.Reader) error
 	if c.err != nil {
 		return c.err
 	}
+	if err := tenant.ValidateBackupName(path); err != nil {
+		return &sderr.BackupError{Name: path, Stage: "chunk", Err: err}
+	}
 	ck, err := chunker.New(c.cfg.ChunkMethod, r, c.cfg.ChunkSize,
 		chunker.WithAllocator(c.bufs.alloc))
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
-	pf := &pendingFile{path: path}
+	pf := &pendingFile{path: c.key(path)}
 	c.pending = append(c.pending, pf)
 	c.stats.Files++
 
@@ -378,17 +468,25 @@ func (c *Client) BackupFile(ctx context.Context, path string, r io.Reader) error
 	// consume feeds one fingerprinted chunk to the partitioner, on the
 	// calling goroutine: super-chunk boundaries and recipe attribution
 	// depend on stream order. Routing itself is handed to the bounded
-	// in-flight window.
+	// in-flight window. The soft quota check lives here: once the
+	// session's logical bytes exceed the headroom captured at admission,
+	// the stream fails with the typed quota error instead of shipping
+	// bytes the director would refuse to commit.
 	consume := func(ref core.ChunkRef) error {
 		pf.want++
 		c.stats.LogicalBytes += int64(ref.Size)
+		if c.headroom >= 0 && c.stats.LogicalBytes > c.headroom {
+			return &sderr.BackupError{Name: path, Stage: "quota", Err: fmt.Errorf(
+				"tenant %s: session bytes %d exceed quota headroom %d: %w",
+				c.cfg.Tenant, c.stats.LogicalBytes, c.headroom, sderr.ErrQuotaExceeded)}
+		}
 		if sc := c.part.AddRef(ref); sc != nil {
 			return c.enqueueSuperChunk(ctx, sc)
 		}
 		return nil
 	}
 	fpRef := func(ch chunker.Chunk) core.ChunkRef {
-		return core.ChunkRef{FP: c.cfg.Algorithm.Sum(ch.Data), Size: ch.Len(), Data: ch.Data}
+		return core.ChunkRef{FP: c.saltFP(c.cfg.Algorithm.Sum(ch.Data)), Size: ch.Len(), Data: ch.Data}
 	}
 
 	// A fully serial configuration (1 worker, 1 in-flight super-chunk)
@@ -496,7 +594,7 @@ func (c *Client) fail(err error) error {
 func (c *Client) enqueueSuperChunk(ctx context.Context, sc *core.SuperChunk) error {
 	c.addBuffered(sc.Size())
 	if c.cfg.InflightSuperChunks <= 1 {
-		return c.apply(c.routeSuperChunk(ctx, sc))
+		return c.apply(c.routeScheduled(ctx, sc))
 	}
 	// Bound the queue of completed-but-unapplied results (each pins its
 	// super-chunk payloads in memory) to twice the in-flight window.
@@ -505,7 +603,7 @@ func (c *Client) enqueueSuperChunk(ctx context.Context, sc *core.SuperChunk) err
 	}
 	slot := make(chan routeResult, 1)
 	err := c.routes.Submit(ctx, func() error {
-		res := c.routeSuperChunk(ctx, sc)
+		res := c.routeScheduled(ctx, sc)
 		slot <- res
 		return res.err
 	})
@@ -580,7 +678,26 @@ func (c *Client) Flush(ctx context.Context) error {
 			return c.fail(err)
 		}
 	}
+	if err := c.accountTransfer(ctx); err != nil {
+		return c.fail(err)
+	}
 	return c.fail(c.dir.EndSession(ctx, c.session))
+}
+
+// accountTransfer reports the session's not-yet-reported post-dedup
+// stored bytes and restored bytes to the director's tenant accounting.
+func (c *Client) accountTransfer(ctx context.Context) error {
+	stored := c.stats.TransferredBytes - c.reportedStored
+	restored := c.stats.RestoredBytes - c.reportedRestored
+	if stored == 0 && restored == 0 {
+		return nil
+	}
+	if err := c.dir.AccountTransfer(ctx, c.cfg.Tenant, stored, restored); err != nil {
+		return fmt.Errorf("client: account transfer: %w", err)
+	}
+	c.reportedStored += stored
+	c.reportedRestored += restored
+	return nil
 }
 
 // replicateSession runs the Flush-time replication pass: every recipe
@@ -653,6 +770,22 @@ func (c *Client) RPCMessages() int64 {
 		n += conn.Calls()
 	}
 	return n
+}
+
+// routeScheduled runs one super-chunk through the weighted-fair
+// scheduler (when configured) and then the route/query/store stage: the
+// super-chunk's bytes are acquired against the tenant's fair share
+// before any node traffic and released when the round trip completes.
+func (c *Client) routeScheduled(ctx context.Context, sc *core.SuperChunk) routeResult {
+	if c.cfg.Scheduler != nil {
+		release, err := c.cfg.Scheduler.Acquire(ctx, c.cfg.Tenant, sc.Size())
+		if err != nil {
+			return routeResult{sc: sc, err: &sderr.BackupError{
+				Name: c.cfg.Name, Stage: "route", Err: err}}
+		}
+		defer release()
+	}
+	return c.routeSuperChunk(ctx, sc)
 }
 
 // routeSuperChunk implements Algorithm 1 plus the source-dedup transfer
@@ -850,7 +983,10 @@ func (c *Client) finalizeRecipes(ctx context.Context) error {
 // whose session has already ended and does not touch the sticky backup
 // error state.
 func (c *Client) DeleteBackup(ctx context.Context, path string) error {
-	recipe, err := c.dir.DeleteRecipe(ctx, path)
+	if err := tenant.ValidateBackupName(path); err != nil {
+		return fmt.Errorf("client: delete: %w", err)
+	}
+	recipe, err := c.dir.DeleteRecipe(ctx, c.key(path))
 	if err != nil {
 		return fmt.Errorf("client: delete %s: %w", path, err)
 	}
@@ -974,14 +1110,24 @@ func (c *Client) restoreWorkers() int {
 // the one-RPC-per-chunk path instead. Canceling ctx aborts the
 // read-ahead and every RPC in flight.
 func (c *Client) Restore(ctx context.Context, path string, w io.Writer) error {
-	recipe, err := c.dir.GetRecipe(ctx, path)
+	if err := tenant.ValidateBackupName(path); err != nil {
+		return fmt.Errorf("client: restore: %w", err)
+	}
+	recipe, err := c.dir.GetRecipe(ctx, c.key(path))
 	if err != nil {
 		return err
 	}
 	if c.cfg.PerChunkRestore {
-		return c.restorePerChunk(ctx, path, recipe.Chunks, w)
+		err = c.restorePerChunk(ctx, path, recipe.Chunks, w)
+	} else {
+		err = c.restoreBatched(ctx, path, recipe.Chunks, w)
 	}
-	return c.restoreBatched(ctx, path, recipe.Chunks, w)
+	if err == nil {
+		// Best-effort gauge update: a failed accounting call must not
+		// fail a restore that already delivered every byte.
+		c.accountTransfer(ctx)
+	}
+	return err
 }
 
 // restorePerChunk is the pre-batching restore scheduler: one OpReadChunk

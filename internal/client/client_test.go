@@ -11,6 +11,7 @@ import (
 	"sigmadedupe/internal/director"
 	"sigmadedupe/internal/node"
 	"sigmadedupe/internal/rpc"
+	"sigmadedupe/internal/tenant"
 )
 
 // startCluster brings up n dedup servers on loopback and returns their
@@ -153,7 +154,7 @@ func TestRecipesRecordRouting(t *testing.T) {
 	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	r, err := dir.GetRecipe(context.Background(), "/f")
+	r, err := dir.GetRecipe(context.Background(), tenant.Key(tenant.Default, "/f"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestBackupEmptyFile(t *testing.T) {
 	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	r, err := dir.GetRecipe(context.Background(), "/empty")
+	r, err := dir.GetRecipe(context.Background(), tenant.Key(tenant.Default, "/empty"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,6 +36,12 @@ func appendDirRequest(b []byte, req *dirRequest) []byte {
 	b = wire.AppendU64(b, req.Gen)
 	b = appendMigration(b, &req.Mig)
 	b = wire.AppendU64(b, req.MigID)
+	b = wire.AppendString(b, req.Tenant)
+	b = wire.AppendString(b, req.Domain)
+	b = wire.AppendI64(b, req.Quota)
+	b = wire.AppendI64(b, req.Weight)
+	b = wire.AppendI64(b, req.Stored)
+	b = wire.AppendI64(b, req.Restored)
 	return b
 }
 
@@ -56,6 +62,12 @@ func decodeDirRequest(body []byte) (dirRequest, error) {
 	req.Gen = r.U64()
 	req.Mig = decodeMigration(r)
 	req.MigID = r.U64()
+	req.Tenant = r.String()
+	req.Domain = r.String()
+	req.Quota = r.I64()
+	req.Weight = r.I64()
+	req.Stored = r.I64()
+	req.Restored = r.I64()
 	if err := r.Done(); err != nil {
 		return dirRequest{}, fmt.Errorf("director: decode request: %w", err)
 	}
@@ -82,6 +94,10 @@ func appendDirResponse(b []byte, resp *dirResponse) []byte {
 	b = wire.AppendU32(b, uint32(len(resp.Recipes)))
 	for i := range resp.Recipes {
 		b = appendRecipe(b, &resp.Recipes[i])
+	}
+	b = wire.AppendU32(b, uint32(len(resp.Tenants)))
+	for i := range resp.Tenants {
+		b = appendTenantStatus(b, &resp.Tenants[i])
 	}
 	return b
 }
@@ -117,6 +133,13 @@ func decodeDirResponse(body []byte) (dirResponse, error) {
 		resp.Recipes = make([]Recipe, n)
 		for i := 0; i < n; i++ {
 			resp.Recipes[i] = decodeRecipe(r)
+		}
+	}
+	// A TenantStatus is at least 64 fixed bytes on the wire.
+	if n := r.Count(64); n > 0 {
+		resp.Tenants = make([]TenantStatus, n)
+		for i := 0; i < n; i++ {
+			resp.Tenants[i] = decodeTenantStatus(r)
 		}
 	}
 	if err := r.Done(); err != nil {
@@ -189,6 +212,34 @@ func decodeRecipe(r *wire.Reader) Recipe {
 	rec.Gen = r.U64()
 	rec.Chunks = decodeChunkEntries(r)
 	return rec
+}
+
+// TenantStatus: name + domain strings plus 8 fixed 8-byte counters.
+func appendTenantStatus(b []byte, t *TenantStatus) []byte {
+	b = wire.AppendString(b, t.Info.Name)
+	b = wire.AppendString(b, t.Info.Domain)
+	b = wire.AppendI64(b, t.Info.QuotaBytes)
+	b = wire.AppendI64(b, int64(t.Info.Weight))
+	b = wire.AppendI64(b, t.Usage.LiveBytes)
+	b = wire.AppendI64(b, t.Usage.LogicalBytes)
+	b = wire.AppendI64(b, t.Usage.StoredBytes)
+	b = wire.AppendI64(b, t.Usage.RestoredBytes)
+	b = wire.AppendI64(b, t.Usage.Backups)
+	return b
+}
+
+func decodeTenantStatus(r *wire.Reader) TenantStatus {
+	var t TenantStatus
+	t.Info.Name = r.String()
+	t.Info.Domain = r.String()
+	t.Info.QuotaBytes = r.I64()
+	t.Info.Weight = int(r.I64())
+	t.Usage.LiveBytes = r.I64()
+	t.Usage.LogicalBytes = r.I64()
+	t.Usage.StoredBytes = r.I64()
+	t.Usage.RestoredBytes = r.I64()
+	t.Usage.Backups = r.I64()
+	return t
 }
 
 func appendMigration(b []byte, m *Migration) []byte {

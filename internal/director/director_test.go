@@ -12,7 +12,7 @@ import (
 
 func TestSessionLifecycle(t *testing.T) {
 	d := New()
-	id := d.BeginSession(context.Background(), "laptop")
+	id, _ := d.BeginSession(context.Background(), "laptop", "")
 	if id == 0 {
 		t.Fatal("session ID should be non-zero")
 	}
@@ -40,7 +40,7 @@ func TestSessionLifecycle(t *testing.T) {
 
 func TestRecipeRoundTrip(t *testing.T) {
 	d := New()
-	id := d.BeginSession(context.Background(), "c")
+	id, _ := d.BeginSession(context.Background(), "c", "")
 	chunks := []ChunkEntry{
 		{FP: fingerprint.Sum([]byte("a")), Size: 4096, Node: 2},
 		{FP: fingerprint.Sum([]byte("b")), Size: 100, Node: 0},
@@ -68,8 +68,8 @@ func TestRecipeRoundTrip(t *testing.T) {
 
 func TestRecipeSupersedes(t *testing.T) {
 	d := New()
-	s1 := d.BeginSession(context.Background(), "c")
-	s2 := d.BeginSession(context.Background(), "c")
+	s1, _ := d.BeginSession(context.Background(), "c", "")
+	s2, _ := d.BeginSession(context.Background(), "c", "")
 	d.PutRecipe(context.Background(), s1, "/f", []ChunkEntry{{Size: 1}})
 	d.PutRecipe(context.Background(), s2, "/f", []ChunkEntry{{Size: 2}, {Size: 3}})
 	r, _ := d.GetRecipe(context.Background(), "/f")
@@ -80,7 +80,7 @@ func TestRecipeSupersedes(t *testing.T) {
 
 func TestRecipeIsolatedFromCallerMutation(t *testing.T) {
 	d := New()
-	id := d.BeginSession(context.Background(), "c")
+	id, _ := d.BeginSession(context.Background(), "c", "")
 	chunks := []ChunkEntry{{Size: 10}}
 	d.PutRecipe(context.Background(), id, "/f", chunks)
 	chunks[0].Size = 999
@@ -92,7 +92,7 @@ func TestRecipeIsolatedFromCallerMutation(t *testing.T) {
 
 func TestFilesSorted(t *testing.T) {
 	d := New()
-	id := d.BeginSession(context.Background(), "c")
+	id, _ := d.BeginSession(context.Background(), "c", "")
 	for _, p := range []string{"/b", "/a", "/c"} {
 		d.PutRecipe(context.Background(), id, p, nil)
 	}
@@ -106,7 +106,7 @@ func TestSessionTimesUseClock(t *testing.T) {
 	d := New()
 	fixed := time.Date(2026, 6, 13, 12, 0, 0, 0, time.UTC)
 	d.now = func() time.Time { return fixed }
-	id := d.BeginSession(context.Background(), "c")
+	id, _ := d.BeginSession(context.Background(), "c", "")
 	s, _ := d.GetSession(id)
 	if !s.Started.Equal(fixed) {
 		t.Fatal("injected clock not used")
@@ -120,7 +120,7 @@ func TestConcurrentSessions(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			id := d.BeginSession(context.Background(), "c")
+			id, _ := d.BeginSession(context.Background(), "c", "")
 			d.PutRecipe(context.Background(), id, "/f"+string(rune('a'+i)), []ChunkEntry{{Size: 1}})
 			d.EndSession(context.Background(), id)
 		}(i)
@@ -142,7 +142,7 @@ func TestDurableRecipesSurviveReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess := d.BeginSession(context.Background(), "c")
+	sess, _ := d.BeginSession(context.Background(), "c", "")
 	mkChunks := func(seed string) []ChunkEntry {
 		return []ChunkEntry{
 			{FP: fingerprint.Sum([]byte(seed + "1")), Size: 4096, Node: 0},
@@ -186,7 +186,7 @@ func TestDurableRecipesSurviveReopen(t *testing.T) {
 		t.Fatalf("recovered recipe session = %d, want %d (provenance)", got.Session, sess)
 	}
 	// New sessions allocate past the journaled ones.
-	if s2 := r.BeginSession(context.Background(), "c2"); s2 <= sess {
+	if s2, _ := r.BeginSession(context.Background(), "c2", ""); s2 <= sess {
 		t.Fatalf("reopened director reused session ID %d (prior %d)", s2, sess)
 	}
 }

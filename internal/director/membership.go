@@ -30,6 +30,7 @@ import (
 
 	"sigmadedupe/internal/fingerprint"
 	"sigmadedupe/internal/sderr"
+	"sigmadedupe/internal/tenant"
 )
 
 // MembersJournalName is the membership journal's file name under a
@@ -356,22 +357,31 @@ func (d *Director) ReplaceRecipe(ctx context.Context, path string, ifSession, if
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	path = normKey(path)
 	r, ok := d.recipes[path]
 	if !ok || r.Session != ifSession || r.Gen != ifGen {
 		return fmt.Errorf("%w: %s", ErrRecipeConflict, path)
 	}
 	gen := r.Gen + 1
+	tn, name := tenant.SplitKey(path)
 	if d.journal != nil {
 		js := make([]chunkJSON, len(chunks))
 		for i, c := range chunks {
 			js[i] = chunkJSON{FP: c.FP.String(), Size: c.Size, Node: c.Node, R: c.Replica + 1}
 		}
-		if err := d.appendJournal(recipeRecord{T: "put", Path: path, Session: r.Session, Gen: gen, Chunks: js}); err != nil {
+		if err := d.appendJournal(recipeRecord{T: "put", Tenant: tn, Path: name, Session: r.Session, Gen: gen, Chunks: js}); err != nil {
 			return err
 		}
 	}
+	prevSize := r.Size()
 	cp := make([]ChunkEntry, len(chunks))
 	copy(cp, chunks)
 	d.recipes[path] = &Recipe{Path: path, Session: r.Session, Gen: gen, Chunks: cp}
+	// Migration rewrites re-home chunks without changing content, so
+	// this is normally a zero delta; account it anyway so live bytes
+	// stay exact if a rewrite ever resizes.
+	if newSize := d.recipes[path].Size(); newSize != prevSize {
+		d.tenants.AccountPut(tn, newSize, prevSize, false, false)
+	}
 	return nil
 }

@@ -82,7 +82,7 @@ func TestMembersJournalSurvivesRestart(t *testing.T) {
 func TestReplaceRecipeConflict(t *testing.T) {
 	ctx := context.Background()
 	d := New()
-	s := d.BeginSession(ctx, "c")
+	s, _ := d.BeginSession(ctx, "c", "")
 	chunks := []ChunkEntry{{Size: 4096, Node: 0}}
 	if err := d.PutRecipe(ctx, s, "/f", chunks); err != nil {
 		t.Fatal(err)
@@ -144,7 +144,7 @@ func TestMembershipOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s := d.BeginSession(ctx, "c")
+	s, _ := d.BeginSession(ctx, "c", "")
 	if err := d.PutRecipe(ctx, s, "/f", []ChunkEntry{{Size: 1, Node: 0}}); err != nil {
 		t.Fatal(err)
 	}

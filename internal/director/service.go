@@ -10,22 +10,40 @@ import (
 	"time"
 
 	"sigmadedupe/internal/sderr"
+	"sigmadedupe/internal/tenant"
 	"sigmadedupe/internal/wire"
 )
 
 // Metadata is the director API surface used by backup clients. Both the
-// in-process *Director and the TCP Remote client satisfy it.
+// in-process *Director and the TCP Remote client satisfy it. Recipe
+// paths are composite tenant keys (tenant.Key); BeginSession is the
+// hard quota-admission point and TenantStatus feeds the client's soft
+// mid-stream quota check.
 type Metadata interface {
-	BeginSession(ctx context.Context, client string) uint64
+	BeginSession(ctx context.Context, client, tenantName string) (uint64, error)
 	EndSession(ctx context.Context, id uint64) error
 	PutRecipe(ctx context.Context, session uint64, path string, chunks []ChunkEntry) error
 	GetRecipe(ctx context.Context, path string) (Recipe, error)
 	DeleteRecipe(ctx context.Context, path string) (Recipe, error)
+	TenantStatus(ctx context.Context, name string) (TenantStatus, error)
+	AccountTransfer(ctx context.Context, name string, stored, restored int64) error
+}
+
+// TenantAdmin is the tenant CRUD surface. Both the in-process *Director
+// and the TCP Remote client satisfy it.
+type TenantAdmin interface {
+	CreateTenant(ctx context.Context, info tenant.Info) error
+	Tenants(ctx context.Context) ([]TenantStatus, error)
+	TenantStatus(ctx context.Context, name string) (TenantStatus, error)
+	SetTenantQuota(ctx context.Context, name string, quota int64) error
+	SetTenantWeight(ctx context.Context, name string, weight int) error
 }
 
 var (
-	_ Metadata = (*Director)(nil)
-	_ Metadata = (*Remote)(nil)
+	_ Metadata    = (*Director)(nil)
+	_ Metadata    = (*Remote)(nil)
+	_ TenantAdmin = (*Director)(nil)
+	_ TenantAdmin = (*Remote)(nil)
 )
 
 // wire op codes for the director protocol.
@@ -45,6 +63,12 @@ const (
 	opMigPending
 	opRecipes
 	opReplace
+	opTenantCreate
+	opTenantList
+	opTenantGet
+	opTenantSetQuota
+	opTenantSetWeight
+	opAccount
 )
 
 type dirRequest struct {
@@ -58,6 +82,13 @@ type dirRequest struct {
 	Gen     uint64
 	Mig     Migration
 	MigID   uint64
+	// Tenant control-plane fields.
+	Tenant   string
+	Domain   string
+	Quota    int64
+	Weight   int64
+	Stored   int64
+	Restored int64
 }
 
 type dirResponse struct {
@@ -69,6 +100,7 @@ type dirResponse struct {
 	MigID   uint64
 	Migs    []Migration
 	Recipes []Recipe
+	Tenants []TenantStatus
 }
 
 // Service exposes a Director over TCP with a simple sequential
@@ -166,7 +198,8 @@ func (s *Service) serveConn(conn net.Conn) {
 		var resp dirResponse
 		switch req.Op {
 		case opBegin:
-			resp.Session = s.dir.BeginSession(context.Background(), req.Client)
+			id, err := s.dir.BeginSession(context.Background(), req.Client, req.Tenant)
+			resp.Session, resp.Err = id, sderr.Encode(err)
 		case opEnd:
 			resp.Err = sderr.Encode(s.dir.EndSession(context.Background(), req.Session))
 		case opPut:
@@ -206,6 +239,26 @@ func (s *Service) serveConn(conn net.Conn) {
 			resp.Recipes, resp.Err = recipes, sderr.Encode(err)
 		case opReplace:
 			resp.Err = sderr.Encode(s.dir.ReplaceRecipe(context.Background(), req.Path, req.Session, req.Gen, req.Chunks))
+		case opTenantCreate:
+			resp.Err = sderr.Encode(s.dir.CreateTenant(context.Background(), tenant.Info{
+				Name: req.Tenant, Domain: req.Domain, QuotaBytes: req.Quota, Weight: int(req.Weight),
+			}))
+		case opTenantList:
+			ts, err := s.dir.Tenants(context.Background())
+			resp.Tenants, resp.Err = ts, sderr.Encode(err)
+		case opTenantGet:
+			st, err := s.dir.TenantStatus(context.Background(), req.Tenant)
+			if err != nil {
+				resp.Err = sderr.Encode(err)
+			} else {
+				resp.Tenants = []TenantStatus{st}
+			}
+		case opTenantSetQuota:
+			resp.Err = sderr.Encode(s.dir.SetTenantQuota(context.Background(), req.Tenant, req.Quota))
+		case opTenantSetWeight:
+			resp.Err = sderr.Encode(s.dir.SetTenantWeight(context.Background(), req.Tenant, int(req.Weight)))
+		case opAccount:
+			resp.Err = sderr.Encode(s.dir.AccountTransfer(context.Background(), req.Tenant, req.Stored, req.Restored))
 		default:
 			resp.Err = fmt.Sprintf("director: unknown op %d", int(req.Op))
 		}
@@ -343,14 +396,14 @@ func wireError(msg string) error {
 	return err
 }
 
-// BeginSession implements Metadata. A transport failure returns session 0,
-// which downstream Put/End calls will reject.
-func (r *Remote) BeginSession(ctx context.Context, client string) uint64 {
-	resp, err := r.call(ctx, dirRequest{Op: opBegin, Client: client})
+// BeginSession implements Metadata: quota admission happens on the
+// director, and a refusal decodes back to sderr.ErrQuotaExceeded.
+func (r *Remote) BeginSession(ctx context.Context, client, tenantName string) (uint64, error) {
+	resp, err := r.call(ctx, dirRequest{Op: opBegin, Client: client, Tenant: tenantName})
 	if err != nil {
-		return 0
+		return 0, err
 	}
-	return resp.Session
+	return resp.Session, nil
 }
 
 // EndSession implements Metadata.
@@ -446,5 +499,53 @@ func (r *Remote) Recipes(ctx context.Context) ([]Recipe, error) {
 // ReplaceRecipe implements ClusterMeta.
 func (r *Remote) ReplaceRecipe(ctx context.Context, path string, ifSession, ifGen uint64, chunks []ChunkEntry) error {
 	_, err := r.call(ctx, dirRequest{Op: opReplace, Path: path, Session: ifSession, Gen: ifGen, Chunks: chunks})
+	return err
+}
+
+// CreateTenant implements TenantAdmin.
+func (r *Remote) CreateTenant(ctx context.Context, info tenant.Info) error {
+	_, err := r.call(ctx, dirRequest{
+		Op: opTenantCreate, Tenant: info.Name, Domain: info.Domain,
+		Quota: info.QuotaBytes, Weight: int64(info.Weight),
+	})
+	return err
+}
+
+// Tenants implements TenantAdmin.
+func (r *Remote) Tenants(ctx context.Context) ([]TenantStatus, error) {
+	resp, err := r.call(ctx, dirRequest{Op: opTenantList})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tenants, nil
+}
+
+// TenantStatus implements Metadata and TenantAdmin.
+func (r *Remote) TenantStatus(ctx context.Context, name string) (TenantStatus, error) {
+	resp, err := r.call(ctx, dirRequest{Op: opTenantGet, Tenant: name})
+	if err != nil {
+		return TenantStatus{}, err
+	}
+	if len(resp.Tenants) != 1 {
+		return TenantStatus{}, fmt.Errorf("director: tenant status for %s: malformed response", name)
+	}
+	return resp.Tenants[0], nil
+}
+
+// SetTenantQuota implements TenantAdmin.
+func (r *Remote) SetTenantQuota(ctx context.Context, name string, quota int64) error {
+	_, err := r.call(ctx, dirRequest{Op: opTenantSetQuota, Tenant: name, Quota: quota})
+	return err
+}
+
+// SetTenantWeight implements TenantAdmin.
+func (r *Remote) SetTenantWeight(ctx context.Context, name string, weight int) error {
+	_, err := r.call(ctx, dirRequest{Op: opTenantSetWeight, Tenant: name, Weight: int64(weight)})
+	return err
+}
+
+// AccountTransfer implements Metadata.
+func (r *Remote) AccountTransfer(ctx context.Context, name string, stored, restored int64) error {
+	_, err := r.call(ctx, dirRequest{Op: opAccount, Tenant: name, Stored: stored, Restored: restored})
 	return err
 }

@@ -21,7 +21,7 @@ func TestServiceRoundTrip(t *testing.T) {
 	}
 	defer r.Close()
 
-	id := r.BeginSession(context.Background(), "remote-client")
+	id, _ := r.BeginSession(context.Background(), "remote-client", "")
 	if id == 0 {
 		t.Fatal("remote BeginSession returned 0")
 	}
@@ -68,8 +68,8 @@ func TestServiceMultipleClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r2.Close()
-	id1 := r1.BeginSession(context.Background(), "a")
-	id2 := r2.BeginSession(context.Background(), "b")
+	id1, _ := r1.BeginSession(context.Background(), "a", "")
+	id2, _ := r2.BeginSession(context.Background(), "b", "")
 	if id1 == id2 {
 		t.Fatal("sessions must be distinct across connections")
 	}

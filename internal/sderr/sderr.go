@@ -41,6 +41,10 @@ var (
 	// superseded by a newer generation. The loser gives way; nothing is
 	// corrupted.
 	ErrConflict = errors.New("concurrent modification conflict")
+	// ErrQuotaExceeded reports a tenant over its configured byte quota:
+	// session admission refused, or a stream cut off mid-backup once its
+	// logical bytes would push the tenant past the limit.
+	ErrQuotaExceeded = errors.New("tenant quota exceeded")
 )
 
 // BackupError is a failure of one backup operation, carrying the backup
@@ -87,6 +91,7 @@ var wireCodes = []struct {
 	{"vanished", ErrChunkVanished},
 	{"nosession", ErrNoSession},
 	{"conflict", ErrConflict},
+	{"quota", ErrQuotaExceeded},
 	{"canceled", context.Canceled},
 	{"deadline", context.DeadlineExceeded},
 }

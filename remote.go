@@ -14,6 +14,7 @@ import (
 	"sigmadedupe/internal/migrate"
 	"sigmadedupe/internal/pipeline"
 	"sigmadedupe/internal/rpc"
+	"sigmadedupe/internal/tenant"
 )
 
 // RemoteConfig parameterizes a Remote backend: a director (in-process or
@@ -68,6 +69,12 @@ type RemoteConfig struct {
 	// InflightSuperChunks windows are read ahead of the writer
 	// (default 8MB).
 	RestoreWindowBytes int64
+	// IngestCapacityBytes, when positive, bounds the payload bytes this
+	// backend's sessions keep in the route/query/store stage at once; the
+	// weighted-fair scheduler splits that capacity between tenants by
+	// weight, so concurrent tenant sessions share ingest bandwidth
+	// proportionally instead of racing. 0 disables scheduling.
+	IngestCapacityBytes int64
 }
 
 // Remote is the TCP-prototype Backend: source inline deduplication
@@ -81,8 +88,17 @@ type Remote struct {
 	cfg         RemoteConfig
 	meta        director.Metadata
 	clusterMeta director.ClusterMeta
+	tenantMeta  director.TenantAdmin
 	localMeta   *Director
 	remoteMeta  *director.Remote
+
+	// sched is the backend-wide weighted-fair ingest scheduler (nil when
+	// IngestCapacityBytes is 0); weights caches tenant weights for its
+	// lock-held lookups — primed at session creation and on every tenant
+	// mutation through this backend, so the scheduler never blocks on a
+	// director round trip.
+	sched   *tenant.Scheduler
+	weights sync.Map // tenant name → int weight
 
 	// reg is the epoch-consistent node registry: the live node set of
 	// the current membership epoch plus one lazily dialed control
@@ -140,17 +156,20 @@ func NewRemote(ctx context.Context, cfg RemoteConfig) (*Remote, error) {
 		cfg.Name = "client"
 	}
 	r := &Remote{cfg: cfg}
+	if cfg.IngestCapacityBytes > 0 {
+		r.sched = tenant.NewScheduler(cfg.IngestCapacityBytes, r.tenantWeight)
+	}
 	switch {
 	case cfg.Director != nil && cfg.DirectorAddr != "":
 		return nil, fmt.Errorf("sigmadedupe: set either Director or DirectorAddr, not both")
 	case cfg.Director != nil:
-		r.meta, r.localMeta, r.clusterMeta = cfg.Director, cfg.Director, cfg.Director
+		r.meta, r.localMeta, r.clusterMeta, r.tenantMeta = cfg.Director, cfg.Director, cfg.Director, cfg.Director
 	case cfg.DirectorAddr != "":
 		rem, err := director.DialRemoteContext(ctx, cfg.DirectorAddr)
 		if err != nil {
 			return nil, err
 		}
-		r.meta, r.remoteMeta, r.clusterMeta = rem, rem, rem
+		r.meta, r.remoteMeta, r.clusterMeta, r.tenantMeta = rem, rem, rem, rem
 	default:
 		return nil, fmt.Errorf("sigmadedupe: remote backend needs a Director or DirectorAddr")
 	}
@@ -253,6 +272,28 @@ func (r *Remote) sessionDefaults() sessionConfig {
 	}
 }
 
+// tenantWeight is the scheduler's weight lookup, served from the local
+// cache (the scheduler calls it under its mutex, so it must never block
+// on a director round trip). Unknown tenants weigh 1.
+func (r *Remote) tenantWeight(name string) int {
+	if w, ok := r.weights.Load(name); ok {
+		return w.(int)
+	}
+	return 1
+}
+
+// primeWeight refreshes the scheduler's weight cache for one tenant from
+// the director (best effort; a miss just means weight 1 until the next
+// session or mutation).
+func (r *Remote) primeWeight(ctx context.Context, name string) {
+	if r.sched == nil || name == "" {
+		return
+	}
+	if st, err := r.tenantMeta.TenantStatus(ctx, name); err == nil {
+		r.weights.Store(name, st.Info.Weight)
+	}
+}
+
 // newClient dials one backup-stream client against the current
 // membership epoch. The client pins that epoch for its whole life —
 // sessions opened before a membership change keep their node set.
@@ -262,6 +303,7 @@ func (r *Remote) newClient(ctx context.Context, cfg sessionConfig) (*client.Clie
 	for i, n := range nodes {
 		addrs[i] = client.NodeAddr{ID: n.id, Addr: n.addr}
 	}
+	r.primeWeight(ctx, cfg.tenant)
 	c, err := client.New(ctx, client.Config{
 		Name:                cfg.name,
 		ChunkMethod:         cfg.chunk.Method.internal(),
@@ -275,6 +317,9 @@ func (r *Remote) newClient(ctx context.Context, cfg sessionConfig) (*client.Clie
 		PerChunkRestore:     r.cfg.PerChunkRestore,
 		RestoreWindowBytes:  r.cfg.RestoreWindowBytes,
 		Replicas:            r.cfg.Replicas,
+		Tenant:              cfg.tenant,
+		Scheduler:           r.sched,
+		AdminSession:        cfg.admin,
 	}, r.meta, addrs)
 	return c, epoch, err
 }

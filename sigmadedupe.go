@@ -45,6 +45,7 @@ import (
 	"sigmadedupe/internal/rpc"
 	"sigmadedupe/internal/sderr"
 	"sigmadedupe/internal/store"
+	"sigmadedupe/internal/tenant"
 	"sigmadedupe/internal/workload"
 )
 
@@ -124,6 +125,12 @@ type ClusterConfig struct {
 	// KeepPayloads (or Dir) and at least two nodes; 0 or 1 keeps the
 	// single-copy behavior. Values above 2 are capped at 2.
 	Replicas int
+	// IngestCapacityBytes, when positive, bounds the payload bytes
+	// concurrently inside the routing stage across all sessions; the
+	// weighted-fair scheduler splits that capacity between tenants by
+	// their weights, so N concurrent tenant sessions share ingest
+	// bandwidth proportionally instead of racing. 0 disables scheduling.
+	IngestCapacityBytes int64
 }
 
 // ClusterStats reports the simulator-specific effectiveness metrics of
@@ -149,11 +156,21 @@ type Cluster struct {
 	exact     *cluster.ExactTracker
 	algorithm fingerprint.Algorithm
 
-	// mu guards the backup-name tracker: nextFile and fileIDs. Sessions
-	// may run concurrently; each reserves its IDs here.
-	mu       sync.Mutex
-	nextFile uint64
-	fileIDs  map[string]uint64 // backup name → tracked item ID
+	// tenants is the simulator's in-memory tenant control plane (the
+	// prototype's lives behind the director journal), and sched the
+	// weighted-fair ingest scheduler shared by every session (nil when
+	// IngestCapacityBytes is 0).
+	tenants *tenant.Registry
+	sched   *tenant.Scheduler
+
+	// mu guards the backup-name tracker: nextFile, fileIDs and
+	// fileSizes. Sessions may run concurrently; each reserves its IDs
+	// here. Keys are tenant-scoped (tenant.Key; the default tenant's
+	// stay flat).
+	mu        sync.Mutex
+	nextFile  uint64
+	fileIDs   map[string]uint64 // composite recipe key → tracked item ID
+	fileSizes map[string]int64  // composite recipe key → logical bytes
 
 	// defSess is the lazily created default session backing the one-shot
 	// Backup verb.
@@ -188,13 +205,19 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{
+	c := &Cluster{
 		cfg:       cfg,
 		inner:     inner,
 		exact:     cluster.NewExactTracker(),
 		algorithm: cfg.Fingerprint.internal(),
+		tenants:   tenant.NewRegistry(),
 		fileIDs:   make(map[string]uint64),
-	}, nil
+		fileSizes: make(map[string]int64),
+	}
+	if cfg.IngestCapacityBytes > 0 {
+		c.sched = tenant.NewScheduler(cfg.IngestCapacityBytes, c.tenants.Weight)
+	}
+	return c, nil
 }
 
 // sessionDefaults derives the cluster's default session configuration.
@@ -212,19 +235,34 @@ func (c *Cluster) reserveID() uint64 {
 	return c.nextFile
 }
 
-// commitBackup points name at the completed backup id. Only a completed
-// backup takes the name: a failed re-backup must not repoint the name at
-// a partial recipe (nor strand the previous one). A re-backup of the
-// same name supersedes the previous generation: only the latest is
-// restorable/deletable by name, so the superseded recipe's references
-// are released (the new backup took its own). The whole commit —
-// lookup, repoint, supersede-delete — runs under mu, so a concurrent
-// Delete of the same name serializes before or after it, never between.
-func (c *Cluster) commitBackup(name string, id uint64) error {
+// commitBackup points the tenant-scoped name at the completed backup id.
+// Only a completed backup takes the name: a failed re-backup must not
+// repoint the name at a partial recipe (nor strand the previous one). A
+// re-backup of the same name supersedes the previous generation: only
+// the latest is restorable/deletable by name, so the superseded recipe's
+// references are released (the new backup took its own). The whole
+// commit — quota check, lookup, repoint, supersede-delete — runs under
+// mu, so a concurrent Delete of the same name serializes before or
+// after it, never between. The hard quota check runs here (enforced
+// accounting): a backup that would push the tenant over quota is rolled
+// back and refused with ErrQuotaExceeded, matching the director's
+// PutRecipe-time check on the prototype.
+func (c *Cluster) commitBackup(tn, name string, id uint64, size int64) error {
+	key := tenant.Key(tn, name)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	prev, hadPrev := c.fileIDs[name]
-	c.fileIDs[name] = id
+	prev, hadPrev := c.fileIDs[key]
+	prevSize := c.fileSizes[key]
+	if err := c.tenants.AccountPut(tn, size, prevSize, !hadPrev, true); err != nil {
+		if c.cfg.Scheme != SchemeExtremeBinning {
+			if delErr := c.inner.DeleteBackup(id); delErr != nil && !errors.Is(delErr, sderr.ErrNotFound) {
+				return fmt.Errorf("%w (cleanup failed: %v)", err, delErr)
+			}
+		}
+		return err
+	}
+	c.fileIDs[key] = id
+	c.fileSizes[key] = size
 	if hadPrev && c.cfg.Scheme != SchemeExtremeBinning {
 		return c.inner.DeleteBackup(prev)
 	}
@@ -277,11 +315,36 @@ func (c *Cluster) NewSession(ctx context.Context, opts ...SessionOption) (*Sessi
 	if name == "" {
 		name = fmt.Sprintf("session%d", c.reserveID())
 	}
+	// Tenant admission: an unknown tenant fails with ErrNotFound, one at
+	// or over quota with ErrQuotaExceeded — the hard check. The quota
+	// headroom and dedup-domain salt are resolved once, here.
+	tn := cfg.tenant
+	if tn == "" {
+		tn = tenant.Default
+	}
+	info, err := c.tenants.Get(tn)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.tenants.Admit(tn); err != nil {
+		return nil, err
+	}
 	stream, err := c.inner.StreamSized(name, cfg.superChunkSize)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{impl: &clusterSession{c: c, stream: stream, cfg: cfg}}, nil
+	sess := &clusterSession{c: c, stream: stream, cfg: cfg, tenant: tn, headroom: -1}
+	if info.QuotaBytes > 0 {
+		sess.headroom = info.QuotaBytes - c.tenants.GetUsage(tn).LiveBytes
+		if sess.headroom < 0 {
+			sess.headroom = 0
+		}
+	}
+	if info.Domain == tenant.DomainIsolated {
+		sess.salt = tenant.Salt(tn)
+		sess.salted = true
+	}
+	return &Session{impl: sess}, nil
 }
 
 // defaultSession returns the session backing the one-shot Backup verb,
@@ -290,9 +353,11 @@ func (c *Cluster) NewSession(ctx context.Context, opts ...SessionOption) (*Sessi
 func (c *Cluster) defaultSession() *Session {
 	if c.defSess == nil {
 		c.defSess = &Session{impl: &clusterSession{
-			c:      c,
-			stream: c.inner.Default(),
-			cfg:    c.sessionDefaults(),
+			c:        c,
+			stream:   c.inner.Default(),
+			cfg:      c.sessionDefaults(),
+			tenant:   tenant.Default,
+			headroom: -1,
 		}}
 	}
 	return c.defSess
@@ -317,6 +382,9 @@ func (c *Cluster) Backup(ctx context.Context, name string, r io.Reader) error {
 
 // backupBuffered is the whole-file path for Extreme Binning.
 func (c *Cluster) backupBuffered(ctx context.Context, name string, r io.Reader) error {
+	if err := tenant.ValidateBackupName(name); err != nil {
+		return &BackupError{Name: name, Stage: "chunk", Err: err}
+	}
 	if err := ctx.Err(); err != nil {
 		return &BackupError{Name: name, Stage: "chunk", Err: err}
 	}
@@ -329,8 +397,10 @@ func (c *Cluster) backupBuffered(ctx context.Context, name string, r io.Reader) 
 		return &BackupError{Name: name, Stage: "chunk", Err: err}
 	}
 	refs := make([]core.ChunkRef, len(chunks))
+	var size int64
 	for i, ch := range chunks {
 		refs[i] = core.ChunkRef{FP: c.algorithm.Sum(ch.Data), Size: ch.Len()}
+		size += int64(ch.Len())
 		if c.cfg.KeepPayloads {
 			refs[i].Data = ch.Data
 		}
@@ -344,26 +414,41 @@ func (c *Cluster) backupBuffered(ctx context.Context, name string, r io.Reader) 
 		}
 		return berr
 	}
-	return c.commitBackup(name, id)
+	return c.commitBackup(tenant.Default, name, id, size)
 }
 
 // Restore streams the named backup back to w, reading each chunk of its
 // tracked recipe from the owning simulated node. Requires KeepPayloads
 // (or a durable Dir). An unknown name fails with ErrNotFound.
 func (c *Cluster) Restore(ctx context.Context, name string, w io.Writer) error {
+	return c.restoreTenant(ctx, tenant.Default, name, w)
+}
+
+// restoreTenant is the tenant-scoped restore shared by Restore (default
+// tenant) and RestoreTenant.
+func (c *Cluster) restoreTenant(ctx context.Context, tn, name string, w io.Writer) error {
 	if c.cfg.Scheme == SchemeExtremeBinning {
 		// EB keeps no recipes (bin stores bypass the refcounted chunk
 		// index), so an existing backup must not masquerade as
 		// ErrNotFound — the operation is unsupported, full stop.
 		return fmt.Errorf("sigmadedupe: Restore is not supported for Extreme Binning (no recipe tracking)")
 	}
+	if err := tenant.ValidateBackupName(name); err != nil {
+		return fmt.Errorf("sigmadedupe: %w", err)
+	}
+	key := tenant.Key(tn, name)
 	c.mu.Lock()
-	id, ok := c.fileIDs[name]
+	id, ok := c.fileIDs[key]
+	size := c.fileSizes[key]
 	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("sigmadedupe: no backup named %q: %w", name, sderr.ErrNotFound)
 	}
-	return c.inner.RestoreBackup(ctx, id, w)
+	if err := c.inner.RestoreBackup(ctx, id, w); err != nil {
+		return err
+	}
+	c.tenants.AccountTransfer(tn, 0, size)
+	return nil
 }
 
 // Delete deletes a named backup: its tracked recipe is dropped and the
@@ -371,26 +456,38 @@ func (c *Cluster) Restore(ctx context.Context, name string, w io.Writer) error {
 // dead container space until Compact (or the background compactor)
 // reclaims it. An unknown name fails with ErrNotFound.
 func (c *Cluster) Delete(ctx context.Context, name string) error {
+	return c.deleteTenant(ctx, tenant.Default, name)
+}
+
+// deleteTenant is the tenant-scoped delete shared by Delete (default
+// tenant) and DeleteTenant.
+func (c *Cluster) deleteTenant(ctx context.Context, tn, name string) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if c.cfg.Scheme == SchemeExtremeBinning {
 		return fmt.Errorf("sigmadedupe: Delete is not supported for Extreme Binning (no recipe tracking)")
 	}
+	if err := tenant.ValidateBackupName(name); err != nil {
+		return fmt.Errorf("sigmadedupe: %w", err)
+	}
 	// Lookup, inner delete and name removal form one critical section:
 	// interleaving with a concurrent re-backup's commit would otherwise
 	// delete the superseded generation out from under the commit (or
 	// strand the new one nameless).
+	key := tenant.Key(tn, name)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	id, ok := c.fileIDs[name]
+	id, ok := c.fileIDs[key]
 	if !ok {
 		return fmt.Errorf("sigmadedupe: no backup named %q: %w", name, sderr.ErrNotFound)
 	}
 	if err := c.inner.DeleteBackup(id); err != nil {
 		return err
 	}
-	delete(c.fileIDs, name)
+	c.tenants.AccountDelete(tn, c.fileSizes[key])
+	delete(c.fileIDs, key)
+	delete(c.fileSizes, key)
 	return nil
 }
 
@@ -616,6 +713,22 @@ type clusterSession struct {
 	stream *cluster.Stream
 	cfg    sessionConfig
 	st     SessionStats
+	// Tenant state, resolved at session admission: the tenant the
+	// session's backups belong to, the fingerprint salt of an isolated
+	// dedup domain, and the quota headroom captured at admission for the
+	// soft mid-stream check (-1 = unlimited). reportedStored tracks
+	// transferred bytes already accounted to the tenant registry so each
+	// commit reports a delta.
+	tenant         string
+	salt           [32]byte
+	salted         bool
+	headroom       int64
+	reportedStored int64
+	// schedLeft/schedRelease are the session's current weighted-fair
+	// scheduler quantum: bytes still drawable from the outstanding grant
+	// and the function returning it (see addScheduled).
+	schedLeft    int64
+	schedRelease func()
 	// pending tracks payload bytes buffered in the partitioner; its
 	// high-water mark is the session's PeakBufferedBytes.
 	pending int64
@@ -673,6 +786,9 @@ func (s *clusterSession) flushExact() {
 }
 
 func (s *clusterSession) backup(ctx context.Context, name string, r io.Reader) error {
+	if err := tenant.ValidateBackupName(name); err != nil {
+		return &BackupError{Name: name, Stage: "chunk", Err: err}
+	}
 	if s.bufs.bufCap == 0 {
 		s.bufs.bufCap = chunker.MaxChunkSize(s.cfg.chunk.Method.internal(), s.cfg.chunk.Size)
 	}
@@ -683,8 +799,10 @@ func (s *clusterSession) backup(ctx context.Context, name string, r io.Reader) e
 	}
 	keep := s.c.cfg.KeepPayloads || s.c.cfg.Dir != ""
 	id := s.c.reserveID()
+	defer s.releaseSched()
 	s.stream.BeginItem(id)
 	s.st.Files++
+	var size int64
 	for {
 		chunk, err := ck.Next()
 		if err == io.EOF {
@@ -693,7 +811,7 @@ func (s *clusterSession) backup(ctx context.Context, name string, r io.Reader) e
 		if err != nil {
 			return s.abort(id, &BackupError{Name: name, Stage: "chunk", Err: err})
 		}
-		ref := core.ChunkRef{FP: s.c.algorithm.Sum(chunk.Data), Size: chunk.Len()}
+		ref := core.ChunkRef{FP: s.saltFP(s.c.algorithm.Sum(chunk.Data)), Size: chunk.Len()}
 		if keep {
 			// The stream retains the payload until its super-chunk is
 			// routed; the buffer cannot be recycled here.
@@ -707,11 +825,20 @@ func (s *clusterSession) backup(ctx context.Context, name string, r io.Reader) e
 			s.flushExact()
 		}
 		s.st.LogicalBytes += int64(ref.Size)
+		size += int64(ref.Size)
+		// Soft mid-stream quota check against the headroom captured at
+		// admission: the stream is cut off long before the hard check at
+		// commit would refuse the whole backup.
+		if s.headroom >= 0 && s.st.LogicalBytes > s.headroom {
+			return s.abort(id, &BackupError{Name: name, Stage: "quota", Err: fmt.Errorf(
+				"tenant %s: stream exceeds quota headroom %d bytes: %w",
+				s.tenant, s.headroom, sderr.ErrQuotaExceeded)})
+		}
 		s.pending += int64(ref.Size)
 		if s.pending > s.st.PeakBufferedBytes {
 			s.st.PeakBufferedBytes = s.pending
 		}
-		out, err := s.stream.AddChunk(ctx, ref)
+		out, err := s.addScheduled(ctx, ref)
 		if err != nil {
 			return s.abort(id, &BackupError{Name: name, Stage: "store", Err: err})
 		}
@@ -723,7 +850,73 @@ func (s *clusterSession) backup(ctx context.Context, name string, r io.Reader) e
 	}
 	s.applyRouted(out)
 	s.flushExact()
-	return s.c.commitBackup(name, id)
+	if err := s.c.commitBackup(s.tenant, name, id, size); err != nil {
+		return err
+	}
+	// Account the post-dedup transfer delta to the tenant's cumulative
+	// stored-bytes gauge (the simulator's "transfer" is its storage).
+	if d := s.st.TransferredBytes - s.reportedStored; d > 0 {
+		s.c.tenants.AccountTransfer(s.tenant, d, 0)
+		s.reportedStored = s.st.TransferredBytes
+	}
+	return nil
+}
+
+// saltFP folds the tenant's dedup-domain salt into a fingerprint (no-op
+// for shared-domain tenants), making an isolated tenant's chunk index,
+// similarity index and handprints disjoint from every other tenant's.
+func (s *clusterSession) saltFP(fp fingerprint.Fingerprint) fingerprint.Fingerprint {
+	if s.salted {
+		for i := 0; i < len(fp); i++ {
+			fp[i] ^= s.salt[i%len(s.salt)]
+		}
+	}
+	return fp
+}
+
+// schedQuantum is the byte batch one simulator session acquires from
+// the weighted-fair scheduler at a time. Acquiring per 4KB chunk would
+// make grant hold times so short that contending sessions pile up on
+// the scheduler mutex instead of its fair queue, degrading grant order
+// to a mutex race; a 64KB quantum keeps the grant held across a
+// meaningful stretch of chunking work, so backlog accumulates in the
+// queue and start-time fair queuing decides who proceeds.
+const schedQuantum = 64 << 10
+
+// addScheduled feeds one chunk to the stream under the weighted-fair
+// scheduler (when configured): the session draws chunk bytes from its
+// current quantum grant, re-acquiring when it runs dry, so concurrent
+// tenant sessions split the cluster's ingest capacity by weight.
+func (s *clusterSession) addScheduled(ctx context.Context, ref core.ChunkRef) (cluster.RouteOutcome, error) {
+	if s.c.sched != nil {
+		need := int64(ref.Size)
+		if s.schedLeft < need {
+			s.releaseSched()
+			quantum := int64(schedQuantum)
+			if need > quantum {
+				quantum = need
+			}
+			release, err := s.c.sched.Acquire(ctx, s.tenant, quantum)
+			if err != nil {
+				return cluster.RouteOutcome{}, err
+			}
+			s.schedRelease = release
+			s.schedLeft = quantum
+		}
+		s.schedLeft -= need
+	}
+	return s.stream.AddChunk(ctx, ref)
+}
+
+// releaseSched returns the session's outstanding quantum grant (if any)
+// to the scheduler. Called at the end of every backup so an idle
+// session never sits on in-flight budget.
+func (s *clusterSession) releaseSched() {
+	if s.schedRelease != nil {
+		s.schedRelease()
+		s.schedRelease = nil
+	}
+	s.schedLeft = 0
 }
 
 func (s *clusterSession) applyRouted(out cluster.RouteOutcome) {
