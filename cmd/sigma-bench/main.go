@@ -22,6 +22,7 @@
 //	sigma-bench [-json] [-mb 32] [-nodes 3] -mode rebalance
 //	sigma-bench [-json] [-mb 32] [-nodes 3] -mode kill
 //	sigma-bench [-json] [-mb 32] [-nodes 4] [-generations 100] -mode age
+//	sigma-bench [-json] [-scale 1.0] [-nodes N] [-sc KB] [-schemes csv] -mode scaleout
 //
 // With -json every result is emitted as one JSON object per line
 // (machine-readable; suitable for tracking BENCH_*.json trajectories).
@@ -87,6 +88,7 @@ func run(args []string) error {
 	disk := fs.Bool("disk", false, "ingest: give every server a durable spill directory (containers + manifest on disk)")
 	streamsFlag := fs.Int("streams", 8, "nodeconc/recovery: maximum concurrent backup streams")
 	generations := fs.Int("generations", 100, "age: generational backups of the churning image")
+	schemes := fs.String("schemes", "", "scaleout: comma-separated routing schemes (default sigma,stateless,stateful,eb)")
 	mode := fs.String("mode", "", "run one experiment by name (alias for the positional argument, e.g. -mode stream)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,18 +98,23 @@ func run(args []string) error {
 		names = append(names, *mode)
 	}
 	if len(names) == 0 {
-		fmt.Printf("available experiments: %s, ingest, nodeconc, recovery, gc, stream, wire, rebalance, kill, age, all\n", strings.Join(experiments.Names(), ", "))
+		fmt.Printf("available experiments: %s, ingest, nodeconc, recovery, gc, stream, wire, rebalance, kill, age, scaleout, all\n", strings.Join(experiments.Names(), ", "))
 		return nil
 	}
 	// The wire bench's headline number is defined at 64MB (the figure the
 	// codec work is tracked against); honor -mb only when explicitly set.
 	mbExplicit, streamsExplicit := false, false
+	nodesExplicit, scExplicit := false, false
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "mb":
 			mbExplicit = true
 		case "streams":
 			streamsExplicit = true
+		case "nodes":
+			nodesExplicit = true
+		case "sc":
+			scExplicit = true
 		}
 	})
 	wireMB := *mb
@@ -261,6 +268,31 @@ func run(args []string) error {
 			})
 			if err != nil {
 				return fmt.Errorf("tenants: %w", err)
+			}
+			if err := emit(rep); err != nil {
+				return err
+			}
+			continue
+		case "scaleout":
+			// -nodes/-sc narrow the sweep grid to one point each when set
+			// explicitly; -schemes narrows the scheme axis.
+			cfg := scaleoutConfig{
+				Workload: *workloadName,
+				Scale:    *scale,
+				Seed:     *seed,
+			}
+			if nodesExplicit {
+				cfg.NodeCounts = []int{*nodes}
+			}
+			if scExplicit && *scKB > 0 {
+				cfg.SCKBs = []int64{*scKB}
+			}
+			if *schemes != "" {
+				cfg.Schemes = strings.Split(*schemes, ",")
+			}
+			rep, err := runScaleout(cfg)
+			if err != nil {
+				return fmt.Errorf("scaleout: %w", err)
 			}
 			if err := emit(rep); err != nil {
 				return err

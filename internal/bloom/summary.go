@@ -1,0 +1,174 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sigmadedupe/internal/fingerprint"
+)
+
+// Summary sizing defaults. Bid summaries trade a little RAM for dropping
+// the bid fan-out from O(N) index queries per super-chunk to O(1)
+// expected positive probes: at the default 1% target rate a summary costs
+// ~15 bits per representative fingerprint (with the blocked layout's 25%
+// oversizing), so a node holding one million RFPs carries a ~1.9MB
+// summary — small next to the 40B/entry similarity index it shadows.
+const (
+	// DefaultSummaryCapacity is the initial key capacity of a Summary.
+	DefaultSummaryCapacity = 1 << 12
+	// DefaultSummaryFPRate is the target false-positive rate a Summary is
+	// sized for at capacity.
+	DefaultSummaryFPRate = 0.01
+)
+
+// Summary is a concurrency-safe, growable Bloom sketch of one node's
+// similarity-index representative fingerprints — the per-node "bid
+// summary" consulted by routers before fanning a handprint out to
+// candidate nodes. A router that sees MayContainAny == false can skip
+// the candidate entirely without risking a missed dedup match, because
+// the summary never reports a false negative for a key it was given.
+//
+// The summary grows by rebuilding: Add reports when the filter has been
+// fed more keys than it was sized for, and the owner then calls Rebuild
+// with a fresh enumeration of the authoritative index. Correctness
+// across a rebuild relies on the owner's insert order: the key must be
+// visible to the enumeration source BEFORE Add(key) is called, so a key
+// that a concurrent rebuild's enumeration misses is re-added afterwards
+// by its pending Add (which serializes behind the rebuild's write lock).
+type Summary struct {
+	mu       sync.RWMutex
+	f        *Filter
+	capacity int
+	fpRate   float64
+	rebuilds uint64
+}
+
+// NewSummary creates a bid summary sized for capacity keys at the given
+// target false-positive rate. Zero/negative arguments select the package
+// defaults.
+func NewSummary(capacity int, fpRate float64) (*Summary, error) {
+	if capacity <= 0 {
+		capacity = DefaultSummaryCapacity
+	}
+	if fpRate <= 0 {
+		fpRate = DefaultSummaryFPRate
+	}
+	if fpRate >= 1 {
+		return nil, fmt.Errorf("bloom: summary false-positive rate %v must be in (0,1)", fpRate)
+	}
+	f, err := New(capacity, fpRate)
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{f: f, capacity: capacity, fpRate: fpRate}, nil
+}
+
+// Add inserts fp and reports whether the summary is now overfull — fed
+// more keys than its sized capacity — meaning the owner should Rebuild
+// it from the authoritative index at a larger capacity. The filter keeps
+// absorbing keys while overfull (its false-positive rate degrades, never
+// its no-false-negative guarantee).
+func (s *Summary) Add(fp fingerprint.Fingerprint) (overfull bool) {
+	s.mu.Lock()
+	s.f.Add(fp)
+	overfull = s.f.Inserts() > uint64(s.capacity)
+	s.mu.Unlock()
+	return overfull
+}
+
+// MayContain reports whether fp may have been added. False means
+// definitely absent.
+func (s *Summary) MayContain(fp fingerprint.Fingerprint) bool {
+	s.mu.RLock()
+	ok := s.f.MayContain(fp)
+	s.mu.RUnlock()
+	return ok
+}
+
+// MayContainAny reports whether any of the fingerprints may be present —
+// the router's one-shot pre-filter for a candidate's bid. False means a
+// bid query to this node is guaranteed to return a zero resemblance
+// count.
+func (s *Summary) MayContainAny(fps []fingerprint.Fingerprint) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, fp := range fps {
+		if s.f.MayContain(fp) {
+			return true
+		}
+	}
+	return false
+}
+
+// Rebuild replaces the filter with one sized for capacity keys, refilled
+// from source — an enumeration of the authoritative index (e.g.
+// simindex.Index.Range). If the summary's capacity already covers the
+// request the rebuild is skipped, collapsing the redundant rebuilds that
+// concurrent Add callers trigger around the same growth point.
+func (s *Summary) Rebuild(capacity int, source func(yield func(fp fingerprint.Fingerprint) bool)) error {
+	if capacity <= 0 {
+		return fmt.Errorf("bloom: summary rebuild capacity %d must be positive", capacity)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity >= capacity {
+		return nil
+	}
+	f, err := New(capacity, s.fpRate)
+	if err != nil {
+		return err
+	}
+	source(func(fp fingerprint.Fingerprint) bool {
+		f.Add(fp)
+		return true
+	})
+	s.f = f
+	s.capacity = capacity
+	s.rebuilds++
+	return nil
+}
+
+// Capacity returns the key capacity the summary is currently sized for.
+func (s *Summary) Capacity() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.capacity
+}
+
+// Inserts returns the number of keys fed to the current filter (rebuilds
+// reset it to the authoritative enumeration's count).
+func (s *Summary) Inserts() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.f.Inserts()
+}
+
+// Rebuilds returns how many growth rebuilds the summary has absorbed.
+func (s *Summary) Rebuilds() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rebuilds
+}
+
+// SizeBytes returns the current filter's bit-array footprint.
+func (s *Summary) SizeBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.f.SizeBytes()
+}
+
+// EstimatedFPRate returns the theoretical false-positive rate of the
+// current filter at its current fill.
+func (s *Summary) EstimatedFPRate() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.f.EstimatedFPRate()
+}
+
+// SummaryBitsPerKey returns the summary RAM cost in bits per key at the
+// given target false-positive rate, including the blocked layout's 25%
+// oversizing — the figure the scale-out methodology doc quotes.
+func SummaryBitsPerKey(fpRate float64) float64 {
+	return -math.Log(fpRate) / (math.Ln2 * math.Ln2) * 5 / 4
+}

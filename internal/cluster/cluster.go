@@ -64,6 +64,18 @@ type Config struct {
 	// bids are memory lookups, so the fan-out only pays off when many
 	// streams contend for cores or bids become genuinely remote.
 	ParallelBids bool
+	// BidSummaries routes bids through each node's compact Bloom summary
+	// of its similarity index (Sigma and Stateful schemes). Summaries
+	// are cheap enough to probe for every live node, so Sigma upgrades
+	// from bidding at its rendezvous candidates to global discovery: it
+	// bids at every summary-positive node in the cluster (equivalent to
+	// full one-to-all bidding, since summaries have no false negatives)
+	// while sending only O(1) expected bid messages per super-chunk at
+	// 64–128 nodes, and keeps the rendezvous candidates as the
+	// least-loaded fallback pool. This both collapses fan-out cost and
+	// recovers dedup lost to candidate-set churn as N grows. Stats
+	// gains the summary counters.
+	BidSummaries bool
 	// TrackRecipes records, for every backup item with a non-zero fileID,
 	// which chunk fingerprints it routed to which node, enabling
 	// DeleteBackup. Tracking cuts super-chunks at item boundaries so the
@@ -108,6 +120,18 @@ type Stats struct {
 	Files            int64
 	PreRoutingMsgs   int64
 	AfterRoutingMsgs int64
+	// BidsSent counts nodes actually queried for a routing bid; with
+	// bid summaries on it is the summary-positive subset — divide by
+	// SuperChunks for the per-super-chunk fan-out the scale-out
+	// campaign tracks.
+	BidsSent int64
+	// SummaryChecks/SummaryHits/SummaryFalsePos are the bid-summary
+	// probe counters (zero unless Config.BidSummaries): probes made,
+	// probes that answered "may contain" (each became a bid), and hits
+	// whose bid then scored zero.
+	SummaryChecks   int64
+	SummaryHits     int64
+	SummaryFalsePos int64
 }
 
 // TotalMsgs returns the Fig. 7 metric: all fingerprint-lookup messages.
@@ -122,6 +146,10 @@ type shard struct {
 	files            atomic.Int64
 	preRoutingMsgs   atomic.Int64
 	afterRoutingMsgs atomic.Int64
+	bidsSent         atomic.Int64
+	summaryChecks    atomic.Int64
+	summaryHits      atomic.Int64
+	summaryFalsePos  atomic.Int64
 }
 
 // Cluster is a simulated deduplication cluster. The node set is
@@ -132,19 +160,24 @@ type Cluster struct {
 	cfg Config
 	rt  router.Router
 
-	// memberMu guards the node registry, the live membership and the
-	// per-epoch pin counts. Reads (bids, stats, routing) take the read
-	// lock; membership changes take the write lock, so every reader sees
-	// one consistent epoch.
+	// memberMu guards the canonical node registry and serializes
+	// membership mutations. The routing/stats hot paths do NOT take it:
+	// they read the current epochState snapshot through cur. Store-path
+	// node resolution (nodeByID) still reads the registry under the read
+	// lock so a killed node fails loudly instead of accepting writes
+	// through a stale snapshot.
 	memberMu sync.RWMutex
 	nodes    map[int]*node.Node
-	members  core.Membership
 	maxID    int
-	// epochUses counts backup items currently in flight against each
-	// pinned epoch — the grace period RemoveNode waits out so no item
-	// pinned to an epoch that still contains the node can store to it
-	// after the drain's final scan.
-	epochUses map[uint64]int
+	// cur is the current epoch snapshot. Mutations build a fresh
+	// epochState and swap the pointer; readers (bids, usage, stats,
+	// stream pins) load it without any lock. At 128 nodes × 64 streams
+	// this is what keeps the per-super-chunk bid fan-out and the
+	// per-item epoch pinning off a shared mutex.
+	cur atomic.Pointer[epochState]
+	// epochs is the commit history still potentially pinned by in-flight
+	// items (guarded by memberMu; pruned by waitEpochQuiesce).
+	epochs []*epochState
 
 	// Pending super-chunk migrations (see membership.go): transactions
 	// opened but not yet closed, the crash-recovery work list. Guarded
@@ -185,6 +218,34 @@ type RecipeEntry struct {
 	Replica int
 }
 
+// epochState is one committed membership epoch: the member list plus an
+// immutable snapshot of the node objects live in it. Streams pin the
+// state for the duration of one backup item by bumping uses; membership
+// changes swap in a new state and wait out the old one's uses — the
+// same grace period the epochUses map used to provide, without a write
+// lock per backup item.
+type epochState struct {
+	members core.Membership
+	// nodes maps the epoch's member IDs to their node objects. The map
+	// is never mutated after commit, so pinned views read it lock-free.
+	nodes map[int]*node.Node
+	// uses counts backup items currently pinned to this epoch.
+	uses atomic.Int64
+}
+
+// commitEpochLocked snapshots the registry for membership m, makes it
+// the current epoch and appends it to the pin history. Caller holds
+// memberMu (write).
+func (c *Cluster) commitEpochLocked(m core.Membership) {
+	snap := make(map[int]*node.Node, m.Len())
+	for _, id := range m.Nodes {
+		snap[id] = c.nodes[id]
+	}
+	st := &epochState{members: m, nodes: snap}
+	c.epochs = append(c.epochs, st)
+	c.cur.Store(st)
+}
+
 var _ router.View = (*Cluster)(nil)
 
 // New builds a cluster of cfg.N nodes.
@@ -201,8 +262,10 @@ func New(cfg Config) (*Cluster, error) {
 	case *router.SigmaRouter:
 		r.IgnoreUsage = cfg.IgnoreUsage
 		r.Parallel = cfg.ParallelBids
+		r.UseSummaries = cfg.BidSummaries
 	case *router.StatefulRouter:
 		r.Parallel = cfg.ParallelBids
+		r.UseSummaries = cfg.BidSummaries
 	}
 	nodes := make(map[int]*node.Node, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -215,13 +278,12 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:         cfg,
 		nodes:       nodes,
-		members:     core.DenseMembership(cfg.N),
 		maxID:       cfg.N - 1,
 		rt:          rt,
 		recipes:     make(map[uint64][]RecipeEntry),
 		pendingMigs: make(map[uint64]simMigration),
-		epochUses:   make(map[uint64]int),
 	}
+	c.commitEpochLocked(core.DenseMembership(cfg.N))
 	// The default stream keeps the seed's container naming ("client0") so
 	// single-stream results are bit-identical to the serial simulator.
 	def, err := c.Stream("client0")
@@ -255,7 +317,7 @@ func (c *Cluster) StreamSized(name string, superChunkSize int64) (*Stream, error
 	if err != nil {
 		return nil, err
 	}
-	s := &Stream{c: c, name: name, part: part, ctr: &shard{}, pin: c.Membership()}
+	s := &Stream{c: c, name: name, part: part, ctr: &shard{}}
 	c.shardMu.Lock()
 	c.shards = append(c.shards, s.ctr)
 	c.shardMu.Unlock()
@@ -263,16 +325,65 @@ func (c *Cluster) StreamSized(name string, superChunkSize int64) (*Stream, error
 }
 
 // pinnedView is the cluster's router view pinned to one membership
-// epoch: bids and usage reads are live, but the member list — and with
-// it the candidate set — is the one the backup item started on.
+// epoch: bids and usage reads are live node state, but the member list
+// — and with it the candidate set — is the one the backup item started
+// on. All reads go through the epoch's immutable node snapshot, so a
+// routing decision takes no cluster-wide lock at all; only the store
+// path resolves nodes through the registry (nodeByID), where a killed
+// node must fail loudly.
 type pinnedView struct {
-	*Cluster
-	pin core.Membership
+	st *epochState
 }
 
-func (v pinnedView) N() int { return v.pin.Len() }
+var (
+	_ router.View        = pinnedView{}
+	_ router.SummaryView = pinnedView{}
+)
 
-func (v pinnedView) Membership() core.Membership { return v.pin }
+func (v pinnedView) N() int { return v.st.members.Len() }
+
+func (v pinnedView) Membership() core.Membership { return v.st.members }
+
+// BidHandprint implements router.View against the pinned epoch. A node
+// that has since been killed still answers from its frozen in-RAM index
+// (engine state stays readable after Close); the store path is where a
+// dead node fails.
+func (v pinnedView) BidHandprint(nodeID int, hp core.Handprint) int {
+	n := v.st.nodes[nodeID]
+	if n == nil {
+		return 0
+	}
+	return n.CountHandprintMatches(hp)
+}
+
+// BidChunks implements router.View against the pinned epoch.
+func (v pinnedView) BidChunks(nodeID int, fps []fingerprint.Fingerprint) int {
+	n := v.st.nodes[nodeID]
+	if n == nil {
+		return 0
+	}
+	return n.CountStoredChunks(fps)
+}
+
+// Usage implements router.View against the pinned epoch.
+func (v pinnedView) Usage(nodeID int) int64 {
+	n := v.st.nodes[nodeID]
+	if n == nil {
+		return 0
+	}
+	return n.StorageUsage()
+}
+
+// SummaryMayContain implements router.SummaryView against the pinned
+// epoch: the node's bid summary answers whether any RFP of hp may be in
+// its similarity index.
+func (v pinnedView) SummaryMayContain(nodeID int, hp core.Handprint) bool {
+	n := v.st.nodes[nodeID]
+	if n == nil {
+		return false
+	}
+	return n.SummaryMayContain(hp)
+}
 
 // newClusterNode builds one node from the cluster template. Each
 // durable node owns a subdirectory so container files and manifests
@@ -304,16 +415,12 @@ func (c *Cluster) nodeByID(id int) (*node.Node, error) {
 
 // N implements router.View: the live node count of the current epoch.
 func (c *Cluster) N() int {
-	c.memberMu.RLock()
-	defer c.memberMu.RUnlock()
-	return c.members.Len()
+	return c.cur.Load().members.Len()
 }
 
 // Membership implements router.View: the current epoch's live node set.
 func (c *Cluster) Membership() core.Membership {
-	c.memberMu.RLock()
-	defer c.memberMu.RUnlock()
-	return c.members
+	return c.cur.Load().members
 }
 
 // BidHandprint implements router.View. A bid against a node that left
@@ -349,6 +456,18 @@ func (c *Cluster) Usage(nodeID int) int64 {
 		return 0
 	}
 	return n.StorageUsage()
+}
+
+// SummaryMayContain implements router.SummaryView over the live
+// registry (migration's pickTarget path; streams use their pinned view).
+func (c *Cluster) SummaryMayContain(nodeID int, hp core.Handprint) bool {
+	c.memberMu.RLock()
+	n := c.nodes[nodeID]
+	c.memberMu.RUnlock()
+	if n == nil {
+		return false
+	}
+	return n.SummaryMayContain(hp)
 }
 
 // Scheme returns the active routing scheme name.
@@ -408,13 +527,13 @@ func (c *Cluster) BackupItems(streams map[string][]Item) error {
 }
 
 // liveNodes snapshots the live nodes of the current epoch, ascending by
-// ID.
+// ID — lock-free through the epoch snapshot, so stats readers
+// (UsageVector, Skew) never contend with membership or ingest locks.
 func (c *Cluster) liveNodes() []*node.Node {
-	c.memberMu.RLock()
-	defer c.memberMu.RUnlock()
-	out := make([]*node.Node, 0, c.members.Len())
-	for _, id := range c.members.Nodes {
-		out = append(out, c.nodes[id])
+	st := c.cur.Load()
+	out := make([]*node.Node, 0, st.members.Len())
+	for _, id := range st.members.Nodes {
+		out = append(out, st.nodes[id])
 	}
 	return out
 }
@@ -443,14 +562,16 @@ type Stream struct {
 	name string
 	part *core.Partitioner
 	ctr  *shard
-	// pin is the membership epoch this stream routes against, refreshed
-	// at every item boundary: a backup item never observes a torn member
-	// list, and a membership change becomes visible to the stream at its
-	// next item. While an item is in flight the pin is registered in the
-	// cluster's epochUses (holding), so RemoveNode can wait out every
-	// item that could still store to the departing node.
-	pin     core.Membership
-	holding bool
+	// st is the epoch snapshot this stream routes against, re-pinned at
+	// every item boundary: a backup item never observes a torn member
+	// list, and a membership change becomes visible to the stream at
+	// its next item. While an item is in flight the snapshot's use
+	// count is held, so RemoveNode can wait out every item that could
+	// still store to the departing node. Pinning is lock-free (one
+	// atomic increment plus a validation reload) — the old protocol
+	// took the cluster-wide write lock per backup item, which at 64
+	// concurrent streams serialized the whole ingest.
+	st *epochState
 	// retired guards against double-folding; protected by c.shardMu.
 	retired bool
 }
@@ -459,27 +580,31 @@ type Stream struct {
 // in-flight item against it.
 func (s *Stream) acquirePin() {
 	s.releasePin()
-	c := s.c
-	c.memberMu.Lock()
-	s.pin = c.members
-	c.epochUses[s.pin.Epoch]++
-	s.holding = true
-	c.memberMu.Unlock()
+	for {
+		st := s.c.cur.Load()
+		st.uses.Add(1)
+		// Validate after the increment: a membership change that swapped
+		// the current epoch between our load and increment may already
+		// have scanned this state's uses and moved on, so the pin isn't
+		// protected — drop it and pin the new epoch instead. Once the
+		// reload still shows st, the increment happened-before any later
+		// swap, and the change's grace period will observe it.
+		if s.c.cur.Load() == st {
+			s.st = st
+			return
+		}
+		st.uses.Add(-1)
+	}
 }
 
 // releasePin deregisters the stream's in-flight item (item boundary or
 // abort).
 func (s *Stream) releasePin() {
-	if !s.holding {
+	if s.st == nil {
 		return
 	}
-	c := s.c
-	c.memberMu.Lock()
-	if c.epochUses[s.pin.Epoch]--; c.epochUses[s.pin.Epoch] <= 0 {
-		delete(c.epochUses, s.pin.Epoch)
-	}
-	s.holding = false
-	c.memberMu.Unlock()
+	s.st.uses.Add(-1)
+	s.st = nil
 }
 
 // Close retires the stream: its counters fold into the cluster's base
@@ -624,9 +749,15 @@ type RouteOutcome struct {
 
 func (s *Stream) routeAndStore(sc *core.SuperChunk) (int64, error) {
 	c := s.c
-	d := c.rt.Route(sc, pinnedView{Cluster: c, pin: s.pin})
+	d := c.rt.Route(sc, pinnedView{st: s.st})
 	s.ctr.superChunks.Add(1)
 	s.ctr.preRoutingMsgs.Add(d.PreRoutingMsgs)
+	s.ctr.bidsSent.Add(d.BidsSent)
+	if d.SummaryChecks != 0 {
+		s.ctr.summaryChecks.Add(d.SummaryChecks)
+		s.ctr.summaryHits.Add(d.SummaryHits)
+		s.ctr.summaryFalsePos.Add(d.SummaryFalsePos)
+	}
 	var stored int64
 	for _, a := range d.Assignments {
 		target := sc
@@ -696,6 +827,10 @@ func (c *Cluster) retire(s *Stream) {
 	c.base.Files += s.ctr.files.Load()
 	c.base.PreRoutingMsgs += s.ctr.preRoutingMsgs.Load()
 	c.base.AfterRoutingMsgs += s.ctr.afterRoutingMsgs.Load()
+	c.base.BidsSent += s.ctr.bidsSent.Load()
+	c.base.SummaryChecks += s.ctr.summaryChecks.Load()
+	c.base.SummaryHits += s.ctr.summaryHits.Load()
+	c.base.SummaryFalsePos += s.ctr.summaryFalsePos.Load()
 	for i, sh := range c.shards {
 		if sh == s.ctr {
 			c.shards = append(c.shards[:i], c.shards[i+1:]...)
@@ -717,6 +852,10 @@ func (c *Cluster) Stats() Stats {
 		st.Files += sh.files.Load()
 		st.PreRoutingMsgs += sh.preRoutingMsgs.Load()
 		st.AfterRoutingMsgs += sh.afterRoutingMsgs.Load()
+		st.BidsSent += sh.bidsSent.Load()
+		st.SummaryChecks += sh.summaryChecks.Load()
+		st.SummaryHits += sh.summaryHits.Load()
+		st.SummaryFalsePos += sh.summaryFalsePos.Load()
 	}
 	return st
 }
@@ -966,6 +1105,11 @@ func (c *Cluster) RestartNode(i int) error {
 	}
 	c.memberMu.Lock()
 	c.nodes[i] = n
+	// Re-commit the current membership so the epoch snapshot references
+	// the restarted node object, not the closed one. The member list and
+	// epoch number are unchanged — only the snapshot refreshes — so
+	// routing behavior (candidate widths are epoch-driven) is identical.
+	c.commitEpochLocked(c.cur.Load().members)
 	c.memberMu.Unlock()
 	return nil
 }
@@ -999,58 +1143,65 @@ func (c *Cluster) Close() error {
 // (read-only use: stats inspection).
 func (c *Cluster) Nodes() []*node.Node { return c.liveNodes() }
 
+// exactShards is the stripe count of ExactTracker's seen-set: enough
+// that 64 concurrent trace streams rarely collide on a stripe lock.
+const exactShards = 64
+
 // ExactTracker computes the exact single-node deduplication physical size
 // of a stream (the SDR denominator of the paper's normalized metrics).
+// The seen-set is lock-striped by fingerprint and the byte counters are
+// atomics, so concurrent streams account without sharing one mutex —
+// the tracker sits on every chunk of every stream in the multi-stream
+// sweeps.
 type ExactTracker struct {
-	mu      sync.Mutex
-	seen    map[fingerprint.Fingerprint]struct{}
-	logical int64
-	unique  int64
+	shards  [exactShards]exactShard
+	logical atomic.Int64
+	unique  atomic.Int64
+}
+
+type exactShard struct {
+	mu   sync.Mutex
+	seen map[fingerprint.Fingerprint]struct{}
+	// pad to a cache line so adjacent stripe locks don't false-share.
+	_ [24]byte
 }
 
 // NewExactTracker returns an empty tracker.
 func NewExactTracker() *ExactTracker {
-	return &ExactTracker{seen: make(map[fingerprint.Fingerprint]struct{})}
+	e := &ExactTracker{}
+	for i := range e.shards {
+		e.shards[i].seen = make(map[fingerprint.Fingerprint]struct{})
+	}
+	return e
 }
 
 // Add accounts a stream of chunk references.
 func (e *ExactTracker) Add(refs []core.ChunkRef) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	for _, r := range refs {
-		e.add(r)
+		e.AddRef(r)
 	}
 }
 
 // AddRef accounts a single chunk reference (streaming feed).
 func (e *ExactTracker) AddRef(r core.ChunkRef) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.add(r)
-}
-
-// add accounts one reference; caller holds e.mu.
-func (e *ExactTracker) add(r core.ChunkRef) {
-	e.logical += int64(r.Size)
-	if _, ok := e.seen[r.FP]; !ok {
-		e.seen[r.FP] = struct{}{}
-		e.unique += int64(r.Size)
+	e.logical.Add(int64(r.Size))
+	sh := &e.shards[r.FP.Uint64()%exactShards]
+	sh.mu.Lock()
+	_, ok := sh.seen[r.FP]
+	if !ok {
+		sh.seen[r.FP] = struct{}{}
+	}
+	sh.mu.Unlock()
+	if !ok {
+		e.unique.Add(int64(r.Size))
 	}
 }
 
 // Physical returns the exact-dedup physical size.
-func (e *ExactTracker) Physical() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.unique
-}
+func (e *ExactTracker) Physical() int64 { return e.unique.Load() }
 
 // Logical returns the logical size accounted.
-func (e *ExactTracker) Logical() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.logical
-}
+func (e *ExactTracker) Logical() int64 { return e.logical.Load() }
 
 // SDR returns the exact single-node deduplication ratio.
 func (e *ExactTracker) SDR() float64 {

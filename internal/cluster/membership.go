@@ -91,7 +91,8 @@ func (c *Cluster) AddNode() (int, error) {
 	}
 	c.maxID = id
 	c.nodes[id] = n
-	c.members = core.NewMembership(c.members.Epoch+1, append(c.members.Nodes, id))
+	members := c.cur.Load().members
+	c.commitEpochLocked(core.NewMembership(members.Epoch+1, append(members.Nodes, id)))
 	return id, nil
 }
 
@@ -116,8 +117,8 @@ func (c *Cluster) RemoveNode(ctx context.Context, id int) (MigrationResult, erro
 		c.memberMu.Unlock()
 		return res, fmt.Errorf("cluster: no node %d", id)
 	}
-	if c.members.Contains(id) {
-		if c.members.Len() == 1 {
+	if members := c.cur.Load().members; members.Contains(id) {
+		if members.Len() == 1 {
 			c.memberMu.Unlock()
 			return res, fmt.Errorf("cluster: cannot remove the last node")
 		}
@@ -127,9 +128,9 @@ func (c *Cluster) RemoveNode(ctx context.Context, id int) (MigrationResult, erro
 		// membership, but reads, decrefs and the drain still reach it)
 		// until it is empty — and a drain aborted by a crash resumes
 		// here, finding the node already outside the epoch.
-		c.members = core.NewMembership(c.members.Epoch+1, c.members.Without(id).Nodes)
+		c.commitEpochLocked(core.NewMembership(members.Epoch+1, members.Without(id).Nodes))
 	}
-	remaining := c.members
+	remaining := c.cur.Load().members
 	c.memberMu.Unlock()
 
 	// Grace period: wait out every backup item still pinned to an epoch
@@ -660,13 +661,23 @@ func (c *Cluster) waitEpochQuiesce(ctx context.Context, epoch uint64) error {
 			return err
 		}
 		pinned := 0
-		c.memberMu.RLock()
-		for e, n := range c.epochUses {
-			if e < epoch {
-				pinned += n
+		c.memberMu.Lock()
+		// Scan the epoch history, pruning states that have fully
+		// quiesced so the list stays bounded by in-flight pins plus the
+		// current epoch.
+		kept := c.epochs[:0]
+		for _, st := range c.epochs {
+			uses := st.uses.Load()
+			if st.members.Epoch < epoch {
+				if uses == 0 {
+					continue // quiesced: drop from the history
+				}
+				pinned += int(uses)
 			}
+			kept = append(kept, st)
 		}
-		c.memberMu.RUnlock()
+		c.epochs = kept
+		c.memberMu.Unlock()
 		if pinned == 0 {
 			return nil
 		}

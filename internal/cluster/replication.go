@@ -49,7 +49,7 @@ type restoreReq struct {
 // recovery releases them.
 func (s *Stream) replicate(fileID uint64, target *core.SuperChunk, primary, start, n int) error {
 	c := s.c
-	replica := s.pin.ReplicaTarget(target.Chunks[0].FP, primary)
+	replica := s.st.members.ReplicaTarget(target.Chunks[0].FP, primary)
 	if replica < 0 {
 		return nil // single-member epoch: no second site exists
 	}
@@ -140,12 +140,12 @@ func (c *Cluster) KillNode(id int) error {
 		c.memberMu.Unlock()
 		return fmt.Errorf("cluster: no node %d", id)
 	}
-	if c.members.Contains(id) {
-		if c.members.Len() == 1 {
+	if members := c.cur.Load().members; members.Contains(id) {
+		if members.Len() == 1 {
 			c.memberMu.Unlock()
 			return fmt.Errorf("cluster: cannot kill the last node")
 		}
-		c.members = core.NewMembership(c.members.Epoch+1, c.members.Without(id).Nodes)
+		c.commitEpochLocked(core.NewMembership(members.Epoch+1, members.Without(id).Nodes))
 	}
 	delete(c.nodes, id)
 	c.memberMu.Unlock()

@@ -23,6 +23,29 @@ type Membership struct {
 	Epoch uint64
 	// Nodes holds the live node IDs, ascending.
 	Nodes []int
+	// keys caches each node's rendezvous multiplier, aligned with Nodes.
+	// At 128 nodes a single super-chunk ranks every member once per
+	// handprint fingerprint; precomputing the per-node half of the mix
+	// keeps that scan to one xor-multiply chain per (fp, node) pair. A
+	// zero-value Membership (nil keys) still works — nodeKey recomputes.
+	keys []uint64
+}
+
+// nodeKeys builds the cached rendezvous multipliers for ids.
+func nodeKeys(ids []int) []uint64 {
+	keys := make([]uint64, len(ids))
+	for i, id := range ids {
+		keys[i] = (uint64(id) + 1) * 0x9E3779B97F4A7C15
+	}
+	return keys
+}
+
+// nodeKey returns the rendezvous multiplier of the i-th member.
+func (m Membership) nodeKey(i int) uint64 {
+	if m.keys != nil {
+		return m.keys[i]
+	}
+	return (uint64(m.Nodes[i]) + 1) * 0x9E3779B97F4A7C15
 }
 
 // NewMembership builds a membership over the given node IDs (copied,
@@ -31,7 +54,7 @@ func NewMembership(epoch uint64, ids []int) Membership {
 	out := make([]int, len(ids))
 	copy(out, ids)
 	sort.Ints(out)
-	return Membership{Epoch: epoch, Nodes: out}
+	return Membership{Epoch: epoch, Nodes: out, keys: nodeKeys(out)}
 }
 
 // DenseMembership is the fixed-cluster membership 0..n-1 at epoch 1.
@@ -40,7 +63,7 @@ func DenseMembership(n int) Membership {
 	for i := range ids {
 		ids[i] = i
 	}
-	return Membership{Epoch: 1, Nodes: ids}
+	return Membership{Epoch: 1, Nodes: ids, keys: nodeKeys(ids)}
 }
 
 // Len returns the live node count.
@@ -61,7 +84,7 @@ func (m Membership) Without(id int) Membership {
 			out = append(out, n)
 		}
 	}
-	return Membership{Epoch: m.Epoch, Nodes: out}
+	return Membership{Epoch: m.Epoch, Nodes: out, keys: nodeKeys(out)}
 }
 
 // rendezvousWeight is the HRW score of (fp, node): a splitmix64 finalizer
@@ -69,7 +92,15 @@ func (m Membership) Without(id int) Membership {
 // avalanche mix works; this one is allocation-free and stable across
 // processes, which the on-disk recipe/placement state requires.
 func rendezvousWeight(fp fingerprint.Fingerprint, node int) uint64 {
-	x := fp.Uint64() ^ (uint64(node)+1)*0x9E3779B97F4A7C15
+	return mixWeight(fp.Uint64(), (uint64(node)+1)*0x9E3779B97F4A7C15)
+}
+
+// mixWeight is the shared finalizer of rendezvousWeight, split so the
+// ranking loops can hoist the fingerprint prefix and use the cached
+// per-node key: the inner loop is xor + 3 multiply-shift rounds, nothing
+// recomputed per node.
+func mixWeight(fp64, nodeKey uint64) uint64 {
+	x := fp64 ^ nodeKey
 	x ^= x >> 30
 	x *= 0xBF58476D1CE4E5B9
 	x ^= x >> 27
@@ -97,11 +128,12 @@ func (m Membership) Owner(fp fingerprint.Fingerprint) int {
 func (m Membership) ReplicaTarget(fp fingerprint.Fingerprint, primary int) int {
 	best := -1
 	var bestW uint64
-	for _, id := range m.Nodes {
+	fp64 := fp.Uint64()
+	for i, id := range m.Nodes {
 		if id == primary {
 			continue
 		}
-		w := rendezvousWeight(fp, id)
+		w := mixWeight(fp64, m.nodeKey(i))
 		if best == -1 || w > bestW || (w == bestW && id < best) {
 			best, bestW = id, w
 		}
@@ -140,8 +172,9 @@ func seedFingerprint(seed uint64) fingerprint.Fingerprint {
 func (m Membership) owners2(fp fingerprint.Fingerprint) (int, int) {
 	first, second := -1, -1
 	var firstW, secondW uint64
-	for _, id := range m.Nodes {
-		w := rendezvousWeight(fp, id)
+	fp64 := fp.Uint64()
+	for i, id := range m.Nodes {
+		w := mixWeight(fp64, m.nodeKey(i))
 		switch {
 		case first == -1 || w > firstW || (w == firstW && id < first):
 			second, secondW = first, firstW
@@ -178,30 +211,42 @@ func (m Membership) Candidates(hp Handprint, seed uint64) []int {
 	if len(m.Nodes) == 0 {
 		return nil
 	}
+	return m.AppendCandidates(make([]int, 0, 2*len(hp)), hp, seed)
+}
+
+// AppendCandidates is Candidates with caller-owned storage: it appends
+// the candidate set to dst and returns the extended slice, allocating
+// nothing when dst has capacity for it (≤ 2·len(hp)+1 entries). Routers
+// ranking every super-chunk at 64–128 nodes reuse a stack buffer here so
+// candidate selection stays allocation-free on the routing hot path.
+func (m Membership) AppendCandidates(dst []int, hp Handprint, seed uint64) []int {
+	if len(m.Nodes) == 0 {
+		return dst
+	}
 	// The candidate set is tiny (≤ 2·len(hp), typically ≤ 8), so dedup
-	// is a linear scan over the output — no map, no closure; this runs
-	// once per super-chunk on the routing hot path.
-	out := make([]int, 0, 2*len(hp))
-	add := func(out []int, id int) []int {
+	// is a linear scan over the appended region — no map, no closure;
+	// this runs once per super-chunk on the routing hot path.
+	base := len(dst)
+	add := func(dst []int, id int) []int {
 		if id < 0 {
-			return out
+			return dst
 		}
-		for _, have := range out {
+		for _, have := range dst[base:] {
 			if have == id {
-				return out
+				return dst
 			}
 		}
-		return append(out, id)
+		return append(dst, id)
 	}
 	for _, fp := range hp {
 		first, second := m.owners2(fp)
-		out = add(out, first)
+		dst = add(dst, first)
 		if m.Epoch > 1 {
-			out = add(out, second)
+			dst = add(dst, second)
 		}
 	}
-	if len(out) == 0 {
-		out = append(out, m.SeedOwner(seed))
+	if len(dst) == base {
+		dst = append(dst, m.SeedOwner(seed))
 	}
-	return out
+	return dst
 }

@@ -178,3 +178,66 @@ func TestCandidatesSeedSpread(t *testing.T) {
 		t.Fatalf("single-node replica target = %d, want -1", r)
 	}
 }
+
+// TestAppendCandidatesMatchesCandidates pins the zero-alloc path to the
+// allocating one: same candidates, same order, and no allocations when
+// the destination buffer has capacity.
+func TestAppendCandidatesMatchesCandidates(t *testing.T) {
+	fps := randFPs(9, 8)
+	hp := Handprint(fps)
+	for _, m := range []Membership{
+		DenseMembership(128),
+		NewMembership(2, DenseMembership(64).Nodes),
+		{}, // zero value: nil keys fallback
+	} {
+		want := m.Candidates(hp, 77)
+		var buf [17]int
+		got := m.AppendCandidates(buf[:0], hp, 77)
+		if len(got) != len(want) {
+			t.Fatalf("epoch %d: AppendCandidates len %d, Candidates len %d", m.Epoch, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("epoch %d: candidate %d = %d, want %d", m.Epoch, i, got[i], want[i])
+			}
+		}
+	}
+	m := DenseMembership(128)
+	var buf [17]int
+	allocs := testing.AllocsPerRun(100, func() {
+		buf2 := m.AppendCandidates(buf[:0], hp, 77)
+		_ = buf2
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendCandidates allocates %v per run, want 0", allocs)
+	}
+}
+
+// BenchmarkCandidates measures candidate ranking at 128 nodes — the
+// per-super-chunk rendezvous scan the scale-out campaign leans on. The
+// AppendCandidates variant must report 0 allocs/op.
+func BenchmarkCandidates(b *testing.B) {
+	m := DenseMembership(128)
+	grown := NewMembership(2, m.Nodes)
+	hp := Handprint(randFPs(3, 8))
+	b.Run("alloc/epoch1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = m.Candidates(hp, uint64(i))
+		}
+	})
+	b.Run("append/epoch1", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf [17]int
+		for i := 0; i < b.N; i++ {
+			_ = m.AppendCandidates(buf[:0], hp, uint64(i))
+		}
+	})
+	b.Run("append/epoch2", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf [17]int
+		for i := 0; i < b.N; i++ {
+			_ = grown.AppendCandidates(buf[:0], hp, uint64(i))
+		}
+	})
+}

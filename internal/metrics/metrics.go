@@ -60,6 +60,31 @@ func Skew(usage []int64) float64 {
 	return math.Sqrt(ss/float64(len(usage))) / mean
 }
 
+// MaxOverMean is the storage-balance metric of the scale-out campaign:
+// the most-loaded node's bytes over the mean node bytes. A perfectly
+// balanced cluster scores 1.0; the campaign's invariant is ≤ 1.2 at 128
+// nodes. Unlike Skew (σ/mean, the paper's dispersion measure) this
+// bounds the single worst node — the one that fills up first. Returns 0
+// for an empty or all-zero vector.
+func MaxOverMean(usage []int64) float64 {
+	if len(usage) == 0 {
+		return 0
+	}
+	var sum float64
+	max := usage[0]
+	for _, u := range usage {
+		sum += float64(u)
+		if u > max {
+			max = u
+		}
+	}
+	mean := sum / float64(len(usage))
+	if mean == 0 {
+		return 0
+	}
+	return float64(max) / mean
+}
+
 // NEDR is the normalized effective deduplication ratio of Eq. (7):
 // (CDR/SDR) × α/(α+σ). It folds cluster-wide capacity saving and storage
 // balance into one utility number.

@@ -137,3 +137,23 @@ func TestRAMModelScalesLinearly(t *testing.T) {
 		t.Fatal("EB RAM should scale linearly with data")
 	}
 }
+
+func TestMaxOverMean(t *testing.T) {
+	if got := MaxOverMean(nil); got != 0 {
+		t.Fatalf("MaxOverMean(nil) = %v, want 0", got)
+	}
+	if got := MaxOverMean([]int64{0, 0, 0}); got != 0 {
+		t.Fatalf("all-zero = %v, want 0", got)
+	}
+	if got := MaxOverMean([]int64{5, 5, 5, 5}); got != 1 {
+		t.Fatalf("balanced = %v, want 1", got)
+	}
+	// max 9, mean (9+3)/2 = 6 -> 1.5
+	if got := MaxOverMean([]int64{9, 3}); got != 1.5 {
+		t.Fatalf("MaxOverMean([9 3]) = %v, want 1.5", got)
+	}
+	// MaxOverMean >= 1 whenever any usage is positive.
+	if got := MaxOverMean([]int64{1, 0, 0, 0}); got != 4 {
+		t.Fatalf("MaxOverMean([1 0 0 0]) = %v, want 4", got)
+	}
+}

@@ -170,6 +170,13 @@ func (n *Node) CountHandprintMatches(hp core.Handprint) int {
 // w_i input of Algorithm 1 step 3.
 func (n *Node) StorageUsage() int64 { return n.eng.StorageUsage() }
 
+// SummaryMayContain reports whether any RFP of hp may be in this node's
+// similarity index, per its bid summary. False means a bid is guaranteed
+// to return zero, so the router can skip this candidate entirely.
+func (n *Node) SummaryMayContain(hp core.Handprint) bool {
+	return n.eng.SummaryMayContain(hp)
+}
+
 // CountStoredChunks reports how many of the given chunk fingerprints this
 // node already stores — the sampled chunk-index bid used by EMC-style
 // Stateful routing. Charged against the chunk index like any other lookup.

@@ -88,6 +88,23 @@ type View interface {
 	Usage(nodeID int) int64
 }
 
+// SummaryView is the optional bid-summary extension of View. A view that
+// implements it lets routers consult each node's compact Bloom summary
+// of its similarity index before paying for a bid: SummaryMayContain
+// must never return false for a node whose BidHandprint(hp) would be
+// positive (no false negatives), so a summary-negative node can be
+// scored zero without a message. Summaries are small enough to
+// replicate to every router (a few KB per node), so probing all N of
+// them is local RAM work — which turns similarity bidding into global
+// discovery at O(1) expected bid messages per super-chunk instead of
+// O(N) at 64–128 nodes.
+type SummaryView interface {
+	// SummaryMayContain reports whether any representative fingerprint
+	// of hp may be present in node's similarity index. False means the
+	// node's handprint bid is guaranteed to be zero.
+	SummaryMayContain(nodeID int, hp core.Handprint) bool
+}
+
 // Assignment sends the chunks with the given indexes (nil = all chunks of
 // the super-chunk) to Node.
 type Assignment struct {
@@ -104,6 +121,24 @@ type Decision struct {
 	// pre-routing cost is k RFPs × k candidates = 1/4 of the after-routing
 	// per-chunk lookups at the default parameters).
 	PreRoutingMsgs int64
+	// BidsSent counts the nodes actually queried for a bid. Without
+	// summaries this equals the candidate count (Sigma) or the cluster
+	// size (Stateful); with summaries it is the number of
+	// summary-positive candidates — the O(1) expected fan-out the
+	// scale-out campaign measures.
+	BidsSent int64
+	// SummaryChecks counts bid-summary probes made for this decision
+	// (zero when the view has no summaries or the router ignores them).
+	SummaryChecks int64
+	// SummaryHits counts summary probes that answered "may contain",
+	// each of which turned into a real bid.
+	SummaryHits int64
+	// SummaryFalsePos counts summary hits whose subsequent bid returned
+	// zero — bids the summary failed to save. For similarity (handprint)
+	// bids this is exactly the Bloom false-positive count; for Stateful
+	// chunk-sample bids it also absorbs handprint/chunk-sample mismatch,
+	// since the summary sketches RFPs, not raw chunk fingerprints.
+	SummaryFalsePos int64
 }
 
 // Router routes super-chunks to deduplication nodes.
@@ -180,7 +215,29 @@ type SigmaRouter struct {
 	// looping, mirroring the prototype client's bid fan-out. The decision
 	// and message accounting are unchanged; only wall-clock latency is.
 	Parallel bool
+	// UseSummaries routes through the view's bid summaries (when it
+	// implements SummaryView): every live node's compact summary is
+	// probed locally — summaries are tiny and replicated to the router,
+	// so probes cost RAM lookups, not messages — and only
+	// summary-positive nodes are sent a bid. Because summaries have no
+	// false negatives this finds every node that could bid positive,
+	// even ones outside the rendezvous candidate set (whose membership
+	// churns when a handprint fingerprint churns), so the decision
+	// equals full 1-to-all stateful bidding at O(1) expected messages
+	// instead of O(N): summary-filtered global discovery is what makes
+	// similarity routing hold its dedup ratio at 64–128 nodes.
+	// Zero-resemblance placement still falls back to the least-loaded
+	// rendezvous candidate, preserving Theorem 2 balance.
+	UseSummaries bool
 }
+
+// maxSummaryBids caps the per-super-chunk bid fan-out of the
+// summary-filtered path. A globally popular fingerprint (shared
+// boilerplate) can make most summaries light up; past this many positive
+// probes the rest are treated as unqueried zero bids — the weak-bid
+// override in core.SelectTarget would discard those popular-block bids
+// anyway. The cap matches the classic candidate budget 2k+1.
+const maxSummaryBids = 2*core.DefaultHandprintSize + 1
 
 var _ Router = (*SigmaRouter)(nil)
 
@@ -205,20 +262,86 @@ func (r *SigmaRouter) Route(sc *core.SuperChunk, v View) Decision {
 		}
 		return all(node)
 	}
-	cands := m.Candidates(hp, sc.Seed())
-	counts := make([]int, len(cands))
-	usage := make([]int64, len(cands))
-	// The handprint is sent to each candidate.
-	msgs := int64(len(hp)) * int64(len(cands))
-	eachCandidate(r.Parallel, len(cands), func(i int) {
-		counts[i] = v.BidHandprint(cands[i], hp)
-		if !r.IgnoreUsage {
-			usage[i] = v.Usage(cands[i])
+	// Candidate selection reuses a stack buffer: at most 2k+1 entries,
+	// so a K ≤ 8 route ranks 128 nodes without a single allocation.
+	var cbuf [17]int
+	cands := m.AppendCandidates(cbuf[:0], hp, sc.Seed())
+	var sv SummaryView
+	if r.UseSummaries {
+		sv, _ = v.(SummaryView)
+	}
+	if sv == nil {
+		// Classic Algorithm 1: bid at every rendezvous candidate.
+		counts := make([]int, len(cands))
+		usage := make([]int64, len(cands))
+		eachCandidate(r.Parallel, len(cands), func(i int) {
+			counts[i] = v.BidHandprint(cands[i], hp)
+			if !r.IgnoreUsage {
+				usage[i] = v.Usage(cands[i])
+			}
+		})
+		sel := core.SelectTarget(cands, counts, usage)
+		d := all(sel.Node)
+		d.BidsSent = int64(len(cands))
+		// The handprint is sent to each queried candidate.
+		d.PreRoutingMsgs = int64(len(cands) * len(hp))
+		return d
+	}
+	// Summary-filtered global discovery: probe every live node's local
+	// summary copy, bid only where it answers "may contain". The
+	// selection set is those positives (exact counts from their bids)
+	// plus the zero-bid rendezvous candidates: a summary-negative node
+	// is guaranteed to bid zero (no false negatives), so scoring the
+	// candidates zero without a message loses nothing, and they keep
+	// the least-loaded fallback anchored to the hash-uniform candidate
+	// set (Theorem 2) rather than to false-positive noise.
+	var nbuf [maxSummaryBids + 17]int
+	var cntbuf [maxSummaryBids + 17]int
+	var usebuf [maxSummaryBids + 17]int64
+	nodes := nbuf[:0]
+	hits := 0
+	for _, id := range m.Nodes {
+		if sv.SummaryMayContain(id, hp) {
+			hits++
+			if len(nodes) < maxSummaryBids {
+				nodes = append(nodes, id)
+			}
 		}
+	}
+	bidTo := len(nodes)
+	for _, c := range cands {
+		seen := false
+		for _, id := range nodes[:bidTo] {
+			if id == c {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			nodes = append(nodes, c)
+		}
+	}
+	counts := cntbuf[:len(nodes)]
+	usage := usebuf[:len(nodes)]
+	eachCandidate(r.Parallel, bidTo, func(i int) {
+		counts[i] = v.BidHandprint(nodes[i], hp)
 	})
-	sel := core.SelectTarget(cands, counts, usage)
+	if !r.IgnoreUsage {
+		for i := range nodes {
+			usage[i] = v.Usage(nodes[i])
+		}
+	}
+	sel := core.SelectTarget(nodes, counts, usage)
 	d := all(sel.Node)
-	d.PreRoutingMsgs = msgs
+	d.BidsSent = int64(bidTo)
+	d.PreRoutingMsgs = int64(bidTo * len(hp))
+	d.SummaryChecks = int64(m.Len())
+	d.SummaryHits = int64(hits)
+	for i := 0; i < bidTo; i++ {
+		if counts[i] == 0 {
+			d.SummaryFalsePos++
+		}
+	}
 	return d
 }
 
@@ -250,6 +373,15 @@ type StatefulRouter struct {
 	// Parallel issues the 1-to-all bids concurrently (see
 	// SigmaRouter.Parallel).
 	Parallel bool
+	// UseSummaries pre-filters the 1-to-all fan-out through the view's
+	// bid summaries, probing each node with the super-chunk's handprint
+	// before paying the chunk-sample bid. Unlike Sigma's filtering this
+	// is an approximation: the summaries sketch similarity-index RFPs
+	// while the bid counts raw sampled chunks, so a handprint-negative
+	// node could still hold sampled chunks. It trades a (rare) missed
+	// bid for collapsing the O(N) fan-out — the scale-out remedy for
+	// the scheme's Fig. 7 weakness.
+	UseSummaries bool
 }
 
 var _ Router = (*StatefulRouter)(nil)
@@ -274,21 +406,50 @@ func (r *StatefulRouter) Route(sc *core.SuperChunk, v View) Decision {
 		sample = append(sample, sc.MinFingerprint())
 	}
 	// 1-to-all communication: every live node of the epoch receives the
-	// sample.
+	// sample — unless summaries are on, in which case handprint-negative
+	// nodes are skipped before the sample is sent.
 	members := v.Membership().Nodes
 	n := len(members)
 	cands := make([]int, n)
 	counts := make([]int, n)
 	usage := make([]int64, n)
-	msgs := int64(len(sample)) * int64(n)
+	var sv SummaryView
+	if r.UseSummaries {
+		sv, _ = v.(SummaryView)
+	}
+	var hp core.Handprint
+	if sv != nil {
+		hp = sc.Handprint(core.DefaultHandprintSize)
+		if len(hp) == 0 {
+			sv = nil // degenerate super-chunk: nothing to probe with
+		}
+	}
+	sent := make([]bool, n)
 	eachCandidate(r.Parallel, n, func(i int) {
 		cands[i] = members[i]
-		counts[i] = v.BidChunks(members[i], sample)
+		if sv == nil || sv.SummaryMayContain(members[i], hp) {
+			sent[i] = true
+			counts[i] = v.BidChunks(members[i], sample)
+		}
 		usage[i] = v.Usage(members[i])
 	})
 	sel := core.SelectTarget(cands, counts, usage)
 	d := all(sel.Node)
-	d.PreRoutingMsgs = msgs
+	for i := range sent {
+		if sent[i] {
+			d.BidsSent++
+			d.PreRoutingMsgs += int64(len(sample))
+		}
+	}
+	if sv != nil {
+		d.SummaryChecks = int64(n)
+		d.SummaryHits = d.BidsSent
+		for i := range sent {
+			if sent[i] && counts[i] == 0 {
+				d.SummaryFalsePos++
+			}
+		}
+	}
 	return d
 }
 

@@ -265,3 +265,225 @@ func TestDHTSplitsAcrossNodes(t *testing.T) {
 		t.Fatalf("DHT covered %d chunks, want 256", covered)
 	}
 }
+
+// summaryView wraps fakeView with scripted bid summaries.
+type summaryView struct {
+	*fakeView
+	mayContain map[int]bool // nodeID -> summary answer
+	checks     []int
+}
+
+func (v *summaryView) SummaryMayContain(nodeID int, hp core.Handprint) bool {
+	v.checks = append(v.checks, nodeID)
+	return v.mayContain[nodeID]
+}
+
+// TestSigmaSummaryGlobalDiscovery: with summaries the router probes
+// every live node's summary and bids only at the positives, so it must
+// (a) find a strong bidder OUTSIDE the rendezvous candidate set — the
+// case the classic candidate walk structurally misses when a handprint
+// fingerprint churns — while (b) paying one bid, not N.
+func TestSigmaSummaryGlobalDiscovery(t *testing.T) {
+	sc := makeSC(100, 64)
+	hp := sc.Handprint(8)
+	cands := core.DenseMembership(32).Candidates(hp, sc.Seed())
+	inCands := func(id int) bool {
+		for _, c := range cands {
+			if c == id {
+				return true
+			}
+		}
+		return false
+	}
+	// The sole positive bidder is a non-candidate node.
+	home := -1
+	for id := 0; id < 32; id++ {
+		if !inCands(id) {
+			home = id
+			break
+		}
+	}
+	bids := map[int]int{home: 5}
+	usage := map[int]int64{}
+	for id := 0; id < 32; id++ {
+		usage[id] = 1 << 19 // uniform load: no weak-bid override
+	}
+	sv := &summaryView{
+		fakeView:   &fakeView{n: 32, hpBids: bids, usage: usage},
+		mayContain: map[int]bool{home: true},
+	}
+	d := (&SigmaRouter{K: 8, UseSummaries: true}).Route(sc, sv)
+	if d.Assignments[0].Node != home {
+		t.Fatalf("summary discovery routed to %d, want out-of-candidate home %d", d.Assignments[0].Node, home)
+	}
+	if len(sv.checks) != 32 {
+		t.Fatalf("probed %d summaries, want all 32", len(sv.checks))
+	}
+	if len(sv.hpCalls) != 1 || d.BidsSent != 1 {
+		t.Fatalf("sent %d bids (counter %d), want exactly 1", len(sv.hpCalls), d.BidsSent)
+	}
+	if d.SummaryChecks != 32 || d.SummaryHits != 1 || d.SummaryFalsePos != 0 {
+		t.Fatalf("counters: %+v", d)
+	}
+	if d.PreRoutingMsgs != int64(len(hp)) {
+		t.Fatalf("PreRoutingMsgs = %d, want %d (one handprint)", d.PreRoutingMsgs, len(hp))
+	}
+
+	// The classic candidate walk cannot see the out-of-set home.
+	base := (&SigmaRouter{K: 8}).Route(sc, &fakeView{n: 32, hpBids: bids, usage: usage})
+	if base.Assignments[0].Node == home {
+		t.Fatal("classic route found the non-candidate home; test premise broken")
+	}
+}
+
+// TestSigmaSummaryMatchesFullBidding: for any truthful summary (no
+// false negatives) the summary-filtered decision must equal full
+// 1-to-all bidding resolved by SelectTarget over the positive bidders
+// plus the zero-bid rendezvous candidates — i.e. filtering only removes
+// guaranteed-zero bids, never information. A scripted false positive
+// costs one wasted bid but must not change the decision either.
+func TestSigmaSummaryMatchesFullBidding(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		sc := makeSC(100+seed, 64)
+		hp := sc.Handprint(8)
+		cands := core.DenseMembership(32).Candidates(hp, sc.Seed())
+		bids := map[int]int{}
+		usage := map[int]int64{}
+		rng := rand.New(rand.NewSource(seed))
+		for id := 0; id < 32; id++ {
+			if rng.Intn(8) == 0 {
+				bids[id] = 2 + rng.Intn(6)
+			}
+			usage[id] = int64(1<<19 + rng.Intn(1<<18))
+		}
+		may := map[int]bool{}
+		positives := []int{}
+		for id := 0; id < 32; id++ {
+			if bids[id] > 0 {
+				may[id] = true
+				positives = append(positives, id)
+			}
+		}
+		fpNode := -1
+		for id := 0; id < 32; id++ {
+			if bids[id] == 0 && !inSet(cands, id) {
+				may[id] = true // scripted false positive
+				fpNode = id
+				break
+			}
+		}
+
+		// Reference: full 1-to-all bidding, selected over positives plus
+		// the zero-bid candidates (the fallback pool).
+		set := append([]int{}, positives...)
+		if fpNode >= 0 {
+			set = append(set, fpNode)
+		}
+		for _, c := range cands {
+			if !inSet(set, c) {
+				set = append(set, c)
+			}
+		}
+		counts := make([]int, len(set))
+		use := make([]int64, len(set))
+		for i, id := range set {
+			counts[i] = bids[id]
+			use[i] = usage[id]
+		}
+		want := core.SelectTarget(set, counts, use).Node
+
+		sv := &summaryView{fakeView: &fakeView{n: 32, hpBids: bids, usage: usage}, mayContain: may}
+		d := (&SigmaRouter{K: 8, UseSummaries: true}).Route(sc, sv)
+		if d.Assignments[0].Node != want {
+			t.Fatalf("seed %d: summary decision %d != full-bidding reference %d",
+				seed, d.Assignments[0].Node, want)
+		}
+		wantBids := int64(len(positives))
+		if fpNode >= 0 {
+			wantBids++
+		}
+		if d.BidsSent != wantBids || d.SummaryHits != wantBids || int64(len(sv.hpCalls)) != wantBids {
+			t.Fatalf("seed %d: BidsSent=%d SummaryHits=%d calls=%d, want %d",
+				seed, d.BidsSent, d.SummaryHits, len(sv.hpCalls), wantBids)
+		}
+		if d.PreRoutingMsgs != wantBids*int64(len(hp)) {
+			t.Fatalf("seed %d: PreRoutingMsgs = %d, want %d", seed, d.PreRoutingMsgs, wantBids*int64(len(hp)))
+		}
+		if fpNode >= 0 && d.SummaryFalsePos != 1 {
+			t.Fatalf("seed %d: SummaryFalsePos = %d, want 1", seed, d.SummaryFalsePos)
+		}
+		if d.SummaryChecks != 32 {
+			t.Fatalf("seed %d: SummaryChecks = %d, want 32", seed, d.SummaryChecks)
+		}
+	}
+}
+
+func inSet(s []int, id int) bool {
+	for _, x := range s {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestStatefulSummaryCutsFanout: with summaries, stateful routing only
+// pays the chunk-sample bid on summary-positive nodes instead of 1-to-all.
+func TestStatefulSummaryCutsFanout(t *testing.T) {
+	sc := makeSC(11, 256)
+	may := map[int]bool{3: true, 9: true}
+	sv := &summaryView{
+		fakeView:   &fakeView{n: 16, chBids: map[int]int{3: 5}, usage: map[int]int64{}},
+		mayContain: may,
+	}
+	r := &StatefulRouter{SampleRate: 32, UseSummaries: true}
+	d := r.Route(sc, sv)
+	if len(sv.checks) != 16 {
+		t.Fatalf("summary checked %d nodes, want 16", len(sv.checks))
+	}
+	if len(sv.chCalls) != 2 {
+		t.Fatalf("chunk bids reached %d nodes, want 2 summary-positive ones", len(sv.chCalls))
+	}
+	if d.Assignments[0].Node != 3 {
+		t.Fatalf("routed to %d, want bidding node 3", d.Assignments[0].Node)
+	}
+	if d.BidsSent != 2 || d.SummaryChecks != 16 || d.SummaryHits != 2 {
+		t.Fatalf("counters: %+v", d)
+	}
+	if d.SummaryFalsePos != 1 { // node 9: summary hit, zero chunk bid
+		t.Fatalf("SummaryFalsePos = %d, want 1", d.SummaryFalsePos)
+	}
+	// All-negative summaries: no bids at all, least-loaded fallback still
+	// places the super-chunk inside the membership.
+	none := &summaryView{
+		fakeView:   &fakeView{n: 16, chBids: map[int]int{}, usage: map[int]int64{7: 1}},
+		mayContain: map[int]bool{},
+	}
+	d2 := r.Route(sc, none)
+	if len(none.chCalls) != 0 || d2.PreRoutingMsgs != 0 {
+		t.Fatalf("all-negative summaries still sent bids: %+v calls=%v", d2, none.chCalls)
+	}
+	if n := d2.Assignments[0].Node; n < 0 || n >= 16 {
+		t.Fatalf("fallback placement outside membership: %d", n)
+	}
+}
+
+// TestSigmaRouteZeroAlloc pins the allocation count of the sigma hot
+// path at 128 nodes (stack-buffer candidates; counts/usage/sent are the
+// only per-route slices).
+func TestSigmaRouteZeroAlloc(t *testing.T) {
+	sc := makeSC(12, 64)
+	sc.Handprint(8) // prime the memoized handprint
+	v := &fakeView{n: 128, hpBids: map[int]int{}, usage: map[int]int64{}}
+	r := &SigmaRouter{K: 8}
+	allocs := testing.AllocsPerRun(50, func() {
+		v.hpCalls = v.hpCalls[:0]
+		r.Route(sc, v)
+	})
+	// counts + usage + sent + the Decision itself + fakeView's hpCalls
+	// growth; the candidate ranking must not add O(N) allocations on
+	// top (a per-node alloc would put this near 128).
+	if allocs > 10 {
+		t.Fatalf("sigma Route does %v allocs/op at N=128, want <= 10", allocs)
+	}
+}

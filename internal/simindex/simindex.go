@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sigmadedupe/internal/bloom"
 	"sigmadedupe/internal/fingerprint"
 )
 
@@ -37,6 +38,13 @@ type Index struct {
 
 	lookups atomic.Uint64
 	hits    atomic.Uint64
+
+	// summary is the node's bid summary: a Bloom sketch of every RFP in
+	// the index, maintained incrementally on Insert and rebuilt (doubled)
+	// from a full stripe enumeration when it outgrows its capacity.
+	// Routers consult it to skip candidates that cannot bid — see
+	// SummaryMayContainAny.
+	summary *bloom.Summary
 }
 
 type stripe struct {
@@ -61,6 +69,11 @@ func New(numLocks int) (*Index, error) {
 	for i := range idx.stripes {
 		idx.stripes[i].m = make(map[fingerprint.Fingerprint]uint64)
 	}
+	sum, err := bloom.NewSummary(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	idx.summary = sum
 	return idx, nil
 }
 
@@ -79,7 +92,47 @@ func (x *Index) Insert(fp fingerprint.Fingerprint, cid uint64) {
 	s.mu.Lock()
 	s.m[fp] = cid
 	s.mu.Unlock()
+	// Feed the bid summary AFTER releasing the stripe lock: a concurrent
+	// summary rebuild enumerates the stripes, and the summary's
+	// no-false-negative guarantee across rebuilds requires the key to be
+	// visible in its stripe before Add runs (see bloom.Summary).
+	if x.summary.Add(fp) {
+		// Overfull: double the capacity and refill from the stripes.
+		// Racing inserts may all trip this around the same threshold;
+		// Rebuild collapses requests that are no longer a growth.
+		x.summary.Rebuild(2*x.summary.Capacity(), x.Range)
+	}
 }
+
+// Range calls yield for every representative fingerprint in the index,
+// one stripe at a time (each stripe read-locked only while it is being
+// walked). Enumeration is not a snapshot: entries inserted concurrently
+// into already-walked stripes are missed here and caught by their
+// pending summary Add.
+func (x *Index) Range(yield func(fp fingerprint.Fingerprint) bool) {
+	for i := range x.stripes {
+		s := &x.stripes[i]
+		s.mu.RLock()
+		for fp := range s.m {
+			if !yield(fp) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// SummaryMayContainAny reports whether any of the given representative
+// fingerprints may be present, per the node's bid summary. False means
+// a CountMatches bid for this handprint is guaranteed to return zero —
+// the router-side pre-filter of the scale-out bid fan-out.
+func (x *Index) SummaryMayContainAny(hp []fingerprint.Fingerprint) bool {
+	return x.summary.MayContainAny(hp)
+}
+
+// Summary exposes the node's bid summary for stats reporting.
+func (x *Index) Summary() *bloom.Summary { return x.summary }
 
 // Lookup returns the container ID mapped to fp.
 func (x *Index) Lookup(fp fingerprint.Fingerprint) (uint64, bool) {

@@ -182,3 +182,47 @@ func BenchmarkLookupParallel(b *testing.B) {
 		}
 	})
 }
+
+// TestSummaryTracksInserts checks the bid summary never misses an
+// indexed RFP, including across growth rebuilds under concurrent insert.
+func TestSummaryTracksInserts(t *testing.T) {
+	x, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 4, 3000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				var fp fingerprint.Fingerprint
+				rng.Read(fp[:])
+				x.Insert(fp, uint64(i))
+				if !x.SummaryMayContainAny([]fingerprint.Fingerprint{fp}) {
+					t.Errorf("summary missed just-inserted fp (worker %d, i %d)", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	missed := 0
+	x.Range(func(fp fingerprint.Fingerprint) bool {
+		if !x.Summary().MayContain(fp) {
+			missed++
+		}
+		return true
+	})
+	if missed > 0 {
+		t.Fatalf("summary missed %d of %d indexed RFPs (rebuilds=%d)", missed, x.Len(), x.Summary().Rebuilds())
+	}
+	if x.Summary().Rebuilds() == 0 {
+		t.Fatalf("expected growth rebuilds for %d inserts from default capacity", x.Len())
+	}
+}

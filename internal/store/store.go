@@ -778,6 +778,19 @@ func (e *Engine) CountHandprintMatches(hp core.Handprint) int {
 	return e.sim.CountMatches(hp)
 }
 
+// SummaryMayContain reports whether any RFP of hp may be present in this
+// node's similarity index, per its bid summary — a constant-size check
+// routers use to skip candidates that are guaranteed to bid zero. False
+// means CountHandprintMatches(hp) == 0.
+func (e *Engine) SummaryMayContain(hp core.Handprint) bool {
+	return e.sim.SummaryMayContainAny(hp)
+}
+
+// BidSummaryStats reports the bid summary's footprint and rebuild count.
+func (e *Engine) BidSummaryStats() (sizeBytes int, rebuilds uint64) {
+	return e.sim.Summary().SizeBytes(), e.sim.Summary().Rebuilds()
+}
+
 // CountStoredChunks reports how many of the given chunk fingerprints are
 // already stored — the sampled chunk-index bid of EMC-style Stateful
 // routing. Charged against the chunk index like any other lookup.
